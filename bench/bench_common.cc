@@ -1,0 +1,84 @@
+#include "bench_common.h"
+
+#include "eval/metrics.h"
+#include "eval/timer.h"
+
+namespace bccs::bench {
+
+PreparedDataset Prepare(const DatasetSpec& spec, std::size_t num_queries,
+                        const QueryGenConfig& qcfg) {
+  PreparedDataset ds;
+  ds.name = spec.name;
+  ds.planted = MakeDataset(spec);
+  ds.ctc = std::make_unique<CtcSearcher>(ds.planted.graph);
+  ds.psa = std::make_unique<PsaSearcher>(ds.planted.graph);
+  ds.index = std::make_unique<BcIndex>(ds.planted.graph);
+  ds.queries = SampleGroundTruthQueries(ds.planted, num_queries, qcfg);
+  return ds;
+}
+
+MethodAggregate RunMethodOnQueries(PreparedDataset& ds, Method m, const BccParams& params,
+                                   const std::vector<GroundTruthQuery>& queries) {
+  MethodAggregate agg;
+  if (queries.empty()) return agg;
+  for (const GroundTruthQuery& gq : queries) {
+    Community c;
+    Timer t;
+    switch (m) {
+      case Method::kPsa:
+        c = ds.psa->Search(gq.query, &agg.stats);
+        break;
+      case Method::kCtc:
+        c = ds.ctc->Search(gq.query, &agg.stats);
+        break;
+      case Method::kOnlineBcc:
+        c = OnlineBcc(ds.planted.graph, gq.query, params, &agg.stats);
+        break;
+      case Method::kLpBcc:
+        c = LpBcc(ds.planted.graph, gq.query, params, &agg.stats);
+        break;
+      case Method::kL2pBcc:
+        c = L2pBcc(ds.planted.graph, *ds.index, gq.query, params, {}, &agg.stats);
+        break;
+    }
+    agg.avg_seconds += t.Seconds();
+    if (c.Empty()) ++agg.empty_results;
+    auto truth = ds.planted.communities[gq.community_index].AllVertices();
+    agg.avg_f1 += F1Score(c.vertices, truth).f1;
+  }
+  agg.avg_seconds /= static_cast<double>(queries.size());
+  agg.avg_f1 /= static_cast<double>(queries.size());
+  return agg;
+}
+
+MethodAggregate RunMethod(PreparedDataset& ds, Method m, const BccParams& params) {
+  return RunMethodOnQueries(ds, m, params, ds.queries);
+}
+
+void PrintHeader(const char* series, const std::vector<std::string>& columns) {
+  std::printf("%-14s", series);
+  for (const auto& c : columns) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+void PrintCommunityByLabel(const CaseStudy& cs, const Community& c, const char* title) {
+  std::printf("%s: %zu members\n", title, c.Size());
+  if (c.Empty()) {
+    std::printf("  (empty)\n");
+    return;
+  }
+  for (Label l = 0; l < cs.graph.NumLabels(); ++l) {
+    bool any = false;
+    for (VertexId v : c.vertices) {
+      if (cs.graph.LabelOf(v) != l) continue;
+      if (!any) {
+        std::printf("  [%s]", l < cs.label_names.size() ? cs.label_names[l].c_str() : "?");
+        any = true;
+      }
+      std::printf(" %s", cs.vertex_names[v].c_str());
+    }
+    if (any) std::printf("\n");
+  }
+}
+
+}  // namespace bccs::bench

@@ -1,0 +1,50 @@
+// Figure 10 of the paper (Exp-10): multi-labeled BCC search time for the
+// three method extensions, varying the number of query labels m = 2..6.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/timer.h"
+
+int main() {
+  constexpr std::size_t kQueries = 5;
+  const char* datasets[] = {"baidu1-m", "baidu2-m", "dblp-m", "livejournal-m", "orkut-m"};
+
+  std::printf("== Figure 10: mBCC query time vs m (seconds/query) ==\n");
+  for (const char* name : datasets) {
+    const auto* spec = bccs::FindSpec(name);
+    auto pg = bccs::MakeDataset(*spec);
+    bccs::BcIndex index(pg.graph);
+    std::printf("\n(%s)\n%-6s %12s %12s %12s\n", name, "m", "Online-BCC", "LP-BCC",
+                "L2P-BCC");
+    for (std::size_t m = 2; m <= 6; ++m) {
+      auto queries = bccs::SampleMbccGroundTruthQueries(pg, m, kQueries, 31 + m);
+      if (queries.empty()) continue;
+      double online = 0, lp = 0, l2p = 0;
+      for (const auto& gq : queries) {
+        bccs::MbccParams p;  // auto cores, b = 1
+        {
+          bccs::Timer t;
+          bccs::MbccSearch(pg.graph, gq.query, p, bccs::OnlineBccOptions());
+          online += t.Seconds();
+        }
+        {
+          bccs::Timer t;
+          bccs::MbccSearch(pg.graph, gq.query, p, bccs::LpBccOptions());
+          lp += t.Seconds();
+        }
+        {
+          bccs::Timer t;
+          bccs::L2pMbcc(pg.graph, index, gq.query, p);
+          l2p += t.Seconds();
+        }
+      }
+      const auto n = static_cast<double>(queries.size());
+      std::printf("%-6zu %12.5f %12.5f %12.5f\n", m, online / n, lp / n, l2p / n);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nExpected shape (paper): mild growth with m (more BFS trees per\n"
+              "query); L2P-BCC fastest throughout.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 11 of the paper (Exp-6): case study on the (synthetic stand-in)
+// global flight network. The BCC finds both countries' dense domestic
+// networks bridged by hub butterflies; CTC collapses onto one side.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  bccs::CaseStudy cs = bccs::MakeFlightCase();
+  bccs::BccQuery q{cs.queries[0], cs.queries[1]};
+  std::printf("== Figure 11: flight network case study ==\n");
+  std::printf("query: %s x %s, b = %llu, k = query coreness\n",
+              cs.vertex_names[q.ql].c_str(), cs.vertex_names[q.qr].c_str(),
+              static_cast<unsigned long long>(cs.params.b));
+
+  bccs::Community bcc = bccs::LpBcc(cs.graph, q, cs.params);
+  bccs::bench::PrintCommunityByLabel(cs, bcc, "\nButterfly-Core Community (LP-BCC)");
+
+  bccs::CtcSearcher ctc(cs.graph);
+  bccs::Community c = ctc.Search(q);
+  bccs::bench::PrintCommunityByLabel(cs, c, "\nCTC community");
+
+  std::printf("\nExpected shape (paper Fig 11): the BCC spans the two countries'\n"
+              "hub-and-domestic cores; CTC returns a hub clique that ignores the\n"
+              "labeled two-sided structure.\n");
+  return 0;
+}

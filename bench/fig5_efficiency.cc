@@ -1,0 +1,36 @@
+// Figure 5 of the paper (Exp-2): average query time of the five methods on
+// the seven networks (offline indexes are built before timing, as in the
+// paper's protocol).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using bccs::bench::AllMethods;
+using bccs::bench::Method;
+
+int main() {
+  constexpr std::size_t kQueries = 10;
+  std::printf("== Figure 5: efficiency (avg seconds per query, %zu queries) ==\n", kQueries);
+  std::printf("%-14s", "dataset");
+  for (Method m : AllMethods()) std::printf(" %12s", bccs::bench::Name(m));
+  std::printf("\n");
+
+  bccs::QueryGenConfig qcfg;
+  qcfg.degree_rank = 0.8;
+  qcfg.inter_distance = 1;
+  qcfg.seed = 11;
+  for (const auto& spec : bccs::StandInSpecs()) {
+    auto ds = bccs::bench::Prepare(spec, kQueries, qcfg);
+    std::printf("%-14s", ds.name.c_str());
+    for (Method m : AllMethods()) {
+      auto agg = bccs::bench::RunMethod(ds, m, bccs::BccParams{});
+      std::printf(" %12.5f", agg.avg_seconds);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape (paper): L2P-BCC fastest; Online-BCC/LP-BCC slowest on\n"
+              "the large dense (orkut-like) network.\n");
+  return 0;
+}

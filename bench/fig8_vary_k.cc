@@ -1,0 +1,37 @@
+// Figure 8 of the paper (Exp-4): query time while varying the core value k
+// (k1 = k2 = k), b = 1.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using bccs::bench::BccMethods;
+using bccs::bench::Method;
+
+int main() {
+  constexpr std::size_t kQueries = 6;
+  const char* datasets[] = {"baidu1", "baidu2", "dblp", "livejournal", "orkut"};
+
+  std::printf("== Figure 8: query time vs core value k (seconds/query) ==\n");
+  for (const char* name : datasets) {
+    const auto* spec = bccs::FindSpec(name);
+    bccs::QueryGenConfig qcfg;
+    qcfg.seed = 19;
+    auto ds = bccs::bench::Prepare(*spec, kQueries, qcfg);
+    std::printf("\n(%s)\n%-14s", name, "k");
+    for (Method m : BccMethods()) std::printf(" %12s", bccs::bench::Name(m));
+    std::printf("\n");
+    for (std::uint32_t k = 2; k <= 6; ++k) {
+      bccs::BccParams params{k, k, 1};
+      std::printf("%-14u", k);
+      for (Method m : BccMethods()) {
+        auto agg = bccs::bench::RunMethod(ds, m, params);
+        std::printf(" %12.5f", agg.avg_seconds);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nExpected shape (paper): larger k -> smaller G0 -> less running time.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 9 of the paper (Exp-4): query time while varying the butterfly
+// threshold b from 1 to 5 (k auto).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using bccs::bench::BccMethods;
+using bccs::bench::Method;
+
+int main() {
+  constexpr std::size_t kQueries = 6;
+  const char* datasets[] = {"baidu1", "baidu2", "dblp", "livejournal", "orkut"};
+
+  std::printf("== Figure 9: query time vs butterfly threshold b (seconds/query) ==\n");
+  for (const char* name : datasets) {
+    const auto* spec = bccs::FindSpec(name);
+    bccs::QueryGenConfig qcfg;
+    qcfg.seed = 23;
+    auto ds = bccs::bench::Prepare(*spec, kQueries, qcfg);
+    std::printf("\n(%s)\n%-14s", name, "b");
+    for (Method m : BccMethods()) std::printf(" %12s", bccs::bench::Name(m));
+    std::printf("\n");
+    for (std::uint64_t b = 1; b <= 5; ++b) {
+      bccs::BccParams params{0, 0, b};
+      std::printf("%-14llu", static_cast<unsigned long long>(b));
+      for (Method m : BccMethods()) {
+        auto agg = bccs::bench::RunMethod(ds, m, params);
+        std::printf(" %12.5f", agg.avg_seconds);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nExpected shape (paper): roughly stable running time across b.\n");
+  return 0;
+}

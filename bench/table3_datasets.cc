@@ -1,0 +1,37 @@
+// Table 3 of the paper: statistics of the evaluation networks. Our numbers
+// describe the laptop-scale synthetic stand-ins (DESIGN.md Section 3).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/stats.h"
+
+namespace {
+
+void PrintRow(const char* name, const bccs::GraphStats& s) {
+  std::printf("%-16s %10zu %12zu %8zu %8u %8zu %10u %12zu\n", name, s.num_vertices,
+              s.num_edges, s.num_labels, s.k_max, s.d_max, s.diameter_lb,
+              s.num_cross_edges);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 3: network statistics (synthetic stand-ins) ==\n");
+  std::printf("%-16s %10s %12s %8s %8s %8s %10s %12s\n", "Network", "|V|", "|E|", "Labels",
+              "k_max", "d_max", "diam_lb", "CrossEdges");
+  for (const auto& spec : bccs::StandInSpecs()) {
+    auto pg = bccs::MakeDataset(spec);
+    PrintRow(spec.name.c_str(), bccs::ComputeGraphStats(pg.graph));
+  }
+  for (const auto& spec : bccs::MultiLabelSpecs()) {
+    auto pg = bccs::MakeDataset(spec);
+    PrintRow(spec.name.c_str(), bccs::ComputeGraphStats(pg.graph));
+  }
+  std::printf("\n-- case-study networks (Exp-6..8, Exp-11) --\n");
+  for (const auto& cs : {bccs::MakeFlightCase(), bccs::MakeTradeCase(),
+                         bccs::MakePotterCase(), bccs::MakeDblpCase()}) {
+    PrintRow(cs.name.c_str(), bccs::ComputeGraphStats(cs.graph));
+  }
+  return 0;
+}

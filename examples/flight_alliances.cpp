@@ -1,0 +1,35 @@
+// Flight alliances (the paper's Exp-6 scenario): find the cross-country
+// flight community connecting two allied countries' hub cities.
+
+#include <cstdio>
+
+#include "bcc/local_search.h"
+#include "bcc/online_search.h"
+#include "eval/datasets.h"
+
+int main() {
+  bccs::CaseStudy cs = bccs::MakeFlightCase();
+  std::printf("flight network: %zu cities, %zu routes, %zu countries\n",
+              cs.graph.NumVertices(), cs.graph.NumEdges(), cs.graph.NumLabels());
+
+  bccs::BccQuery q{cs.queries[0], cs.queries[1]};
+  std::printf("query: %s x %s (b = %llu)\n\n", cs.vertex_names[q.ql].c_str(),
+              cs.vertex_names[q.qr].c_str(),
+              static_cast<unsigned long long>(cs.params.b));
+
+  // L2P-BCC with the butterfly-core index: the fast path for repeated
+  // interactive queries.
+  bccs::BcIndex index(cs.graph);
+  bccs::SearchStats stats;
+  bccs::Community community = bccs::L2pBcc(cs.graph, index, q, cs.params, {}, &stats);
+
+  std::printf("cross-country flight community (%zu cities):\n", community.Size());
+  for (bccs::VertexId v : community.vertices) {
+    std::printf("  %-22s (%s)\n", cs.vertex_names[v].c_str(),
+                cs.label_names[cs.graph.LabelOf(v)].c_str());
+  }
+  std::printf("\nfound in %.6fs; the hubs of both countries act as the leader pair\n"
+              "bridging the domestic route cores.\n",
+              stats.total_seconds);
+  return community.Empty() ? 1 : 0;
+}

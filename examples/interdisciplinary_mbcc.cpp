@@ -1,0 +1,48 @@
+// Interdisciplinary collaboration search (the paper's Section 7 + Exp-11):
+// multi-labeled BCC search over a research collaboration network with one
+// query author per field.
+
+#include <cstdio>
+
+#include "bcc/local_search.h"
+#include "bcc/mbcc.h"
+#include "bcc/verify.h"
+#include "eval/datasets.h"
+
+int main() {
+  bccs::CaseStudy cs = bccs::MakeDblpCase();
+  std::printf("collaboration network: %zu authors, %zu co-authorships, %zu fields\n",
+              cs.graph.NumVertices(), cs.graph.NumEdges(), cs.graph.NumLabels());
+
+  bccs::MbccQuery q{{cs.queries[0], cs.queries[1], cs.queries[2]}};
+  std::printf("query team seeds:\n");
+  for (bccs::VertexId v : q.vertices) {
+    std::printf("  %s (%s)\n", cs.vertex_names[v].c_str(),
+                cs.label_names[cs.graph.LabelOf(v)].c_str());
+  }
+
+  bccs::MbccParams params;
+  params.k = {cs.params.k1, cs.params.k1, cs.params.k1};  // the paper's k_i = 3
+  params.b = cs.params.b;
+  bccs::Community group = bccs::MbccSearch(cs.graph, q, params, bccs::LpBccOptions());
+
+  if (group.Empty()) {
+    std::printf("no 3-labeled mBCC exists for this seed set\n");
+    return 1;
+  }
+  std::printf("\ninterdisciplinary research group: %zu authors\n", group.Size());
+  for (bccs::Label l = 0; l < cs.graph.NumLabels(); ++l) {
+    std::size_t count = 0;
+    for (bccs::VertexId v : group.vertices) {
+      if (cs.graph.LabelOf(v) == l) ++count;
+    }
+    if (count > 0) std::printf("  %-20s %zu members\n", cs.label_names[l].c_str(), count);
+  }
+
+  auto ks = bccs::ResolveMbccCores(cs.graph, q, params);
+  auto verdict = bccs::VerifyMbcc(cs.graph, group, q.vertices, ks, params.b);
+  std::printf("verification: %s\n", bccs::ToString(verdict));
+  std::printf("\nEach field group is a k-core; cross-group connectivity holds through\n"
+              "butterfly-linked label pairs (Definition 7).\n");
+  return verdict == bccs::MbccViolation::kNone ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Professional team discovery (the paper's Section 1 motivation): find the
+// cross-department project team around two employees in an IT professional
+// network, and contrast with the label-blind CTC baseline.
+
+#include <cstdio>
+
+#include "baselines/ctc.h"
+#include "bcc/online_search.h"
+#include "eval/metrics.h"
+#include "eval/query_gen.h"
+#include "graph/generators.h"
+
+int main() {
+  // A Baidu-like professional network: departments as labels, joint-project
+  // community pairs as ground truth.
+  bccs::PlantedConfig cfg;
+  cfg.num_communities = 20;
+  cfg.min_group_size = 12;
+  cfg.max_group_size = 20;
+  cfg.intra_edge_prob = 0.4;
+  cfg.num_labels = 12;
+  cfg.background_vertices = 400;
+  cfg.seed = 20210520;
+  bccs::PlantedGraph pg = bccs::GeneratePlanted(cfg);
+  std::printf("professional network: %zu employees, %zu communication edges, %zu departments\n",
+              pg.graph.NumVertices(), pg.graph.NumEdges(), pg.graph.NumLabels());
+
+  // Pick two employees from a known joint project.
+  bccs::QueryGenConfig qcfg;
+  qcfg.seed = 5;
+  auto queries = bccs::SampleGroundTruthQueries(pg, 1, qcfg);
+  if (queries.empty()) {
+    std::printf("no query available\n");
+    return 1;
+  }
+  bccs::BccQuery q = queries[0].query;
+  auto truth = pg.communities[queries[0].community_index].AllVertices();
+  std::printf("query: employee %u (dept %u) x employee %u (dept %u)\n", q.ql,
+              pg.graph.LabelOf(q.ql), q.qr, pg.graph.LabelOf(q.qr));
+  std::printf("ground-truth project team: %zu members\n", truth.size());
+
+  bccs::Community team = bccs::LpBcc(pg.graph, q, bccs::BccParams{});
+  auto f1 = bccs::F1Score(team.vertices, truth);
+  std::printf("\nLP-BCC team: %zu members, F1 = %.3f (precision %.3f, recall %.3f)\n",
+              team.Size(), f1.f1, f1.precision, f1.recall);
+
+  bccs::CtcSearcher ctc(pg.graph);
+  bccs::Community ctc_team = ctc.Search(q);
+  auto f1_ctc = bccs::F1Score(ctc_team.vertices, truth);
+  std::printf("CTC team:    %zu members, F1 = %.3f (precision %.3f, recall %.3f)\n",
+              ctc_team.Size(), f1_ctc.f1, f1_ctc.precision, f1_ctc.recall);
+
+  std::printf("\nThe BCC model recovers both departments' sub-teams; the label-blind\n"
+              "truss community mixes departments and misses members.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "baselines/ctc.h"
+
+#include <algorithm>
+
+#include "bcc/query_distance.h"
+#include "eval/timer.h"
+#include "truss/truss_maintenance.h"
+
+namespace bccs {
+
+Community CtcSearcher::Search(std::span<const VertexId> queries, SearchStats* stats) const {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer total;
+  Community out;
+  if (queries.empty()) return out;
+
+  const LabeledGraph& g = *g_;
+  std::uint32_t k = MaxTrussConnecting(g, td_, queries);
+  if (k < 2) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+  std::vector<VertexId> comp = TrussCommunity(g, td_, queries, k);
+  stats->g0_size += comp.size();
+
+  KTrussMaintainer maintainer(g, td_, comp, k);
+  constexpr std::uint32_t kNeverRemoved = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> removal_round(g.NumVertices(), kNeverRemoved);
+  std::vector<std::uint32_t> round_qd;
+  std::vector<std::vector<std::uint32_t>> dist(queries.size());
+
+  auto recompute_dist = [&]() {
+    ScopedAccumulator t(&stats->query_distance_seconds);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      maintainer.BfsOverAlive(queries[i], &dist[i]);
+    }
+  };
+  recompute_dist();
+
+  std::vector<VertexId> batch;
+  while (true) {
+    // Farthest alive vertices by query distance.
+    std::uint32_t qd = 0;
+    bool any = false;
+    batch.clear();
+    for (VertexId v : comp) {
+      if (!maintainer.VertexAlive(v)) continue;
+      any = true;
+      std::uint32_t d = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (dist[i][v] == kInfDistance) {
+          d = kInfDistance;
+          break;
+        }
+        d = std::max(d, dist[i][v]);
+      }
+      if (d > qd) {
+        qd = d;
+        batch.clear();
+      }
+      if (d == qd) batch.push_back(v);
+    }
+    if (!any) break;
+    round_qd.push_back(qd);
+    ++stats->rounds;
+
+    std::erase_if(batch, [&](VertexId v) {
+      return std::find(queries.begin(), queries.end(), v) != queries.end();
+    });
+    if (batch.empty()) break;
+
+    const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
+    for (VertexId v : maintainer.RemoveVertices(batch)) {
+      removal_round[v] = round_idx;
+      ++stats->vertices_removed;
+    }
+
+    bool query_dead = false;
+    for (VertexId q : queries) query_dead |= !maintainer.VertexAlive(q);
+    if (query_dead) break;
+    recompute_dist();
+    bool connected = true;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      connected &= dist[0][queries[i]] != kInfDistance;
+    }
+    if (!connected) break;
+  }
+
+  if (round_qd.empty()) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < round_qd.size(); ++i) {
+    if (round_qd[i] <= round_qd[best]) best = i;
+  }
+  for (VertexId v : comp) {
+    if (removal_round[v] >= best) out.vertices.push_back(v);
+  }
+  std::sort(out.vertices.begin(), out.vertices.end());
+  stats->total_seconds += total.Seconds();
+  return out;
+}
+
+}  // namespace bccs

@@ -1,0 +1,45 @@
+#ifndef BCCS_BASELINES_CTC_H_
+#define BCCS_BASELINES_CTC_H_
+
+#include <span>
+
+#include "bcc/bcc_types.h"
+#include "graph/labeled_graph.h"
+#include "truss/truss_decomposition.h"
+
+namespace bccs {
+
+/// Reimplementation of the Closest Truss Community baseline (Huang,
+/// Lakshmanan, Yu, Cheng: "Approximate closest community search in
+/// networks", PVLDB 2015) used by the paper as the CTC comparator.
+///
+/// Label-blind: finds the connected k-truss with the maximum k containing
+/// all query vertices, then greedily peels the farthest vertices while
+/// maintaining the k-truss (edge-support cascade), and returns the
+/// intermediate community with the minimum query distance.
+///
+/// The truss decomposition is computed once at construction and shared
+/// across queries (the paper measures per-query search time only).
+class CtcSearcher {
+ public:
+  explicit CtcSearcher(const LabeledGraph& g)
+      : g_(&g), td_(TrussDecomposition::Compute(g)) {}
+
+  /// Searches the closest truss community for a query vertex set.
+  Community Search(std::span<const VertexId> queries, SearchStats* stats = nullptr) const;
+
+  Community Search(const BccQuery& q, SearchStats* stats = nullptr) const {
+    const VertexId qs[] = {q.ql, q.qr};
+    return Search(qs, stats);
+  }
+
+  const TrussDecomposition& decomposition() const { return td_; }
+
+ private:
+  const LabeledGraph* g_;
+  TrussDecomposition td_;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_BASELINES_CTC_H_

@@ -1,0 +1,147 @@
+#include "baselines/psa.h"
+
+#include <algorithm>
+
+#include "bcc/query_distance.h"
+#include "core/core_decomposition.h"
+#include "core/core_maintenance.h"
+#include "eval/timer.h"
+
+namespace bccs {
+
+PsaSearcher::PsaSearcher(const LabeledGraph& g) : g_(&g), coreness_(CoreDecomposition(g)) {}
+
+Community PsaSearcher::Search(std::span<const VertexId> queries, SearchStats* stats) const {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer total;
+  Community out;
+  if (queries.empty()) return out;
+
+  const LabeledGraph& g = *g_;
+  std::uint32_t k = kInfDistance;
+  for (VertexId q : queries) k = std::min(k, coreness_[q]);
+  if (k == 0 || k == kInfDistance) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+
+  // Whole-graph distance balls around the queries.
+  std::vector<char> everything(g.NumVertices(), 1);
+  std::vector<std::vector<std::uint32_t>> ball(queries.size());
+  {
+    ScopedAccumulator t(&stats->query_distance_seconds);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      BfsDistances(g, everything, queries[i], &ball[i]);
+    }
+  }
+
+  // Progressive expansion: grow the radius until some candidate ball holds a
+  // connected k-core with all queries.
+  std::vector<VertexId> comp;
+  for (std::uint32_t radius = 1;; radius *= 2) {
+    std::vector<VertexId> candidate;
+    bool covers_all = true;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      std::uint32_t dmin = kInfDistance;
+      for (std::size_t i = 0; i < queries.size(); ++i) dmin = std::min(dmin, ball[i][v]);
+      if (dmin <= radius) {
+        candidate.push_back(v);
+      } else if (dmin != kInfDistance) {
+        covers_all = false;
+      }
+    }
+    std::vector<VertexId> core = KCoreOfSubset(g, candidate, k);
+    comp = ComponentContaining(g, core, queries[0]);
+    bool ok = !comp.empty();
+    for (VertexId q : queries) {
+      ok = ok && std::binary_search(comp.begin(), comp.end(), q);
+    }
+    if (ok) break;
+    comp.clear();
+    if (covers_all) break;  // the ball already holds every reachable vertex
+  }
+  if (comp.empty()) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+  stats->g0_size += comp.size();
+
+  // Shrink: peel farthest vertices while the connected k-core with all
+  // queries survives; the last valid state is the (locally) minimum one.
+  KCoreMaintainer maintainer(g, comp, k);
+  constexpr std::uint32_t kNeverRemoved = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> removal_round(g.NumVertices(), kNeverRemoved);
+  std::vector<std::vector<std::uint32_t>> dist(queries.size());
+  auto recompute_dist = [&]() {
+    ScopedAccumulator t(&stats->query_distance_seconds);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      BfsDistances(g, maintainer.alive(), queries[i], &dist[i]);
+    }
+  };
+  recompute_dist();
+
+  std::uint32_t rounds = 0;
+  std::vector<VertexId> batch;
+  while (true) {
+    std::uint32_t qd = 0;
+    bool any = false;
+    batch.clear();
+    for (VertexId v : comp) {
+      if (!maintainer.Contains(v)) continue;
+      any = true;
+      std::uint32_t d = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (dist[i][v] == kInfDistance) {
+          d = kInfDistance;
+          break;
+        }
+        d = std::max(d, dist[i][v]);
+      }
+      if (d > qd) {
+        qd = d;
+        batch.clear();
+      }
+      if (d == qd) batch.push_back(v);
+    }
+    if (!any) break;
+    ++rounds;
+    ++stats->rounds;
+
+    std::erase_if(batch, [&](VertexId v) {
+      return std::find(queries.begin(), queries.end(), v) != queries.end();
+    });
+    if (batch.empty()) break;
+
+    for (VertexId v : batch) {
+      for (VertexId r : maintainer.Remove(v)) {
+        removal_round[r] = rounds - 1;
+        ++stats->vertices_removed;
+      }
+    }
+    bool query_dead = false;
+    for (VertexId q : queries) query_dead |= !maintainer.Contains(q);
+    if (query_dead) break;
+    recompute_dist();
+    bool connected = true;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      connected &= dist[0][queries[i]] != kInfDistance;
+    }
+    if (!connected) break;
+  }
+
+  if (rounds == 0) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+  // Last recorded round = smallest valid candidate.
+  std::uint32_t best = rounds - 1;
+  for (VertexId v : comp) {
+    if (removal_round[v] >= best) out.vertices.push_back(v);
+  }
+  std::sort(out.vertices.begin(), out.vertices.end());
+  stats->total_seconds += total.Seconds();
+  return out;
+}
+
+}  // namespace bccs

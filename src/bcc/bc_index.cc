@@ -1,0 +1,35 @@
+#include "bcc/bc_index.h"
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+
+namespace bccs {
+
+BcIndex::BcIndex(const LabeledGraph& g)
+    : g_(&g), label_coreness_(LabelCoreness(g)), max_core_per_label_(g.NumLabels(), 0) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto& best = max_core_per_label_[g.LabelOf(v)];
+    best = std::max(best, label_coreness_[v]);
+  }
+}
+
+const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) {
+  if (a > b) std::swap(a, b);
+  auto key = std::make_pair(a, b);
+  auto it = pair_cache_.find(key);
+  if (it != pair_cache_.end()) return it->second;
+
+  auto left = g_->VerticesWithLabel(a);
+  auto right = g_->VerticesWithLabel(b);
+  std::vector<char> in_left(g_->NumVertices(), 0), in_right(g_->NumVertices(), 0);
+  for (VertexId v : left) in_left[v] = 1;
+  for (VertexId v : right) in_right[v] = 1;
+  ButterflyCounts counts =
+      CountButterflies(*g_, {left.begin(), left.end()}, {right.begin(), right.end()}, in_left,
+                       in_right);
+  auto [pos, inserted] = pair_cache_.emplace(key, std::move(counts));
+  return pos->second;
+}
+
+}  // namespace bccs

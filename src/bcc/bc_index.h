@@ -1,0 +1,48 @@
+#ifndef BCCS_BCC_BC_INDEX_H_
+#define BCCS_BCC_BC_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_counting.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// The offline butterfly-core index of Section 6.3.
+///
+/// Stores, for every vertex, its coreness within its own label group (the
+/// delta(v) component) and, per label pair, the butterfly degrees over the
+/// full bipartite graph between the two label groups (the chi(v) component).
+/// The butterfly component is computed lazily on first use of a label pair
+/// and cached, which keeps construction linear for graphs with hundreds of
+/// labels while preserving exact per-pair query-time semantics (documented
+/// deviation 3 in DESIGN.md).
+class BcIndex {
+ public:
+  explicit BcIndex(const LabeledGraph& g);
+
+  /// Coreness of v within its own label group.
+  std::uint32_t Coreness(VertexId v) const { return label_coreness_[v]; }
+
+  /// Maximum coreness within a label group.
+  std::uint32_t MaxCoreness(Label l) const { return max_core_per_label_[l]; }
+
+  /// Butterfly degrees over the full bipartite graph between label groups
+  /// `a` and `b`. Cached after the first call for the pair.
+  const ButterflyCounts& PairButterflies(Label a, Label b);
+
+  const LabeledGraph& graph() const { return *g_; }
+
+ private:
+  const LabeledGraph* g_;
+  std::vector<std::uint32_t> label_coreness_;
+  std::vector<std::uint32_t> max_core_per_label_;
+  std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_BC_INDEX_H_

@@ -1,0 +1,46 @@
+#include "bcc/candidate.h"
+
+#include <cassert>
+
+namespace bccs {
+
+GroupedCandidate::GroupedCandidate(const LabeledGraph& g,
+                                   std::vector<std::vector<VertexId>> groups,
+                                   std::vector<std::uint32_t> ks)
+    : g_(&g),
+      ks_(std::move(ks)),
+      members_(std::move(groups)),
+      alive_(g.NumVertices(), 0),
+      group_of_(g.NumVertices(), kNoGroup),
+      group_deg_(g.NumVertices(), 0),
+      queued_(g.NumVertices(), 0) {
+  assert(members_.size() == ks_.size());
+  group_masks_.assign(members_.size(), std::vector<char>(g.NumVertices(), 0));
+  for (std::uint32_t gi = 0; gi < members_.size(); ++gi) {
+    for (VertexId v : members_[gi]) {
+      assert(group_of_[v] == kNoGroup);
+      group_of_[v] = gi;
+      alive_[v] = 1;
+      group_masks_[gi][v] = 1;
+      ++num_alive_;
+    }
+  }
+  for (std::uint32_t gi = 0; gi < members_.size(); ++gi) {
+    for (VertexId v : members_[gi]) {
+      std::uint32_t d = 0;
+      for (VertexId w : g.Neighbors(v)) d += group_masks_[gi][w];
+      group_deg_[v] = d;
+    }
+  }
+}
+
+std::vector<VertexId> GroupedCandidate::AliveVertices() const {
+  std::vector<VertexId> out;
+  out.reserve(num_alive_);
+  for (VertexId v = 0; v < alive_.size(); ++v) {
+    if (alive_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace bccs

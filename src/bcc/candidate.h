@@ -1,0 +1,103 @@
+#ifndef BCCS_BCC_CANDIDATE_H_
+#define BCCS_BCC_CANDIDATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Sentinel group id for vertices outside the candidate.
+inline constexpr std::uint32_t kNoGroup = static_cast<std::uint32_t>(-1);
+
+/// Dynamic state of a butterfly-core community candidate during greedy
+/// peeling: m labeled groups, each maintained as a k_i-core of its own
+/// induced subgraph (paper's Algorithm 4, generalized to m >= 2 groups for
+/// the Section 7 mBCC model; the classic BCC uses m = 2 with group 0 = L and
+/// group 1 = R).
+///
+/// Group degrees count only same-group neighbors (homogeneous edges inside
+/// the candidate); cross edges never contribute to core maintenance, exactly
+/// as in Definition 4.
+class GroupedCandidate {
+ public:
+  /// `groups[i]` are the initial members of group i (the output of Find-G0);
+  /// `ks[i]` is the core parameter of group i. Groups must be disjoint.
+  GroupedCandidate(const LabeledGraph& g, std::vector<std::vector<VertexId>> groups,
+                   std::vector<std::uint32_t> ks);
+
+  std::size_t NumGroups() const { return ks_.size(); }
+  bool IsAlive(VertexId v) const { return group_of_[v] != kNoGroup; }
+  std::uint32_t GroupOf(VertexId v) const { return group_of_[v]; }
+  std::size_t NumAlive() const { return num_alive_; }
+
+  /// Union of the alive masks of all groups.
+  const std::vector<char>& alive() const { return alive_; }
+  /// Alive mask of one group (usable as a butterfly-counting side mask).
+  const std::vector<char>& GroupMask(std::size_t i) const { return group_masks_[i]; }
+  /// Initial member list of one group (may contain dead vertices; filter via
+  /// the mask).
+  const std::vector<VertexId>& GroupMembers(std::size_t i) const { return members_[i]; }
+
+  std::uint32_t GroupDegree(VertexId v) const { return group_deg_[v]; }
+
+  std::vector<VertexId> AliveVertices() const;
+
+  /// Removes `batch` and cascades the per-group core maintenance: whenever an
+  /// alive vertex's same-group degree drops below its group's k, it is
+  /// removed too. `on_remove(v)` runs for each removed vertex immediately
+  /// BEFORE v's masks are cleared, so incremental butterfly updates observe a
+  /// consistent bipartite graph. Returns all removed vertices in order.
+  template <typename OnRemove>
+  std::vector<VertexId> RemoveAndMaintain(std::span<const VertexId> batch, OnRemove on_remove) {
+    std::vector<VertexId> queue;
+    for (VertexId v : batch) {
+      if (IsAlive(v) && !queued_[v]) {
+        queued_[v] = 1;
+        queue.push_back(v);
+      }
+    }
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      VertexId v = queue[head++];
+      on_remove(v);
+      std::uint32_t gi = group_of_[v];
+      group_of_[v] = kNoGroup;
+      alive_[v] = 0;
+      group_masks_[gi][v] = 0;
+      --num_alive_;
+      for (VertexId w : g_->Neighbors(v)) {
+        if (!IsAlive(w) || queued_[w]) continue;
+        if (group_of_[w] == gi) {
+          if (--group_deg_[w] < ks_[gi]) {
+            queued_[w] = 1;
+            queue.push_back(w);
+          }
+        }
+      }
+    }
+    for (VertexId v : queue) queued_[v] = 0;
+    return queue;
+  }
+
+  std::vector<VertexId> RemoveAndMaintain(std::span<const VertexId> batch) {
+    return RemoveAndMaintain(batch, [](VertexId) {});
+  }
+
+ private:
+  const LabeledGraph* g_;
+  std::vector<std::uint32_t> ks_;
+  std::vector<std::vector<VertexId>> members_;
+  std::vector<char> alive_;
+  std::vector<std::vector<char>> group_masks_;
+  std::vector<std::uint32_t> group_of_;
+  std::vector<std::uint32_t> group_deg_;
+  std::vector<char> queued_;
+  std::size_t num_alive_ = 0;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_CANDIDATE_H_

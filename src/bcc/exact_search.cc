@@ -1,0 +1,58 @@
+#include "bcc/exact_search.h"
+
+#include <algorithm>
+
+#include "bcc/find_g0.h"
+#include "bcc/query_distance.h"
+#include "bcc/verify.h"
+
+namespace bccs {
+
+std::optional<ExactBccResult> ExactMinDiameterBcc(const LabeledGraph& g, const BccQuery& q,
+                                                  const BccParams& p,
+                                                  std::size_t max_universe) {
+  G0Result g0 = FindG0(g, q, p, nullptr);
+  if (!g0.found) return std::nullopt;
+
+  std::vector<VertexId> universe = g0.left;
+  universe.insert(universe.end(), g0.right.begin(), g0.right.end());
+  if (universe.size() > max_universe || universe.size() >= 63) return std::nullopt;
+
+  // Queries must always be included; enumerate over the rest.
+  std::vector<VertexId> optional_vertices;
+  for (VertexId v : universe) {
+    if (v != q.ql && v != q.qr) optional_vertices.push_back(v);
+  }
+  const std::size_t n = optional_vertices.size();
+
+  BccParams resolved = p;
+  resolved.k1 = g0.k1;
+  resolved.k2 = g0.k2;
+
+  ExactBccResult best;
+  best.diameter = kInfDistance;
+  bool found = false;
+
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Community c;
+    c.vertices.push_back(q.ql);
+    c.vertices.push_back(q.qr);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) c.vertices.push_back(optional_vertices[i]);
+    }
+    std::sort(c.vertices.begin(), c.vertices.end());
+    ++best.subsets_checked;
+    if (VerifyBcc(g, c, q, resolved) != BccViolation::kNone) continue;
+    std::uint32_t diameter = CommunityDiameter(g, c);
+    if (!found || diameter < best.diameter ||
+        (diameter == best.diameter && c.Size() < best.community.Size())) {
+      best.community = std::move(c);
+      best.diameter = diameter;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+}  // namespace bccs

@@ -1,0 +1,34 @@
+#ifndef BCCS_BCC_EXACT_SEARCH_H_
+#define BCCS_BCC_EXACT_SEARCH_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bcc/bcc_types.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Result of the exact (exponential-time) minimum-diameter BCC search.
+struct ExactBccResult {
+  Community community;
+  std::uint32_t diameter = 0;
+  /// Number of candidate subsets evaluated.
+  std::uint64_t subsets_checked = 0;
+};
+
+/// Exact solver for the BCC-Problem by subset enumeration over the Find-G0
+/// universe. The problem is NP-hard (paper Theorem 1), so this is only
+/// feasible for universes of at most `max_universe` vertices; returns
+/// std::nullopt when the universe is larger or no BCC exists.
+///
+/// Among minimum-diameter BCCs, ties break toward smaller vertex count. Used
+/// to validate the greedy algorithm's 2-approximation (Theorem 3) on small
+/// instances, and usable on its own for exact answers on toy graphs.
+std::optional<ExactBccResult> ExactMinDiameterBcc(const LabeledGraph& g, const BccQuery& q,
+                                                  const BccParams& p,
+                                                  std::size_t max_universe = 20);
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_EXACT_SEARCH_H_

@@ -1,0 +1,72 @@
+#include "bcc/find_g0.h"
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+#include "eval/timer.h"
+
+namespace bccs {
+namespace {
+
+// Vertices of the query's label group, optionally intersected with a
+// restriction mask.
+std::vector<VertexId> LabelCandidates(const LabeledGraph& g, VertexId q,
+                                      const std::vector<char>* restrict_to) {
+  std::vector<VertexId> out;
+  for (VertexId v : g.VerticesWithLabel(g.LabelOf(q))) {
+    if (restrict_to == nullptr || (*restrict_to)[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+G0Result FindG0Restricted(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                          const std::vector<char>* restrict_to, SearchStats* stats) {
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  G0Result out;
+  if (q.ql >= g.NumVertices() || q.qr >= g.NumVertices()) return out;
+  if (g.LabelOf(q.ql) == g.LabelOf(q.qr)) return out;
+
+  std::vector<VertexId> cand_left = LabelCandidates(g, q.ql, restrict_to);
+  std::vector<VertexId> cand_right = LabelCandidates(g, q.qr, restrict_to);
+  if (cand_left.empty() || cand_right.empty()) return out;
+
+  // Resolve auto core parameters with the query coreness inside its group
+  // (paper Section 3.5).
+  out.k1 = p.k1;
+  out.k2 = p.k2;
+  if (out.k1 == 0) out.k1 = SubsetCoreness(g, cand_left)[q.ql];
+  if (out.k2 == 0) out.k2 = SubsetCoreness(g, cand_right)[q.qr];
+  if (out.k1 == 0 || out.k2 == 0) return out;  // queries have no usable core
+
+  // Left and right cores, restricted to the component containing the query.
+  std::vector<VertexId> left_core = KCoreOfSubset(g, cand_left, out.k1);
+  out.left = ComponentContaining(g, left_core, q.ql);
+  if (out.left.empty()) return out;
+  std::vector<VertexId> right_core = KCoreOfSubset(g, cand_right, out.k2);
+  out.right = ComponentContaining(g, right_core, q.qr);
+  if (out.right.empty()) return out;
+
+  // Butterfly check over B = cross edges between the two cores.
+  std::vector<char> in_left(g.NumVertices(), 0), in_right(g.NumVertices(), 0);
+  for (VertexId v : out.left) in_left[v] = 1;
+  for (VertexId v : out.right) in_right[v] = 1;
+  {
+    ScopedAccumulator t(&stats->butterfly_seconds);
+    out.counts = CountButterflies(g, out.left, out.right, in_left, in_right);
+  }
+  ++stats->butterfly_counting_calls;
+  if (out.counts.max_left < p.b || out.counts.max_right < p.b) return out;
+
+  out.found = true;
+  return out;
+}
+
+G0Result FindG0(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                SearchStats* stats) {
+  return FindG0Restricted(g, q, p, nullptr, stats);
+}
+
+}  // namespace bccs

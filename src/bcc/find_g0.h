@@ -1,0 +1,41 @@
+#ifndef BCCS_BCC_FIND_G0_H_
+#define BCCS_BCC_FIND_G0_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/bcc_types.h"
+#include "butterfly/butterfly_counting.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Result of the paper's Algorithm 2: the maximal connected (k1, k2, b)-BCC
+/// G0 containing the query pair.
+struct G0Result {
+  bool found = false;
+  /// Members of the left k1-core component containing q_l, sorted.
+  std::vector<VertexId> left;
+  /// Members of the right k2-core component containing q_r, sorted.
+  std::vector<VertexId> right;
+  /// Butterfly degrees over B(left, right), from the Algorithm 3 run.
+  ButterflyCounts counts;
+  /// Resolved core parameters (auto parameters replaced by query coreness).
+  std::uint32_t k1 = 0;
+  std::uint32_t k2 = 0;
+};
+
+/// Algorithm 2 on the whole graph. Increments
+/// stats->butterfly_counting_calls and accumulates stats->butterfly_seconds
+/// for the embedded Algorithm 3 run. `stats` may be null.
+G0Result FindG0(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                SearchStats* stats);
+
+/// Algorithm 2 restricted to the vertices enabled in `restrict_to` (the L2P
+/// local candidate G_t). Pass null for no restriction.
+G0Result FindG0Restricted(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                          const std::vector<char>* restrict_to, SearchStats* stats);
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_FIND_G0_H_

@@ -1,0 +1,227 @@
+#include "bcc/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "bcc/find_g0.h"
+#include "bcc/online_search.h"
+#include "eval/timer.h"
+
+namespace bccs {
+namespace {
+
+struct HeapEntry {
+  double cost;
+  VertexId vertex;
+  bool operator>(const HeapEntry& o) const { return cost > o.cost; }
+};
+
+}  // namespace
+
+std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
+                                        const BccQuery& q, double gamma1, double gamma2) {
+  const Label al = g.LabelOf(q.ql), ar = g.LabelOf(q.qr);
+  if (al == ar) return {};
+  const ButterflyCounts& pair = index.PairButterflies(al, ar);
+  const double dmax = std::max<std::uint32_t>(
+      1, std::max(index.MaxCoreness(al), index.MaxCoreness(ar)));
+  const double xmax = std::max<std::uint64_t>(1, std::max(pair.max_left, pair.max_right));
+
+  auto entry_cost = [&](VertexId v) {
+    double core_shortfall = (dmax - index.Coreness(v)) / dmax;
+    double chi_shortfall = (xmax - static_cast<double>(pair.chi[v])) / xmax;
+    return 1.0 + gamma1 * core_shortfall + gamma2 * chi_shortfall;
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(g.NumVertices(), kInf);
+  std::vector<VertexId> parent(g.NumVertices(), kInvalidVertex);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  cost[q.ql] = 0.0;
+  heap.push({0.0, q.ql});
+
+  while (!heap.empty()) {
+    auto [c, v] = heap.top();
+    heap.pop();
+    if (c > cost[v]) continue;
+    if (v == q.qr) break;
+    for (VertexId w : g.Neighbors(v)) {
+      Label lw = g.LabelOf(w);
+      if (lw != al && lw != ar) continue;
+      double nc = c + entry_cost(w);
+      if (nc < cost[w]) {
+        cost[w] = nc;
+        parent[w] = v;
+        heap.push({nc, w});
+      }
+    }
+  }
+  if (cost[q.qr] == kInf) return {};
+
+  std::vector<VertexId> path;
+  for (VertexId v = q.qr; v != kInvalidVertex; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double ButterflyCorePathWeight(const LabeledGraph& g, BcIndex& index,
+                               const std::vector<VertexId>& path, double gamma1,
+                               double gamma2) {
+  if (path.size() < 2) return 0.0;
+  const Label al = g.LabelOf(path.front()), ar = g.LabelOf(path.back());
+  const ButterflyCounts& pair = index.PairButterflies(al, ar);
+  const double dmax = std::max(index.MaxCoreness(al), index.MaxCoreness(ar));
+  const double xmax = static_cast<double>(std::max(pair.max_left, pair.max_right));
+  std::uint32_t min_core = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t min_chi = std::numeric_limits<std::uint64_t>::max();
+  for (VertexId v : path) {
+    min_core = std::min(min_core, index.Coreness(v));
+    min_chi = std::min(min_chi, pair.chi[v]);
+  }
+  return static_cast<double>(path.size() - 1) + gamma1 * (dmax - min_core) +
+         gamma2 * (xmax - static_cast<double>(min_chi));
+}
+
+Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
+                 const BccParams& p, const L2pOptions& opts, SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer total;
+  Community out;
+  if (q.ql >= g.NumVertices() || q.qr >= g.NumVertices()) return out;
+  const Label al = g.LabelOf(q.ql), ar = g.LabelOf(q.qr);
+  if (al == ar) return out;
+
+  // Line 1: weighted shortest path connecting the queries.
+  std::vector<VertexId> path = ButterflyCorePath(g, index, q, opts.gamma1, opts.gamma2);
+  if (path.empty()) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+
+  // Line 2: per-side expansion coreness thresholds from the path.
+  std::uint32_t kl = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t kr = std::numeric_limits<std::uint32_t>::max();
+  for (VertexId v : path) {
+    if (g.LabelOf(v) == al) kl = std::min(kl, index.Coreness(v));
+    if (g.LabelOf(v) == ar) kr = std::min(kr, index.Coreness(v));
+  }
+
+  auto admissible = [&](VertexId v) {
+    Label l = g.LabelOf(v);
+    if (l == al) return index.Coreness(v) >= kl;
+    if (l == ar) return index.Coreness(v) >= kr;
+    return false;
+  };
+
+  // Lines 3-5 with an eta-doubling retry loop: expand, extract the local
+  // BCC, and peel with the LP strategies.
+  std::size_t eta = opts.eta;
+  for (std::size_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    std::vector<char> in_gt(g.NumVertices(), 0);
+    std::size_t selected = 0;
+    std::vector<VertexId> frontier;
+    for (VertexId v : path) {
+      if (!in_gt[v]) {
+        in_gt[v] = 1;
+        ++selected;
+        frontier.push_back(v);
+      }
+    }
+    while (!frontier.empty() && selected <= eta) {
+      std::vector<VertexId> next;
+      for (VertexId v : frontier) {
+        for (VertexId w : g.Neighbors(v)) {
+          if (in_gt[w] || !admissible(w)) continue;
+          in_gt[w] = 1;
+          ++selected;
+          next.push_back(w);
+          if (selected > eta) break;
+        }
+        if (selected > eta) break;
+      }
+      frontier = std::move(next);
+    }
+    // If the BFS drained without hitting the budget, the candidate already
+    // contains every admissible vertex reachable from the path.
+    const bool saturated = selected <= eta;
+
+    G0Result g0;
+    {
+      ScopedAccumulator t(&stats->find_g0_seconds);
+      g0 = FindG0Restricted(g, q, p, &in_gt, stats);
+    }
+    if (g0.found) {
+      out = PeelToBcc(g, g0, q, opts.search, p.b, stats);
+      stats->total_seconds += total.Seconds();
+      return out;
+    }
+    if (saturated) break;  // the candidate already held every admissible vertex
+    eta *= 2;
+  }
+  stats->total_seconds += total.Seconds();
+  return out;
+}
+
+Community L2pMbcc(const LabeledGraph& g, BcIndex& index, const MbccQuery& q,
+                  const MbccParams& p, const L2pOptions& opts, SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Community out;  // nested MbccSearch calls own the total_seconds accounting
+
+  const std::size_t m = q.vertices.size();
+  if (m < 2) return out;
+  for (VertexId v : q.vertices) {
+    if (v >= g.NumVertices()) return out;
+  }
+
+  // Per-label admission threshold: the group's resolved core parameter.
+  std::vector<std::uint32_t> ks = ResolveMbccCores(g, q, p);
+  std::vector<std::uint32_t> min_core_for_label(g.NumLabels(), kInvalidVertex);
+  for (std::size_t i = 0; i < m; ++i) {
+    min_core_for_label[g.LabelOf(q.vertices[i])] = ks[i];
+  }
+  auto admissible = [&](VertexId v) {
+    std::uint32_t need = min_core_for_label[g.LabelOf(v)];
+    return need != kInvalidVertex && index.Coreness(v) >= need;
+  };
+
+  std::size_t eta = opts.eta;
+  for (std::size_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    std::vector<char> in_gt(g.NumVertices(), 0);
+    std::size_t selected = 0;
+    std::vector<VertexId> frontier;
+    for (VertexId v : q.vertices) {
+      if (!in_gt[v]) {
+        in_gt[v] = 1;
+        ++selected;
+        frontier.push_back(v);
+      }
+    }
+    while (!frontier.empty() && selected <= eta) {
+      std::vector<VertexId> next;
+      for (VertexId v : frontier) {
+        for (VertexId w : g.Neighbors(v)) {
+          if (in_gt[w] || !admissible(w)) continue;
+          in_gt[w] = 1;
+          ++selected;
+          next.push_back(w);
+          if (selected > eta) break;
+        }
+        if (selected > eta) break;
+      }
+      frontier = std::move(next);
+    }
+    const bool saturated = selected <= eta;
+
+    Community c = MbccSearch(g, q, p, opts.search, stats, &in_gt);
+    if (!c.Empty()) return c;
+    if (saturated) break;
+    eta *= 2;
+  }
+  return out;
+}
+
+}  // namespace bccs

@@ -1,0 +1,280 @@
+#include "bcc/mbcc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bcc/candidate.h"
+#include "bcc/leader_pair.h"
+#include "bcc/query_distance.h"
+#include "butterfly/butterfly_counting.h"
+#include "butterfly/butterfly_update.h"
+#include "core/core_decomposition.h"
+#include "eval/timer.h"
+#include "graph/union_find.h"
+
+namespace bccs {
+namespace {
+
+// State of one label pair (i, j), i < j: its latest butterfly counts and the
+// pair of leaders. A pair is "active" while both sides still have a vertex
+// with chi >= b; inactive pairs can never reactivate because deletions only
+// lower butterfly degrees.
+struct PairState {
+  std::size_t i = 0, j = 0;
+  bool active = false;
+  LeaderState leader_i, leader_j;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> ResolveMbccCores(const LabeledGraph& g, const MbccQuery& q,
+                                            const MbccParams& p) {
+  const std::size_t m = q.vertices.size();
+  std::vector<std::uint32_t> ks(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i < p.k.size() && p.k[i] > 0) {
+      ks[i] = p.k[i];
+    } else {
+      auto members = g.VerticesWithLabel(g.LabelOf(q.vertices[i]));
+      ks[i] = SubsetCoreness(g, members)[q.vertices[i]];
+    }
+  }
+  return ks;
+}
+
+Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams& p,
+                     const SearchOptions& opts, SearchStats* stats,
+                     const std::vector<char>* restrict_to) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer total;
+  Community out;
+
+  const std::size_t m = q.vertices.size();
+  if (m < 2) return out;
+  for (VertexId v : q.vertices) {
+    if (v >= g.NumVertices()) return out;
+    if (restrict_to != nullptr && !(*restrict_to)[v]) return out;
+  }
+  // Labels must be pairwise distinct.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (g.LabelOf(q.vertices[i]) == g.LabelOf(q.vertices[j])) return out;
+    }
+  }
+
+  // --- Find G0 (Algorithm 9 line 1): per-group k_i-core components. ---
+  std::vector<std::vector<VertexId>> groups(m);
+  std::vector<std::uint32_t> ks(m, 0);
+  {
+    ScopedAccumulator t(&stats->find_g0_seconds);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<VertexId> members;
+      for (VertexId v : g.VerticesWithLabel(g.LabelOf(q.vertices[i]))) {
+        if (restrict_to == nullptr || (*restrict_to)[v]) members.push_back(v);
+      }
+      if (i < p.k.size() && p.k[i] > 0) {
+        ks[i] = p.k[i];
+      } else {
+        ks[i] = SubsetCoreness(g, members)[q.vertices[i]];
+      }
+      if (ks[i] == 0) {
+        stats->total_seconds += total.Seconds();
+        return out;
+      }
+      std::vector<VertexId> core = KCoreOfSubset(g, members, ks[i]);
+      groups[i] = ComponentContaining(g, core, q.vertices[i]);
+      if (groups[i].empty()) {
+        stats->total_seconds += total.Seconds();
+        return out;
+      }
+    }
+  }
+
+  GroupedCandidate cand(g, groups, ks);
+  stats->g0_size += cand.NumAlive();
+
+  std::vector<VertexId> members;
+  for (const auto& grp : groups) members.insert(members.end(), grp.begin(), grp.end());
+
+  // --- Pair states and initial cross-group connectivity. ---
+  std::vector<PairState> pairs;
+  auto count_pair = [&](std::size_t i, std::size_t j) {
+    ScopedAccumulator t(&stats->butterfly_seconds);
+    ++stats->butterfly_counting_calls;
+    return CountButterflies(g, groups[i], groups[j], cand.GroupMask(i), cand.GroupMask(j));
+  };
+  auto meta_connected = [&]() {
+    UnionFind uf(m);
+    for (const PairState& ps : pairs) {
+      if (ps.active) uf.Union(static_cast<std::uint32_t>(ps.i), static_cast<std::uint32_t>(ps.j));
+    }
+    for (std::size_t i = 1; i < m; ++i) {
+      if (!uf.Connected(0, static_cast<std::uint32_t>(i))) return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      PairState ps;
+      ps.i = i;
+      ps.j = j;
+      ButterflyCounts counts = count_pair(i, j);
+      ps.active = counts.max_left >= p.b && counts.max_right >= p.b;
+      if (ps.active && opts.use_leader_pair) {
+        ScopedAccumulator t(&stats->leader_update_seconds);
+        ps.leader_i = IdentifyLeader(g, cand.GroupMask(i), q.vertices[i], opts.leader_rho, p.b,
+                                     counts, counts.max_left, counts.argmax_left);
+        ps.leader_j = IdentifyLeader(g, cand.GroupMask(j), q.vertices[j], opts.leader_rho, p.b,
+                                     counts, counts.max_right, counts.argmax_right);
+      }
+      pairs.push_back(ps);
+    }
+  }
+  if (!meta_connected()) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+
+  // --- Query distances (one BFS tree per query vertex). ---
+  std::vector<std::vector<std::uint32_t>> dist(m);
+  {
+    ScopedAccumulator t(&stats->query_distance_seconds);
+    for (std::size_t i = 0; i < m; ++i) {
+      BfsDistances(g, cand.alive(), q.vertices[i], &dist[i]);
+    }
+  }
+  auto query_distance = [&](VertexId v) {
+    std::uint32_t d = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dist[i][v] == kInfDistance) return kInfDistance;
+      d = std::max(d, dist[i][v]);
+    }
+    return d;
+  };
+  auto queries_connected = [&]() {
+    for (std::size_t i = 1; i < m; ++i) {
+      if (dist[0][q.vertices[i]] == kInfDistance) return false;
+    }
+    return true;
+  };
+
+  LeaderButterflyUpdater updater(g);
+  constexpr std::uint32_t kNeverRemoved = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> removal_round(g.NumVertices(), kNeverRemoved);
+  std::vector<std::uint32_t> round_qd;
+  std::vector<VertexId> batch;
+
+  while (true) {
+    std::uint32_t qd = 0;
+    bool any = false;
+    batch.clear();
+    for (VertexId v : members) {
+      if (!cand.IsAlive(v)) continue;
+      any = true;
+      std::uint32_t d = query_distance(v);
+      if (d > qd) {
+        qd = d;
+        batch.clear();
+      }
+      if (d == qd) batch.push_back(v);
+    }
+    if (!any) break;
+    round_qd.push_back(qd);
+    ++stats->rounds;
+
+    std::erase_if(batch, [&](VertexId v) {
+      return std::find(q.vertices.begin(), q.vertices.end(), v) != q.vertices.end();
+    });
+    if (batch.empty()) break;
+    if (!opts.bulk_delete) batch.resize(1);
+
+    const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
+    std::vector<VertexId> removed;
+    if (opts.use_leader_pair) {
+      ScopedAccumulator t(&stats->leader_update_seconds);
+      removed = cand.RemoveAndMaintain(batch, [&](VertexId v) {
+        std::uint32_t gv = cand.GroupOf(v);
+        for (PairState& ps : pairs) {
+          if (!ps.active || (ps.i != gv && ps.j != gv)) continue;
+          const auto& mask_i = cand.GroupMask(ps.i);
+          const auto& mask_j = cand.GroupMask(ps.j);
+          if (ps.leader_i.leader != kInvalidVertex && v != ps.leader_i.leader &&
+              cand.IsAlive(ps.leader_i.leader)) {
+            std::uint64_t loss = updater.LossOnDeletion(mask_i, mask_j, ps.leader_i.leader, v);
+            ps.leader_i.chi = loss > ps.leader_i.chi ? 0 : ps.leader_i.chi - loss;
+          }
+          if (ps.leader_j.leader != kInvalidVertex && v != ps.leader_j.leader &&
+              cand.IsAlive(ps.leader_j.leader)) {
+            std::uint64_t loss = updater.LossOnDeletion(mask_i, mask_j, ps.leader_j.leader, v);
+            ps.leader_j.chi = loss > ps.leader_j.chi ? 0 : ps.leader_j.chi - loss;
+          }
+        }
+      });
+    } else {
+      removed = cand.RemoveAndMaintain(batch);
+    }
+    for (VertexId v : removed) removal_round[v] = round_idx;
+    stats->vertices_removed += removed.size();
+
+    bool query_dead = false;
+    for (VertexId v : q.vertices) query_dead |= !cand.IsAlive(v);
+    if (query_dead) break;
+
+    // Butterfly / cross-group-connectivity maintenance.
+    for (PairState& ps : pairs) {
+      if (!ps.active) continue;
+      bool need_recount = !opts.use_leader_pair;
+      if (opts.use_leader_pair) {
+        bool i_ok = cand.IsAlive(ps.leader_i.leader) && ps.leader_i.chi >= p.b;
+        bool j_ok = cand.IsAlive(ps.leader_j.leader) && ps.leader_j.chi >= p.b;
+        need_recount = !i_ok || !j_ok;
+        if (need_recount) ++stats->leader_rebuilds;
+      }
+      if (!need_recount) continue;
+      ButterflyCounts counts = count_pair(ps.i, ps.j);
+      if (counts.max_left < p.b || counts.max_right < p.b) {
+        ps.active = false;
+        continue;
+      }
+      if (opts.use_leader_pair) {
+        ScopedAccumulator t(&stats->leader_update_seconds);
+        ps.leader_i = IdentifyLeader(g, cand.GroupMask(ps.i), q.vertices[ps.i], opts.leader_rho,
+                                     p.b, counts, counts.max_left, counts.argmax_left);
+        ps.leader_j = IdentifyLeader(g, cand.GroupMask(ps.j), q.vertices[ps.j], opts.leader_rho,
+                                     p.b, counts, counts.max_right, counts.argmax_right);
+      }
+    }
+    if (!meta_connected()) break;
+
+    {
+      ScopedAccumulator t(&stats->query_distance_seconds);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (opts.fast_query_distance) {
+          UpdateDistancesAfterDeletion(g, cand.alive(), removed, &dist[i]);
+        } else {
+          BfsDistances(g, cand.alive(), q.vertices[i], &dist[i]);
+        }
+      }
+    }
+    if (!queries_connected()) break;
+  }
+
+  if (round_qd.empty()) {
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < round_qd.size(); ++i) {
+    if (round_qd[i] <= round_qd[best]) best = i;
+  }
+  for (VertexId v : members) {
+    if (removal_round[v] >= best) out.vertices.push_back(v);
+  }
+  std::sort(out.vertices.begin(), out.vertices.end());
+  stats->total_seconds += total.Seconds();
+  return out;
+}
+
+}  // namespace bccs

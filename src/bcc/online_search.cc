@@ -1,0 +1,203 @@
+#include "bcc/online_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bcc/candidate.h"
+#include "bcc/leader_pair.h"
+#include "bcc/query_distance.h"
+#include "butterfly/butterfly_counting.h"
+#include "butterfly/butterfly_update.h"
+#include "eval/timer.h"
+
+namespace bccs {
+namespace {
+
+// Query distance of one vertex (Definition 5): max distance to any query.
+inline std::uint32_t QueryDistance(std::uint32_t dl, std::uint32_t dr) {
+  if (dl == kInfDistance || dr == kInfDistance) return kInfDistance;
+  return std::max(dl, dr);
+}
+
+}  // namespace
+
+Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q,
+                    const SearchOptions& opts, std::uint64_t b, SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Community out;
+  if (!g0.found) return out;
+
+  GroupedCandidate cand(g, {g0.left, g0.right}, {g0.k1, g0.k2});
+  stats->g0_size += cand.NumAlive();
+
+  // All initial members, used to enumerate alive vertices each round.
+  std::vector<VertexId> members = g0.left;
+  members.insert(members.end(), g0.right.begin(), g0.right.end());
+
+  std::vector<std::uint32_t> dist_l, dist_r;
+  {
+    ScopedAccumulator t(&stats->query_distance_seconds);
+    BfsDistances(g, cand.alive(), q.ql, &dist_l);
+    BfsDistances(g, cand.alive(), q.qr, &dist_r);
+  }
+
+  // Leader pair state (LP strategy).
+  LeaderButterflyUpdater updater(g);
+  ButterflyCounts counts = g0.counts;
+  LeaderState lead_l, lead_r;
+  if (opts.use_leader_pair) {
+    ScopedAccumulator t(&stats->leader_update_seconds);
+    lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, counts,
+                            counts.max_left, counts.argmax_left);
+    lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, counts,
+                            counts.max_right, counts.argmax_right);
+  }
+
+  constexpr std::uint32_t kNeverRemoved = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> removal_round(g.NumVertices(), kNeverRemoved);
+  std::vector<std::uint32_t> round_qd;
+  std::vector<VertexId> batch;
+
+  while (true) {
+    // Farthest alive vertices (lines 4-6 of Algorithm 1).
+    std::uint32_t qd = 0;
+    bool any = false;
+    batch.clear();
+    for (VertexId v : members) {
+      if (!cand.IsAlive(v)) continue;
+      any = true;
+      std::uint32_t d = QueryDistance(dist_l[v], dist_r[v]);
+      if (d > qd || batch.empty()) {
+        if (d > qd) batch.clear();
+        qd = std::max(qd, d);
+        if (d == qd) batch.push_back(v);
+      } else if (d == qd) {
+        batch.push_back(v);
+      }
+    }
+    if (!any) break;
+    round_qd.push_back(qd);
+    ++stats->rounds;
+
+    // Never delete the query vertices themselves.
+    std::erase_if(batch, [&](VertexId v) { return v == q.ql || v == q.qr; });
+    if (batch.empty()) break;  // only the queries remain at max distance
+    if (!opts.bulk_delete) batch.resize(1);
+
+    const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
+
+    // Delete + core maintenance (Algorithm 4); Algorithm 7 runs per removed
+    // vertex while the bipartite graph is still consistent.
+    std::vector<VertexId> removed;
+    if (opts.use_leader_pair) {
+      ScopedAccumulator t(&stats->leader_update_seconds);
+      removed = cand.RemoveAndMaintain(batch, [&](VertexId v) {
+        if (lead_l.leader != kInvalidVertex && v != lead_l.leader &&
+            cand.IsAlive(lead_l.leader)) {
+          std::uint64_t loss =
+              updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_l.leader, v);
+          lead_l.chi = loss > lead_l.chi ? 0 : lead_l.chi - loss;
+        }
+        if (lead_r.leader != kInvalidVertex && v != lead_r.leader &&
+            cand.IsAlive(lead_r.leader)) {
+          std::uint64_t loss =
+              updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_r.leader, v);
+          lead_r.chi = loss > lead_r.chi ? 0 : lead_r.chi - loss;
+        }
+      });
+    } else {
+      removed = cand.RemoveAndMaintain(batch);
+    }
+    for (VertexId v : removed) removal_round[v] = round_idx;
+    stats->vertices_removed += removed.size();
+
+    if (!cand.IsAlive(q.ql) || !cand.IsAlive(q.qr)) break;
+
+    // Butterfly condition maintenance.
+    bool valid = true;
+    if (opts.use_leader_pair) {
+      bool left_ok = cand.IsAlive(lead_l.leader) && lead_l.chi >= b;
+      bool right_ok = cand.IsAlive(lead_r.leader) && lead_r.chi >= b;
+      if (!left_ok || !right_ok) {
+        {
+          ScopedAccumulator t(&stats->butterfly_seconds);
+          counts = CountButterflies(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1));
+        }
+        ++stats->butterfly_counting_calls;
+        ++stats->leader_rebuilds;
+        if (counts.max_left < b || counts.max_right < b) {
+          valid = false;
+        } else {
+          ScopedAccumulator t(&stats->leader_update_seconds);
+          lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, counts,
+                                  counts.max_left, counts.argmax_left);
+          lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, counts,
+                                  counts.max_right, counts.argmax_right);
+        }
+      }
+    } else {
+      {
+        ScopedAccumulator t(&stats->butterfly_seconds);
+        counts = CountButterflies(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1));
+      }
+      ++stats->butterfly_counting_calls;
+      if (counts.max_left < b || counts.max_right < b) valid = false;
+    }
+    if (!valid) break;
+
+    // Query distance maintenance.
+    {
+      ScopedAccumulator t(&stats->query_distance_seconds);
+      if (opts.fast_query_distance) {
+        UpdateDistancesAfterDeletion(g, cand.alive(), removed, &dist_l);
+        UpdateDistancesAfterDeletion(g, cand.alive(), removed, &dist_r);
+      } else {
+        BfsDistances(g, cand.alive(), q.ql, &dist_l);
+        BfsDistances(g, cand.alive(), q.qr, &dist_r);
+      }
+    }
+    if (dist_l[q.qr] == kInfDistance) break;  // queries disconnected
+  }
+
+  if (round_qd.empty()) return out;
+
+  // Answer: the intermediate BCC with the smallest query distance (latest
+  // such round, which is the smallest such graph).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < round_qd.size(); ++i) {
+    if (round_qd[i] <= round_qd[best]) best = i;
+  }
+  for (VertexId v : members) {
+    if (removal_round[v] >= best) out.vertices.push_back(v);  // alive = never removed
+  }
+  std::sort(out.vertices.begin(), out.vertices.end());
+  return out;
+}
+
+Community BccSearch(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                    const SearchOptions& opts, SearchStats* stats) {
+  SearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer total;
+  G0Result g0;
+  {
+    ScopedAccumulator t(&stats->find_g0_seconds);
+    g0 = FindG0(g, q, p, stats);
+  }
+  Community out = PeelToBcc(g, g0, q, opts, p.b, stats);
+  stats->total_seconds += total.Seconds();
+  return out;
+}
+
+Community OnlineBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                    SearchStats* stats) {
+  return BccSearch(g, q, p, OnlineBccOptions(), stats);
+}
+
+Community LpBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                SearchStats* stats) {
+  return BccSearch(g, q, p, LpBccOptions(), stats);
+}
+
+}  // namespace bccs

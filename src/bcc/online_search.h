@@ -1,0 +1,44 @@
+#ifndef BCCS_BCC_ONLINE_SEARCH_H_
+#define BCCS_BCC_ONLINE_SEARCH_H_
+
+#include "bcc/bcc_types.h"
+#include "bcc/find_g0.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// The shared greedy peeling engine (paper's Algorithm 1 plus the Section 6
+/// accelerations): starting from G0, repeatedly removes the farthest
+/// vertex/batch from the queries, maintains the (k1, k2, b)-BCC structure
+/// (Algorithm 4), and returns the intermediate BCC with the minimum query
+/// distance — a 2-approximation of the minimum-diameter BCC (Theorem 3).
+///
+/// Option mapping:
+///   - opts.bulk_delete: remove the whole farthest level per round;
+///   - opts.fast_query_distance: Algorithm 5 incremental BFS repair;
+///   - opts.use_leader_pair: Algorithms 6 + 7 instead of a full Algorithm 3
+///     recount per round.
+///
+/// Used by Online-BCC, LP-BCC (this header) and L2P-BCC (local_search.h).
+/// `b` is the butterfly threshold; `stats` may be null. Does not accumulate
+/// total_seconds (callers own end-to-end timing).
+Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q,
+                    const SearchOptions& opts, std::uint64_t b, SearchStats* stats);
+
+/// Full search: Find-G0 then peel. Respects every option combination.
+Community BccSearch(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                    const SearchOptions& opts, SearchStats* stats);
+
+/// Paper's Online-BCC: bulk deletion, full BFS distances, full butterfly
+/// recount per round.
+Community OnlineBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                    SearchStats* stats = nullptr);
+
+/// Paper's LP-BCC: Online-BCC plus fast query distance (Algorithm 5) and the
+/// leader-pair strategy (Algorithms 6 and 7).
+Community LpBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
+                SearchStats* stats = nullptr);
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_ONLINE_SEARCH_H_

@@ -1,0 +1,66 @@
+#include "bcc/query_distance.h"
+
+#include <algorithm>
+
+namespace bccs {
+
+void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexId source,
+                  std::vector<std::uint32_t>* dist) {
+  dist->assign(g.NumVertices(), kInfDistance);
+  if (source >= g.NumVertices() || !alive[source]) return;
+  std::vector<VertexId> frontier = {source};
+  (*dist)[source] = 0;
+  std::uint32_t level = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    ++level;
+    for (VertexId v : frontier) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (!alive[w] || (*dist)[w] != kInfDistance) continue;
+        (*dist)[w] = level;
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>& alive,
+                                  std::span<const VertexId> removed,
+                                  std::vector<std::uint32_t>* dist) {
+  std::uint32_t d_min = kInfDistance;
+  for (VertexId v : removed) d_min = std::min(d_min, (*dist)[v]);
+  for (VertexId v : removed) (*dist)[v] = kInfDistance;
+  if (d_min == kInfDistance) return;  // deleted vertices were all unreachable
+
+  // Stale set S_u: alive vertices farther than d_min. Tentatively reset,
+  // then re-reach them from the (unchanged) d_min level set S_s; vertices
+  // not re-reached correctly stay at infinity.
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!alive[v] || (*dist)[v] == kInfDistance) continue;
+    if ((*dist)[v] == d_min) {
+      frontier.push_back(v);
+    } else if ((*dist)[v] > d_min) {
+      (*dist)[v] = kInfDistance;
+    }
+  }
+
+  std::uint32_t level = d_min;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    ++level;
+    for (VertexId v : frontier) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (!alive[w] || (*dist)[w] != kInfDistance) continue;
+        (*dist)[w] = level;
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace bccs

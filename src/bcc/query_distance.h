@@ -1,0 +1,35 @@
+#ifndef BCCS_BCC_QUERY_DISTANCE_H_
+#define BCCS_BCC_QUERY_DISTANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Distance value for unreachable vertices.
+inline constexpr std::uint32_t kInfDistance = static_cast<std::uint32_t>(-1);
+
+/// Full BFS from `source` over the subgraph induced by `alive`. `dist` is
+/// resized to the graph and filled with hop counts (kInfDistance where
+/// unreachable or dead).
+void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexId source,
+                  std::vector<std::uint32_t>* dist);
+
+/// Paper's Algorithm 5: incrementally repairs `dist` (distances to one query
+/// vertex) after the vertices in `removed` were deleted. `alive` must already
+/// reflect the deletion; `dist` must hold the pre-deletion values (including
+/// for the removed vertices themselves, which are used to derive d_min).
+///
+/// Only vertices with dist > d_min can change, and they can only move
+/// farther; they are re-reached by a multi-source BFS from the unchanged
+/// d_min level set. Unreached vertices become kInfDistance.
+void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>& alive,
+                                  std::span<const VertexId> removed,
+                                  std::vector<std::uint32_t>* dist);
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_QUERY_DISTANCE_H_

@@ -1,0 +1,183 @@
+#include "bcc/verify.h"
+
+#include <algorithm>
+
+#include "bcc/query_distance.h"
+#include "butterfly/butterfly_counting.h"
+#include "graph/union_find.h"
+
+namespace bccs {
+namespace {
+
+// BFS connectivity of the induced subgraph.
+bool InducedConnected(const LabeledGraph& g, const std::vector<VertexId>& members) {
+  if (members.empty()) return false;
+  std::vector<char> in_set(g.NumVertices(), 0);
+  for (VertexId v : members) in_set[v] = 1;
+  std::vector<VertexId> stack = {members[0]};
+  in_set[members[0]] = 0;
+  std::size_t seen = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : g.Neighbors(v)) {
+      if (!in_set[w]) continue;
+      in_set[w] = 0;
+      ++seen;
+      stack.push_back(w);
+    }
+  }
+  return seen == members.size();
+}
+
+// Minimum same-label induced degree over `side`.
+bool SideIsKCore(const LabeledGraph& g, const std::vector<char>& side_mask,
+                 const std::vector<VertexId>& side, std::uint32_t k) {
+  for (VertexId v : side) {
+    std::uint32_t d = 0;
+    for (VertexId w : g.Neighbors(v)) d += side_mask[w];
+    if (d < k) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ToString(BccViolation v) {
+  switch (v) {
+    case BccViolation::kNone: return "none";
+    case BccViolation::kEmpty: return "empty";
+    case BccViolation::kMissingQuery: return "missing-query";
+    case BccViolation::kWrongLabels: return "wrong-labels";
+    case BccViolation::kDisconnected: return "disconnected";
+    case BccViolation::kLeftCoreViolated: return "left-core";
+    case BccViolation::kRightCoreViolated: return "right-core";
+    case BccViolation::kButterflyViolated: return "butterfly";
+  }
+  return "?";
+}
+
+const char* ToString(MbccViolation v) {
+  switch (v) {
+    case MbccViolation::kNone: return "none";
+    case MbccViolation::kEmpty: return "empty";
+    case MbccViolation::kMissingQuery: return "missing-query";
+    case MbccViolation::kWrongLabels: return "wrong-labels";
+    case MbccViolation::kDisconnected: return "disconnected";
+    case MbccViolation::kCoreViolated: return "core";
+    case MbccViolation::kMetaDisconnected: return "meta-disconnected";
+  }
+  return "?";
+}
+
+BccViolation VerifyBcc(const LabeledGraph& g, const Community& c, const BccQuery& q,
+                       const BccParams& p) {
+  if (c.Empty()) return BccViolation::kEmpty;
+  if (!c.Contains(q.ql) || !c.Contains(q.qr)) return BccViolation::kMissingQuery;
+
+  Label al = g.LabelOf(q.ql), ar = g.LabelOf(q.qr);
+  std::vector<VertexId> left, right;
+  for (VertexId v : c.vertices) {
+    if (g.LabelOf(v) == al) {
+      left.push_back(v);
+    } else if (g.LabelOf(v) == ar) {
+      right.push_back(v);
+    } else {
+      return BccViolation::kWrongLabels;
+    }
+  }
+
+  if (!InducedConnected(g, c.vertices)) return BccViolation::kDisconnected;
+
+  std::vector<char> in_left(g.NumVertices(), 0), in_right(g.NumVertices(), 0);
+  for (VertexId v : left) in_left[v] = 1;
+  for (VertexId v : right) in_right[v] = 1;
+  if (!SideIsKCore(g, in_left, left, p.k1)) return BccViolation::kLeftCoreViolated;
+  if (!SideIsKCore(g, in_right, right, p.k2)) return BccViolation::kRightCoreViolated;
+
+  ButterflyCounts counts = CountButterflies(g, left, right, in_left, in_right);
+  if (counts.max_left < p.b || counts.max_right < p.b) {
+    return BccViolation::kButterflyViolated;
+  }
+  return BccViolation::kNone;
+}
+
+MbccViolation VerifyMbcc(const LabeledGraph& g, const Community& c,
+                         const std::vector<VertexId>& queries,
+                         const std::vector<std::uint32_t>& ks, std::uint64_t b) {
+  if (c.Empty()) return MbccViolation::kEmpty;
+  for (VertexId q : queries) {
+    if (!c.Contains(q)) return MbccViolation::kMissingQuery;
+  }
+  const std::size_t m = queries.size();
+
+  // Group members by query label.
+  std::vector<Label> labels(m);
+  for (std::size_t i = 0; i < m; ++i) labels[i] = g.LabelOf(queries[i]);
+  std::vector<std::vector<VertexId>> groups(m);
+  for (VertexId v : c.vertices) {
+    auto it = std::find(labels.begin(), labels.end(), g.LabelOf(v));
+    if (it == labels.end()) return MbccViolation::kWrongLabels;
+    groups[static_cast<std::size_t>(it - labels.begin())].push_back(v);
+  }
+
+  if (!InducedConnected(g, c.vertices)) return MbccViolation::kDisconnected;
+
+  std::vector<std::vector<char>> masks(m, std::vector<char>(g.NumVertices(), 0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (VertexId v : groups[i]) masks[i][v] = 1;
+    if (!SideIsKCore(g, masks[i], groups[i], ks[i])) return MbccViolation::kCoreViolated;
+  }
+
+  // Cross-group connectivity (Definition 7) over the label meta-graph.
+  UnionFind uf(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      ButterflyCounts counts = CountButterflies(g, groups[i], groups[j], masks[i], masks[j]);
+      if (counts.max_left >= b && counts.max_right >= b) {
+        uf.Union(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    if (!uf.Connected(0, static_cast<std::uint32_t>(i))) {
+      return MbccViolation::kMetaDisconnected;
+    }
+  }
+  return MbccViolation::kNone;
+}
+
+std::uint32_t CommunityDiameter(const LabeledGraph& g, const Community& c) {
+  if (c.Empty()) return kInfDistance;
+  std::vector<char> alive(g.NumVertices(), 0);
+  for (VertexId v : c.vertices) alive[v] = 1;
+  std::uint32_t diameter = 0;
+  std::vector<std::uint32_t> dist;
+  for (VertexId v : c.vertices) {
+    BfsDistances(g, alive, v, &dist);
+    for (VertexId w : c.vertices) {
+      if (dist[w] == kInfDistance) return kInfDistance;
+      diameter = std::max(diameter, dist[w]);
+    }
+  }
+  return diameter;
+}
+
+std::uint32_t CommunityQueryDistance(const LabeledGraph& g, const Community& c,
+                                     const std::vector<VertexId>& queries) {
+  if (c.Empty()) return kInfDistance;
+  std::vector<char> alive(g.NumVertices(), 0);
+  for (VertexId v : c.vertices) alive[v] = 1;
+  std::uint32_t qd = 0;
+  std::vector<std::uint32_t> dist;
+  for (VertexId q : queries) {
+    BfsDistances(g, alive, q, &dist);
+    for (VertexId w : c.vertices) {
+      if (dist[w] == kInfDistance) return kInfDistance;
+      qd = std::max(qd, dist[w]);
+    }
+  }
+  return qd;
+}
+
+}  // namespace bccs

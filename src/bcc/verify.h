@@ -1,0 +1,60 @@
+#ifndef BCCS_BCC_VERIFY_H_
+#define BCCS_BCC_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "bcc/bcc_types.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Outcome of checking a community against Definition 4 / Problem 1.
+enum class BccViolation {
+  kNone,              // valid connected (k1,k2,b)-BCC containing the query
+  kEmpty,             // empty community
+  kMissingQuery,      // a query vertex is not a member
+  kWrongLabels,       // members carry labels other than the two query labels
+  kDisconnected,      // the induced subgraph is not connected
+  kLeftCoreViolated,  // some left vertex has same-label induced degree < k1
+  kRightCoreViolated,
+  kButterflyViolated,  // no leader pair with chi >= b
+};
+
+const char* ToString(BccViolation v);
+
+/// Checks every condition of the (k1, k2, b)-BCC model plus participation
+/// and connectivity (Problem 1 conditions 1-2). `p.k1` and `p.k2` must be
+/// resolved (nonzero).
+BccViolation VerifyBcc(const LabeledGraph& g, const Community& c, const BccQuery& q,
+                       const BccParams& p);
+
+/// Multi-label variant (Definition 8): every group a k_i-core, labels
+/// pairwise distinct, cross-group connectivity of the label meta-graph.
+enum class MbccViolation {
+  kNone,
+  kEmpty,
+  kMissingQuery,
+  kWrongLabels,
+  kDisconnected,
+  kCoreViolated,
+  kMetaDisconnected,  // cross-group connectivity (Definition 7) fails
+};
+
+const char* ToString(MbccViolation v);
+
+MbccViolation VerifyMbcc(const LabeledGraph& g, const Community& c,
+                         const std::vector<VertexId>& queries,
+                         const std::vector<std::uint32_t>& ks, std::uint64_t b);
+
+/// Diameter of the subgraph induced by `c` (BFS from every member); used by
+/// the approximation-ratio tests. Returns kInfDistance when disconnected.
+std::uint32_t CommunityDiameter(const LabeledGraph& g, const Community& c);
+
+/// Query distance dist(H, Q) of the induced subgraph (Definition 5).
+std::uint32_t CommunityQueryDistance(const LabeledGraph& g, const Community& c,
+                                     const std::vector<VertexId>& queries);
+
+}  // namespace bccs
+
+#endif  // BCCS_BCC_VERIFY_H_

@@ -1,0 +1,43 @@
+#ifndef BCCS_BUTTERFLY_APPROX_COUNTING_H_
+#define BCCS_BUTTERFLY_APPROX_COUNTING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Options for the sampling-based butterfly estimators (the approximation
+/// family of Sanei-Mehri et al., KDD 2018, cited by the paper as exact /
+/// approximate butterfly counting).
+struct ApproxButterflyOptions {
+  /// Number of sampled same-side vertex pairs.
+  std::size_t samples = 10000;
+  std::uint64_t seed = 1;
+};
+
+/// Unbiased estimate of the total butterfly count of the bipartite graph B
+/// described by the masks, via uniform left-pair sampling:
+///   total = C(|L|, 2) * E[ C(|N(u) n N(v)|, 2) ]  over uniform pairs u, v.
+/// Exact (and cheap) when the side has fewer than ~2 alive vertices.
+double EstimateTotalButterflies(const LabeledGraph& g, std::span<const VertexId> left,
+                                std::span<const VertexId> right,
+                                const std::vector<char>& in_left,
+                                const std::vector<char>& in_right,
+                                const ApproxButterflyOptions& opts = {});
+
+/// Unbiased estimate of one vertex's butterfly degree via sampled same-side
+/// partners:
+///   chi(v) = (|side| - 1) * E[ C(|N(v) n N(w)|, 2) ] over uniform w != v.
+/// Used to probe for leader candidates without a full Algorithm 3 pass.
+double EstimateVertexButterflies(const LabeledGraph& g, VertexId v,
+                                 std::span<const VertexId> same_side,
+                                 const std::vector<char>& side_mask,
+                                 const std::vector<char>& other_mask,
+                                 const ApproxButterflyOptions& opts = {});
+
+}  // namespace bccs
+
+#endif  // BCCS_BUTTERFLY_APPROX_COUNTING_H_

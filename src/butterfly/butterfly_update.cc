@@ -1,0 +1,48 @@
+#include "butterfly/butterfly_update.h"
+
+namespace bccs {
+
+std::uint64_t LeaderButterflyUpdater::LossOnDeletion(const std::vector<char>& in_a,
+                                                     const std::vector<char>& in_b,
+                                                     VertexId leader, VertexId removed) {
+  if (leader == removed) return 0;
+  const std::vector<char>& leader_side = in_a[leader] ? in_a : in_b;
+  const std::vector<char>& other_side = in_a[leader] ? in_b : in_a;
+  if (!leader_side[leader]) return 0;
+
+  ++current_stamp_;
+  const std::uint32_t stamp = current_stamp_;
+  // Mark the leader's alive cross neighbors N_B(leader).
+  for (VertexId u : g_->Neighbors(leader)) {
+    if (other_side[u]) stamp_[u] = stamp;
+  }
+
+  if (leader_side[removed]) {
+    // Same side: butterflies containing both pick 2 of the alpha common
+    // cross neighbors.
+    std::uint64_t alpha = 0;
+    for (VertexId u : g_->Neighbors(removed)) {
+      if (other_side[u] && stamp_[u] == stamp) ++alpha;
+    }
+    return alpha * (alpha - 1) / 2;
+  }
+
+  if (!other_side[removed]) return 0;  // not part of B
+  if (stamp_[removed] != stamp) return 0;  // no edge (leader, removed) in B
+
+  // Different sides: for every other leader-side vertex u adjacent to
+  // `removed`, each common cross neighbor of u and leader besides `removed`
+  // completes one butterfly {leader, u} x {removed, x}.
+  std::uint64_t beta = 0;
+  for (VertexId u : g_->Neighbors(removed)) {
+    if (u == leader || !leader_side[u]) continue;
+    std::uint64_t common = 0;
+    for (VertexId x : g_->Neighbors(u)) {
+      if (other_side[x] && stamp_[x] == stamp) ++common;
+    }
+    beta += common - 1;  // `removed` itself is always in the intersection
+  }
+  return beta;
+}
+
+}  // namespace bccs

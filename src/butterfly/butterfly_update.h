@@ -1,0 +1,39 @@
+#ifndef BCCS_BUTTERFLY_BUTTERFLY_UPDATE_H_
+#define BCCS_BUTTERFLY_BUTTERFLY_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Paper's Algorithm 7: incremental butterfly-degree update for a leader
+/// vertex when one vertex is deleted from the bipartite graph B.
+///
+/// Reusable across calls: keeps a stamped scratch array so each update costs
+/// O(d(removed) * d_max) time (the paper's O(d_u^2)) and no allocation.
+class LeaderButterflyUpdater {
+ public:
+  explicit LeaderButterflyUpdater(const LabeledGraph& g)
+      : g_(&g), stamp_(g.NumVertices(), 0) {}
+
+  /// Returns the number of butterflies of B that contain both `leader` and
+  /// `removed`, i.e. how much chi(leader) drops when `removed` is deleted.
+  ///
+  /// B is the bipartite graph over the two alive sides described by masks
+  /// `in_a` / `in_b` (cross edges of `g` between them). `removed` must still
+  /// be alive in its mask when this is called. `leader` and `removed` may be
+  /// on the same side (paper's lines 1-3) or different sides (lines 4-8).
+  std::uint64_t LossOnDeletion(const std::vector<char>& in_a, const std::vector<char>& in_b,
+                               VertexId leader, VertexId removed);
+
+ private:
+  const LabeledGraph* g_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t current_stamp_ = 0;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_BUTTERFLY_BUTTERFLY_UPDATE_H_

@@ -1,0 +1,72 @@
+#include "butterfly/edge_butterflies.h"
+
+#include <algorithm>
+
+namespace bccs {
+
+std::int64_t EdgeButterflyCounts::IndexOf(VertexId u, VertexId v) const {
+  if (u > v) std::swap(u, v);
+  Edge key{u, v};
+  auto it = std::lower_bound(edges.begin(), edges.end(), key,
+                             [](const Edge& a, const Edge& b) {
+                               return a.u != b.u ? a.u < b.u : a.v < b.v;
+                             });
+  if (it == edges.end() || !(*it == key)) return -1;
+  return it - edges.begin();
+}
+
+EdgeButterflyCounts CountEdgeButterflies(const LabeledGraph& g,
+                                         std::span<const VertexId> left,
+                                         std::span<const VertexId> right,
+                                         const std::vector<char>& in_left,
+                                         const std::vector<char>& in_right) {
+  EdgeButterflyCounts out;
+
+  // Collect the alive cross edges in canonical order.
+  for (VertexId v : left) {
+    if (!in_left[v]) continue;
+    for (VertexId u : g.Neighbors(v)) {
+      if (!in_right[u]) continue;
+      out.edges.push_back({std::min(v, u), std::max(v, u)});
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  out.support.assign(out.edges.size(), 0);
+
+  // For every left pair (v, w) reached via wedges, the number of common
+  // cross neighbors c yields C(c, 2) butterflies; each common neighbor x is
+  // in exactly (c - 1) of them via edges (v, x) and (w, x).
+  std::vector<std::uint32_t> paths(g.NumVertices(), 0);
+  std::vector<VertexId> touched;
+  for (VertexId v : left) {
+    if (!in_left[v]) continue;
+    touched.clear();
+    for (VertexId u : g.Neighbors(v)) {
+      if (!in_right[u]) continue;
+      for (VertexId w : g.Neighbors(u)) {
+        if (w <= v || !in_left[w]) continue;  // each left pair once (w > v)
+        if (paths[w] == 0) touched.push_back(w);
+        ++paths[w];
+      }
+    }
+    for (VertexId w : touched) {
+      std::uint64_t c = paths[w];
+      paths[w] = 0;
+      if (c < 2) continue;
+      out.total += c * (c - 1) / 2;
+      // Second pass over v's cross neighbors: x is common iff adjacent to w.
+      for (VertexId x : g.Neighbors(v)) {
+        if (!in_right[x] || !g.HasEdge(w, x)) continue;
+        std::int64_t evx = out.IndexOf(v, x);
+        std::int64_t ewx = out.IndexOf(w, x);
+        out.support[static_cast<std::size_t>(evx)] += c - 1;
+        out.support[static_cast<std::size_t>(ewx)] += c - 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bccs

@@ -1,0 +1,42 @@
+#ifndef BCCS_CORE_CORE_DECOMPOSITION_H_
+#define BCCS_CORE_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Coreness of every vertex of `g` (Batagelj-Zaversnik bucket peeling,
+/// O(V + E)). The coreness of v is the largest k such that v belongs to a
+/// (connected) k-core of `g`.
+std::vector<std::uint32_t> CoreDecomposition(const LabeledGraph& g);
+
+/// Coreness of every vertex within the subgraph induced by its own label
+/// group. This is the coreness the BCC model cares about (paper Section 3.5:
+/// "set k1 and k2 with the coreness of the two queries") and the delta(v)
+/// component of the BC-index.
+std::vector<std::uint32_t> LabelCoreness(const LabeledGraph& g);
+
+/// Coreness within the subgraph induced by an arbitrary vertex subset.
+/// The result is indexed by graph vertex id; entries for vertices outside
+/// `members` are 0 and meaningless.
+std::vector<std::uint32_t> SubsetCoreness(const LabeledGraph& g,
+                                          std::span<const VertexId> members);
+
+/// The maximal subset of `members` whose induced subgraph has minimum degree
+/// >= k (the k-core of the induced subgraph; possibly disconnected).
+/// Returned sorted ascending.
+std::vector<VertexId> KCoreOfSubset(const LabeledGraph& g, std::span<const VertexId> members,
+                                    std::uint32_t k);
+
+/// The connected component containing `q` of the subgraph induced by
+/// `members`. Empty if `q` is not in `members`. Returned sorted ascending.
+std::vector<VertexId> ComponentContaining(const LabeledGraph& g,
+                                          std::span<const VertexId> members, VertexId q);
+
+}  // namespace bccs
+
+#endif  // BCCS_CORE_CORE_DECOMPOSITION_H_

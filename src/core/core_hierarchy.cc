@@ -1,0 +1,61 @@
+#include "core/core_hierarchy.h"
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+
+namespace bccs {
+
+CoreHierarchy::CoreHierarchy(const LabeledGraph& g, std::span<const VertexId> members)
+    : g_(&g), coreness_(SubsetCoreness(g, members)) {
+  std::uint32_t max_level = 0;
+  for (VertexId v : members) max_level = std::max(max_level, coreness_[v]);
+  levels_.resize(max_level);
+
+  // Mark membership once; reuse for per-level component labeling. A vertex
+  // belongs to the k-core iff its coreness is >= k (nesting property).
+  std::vector<char> is_member(g.NumVertices(), 0);
+  for (VertexId v : members) is_member[v] = 1;
+
+  for (std::uint32_t k = 1; k <= max_level; ++k) {
+    LevelData& level = levels_[k - 1];
+    level.component.assign(g.NumVertices(), kInvalidVertex);
+    std::vector<VertexId> stack;
+    for (VertexId v : members) {
+      if (coreness_[v] < k || level.component[v] != kInvalidVertex) continue;
+      std::uint32_t id = level.num_components++;
+      level.component[v] = id;
+      stack.assign(1, v);
+      while (!stack.empty()) {
+        VertexId x = stack.back();
+        stack.pop_back();
+        for (VertexId w : g.Neighbors(x)) {
+          if (!is_member[w] || coreness_[w] < k ||
+              level.component[w] != kInvalidVertex) {
+            continue;
+          }
+          level.component[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t CoreHierarchy::ComponentId(VertexId v, std::uint32_t level) const {
+  if (level == 0 || level > levels_.size()) return kInvalidVertex;
+  return levels_[level - 1].component[v];
+}
+
+std::vector<VertexId> CoreHierarchy::ComponentMembers(VertexId v, std::uint32_t level) const {
+  std::vector<VertexId> out;
+  std::uint32_t id = ComponentId(v, level);
+  if (id == kInvalidVertex) return out;
+  const auto& component = levels_[level - 1].component;
+  for (VertexId w = 0; w < component.size(); ++w) {
+    if (component[w] == id) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace bccs

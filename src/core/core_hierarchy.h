@@ -1,0 +1,58 @@
+#ifndef BCCS_CORE_CORE_HIERARCHY_H_
+#define BCCS_CORE_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// The nested k-core hierarchy of an induced subgraph.
+///
+/// Built once in O(kmax * (V + E)) over the member set, it answers
+/// "which connected k-core component contains v?" in O(1) for any level k.
+/// This is the offline structure behind index-accelerated Find-G0: the
+/// connected k-core component containing a query is a lookup instead of a
+/// peel (the k-core nesting property the paper's Section 6.3 relies on).
+class CoreHierarchy {
+ public:
+  /// Builds the hierarchy of the subgraph induced by `members`.
+  CoreHierarchy(const LabeledGraph& g, std::span<const VertexId> members);
+
+  /// Largest k with a nonempty k-core.
+  std::uint32_t MaxLevel() const { return static_cast<std::uint32_t>(levels_.size()); }
+
+  /// Coreness of v within the member-induced subgraph (0 for non-members).
+  std::uint32_t Coreness(VertexId v) const { return coreness_[v]; }
+
+  /// Component id of v within the k-core at `level`, or kInvalidVertex when
+  /// v is not in that core. Ids are arbitrary but consistent per level.
+  std::uint32_t ComponentId(VertexId v, std::uint32_t level) const;
+
+  /// All vertices of v's connected k-core component at `level`, sorted.
+  /// Empty when v is not in the k-core.
+  std::vector<VertexId> ComponentMembers(VertexId v, std::uint32_t level) const;
+
+  /// True if u and v lie in the same connected k-core component at `level`.
+  bool SameComponent(VertexId u, VertexId v, std::uint32_t level) const {
+    std::uint32_t cu = ComponentId(u, level);
+    return cu != kInvalidVertex && cu == ComponentId(v, level);
+  }
+
+ private:
+  struct LevelData {
+    /// Component id per vertex (kInvalidVertex when outside this core).
+    std::vector<std::uint32_t> component;
+    std::uint32_t num_components = 0;
+  };
+
+  const LabeledGraph* g_;
+  std::vector<std::uint32_t> coreness_;
+  std::vector<LevelData> levels_;  // levels_[k-1] = k-core components
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_CORE_CORE_HIERARCHY_H_

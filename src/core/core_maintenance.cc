@@ -1,0 +1,52 @@
+#include "core/core_maintenance.h"
+
+#include <algorithm>
+
+#include "core/core_decomposition.h"
+
+namespace bccs {
+
+KCoreMaintainer::KCoreMaintainer(const LabeledGraph& g, std::span<const VertexId> members,
+                                 std::uint32_t k)
+    : g_(g), k_(k), alive_(g.NumVertices(), 0), deg_(g.NumVertices(), 0) {
+  std::vector<VertexId> core = KCoreOfSubset(g, members, k);
+  for (VertexId v : core) alive_[v] = 1;
+  num_alive_ = core.size();
+  for (VertexId v : core) {
+    std::uint32_t d = 0;
+    for (VertexId w : g.Neighbors(v)) d += alive_[w];
+    deg_[v] = d;
+  }
+}
+
+std::vector<VertexId> KCoreMaintainer::Remove(VertexId v) {
+  std::vector<VertexId> removed;
+  if (v >= alive_.size() || !alive_[v]) return removed;
+  std::vector<VertexId> queue = {v};
+  alive_[v] = 0;
+  while (!queue.empty()) {
+    VertexId x = queue.back();
+    queue.pop_back();
+    removed.push_back(x);
+    --num_alive_;
+    for (VertexId w : g_.Neighbors(x)) {
+      if (!alive_[w]) continue;
+      if (--deg_[w] < k_) {
+        alive_[w] = 0;
+        queue.push_back(w);
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<VertexId> KCoreMaintainer::AliveVertices() const {
+  std::vector<VertexId> result;
+  result.reserve(num_alive_);
+  for (VertexId v = 0; v < alive_.size(); ++v) {
+    if (alive_[v]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace bccs

@@ -1,0 +1,48 @@
+#ifndef BCCS_CORE_CORE_MAINTENANCE_H_
+#define BCCS_CORE_CORE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Maintains the k-core of an induced subgraph under vertex deletions.
+///
+/// On construction the given member set is peeled to its maximal k-core.
+/// Each Remove() deletes one vertex and cascades: every surviving vertex
+/// whose induced degree drops below k is deleted too. Used by the PSA
+/// baseline and as the reference oracle for the BCC candidate's side
+/// maintenance tests.
+class KCoreMaintainer {
+ public:
+  KCoreMaintainer(const LabeledGraph& g, std::span<const VertexId> members, std::uint32_t k);
+
+  bool Contains(VertexId v) const { return alive_[v] != 0; }
+  const std::vector<char>& alive() const { return alive_; }
+  std::size_t NumAlive() const { return num_alive_; }
+  std::uint32_t k() const { return k_; }
+
+  /// Degree of `v` within the current (alive) induced subgraph.
+  std::uint32_t DegreeOf(VertexId v) const { return deg_[v]; }
+
+  /// Removes `v` and cascades. Returns every vertex removed by this call
+  /// (including `v`), in removal order. Empty if `v` was already removed.
+  std::vector<VertexId> Remove(VertexId v);
+
+  /// Alive vertices, sorted ascending.
+  std::vector<VertexId> AliveVertices() const;
+
+ private:
+  const LabeledGraph& g_;
+  std::uint32_t k_;
+  std::vector<char> alive_;
+  std::vector<std::uint32_t> deg_;
+  std::size_t num_alive_ = 0;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_CORE_CORE_MAINTENANCE_H_

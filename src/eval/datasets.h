@@ -1,0 +1,69 @@
+#ifndef BCCS_EVAL_DATASETS_H_
+#define BCCS_EVAL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "bcc/bcc_types.h"
+#include "graph/generators.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// A named, seeded stand-in for one of the paper's evaluation networks
+/// (Table 3). Generation is deterministic given the spec.
+struct DatasetSpec {
+  std::string name;
+  PlantedConfig config;
+};
+
+/// The seven two-label benchmark networks standing in for Baidu-1, Baidu-2,
+/// Amazon, DBLP, Youtube, LiveJournal and Orkut (laptop scale; DESIGN.md
+/// Section 3 documents the substitution).
+const std::vector<DatasetSpec>& StandInSpecs();
+
+/// Multi-label (6 groups per community) variants standing in for Baidu-1/2
+/// with multi-team ground truth and for DBLP-M / LiveJournal-M / Orkut-M
+/// (paper Exp-9 and Exp-10).
+const std::vector<DatasetSpec>& MultiLabelSpecs();
+
+/// Finds a spec by name across both lists; null when absent.
+const DatasetSpec* FindSpec(const std::string& name);
+
+/// Generates the dataset for a spec.
+PlantedGraph MakeDataset(const DatasetSpec& spec);
+
+/// A case-study network with human-readable vertex and label names plus the
+/// paper's query setting (Exp-6..8 and Exp-11).
+struct CaseStudy {
+  std::string name;
+  LabeledGraph graph;
+  std::vector<std::string> vertex_names;
+  std::vector<std::string> label_names;
+  /// Suggested query vertices (2 for the BCC cases, 3 for the mBCC case).
+  std::vector<VertexId> queries;
+  /// Butterfly threshold used by the paper for the case (b = 3; k auto).
+  BccParams params;
+};
+
+/// Synthetic analogue of the OpenFlights global flight network (Exp-6):
+/// country labels, domestic hub cliques + spokes, international hub edges.
+CaseStudy MakeFlightCase();
+
+/// Synthetic analogue of the WITS international trade network (Exp-7):
+/// continent labels, worldwide major-trader core, continental peripheries.
+CaseStudy MakeTradeCase();
+
+/// Hand-built two-camp fiction network in the shape of the Harry Potter
+/// character graph (Exp-8): justice/evil labels, family and clique
+/// structure, hostility cross edges.
+CaseStudy MakePotterCase();
+
+/// Synthetic analogue of the DBLP interdisciplinary collaboration network
+/// (Exp-11): 7 research-field labels, 3-field planted communities; the three
+/// suggested queries allow both the 2-label and the 3-label experiment.
+CaseStudy MakeDblpCase();
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_DATASETS_H_

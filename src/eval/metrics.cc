@@ -1,0 +1,27 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace bccs {
+
+F1Result F1Score(std::span<const VertexId> found, std::span<const VertexId> truth) {
+  std::vector<VertexId> f(found.begin(), found.end());
+  std::vector<VertexId> t(truth.begin(), truth.end());
+  std::sort(f.begin(), f.end());
+  f.erase(std::unique(f.begin(), f.end()), f.end());
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+
+  F1Result out;
+  if (f.empty() || t.empty()) return out;
+  std::vector<VertexId> common;
+  std::set_intersection(f.begin(), f.end(), t.begin(), t.end(), std::back_inserter(common));
+  out.precision = static_cast<double>(common.size()) / static_cast<double>(f.size());
+  out.recall = static_cast<double>(common.size()) / static_cast<double>(t.size());
+  if (out.precision + out.recall > 0) {
+    out.f1 = 2 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+}  // namespace bccs

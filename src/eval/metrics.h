@@ -1,0 +1,24 @@
+#ifndef BCCS_EVAL_METRICS_H_
+#define BCCS_EVAL_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Precision / recall / F1 of a discovered community against a ground-truth
+/// community (the paper's Section 8 quality metric).
+struct F1Result {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Both inputs are vertex sets (need not be sorted; duplicates ignored).
+F1Result F1Score(std::span<const VertexId> found, std::span<const VertexId> truth);
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_METRICS_H_

@@ -1,0 +1,164 @@
+#include "eval/query_gen.h"
+
+#include <algorithm>
+#include <random>
+
+#include "bcc/query_distance.h"
+
+namespace bccs {
+namespace {
+
+using Rng = std::mt19937_64;
+
+// Degree threshold: a vertex qualifies if its degree is >= the degree at the
+// `rank` quantile of the degree distribution.
+std::size_t DegreeThreshold(const LabeledGraph& g, double rank) {
+  if (g.NumVertices() == 0) return 0;
+  std::vector<std::size_t> degrees(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) degrees[v] = g.Degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  auto idx = static_cast<std::size_t>(rank * static_cast<double>(degrees.size() - 1));
+  return degrees[std::min(idx, degrees.size() - 1)];
+}
+
+// BFS from `source` limited to `max_depth`, returning per-vertex distance.
+std::vector<std::uint32_t> BoundedBfs(const LabeledGraph& g, VertexId source,
+                                      std::uint32_t max_depth) {
+  std::vector<std::uint32_t> dist(g.NumVertices(), kInfDistance);
+  dist[source] = 0;
+  std::vector<VertexId> frontier = {source};
+  for (std::uint32_t level = 1; level <= max_depth && !frontier.empty(); ++level) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (dist[w] != kInfDistance) continue;
+        dist[w] = level;
+        next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<BccQuery> SampleQueries(const LabeledGraph& g, std::size_t count,
+                                    const QueryGenConfig& cfg) {
+  std::vector<BccQuery> out;
+  if (g.NumVertices() == 0 || g.NumLabels() < 2) return out;
+  Rng rng(cfg.seed);
+
+  std::size_t threshold = DegreeThreshold(g, cfg.degree_rank);
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) >= threshold) candidates.push_back(v);
+  }
+  if (candidates.empty()) return out;
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+
+  for (std::size_t attempt = 0; attempt < cfg.max_attempts && out.size() < count; ++attempt) {
+    VertexId ql = candidates[pick(rng)];
+    auto dist = BoundedBfs(g, ql, cfg.inter_distance);
+    std::vector<VertexId> partners;
+    for (VertexId v : candidates) {
+      if (dist[v] == cfg.inter_distance && g.LabelOf(v) != g.LabelOf(ql)) {
+        partners.push_back(v);
+      }
+    }
+    if (partners.empty()) continue;
+    std::uniform_int_distribution<std::size_t> pick_partner(0, partners.size() - 1);
+    out.push_back({ql, partners[pick_partner(rng)]});
+  }
+  return out;
+}
+
+std::vector<GroundTruthQuery> SampleGroundTruthQueries(const PlantedGraph& pg,
+                                                       std::size_t count,
+                                                       const QueryGenConfig& cfg) {
+  std::vector<GroundTruthQuery> out;
+  const LabeledGraph& g = pg.graph;
+  if (pg.communities.empty()) return out;
+  Rng rng(cfg.seed);
+  std::uniform_int_distribution<std::size_t> pick_comm(0, pg.communities.size() - 1);
+
+  // Degree-rank filter applied within a group: keep the top (1 - rank)
+  // fraction by degree (at least one vertex).
+  auto ranked = [&](const std::vector<VertexId>& group) {
+    std::vector<VertexId> sorted = group;
+    std::sort(sorted.begin(), sorted.end(), [&](VertexId a, VertexId b) {
+      return g.Degree(a) < g.Degree(b);
+    });
+    auto cut = static_cast<std::size_t>(cfg.degree_rank *
+                                        static_cast<double>(sorted.size()));
+    cut = std::min(cut, sorted.size() - 1);
+    return std::vector<VertexId>(sorted.begin() + static_cast<std::ptrdiff_t>(cut),
+                                 sorted.end());
+  };
+
+  for (std::size_t attempt = 0; attempt < cfg.max_attempts && out.size() < count; ++attempt) {
+    std::size_t ci = pick_comm(rng);
+    const PlantedCommunity& comm = pg.communities[ci];
+    if (comm.groups.size() < 2 || comm.groups[0].empty() || comm.groups[1].empty()) continue;
+    std::vector<VertexId> left = ranked(comm.groups[0]);
+    std::vector<VertexId> right = ranked(comm.groups[1]);
+    std::uniform_int_distribution<std::size_t> pick_left(0, left.size() - 1);
+    VertexId ql = left[pick_left(rng)];
+
+    // Prefer partners at exactly the requested inter-distance; fall back to
+    // the closest achievable partner within the community.
+    auto dist = BoundedBfs(g, ql, cfg.inter_distance + 4);
+    std::vector<VertexId> exact, fallback;
+    std::uint32_t best_d = kInfDistance;
+    for (VertexId v : right) {
+      if (dist[v] == kInfDistance) continue;
+      if (dist[v] == cfg.inter_distance) exact.push_back(v);
+      if (dist[v] < best_d) {
+        best_d = dist[v];
+        fallback.assign(1, v);
+      } else if (dist[v] == best_d) {
+        fallback.push_back(v);
+      }
+    }
+    const std::vector<VertexId>& pool = exact.empty() ? fallback : exact;
+    if (pool.empty()) continue;
+    std::uniform_int_distribution<std::size_t> pick_right(0, pool.size() - 1);
+    out.push_back({{ql, pool[pick_right(rng)]}, ci});
+  }
+  return out;
+}
+
+std::vector<MbccGroundTruthQuery> SampleMbccGroundTruthQueries(const PlantedGraph& pg,
+                                                               std::size_t m,
+                                                               std::size_t count,
+                                                               std::uint64_t seed) {
+  std::vector<MbccGroundTruthQuery> out;
+  Rng rng(seed);
+  // Prefer communities with exactly m groups (so the ground truth matches
+  // the query arity); fall back to any community with at least m groups.
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < pg.communities.size(); ++i) {
+    if (pg.communities[i].groups.size() == m) eligible.push_back(i);
+  }
+  if (eligible.empty()) {
+    for (std::size_t i = 0; i < pg.communities.size(); ++i) {
+      if (pg.communities[i].groups.size() >= m) eligible.push_back(i);
+    }
+  }
+  if (eligible.empty()) return out;
+  std::uniform_int_distribution<std::size_t> pick_comm(0, eligible.size() - 1);
+  for (std::size_t n = 0; n < count; ++n) {
+    std::size_t ci = eligible[pick_comm(rng)];
+    const PlantedCommunity& comm = pg.communities[ci];
+    MbccQuery q;
+    for (std::size_t gi = 0; gi < m; ++gi) {
+      const auto& group = comm.groups[gi];
+      std::uniform_int_distribution<std::size_t> pick(0, group.size() - 1);
+      q.vertices.push_back(group[pick(rng)]);
+    }
+    out.push_back({std::move(q), ci});
+  }
+  return out;
+}
+
+}  // namespace bccs

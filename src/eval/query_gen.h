@@ -1,0 +1,60 @@
+#ifndef BCCS_EVAL_QUERY_GEN_H_
+#define BCCS_EVAL_QUERY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bcc/bcc_types.h"
+#include "bcc/mbcc.h"
+#include "graph/generators.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Query-sampling protocol of the paper's Section 8: query vertices are
+/// constrained by degree rank Q_d (a vertex qualifies if its degree exceeds
+/// the degree of a `degree_rank` fraction of all vertices; paper default
+/// 80%) and by the inter-distance l between the two query vertices (paper
+/// default 1 = adjacent).
+struct QueryGenConfig {
+  double degree_rank = 0.8;
+  std::uint32_t inter_distance = 1;
+  std::uint64_t seed = 1;
+  std::size_t max_attempts = 20000;
+};
+
+/// Samples up to `count` query pairs with different labels satisfying the
+/// config (fewer if the graph runs out of qualifying pairs).
+std::vector<BccQuery> SampleQueries(const LabeledGraph& g, std::size_t count,
+                                    const QueryGenConfig& cfg);
+
+/// A query tied to the planted community it was drawn from, for F1 scoring.
+struct GroundTruthQuery {
+  BccQuery query;
+  std::size_t community_index = 0;
+};
+
+/// Samples query pairs from planted communities: q_l from one group, q_r
+/// from a sibling group, honoring degree rank (within the community) and
+/// inter-distance where achievable (falls back to the closest achievable
+/// pair inside the community).
+std::vector<GroundTruthQuery> SampleGroundTruthQueries(const PlantedGraph& pg,
+                                                       std::size_t count,
+                                                       const QueryGenConfig& cfg);
+
+/// Multi-label variant: one query vertex from each of the first `m` groups
+/// of a planted community.
+struct MbccGroundTruthQuery {
+  MbccQuery query;
+  std::size_t community_index = 0;
+};
+
+std::vector<MbccGroundTruthQuery> SampleMbccGroundTruthQueries(const PlantedGraph& pg,
+                                                               std::size_t m,
+                                                               std::size_t count,
+                                                               std::uint64_t seed);
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_QUERY_GEN_H_

@@ -1,0 +1,44 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bcc/query_distance.h"
+#include "core/core_decomposition.h"
+
+namespace bccs {
+
+GraphStats ComputeGraphStats(const LabeledGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.NumVertices();
+  s.num_edges = g.NumEdges();
+  s.num_labels = g.NumLabels();
+  s.d_max = g.MaxDegree();
+  for (const Edge& e : g.AllEdges()) {
+    if (g.IsCrossEdge(e.u, e.v)) ++s.num_cross_edges;
+  }
+  if (g.NumVertices() == 0) return s;
+
+  std::vector<std::uint32_t> core = CoreDecomposition(g);
+  s.k_max = *std::max_element(core.begin(), core.end());
+
+  // Double-sweep diameter lower bound from the maximum-degree vertex.
+  VertexId start = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > g.Degree(start)) start = v;
+  }
+  std::vector<char> alive(g.NumVertices(), 1);
+  std::vector<std::uint32_t> dist;
+  BfsDistances(g, alive, start, &dist);
+  VertexId far = start;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (dist[v] != kInfDistance && (dist[far] == kInfDistance || dist[v] > dist[far])) far = v;
+  }
+  BfsDistances(g, alive, far, &dist);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (dist[v] != kInfDistance) s.diameter_lb = std::max(s.diameter_lb, dist[v]);
+  }
+  return s;
+}
+
+}  // namespace bccs

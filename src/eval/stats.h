@@ -1,0 +1,31 @@
+#ifndef BCCS_EVAL_STATS_H_
+#define BCCS_EVAL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Table-3-style statistics of a labeled graph.
+struct GraphStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_labels = 0;
+  /// Maximum coreness (the paper's k_max).
+  std::uint32_t k_max = 0;
+  /// Maximum degree (the paper's d_max).
+  std::size_t d_max = 0;
+  /// Lower bound on the diameter of the largest component via a BFS double
+  /// sweep (reported for context; the paper's d_max column is max degree).
+  std::uint32_t diameter_lb = 0;
+  /// Number of heterogeneous (cross) edges.
+  std::size_t num_cross_edges = 0;
+};
+
+GraphStats ComputeGraphStats(const LabeledGraph& g);
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_STATS_H_

@@ -1,0 +1,39 @@
+#ifndef BCCS_EVAL_TIMER_H_
+#define BCCS_EVAL_TIMER_H_
+
+#include <chrono>
+
+namespace bccs {
+
+/// Monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the elapsed scope time to `*target` on destruction.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* target) : target_(target) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { *target_ += timer_.Seconds(); }
+
+ private:
+  double* target_;
+  Timer timer_;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_TIMER_H_

@@ -1,0 +1,305 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <set>
+#include <utility>
+
+namespace bccs {
+namespace {
+
+using Rng = std::mt19937_64;
+
+// Adds Erdos-Renyi edges among `members` with probability `p`, plus a cycle
+// backbone and a chord cycle (i, i+2). The backbones give every member an
+// intra-group degree of at least 4, so a whole planted group survives k-core
+// peeling for k <= 4 (keeping the liaison vertices of AddCrossPair inside
+// the community cores).
+void AddDenseGroup(const std::vector<VertexId>& members, double p, bool strong_backbone,
+                   Rng& rng, std::vector<Edge>* edges) {
+  std::bernoulli_distribution coin(p);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (coin(rng)) edges->push_back({members[i], members[j]});
+    }
+  }
+  if (members.size() >= 3) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      edges->push_back({members[i], members[(i + 1) % members.size()]});
+    }
+  }
+  if (strong_backbone && members.size() >= 5) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      edges->push_back({members[i], members[(i + 2) % members.size()]});
+    }
+  }
+}
+
+// Adds cross edges between two sibling groups: Bernoulli(p) on all pairs plus
+// one explicit biclique between up to 3 + 3 "leader" vertices, so each group
+// holds a liaison whose butterfly degree is at least 6 (every community then
+// satisfies the b <= 5 range swept by the paper's Figure 9).
+void AddCrossPair(const std::vector<VertexId>& a, const std::vector<VertexId>& b, double p,
+                  Rng& rng, std::vector<Edge>* edges) {
+  std::bernoulli_distribution coin(p);
+  for (VertexId u : a) {
+    for (VertexId v : b) {
+      if (coin(rng)) edges->push_back({u, v});
+    }
+  }
+  if (a.size() >= 2 && b.size() >= 2) {
+    std::vector<VertexId> leaders_a = a, leaders_b = b;
+    std::shuffle(leaders_a.begin(), leaders_a.end(), rng);
+    std::shuffle(leaders_b.begin(), leaders_b.end(), rng);
+    leaders_a.resize(std::min<std::size_t>(3, leaders_a.size()));
+    leaders_b.resize(std::min<std::size_t>(3, leaders_b.size()));
+    for (VertexId u : leaders_a) {
+      for (VertexId v : leaders_b) edges->push_back({u, v});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> PlantedCommunity::AllVertices() const {
+  std::vector<VertexId> all;
+  for (const auto& group : groups) all.insert(all.end(), group.begin(), group.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+PlantedGraph GeneratePlanted(const PlantedConfig& cfg) {
+  assert(cfg.num_labels >= cfg.groups_per_community);
+  assert(cfg.groups_per_community >= 2);
+  assert(cfg.min_group_size >= 4 && cfg.max_group_size >= cfg.min_group_size);
+
+  Rng rng(cfg.seed);
+  std::uniform_int_distribution<std::size_t> group_size(cfg.min_group_size, cfg.max_group_size);
+
+  PlantedGraph out;
+  std::vector<Edge> edges;
+  std::vector<Label> labels;
+
+  for (std::size_t c = 0; c < cfg.num_communities; ++c) {
+    PlantedCommunity community;
+    std::size_t groups = cfg.groups_per_community;
+    double intra_p = cfg.intra_edge_prob;
+    double cross_p = cfg.cross_pair_prob;
+    if (cfg.mixed_group_counts && cfg.groups_per_community > 2) {
+      groups = 2 + c % (cfg.groups_per_community - 1);
+      // Larger joint projects are thinner per pair: scale densities down
+      // with the group count, so high-m communities are genuinely harder to
+      // recover (the paper's Figure 14 trend).
+      intra_p = cfg.intra_edge_prob * 2.0 / static_cast<double>(groups);
+      cross_p = cfg.cross_pair_prob * 2.0 / static_cast<double>(groups);
+    }
+
+    // Choose m distinct labels for this community.
+    std::vector<Label> pool(cfg.num_labels);
+    for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<Label>(i);
+    std::shuffle(pool.begin(), pool.end(), rng);
+    pool.resize(groups);
+    community.labels = pool;
+
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      std::size_t size = group_size(rng);
+      std::vector<VertexId> members(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        members[i] = static_cast<VertexId>(labels.size());
+        labels.push_back(community.labels[gi]);
+      }
+      AddDenseGroup(members, intra_p, cfg.strong_backbone, rng, &edges);
+      community.groups.push_back(std::move(members));
+    }
+
+    // Heterogeneous edges between consecutive sibling groups; for m = 2 this
+    // is the single left-right bipartite block.
+    for (std::size_t gi = 0; gi + 1 < community.groups.size(); ++gi) {
+      AddCrossPair(community.groups[gi], community.groups[gi + 1], cross_p, rng, &edges);
+    }
+    out.communities.push_back(std::move(community));
+  }
+
+  // Background vertices loosely attached to the rest of the graph.
+  std::size_t planted_n = labels.size();
+  if (cfg.background_vertices > 0 && planted_n > 0) {
+    std::uniform_int_distribution<Label> any_label(0, static_cast<Label>(cfg.num_labels - 1));
+    for (std::size_t i = 0; i < cfg.background_vertices; ++i) {
+      labels.push_back(any_label(rng));
+    }
+    std::size_t total_n = labels.size();
+    auto target_edges =
+        static_cast<std::size_t>(cfg.background_avg_degree * cfg.background_vertices / 2.0);
+    std::uniform_int_distribution<VertexId> bg(static_cast<VertexId>(planted_n),
+                                               static_cast<VertexId>(total_n - 1));
+    std::uniform_int_distribution<VertexId> any(0, static_cast<VertexId>(total_n - 1));
+    for (std::size_t i = 0; i < target_edges; ++i) {
+      VertexId u = bg(rng);
+      VertexId v = any(rng);
+      if (u != v) edges.push_back({u, v});
+    }
+    // Keep background vertices from being isolated.
+    for (VertexId v = static_cast<VertexId>(planted_n); v < total_n; ++v) {
+      edges.push_back({v, any(rng)});
+    }
+  }
+
+  // Global noise: random heterogeneous and homogeneous edges anywhere in the
+  // graph.
+  std::size_t n = labels.size();
+  auto cross_noise = static_cast<std::size_t>(cfg.noise_cross_fraction * edges.size());
+  auto same_noise = static_cast<std::size_t>(cfg.noise_same_fraction * edges.size());
+  std::uniform_int_distribution<VertexId> any(0, static_cast<VertexId>(n - 1));
+  for (std::size_t i = 0; i < cross_noise; ++i) {
+    VertexId u = any(rng);
+    VertexId v = any(rng);
+    if (u != v && labels[u] != labels[v]) edges.push_back({u, v});
+  }
+  for (std::size_t i = 0; i < same_noise; ++i) {
+    VertexId u = any(rng);
+    VertexId v = any(rng);
+    if (u != v && labels[u] == labels[v]) edges.push_back({u, v});
+  }
+
+  out.graph = LabeledGraph::FromEdges(n, std::move(edges), std::move(labels));
+  return out;
+}
+
+LabeledGraph GenerateErdosRenyi(std::size_t n, double avg_degree, std::size_t num_labels,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  auto target = static_cast<std::size_t>(avg_degree * n / 2.0);
+  std::uniform_int_distribution<VertexId> any(0, static_cast<VertexId>(n - 1));
+  for (std::size_t i = 0; i < target; ++i) {
+    VertexId u = any(rng);
+    VertexId v = any(rng);
+    if (u != v) edges.push_back({u, v});
+  }
+  std::vector<Label> labels(n);
+  std::uniform_int_distribution<Label> lab(0, static_cast<Label>(num_labels - 1));
+  for (auto& l : labels) l = lab(rng);
+  return LabeledGraph::FromEdges(n, std::move(edges), std::move(labels));
+}
+
+LabeledGraph GenerateRandomBipartite(std::size_t nl, std::size_t nr, double edge_prob,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::bernoulli_distribution coin(edge_prob);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < nl; ++u) {
+    for (VertexId v = 0; v < nr; ++v) {
+      if (coin(rng)) edges.push_back({u, static_cast<VertexId>(nl + v)});
+    }
+  }
+  std::vector<Label> labels(nl + nr, 0);
+  for (std::size_t v = nl; v < nl + nr; ++v) labels[v] = 1;
+  return LabeledGraph::FromEdges(nl + nr, std::move(edges), std::move(labels));
+}
+
+LabeledGraph GenerateHubSpoke(const HubSpokeConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<Edge> edges;
+  std::vector<Label> labels;
+  std::vector<std::vector<VertexId>> hubs(cfg.num_countries);
+
+  for (std::size_t c = 0; c < cfg.num_countries; ++c) {
+    for (std::size_t h = 0; h < cfg.hubs_per_country; ++h) {
+      hubs[c].push_back(static_cast<VertexId>(labels.size()));
+      labels.push_back(static_cast<Label>(c));
+    }
+    // Domestic hub clique.
+    for (std::size_t i = 0; i < hubs[c].size(); ++i) {
+      for (std::size_t j = i + 1; j < hubs[c].size(); ++j) {
+        edges.push_back({hubs[c][i], hubs[c][j]});
+      }
+    }
+    // Spokes: each attached to two domestic hubs (plus the previous spoke, so
+    // the domestic network is denser than a star).
+    VertexId prev_spoke = kInvalidVertex;
+    std::uniform_int_distribution<std::size_t> pick_hub(0, hubs[c].size() - 1);
+    for (std::size_t s = 0; s < cfg.spokes_per_country; ++s) {
+      auto v = static_cast<VertexId>(labels.size());
+      labels.push_back(static_cast<Label>(c));
+      std::size_t h1 = pick_hub(rng);
+      std::size_t h2 = pick_hub(rng);
+      if (h2 == h1) h2 = (h1 + 1) % hubs[c].size();
+      edges.push_back({v, hubs[c][h1]});
+      edges.push_back({v, hubs[c][h2]});
+      if (prev_spoke != kInvalidVertex) edges.push_back({v, prev_spoke});
+      prev_spoke = v;
+    }
+  }
+
+  // International hub connections, denser within alliances.
+  std::bernoulli_distribution intra(cfg.intra_alliance_hub_prob);
+  std::bernoulli_distribution inter(cfg.inter_alliance_hub_prob);
+  for (std::size_t c1 = 0; c1 < cfg.num_countries; ++c1) {
+    for (std::size_t c2 = c1 + 1; c2 < cfg.num_countries; ++c2) {
+      bool same_alliance = (c1 / cfg.alliance_size) == (c2 / cfg.alliance_size);
+      auto& coin = same_alliance ? intra : inter;
+      for (VertexId h1 : hubs[c1]) {
+        for (VertexId h2 : hubs[c2]) {
+          if (coin(rng)) edges.push_back({h1, h2});
+        }
+      }
+    }
+  }
+  const std::size_t n = labels.size();
+  return LabeledGraph::FromEdges(n, std::move(edges), std::move(labels));
+}
+
+LabeledGraph GenerateCorePeriphery(const CorePeripheryConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<Edge> edges;
+  std::vector<Label> labels;
+  std::vector<std::vector<VertexId>> majors(cfg.num_continents);
+  std::vector<std::vector<VertexId>> minors(cfg.num_continents);
+
+  for (std::size_t c = 0; c < cfg.num_continents; ++c) {
+    for (std::size_t i = 0; i < cfg.majors_per_continent; ++i) {
+      majors[c].push_back(static_cast<VertexId>(labels.size()));
+      labels.push_back(static_cast<Label>(c));
+    }
+    for (std::size_t i = 0; i < cfg.minors_per_continent; ++i) {
+      minors[c].push_back(static_cast<VertexId>(labels.size()));
+      labels.push_back(static_cast<Label>(c));
+    }
+  }
+
+  std::bernoulli_distribution mm(cfg.major_major_prob);
+  std::bernoulli_distribution minor_major(cfg.minor_major_prob);
+  std::bernoulli_distribution minor_minor(cfg.minor_minor_prob);
+
+  // Majors trade with majors everywhere (dense world core).
+  std::vector<VertexId> all_majors;
+  for (const auto& ms : majors) all_majors.insert(all_majors.end(), ms.begin(), ms.end());
+  for (std::size_t i = 0; i < all_majors.size(); ++i) {
+    for (std::size_t j = i + 1; j < all_majors.size(); ++j) {
+      if (mm(rng)) edges.push_back({all_majors[i], all_majors[j]});
+    }
+  }
+  // Minors attach mostly to their continent's majors, a little to each other.
+  for (std::size_t c = 0; c < cfg.num_continents; ++c) {
+    for (VertexId v : minors[c]) {
+      bool attached = false;
+      for (VertexId m : majors[c]) {
+        if (minor_major(rng)) {
+          edges.push_back({v, m});
+          attached = true;
+        }
+      }
+      if (!attached) edges.push_back({v, majors[c][0]});
+    }
+    for (std::size_t i = 0; i < minors[c].size(); ++i) {
+      for (std::size_t j = i + 1; j < minors[c].size(); ++j) {
+        if (minor_minor(rng)) edges.push_back({minors[c][i], minors[c][j]});
+      }
+    }
+  }
+  const std::size_t n = labels.size();
+  return LabeledGraph::FromEdges(n, std::move(edges), std::move(labels));
+}
+
+}  // namespace bccs

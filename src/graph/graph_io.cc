@@ -1,0 +1,71 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bccs {
+
+std::optional<LabeledGraph> ReadLabeledGraph(std::istream& in) {
+  std::size_t num_vertices = 0;
+  bool saw_header = false;
+  std::vector<Label> labels;
+  std::vector<Edge> edges;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'v') {
+      if (!(ls >> num_vertices)) return std::nullopt;
+      labels.assign(num_vertices, 0);
+      saw_header = true;
+    } else if (kind == 'l') {
+      VertexId v = 0;
+      Label l = 0;
+      if (!saw_header || !(ls >> v >> l) || v >= num_vertices) return std::nullopt;
+      labels[v] = l;
+    } else if (kind == 'e') {
+      Edge e;
+      if (!saw_header || !(ls >> e.u >> e.v) || e.u >= num_vertices || e.v >= num_vertices) {
+        return std::nullopt;
+      }
+      edges.push_back(e);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_header) return std::nullopt;
+  return LabeledGraph::FromEdges(num_vertices, std::move(edges), std::move(labels));
+}
+
+std::optional<LabeledGraph> ReadLabeledGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadLabeledGraph(in);
+}
+
+void WriteLabeledGraph(const LabeledGraph& g, std::ostream& out) {
+  out << "# bccs labeled graph\n";
+  out << "v " << g.NumVertices() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "l " << v << " " << g.LabelOf(v) << "\n";
+  }
+  for (const Edge& e : g.AllEdges()) {
+    out << "e " << e.u << " " << e.v << "\n";
+  }
+}
+
+bool WriteLabeledGraphToFile(const LabeledGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteLabeledGraph(g, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace bccs

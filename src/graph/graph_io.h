@@ -1,0 +1,25 @@
+#ifndef BCCS_GRAPH_GRAPH_IO_H_
+#define BCCS_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Text format used by the library (SNAP-style):
+///   - a line "v <num_vertices>" first,
+///   - one line "l <vertex> <label>" per vertex (missing vertices get label 0),
+///   - one line "e <u> <v>" per undirected edge.
+/// Lines starting with '#' are comments.
+std::optional<LabeledGraph> ReadLabeledGraph(std::istream& in);
+std::optional<LabeledGraph> ReadLabeledGraphFromFile(const std::string& path);
+
+void WriteLabeledGraph(const LabeledGraph& g, std::ostream& out);
+bool WriteLabeledGraphToFile(const LabeledGraph& g, const std::string& path);
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_GRAPH_IO_H_

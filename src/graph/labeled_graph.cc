@@ -1,0 +1,70 @@
+#include "graph/labeled_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bccs {
+
+LabeledGraph LabeledGraph::FromEdges(std::size_t num_vertices, std::vector<Edge> edges,
+                                     std::vector<Label> labels) {
+  assert(labels.size() == num_vertices);
+
+  // Canonicalize, drop self-loops, dedupe.
+  std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  for (Edge& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+    assert(e.v < num_vertices);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  LabeledGraph g;
+  g.labels_ = std::move(labels);
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 0; i < num_vertices; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(2 * edges.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  }
+
+  Label max_label = 0;
+  for (Label l : g.labels_) max_label = std::max(max_label, l);
+  g.label_members_.resize(num_vertices == 0 ? 0 : max_label + 1);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.label_members_[g.labels_[v]].push_back(v);
+  }
+  return g;
+}
+
+bool LabeledGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> LabeledGraph::AllEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace bccs

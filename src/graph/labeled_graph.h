@@ -1,0 +1,104 @@
+#ifndef BCCS_GRAPH_LABELED_GRAPH_H_
+#define BCCS_GRAPH_LABELED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bccs {
+
+/// Vertex identifier. Vertices of a graph with n vertices are 0..n-1.
+using VertexId = std::uint32_t;
+
+/// Vertex label identifier (e.g. a department, a country, a research field).
+using Label = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// An undirected edge. Canonical form has u < v, but construction accepts
+/// either orientation.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected vertex-labeled graph G = (V, E, l) in CSR form.
+///
+/// This is the substrate every algorithm in the library works on. Adjacency
+/// lists are sorted, which the butterfly and truss kernels rely on for
+/// linear-merge intersections. Self-loops and duplicate edges are dropped at
+/// construction. Labels are dense integers 0..NumLabels()-1.
+class LabeledGraph {
+ public:
+  LabeledGraph() = default;
+
+  /// Builds a graph from an edge list. `labels` must have one entry per
+  /// vertex; label values are used as-is (callers should keep them dense).
+  /// Self-loops are removed and parallel edges collapsed.
+  static LabeledGraph FromEdges(std::size_t num_vertices, std::vector<Edge> edges,
+                                std::vector<Label> labels);
+
+  std::size_t NumVertices() const { return labels_.size(); }
+  std::size_t NumEdges() const { return adjacency_.size() / 2; }
+  std::size_t NumLabels() const { return label_members_.size(); }
+
+  /// Neighbors of `v`, sorted ascending.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  Label LabelOf(VertexId v) const { return labels_[v]; }
+
+  /// True if the (undirected) edge {u, v} exists. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// True if the endpoints carry different labels (a heterogeneous edge).
+  bool IsCrossEdge(VertexId u, VertexId v) const { return labels_[u] != labels_[v]; }
+
+  /// All vertices carrying label `l`, sorted ascending. Empty for unused labels.
+  std::span<const VertexId> VerticesWithLabel(Label l) const {
+    return label_members_[l];
+  }
+
+  std::size_t MaxDegree() const { return max_degree_; }
+
+  /// All edges in canonical (u < v) form, sorted lexicographically.
+  std::vector<Edge> AllEdges() const;
+
+ private:
+  std::vector<std::size_t> offsets_;    // size NumVertices()+1
+  std::vector<VertexId> adjacency_;     // both directions, sorted per vertex
+  std::vector<Label> labels_;           // size NumVertices()
+  std::vector<std::vector<VertexId>> label_members_;
+  std::size_t max_degree_ = 0;
+};
+
+/// Invokes `fn(w)` for every common neighbor w of u and v (linear merge over
+/// the sorted adjacency lists).
+template <typename Fn>
+void ForEachCommonNeighbor(const LabeledGraph& g, VertexId u, VertexId v, Fn fn) {
+  auto nu = g.Neighbors(u);
+  auto nv = g.Neighbors(v);
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      fn(nu[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_LABELED_GRAPH_H_

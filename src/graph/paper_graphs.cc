@@ -1,0 +1,146 @@
+#include "graph/paper_graphs.h"
+
+#include <algorithm>
+
+namespace bccs {
+
+Figure1Graph MakeFigure1Graph() {
+  Figure1Graph f;
+  // Vertex ids, grouped: SE core, SE periphery, UI core, UI periphery, PM.
+  f.ql = 0;
+  f.v1 = 1;
+  f.v2 = 2;
+  f.v3 = 3;
+  f.v4 = 4;
+  f.v5 = 5;
+  f.v6 = 6;
+  f.v7 = 7;
+  f.v8 = 8;
+  f.v9 = 9;
+  f.v10 = 10;
+  f.qr = 11;
+  f.u1 = 12;
+  f.u2 = 13;
+  f.u3 = 14;
+  f.u4 = 15;
+  f.u5 = 16;
+  f.u6 = 17;
+  f.u7 = 18;
+  f.z1 = 19;
+
+  std::vector<Label> labels(20, f.se);
+  for (VertexId v : {f.qr, f.u1, f.u2, f.u3, f.u4, f.u5, f.u6, f.u7}) labels[v] = f.ui;
+  labels[f.z1] = f.pm;
+
+  std::vector<Edge> edges;
+  // SE core: K6 on {ql, v1..v5} minus the perfect matching
+  // {(ql,v3), (v1,v4), (v2,v5)}; every member has degree exactly 4.
+  const VertexId core_l[] = {f.ql, f.v1, f.v2, f.v3, f.v4, f.v5};
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      Edge e{core_l[i], core_l[j]};
+      bool matched = (e.u == f.ql && e.v == f.v3) || (e.u == f.v1 && e.v == f.v4) ||
+                     (e.u == f.v2 && e.v == f.v5);
+      if (!matched) edges.push_back(e);
+    }
+  }
+  // SE periphery: 5-cycle + one edge into the core each (degree 3).
+  edges.push_back({f.v6, f.v7});
+  edges.push_back({f.v7, f.v8});
+  edges.push_back({f.v8, f.v9});
+  edges.push_back({f.v9, f.v10});
+  edges.push_back({f.v10, f.v6});
+  edges.push_back({f.v6, f.v1});
+  edges.push_back({f.v7, f.v2});
+  edges.push_back({f.v8, f.v3});
+  edges.push_back({f.v9, f.v4});
+  edges.push_back({f.v10, f.v5});
+  // UI core: K4 on {qr, u1, u2, u3}.
+  const VertexId core_r[] = {f.qr, f.u1, f.u2, f.u3};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) edges.push_back({core_r[i], core_r[j]});
+  }
+  // UI periphery: path u4-u5-u6-u7 anchored at u1 and u3 (peels out of the
+  // 3-core because u4 starts at degree 2 within UI).
+  edges.push_back({f.u4, f.u5});
+  edges.push_back({f.u5, f.u6});
+  edges.push_back({f.u6, f.u7});
+  edges.push_back({f.u4, f.u1});
+  edges.push_back({f.u7, f.u3});
+  // The bow-tie butterfly B: {ql, v5} x {qr, u3}.
+  edges.push_back({f.ql, f.qr});
+  edges.push_back({f.ql, f.u3});
+  edges.push_back({f.v5, f.qr});
+  edges.push_back({f.v5, f.u3});
+  // Cross edges among peripheral vertices (outside the answer) and the PM
+  // vertex, padding every degree to >= 3.
+  edges.push_back({f.v7, f.u5});
+  edges.push_back({f.v8, f.u6});
+  edges.push_back({f.v9, f.u7});
+  edges.push_back({f.z1, f.v6});
+  edges.push_back({f.z1, f.u4});
+  edges.push_back({f.z1, f.u5});
+
+  const std::size_t n = labels.size();
+  f.graph = LabeledGraph::FromEdges(n, std::move(edges), std::move(labels));
+  f.expected_bcc = {f.ql, f.v1, f.v2, f.v3, f.v4, f.v5, f.qr, f.u1, f.u2, f.u3};
+  std::sort(f.expected_bcc.begin(), f.expected_bcc.end());
+  return f;
+}
+
+Figure3Graph MakeFigure3Graph() {
+  Figure3Graph f;
+  f.ql = 0;
+  f.v1 = 1;
+  f.v2 = 2;
+  f.v3 = 3;
+  f.qr = 4;
+  f.u1 = 5;
+  f.u2 = 6;
+  f.u3 = 7;
+  f.u4 = 8;
+  f.u5 = 9;
+  f.u6 = 10;
+  f.u7 = 11;
+  f.u9 = 12;
+
+  std::vector<Label> labels(13, f.left);
+  for (VertexId v : {f.qr, f.u1, f.u2, f.u3, f.u4, f.u5, f.u6, f.u7, f.u9}) {
+    labels[v] = f.right;
+  }
+
+  std::vector<Edge> edges = {
+      // Left-internal edges (v2 also neighbors v1 so that, per Table 2,
+      // dist(v2, qr) = 3).
+      {f.ql, f.v1},
+      {f.ql, f.v2},
+      {f.ql, f.v3},
+      {f.v1, f.v2},
+      // Cross (bipartite) edges: {v1, v3} x {u2, u3, u5, u6}.
+      {f.v1, f.u2},
+      {f.v1, f.u3},
+      {f.v1, f.u5},
+      {f.v1, f.u6},
+      {f.v3, f.u2},
+      {f.v3, f.u3},
+      {f.v3, f.u5},
+      {f.v3, f.u6},
+      // Right-internal edges.
+      {f.qr, f.u1},
+      {f.qr, f.u2},
+      {f.qr, f.u3},
+      {f.qr, f.u9},
+      {f.u9, f.u4},
+      {f.u9, f.u7},
+      {f.u1, f.u5},
+      {f.u6, f.u7},
+      {f.u4, f.u5},
+      {f.u5, f.u7},
+  };
+
+  const std::size_t n = labels.size();
+  f.graph = LabeledGraph::FromEdges(n, std::move(edges), std::move(labels));
+  return f;
+}
+
+}  // namespace bccs

@@ -1,0 +1,53 @@
+#ifndef BCCS_GRAPH_PAPER_GRAPHS_H_
+#define BCCS_GRAPH_PAPER_GRAPHS_H_
+
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Reconstruction of the paper's Figure 1 IT-professional network and its
+/// Figure 2 answer. The paper does not list every edge, so this instance is
+/// built to satisfy every stated constraint:
+///   - L = {ql, v1..v5} is the connected 4-core of the SE-labeled subgraph
+///     (a 4-regular K6-minus-perfect-matching), v6..v10 are a degree-3 SE
+///     periphery that peels out of the 4-core;
+///   - R = {qr, u1..u3} is the connected 3-core of the UI-labeled subgraph
+///     (a K4), u4..u7 are a UI periphery that peels out of the 3-core;
+///   - B restricted to L u R is exactly the butterfly {ql, v5} x {qr, u3};
+///   - z1 is a PM vertex irrelevant to the query labels;
+///   - every vertex of the whole graph has degree >= 3.
+/// The expected (4, 3, 1)-BCC for Q = {ql, qr} is L u B u R (Example 3).
+struct Figure1Graph {
+  LabeledGraph graph;
+  VertexId ql, v1, v2, v3, v4, v5, v6, v7, v8, v9, v10;
+  VertexId qr, u1, u2, u3, u4, u5, u6, u7;
+  VertexId z1;
+  Label se = 0, ui = 1, pm = 2;
+  /// Sorted vertex set of the paper's Figure 2 answer.
+  std::vector<VertexId> expected_bcc;
+};
+
+Figure1Graph MakeFigure1Graph();
+
+/// Reconstruction of the paper's Figure 3 example used by Examples 4-6.
+/// This instance reproduces every number the paper reports:
+///   - the Table 2 BFS levels from ql and from qr, before and after the
+///     deletion of u9 (with exactly {u4, u7} changing distance);
+///   - butterfly degrees chi(v1) = chi(v3) = 6, chi(u2) = chi(u3) = chi(u5)
+///     = chi(u6) = 3 (Example 5, leader pair {v1, u2});
+///   - Algorithm 7 updates on deleting u6: chi(u2) 3 -> 2, chi(v1) 6 -> 3
+///     (Example 6).
+struct Figure3Graph {
+  LabeledGraph graph;
+  VertexId ql, v1, v2, v3;
+  VertexId qr, u1, u2, u3, u4, u5, u6, u7, u9;
+  Label left = 0, right = 1;
+};
+
+Figure3Graph MakeFigure3Graph();
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_PAPER_GRAPHS_H_

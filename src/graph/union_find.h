@@ -1,0 +1,52 @@
+#ifndef BCCS_GRAPH_UNION_FIND_H_
+#define BCCS_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace bccs {
+
+/// Disjoint-set forest with path halving and union by size.
+///
+/// Used for the mBCC cross-group meta-connectivity check (paper Section 7)
+/// and for locating the maximal truss level connecting two query vertices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::uint32_t Find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing `a` and `b`. Returns true if they were
+  /// previously distinct.
+  bool Union(std::uint32_t a, std::uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool Connected(std::uint32_t a, std::uint32_t b) { return Find(a) == Find(b); }
+
+  std::size_t SetSize(std::uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_UNION_FIND_H_

@@ -1,0 +1,81 @@
+#include "tools/arg_parser.h"
+
+#include <cstdlib>
+
+namespace bccs {
+
+ArgParser ArgParser::Parse(const std::vector<std::string>& args) {
+  ArgParser out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      out.flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      out.flags_[body] = "";
+    }
+  }
+  return out;
+}
+
+ArgParser ArgParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+std::optional<std::string> ArgParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> ArgParser::GetInt(const std::string& name) const {
+  auto s = GetString(name);
+  if (!s || s->empty()) return std::nullopt;
+  char* end = nullptr;
+  std::int64_t value = std::strtoll(s->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return value;
+}
+
+std::optional<double> ArgParser::GetDouble(const std::string& name) const {
+  auto s = GetString(name);
+  if (!s || s->empty()) return std::nullopt;
+  char* end = nullptr;
+  double value = std::strtod(s->c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return value;
+}
+
+std::string ArgParser::GetStringOr(const std::string& name, const std::string& fallback) const {
+  return GetString(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::GetIntOr(const std::string& name, std::int64_t fallback) const {
+  return GetInt(name).value_or(fallback);
+}
+
+double ArgParser::GetDoubleOr(const std::string& name, double fallback) const {
+  return GetDouble(name).value_or(fallback);
+}
+
+std::vector<std::string> ArgParser::UnknownFlags(const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const auto& k : known) found |= (k == name);
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace bccs

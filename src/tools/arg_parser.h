@@ -1,0 +1,47 @@
+#ifndef BCCS_TOOLS_ARG_PARSER_H_
+#define BCCS_TOOLS_ARG_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bccs {
+
+/// Minimal command-line flag parser for the bccs tools: flags look like
+/// --name=value or --name value; bare --name is a boolean true. Anything not
+/// starting with "--" is a positional argument.
+class ArgParser {
+ public:
+  /// Parses argv (excluding argv[0]). Returns std::nullopt on malformed
+  /// input (e.g. a trailing --flag expecting a value... bare flags are
+  /// valid, so parsing itself never fails on that; reserved for future
+  /// validation) -- currently always succeeds.
+  static ArgParser Parse(int argc, const char* const* argv);
+  static ArgParser Parse(const std::vector<std::string>& args);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::optional<std::string> GetString(const std::string& name) const;
+  std::optional<std::int64_t> GetInt(const std::string& name) const;
+  std::optional<double> GetDouble(const std::string& name) const;
+
+  std::string GetStringOr(const std::string& name, const std::string& fallback) const;
+  std::int64_t GetIntOr(const std::string& name, std::int64_t fallback) const;
+  double GetDoubleOr(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but are not in `known`; used for error
+  /// reporting.
+  std::vector<std::string> UnknownFlags(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;  // bare flags map to ""
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_TOOLS_ARG_PARSER_H_

@@ -1,0 +1,141 @@
+#include "truss/truss_decomposition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bccs {
+
+std::uint32_t TrussDecomposition::EdgeId(VertexId u, VertexId v) const {
+  if (u > v) std::swap(u, v);
+  auto begin = edges_.begin() + static_cast<std::ptrdiff_t>(first_edge_[u]);
+  auto end = edges_.begin() + static_cast<std::ptrdiff_t>(first_edge_[u + 1]);
+  auto it = std::lower_bound(begin, end, v,
+                             [](const Edge& e, VertexId target) { return e.v < target; });
+  if (it == end || it->v != v) return kInvalidEdge;
+  return static_cast<std::uint32_t>(it - edges_.begin());
+}
+
+TrussDecomposition TrussDecomposition::Compute(const LabeledGraph& g) {
+  TrussDecomposition td;
+  td.edges_ = g.AllEdges();
+  const std::size_t m = td.edges_.size();
+  td.trussness_.assign(m, 2);
+
+  // first_edge_[u] = first edge id whose smaller endpoint is u.
+  td.first_edge_.assign(g.NumVertices() + 1, 0);
+  for (const Edge& e : td.edges_) ++td.first_edge_[e.u + 1];
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) td.first_edge_[v + 1] += td.first_edge_[v];
+  if (m == 0) return td;
+
+  // Initial support = number of triangles per edge.
+  std::vector<std::uint32_t> sup(m, 0);
+  std::uint32_t max_sup = 0;
+  for (std::uint32_t e = 0; e < m; ++e) {
+    std::uint32_t s = 0;
+    ForEachCommonNeighbor(g, td.edges_[e].u, td.edges_[e].v, [&](VertexId) { ++s; });
+    sup[e] = s;
+    max_sup = std::max(max_sup, s);
+  }
+
+  // Bucket queue over support values.
+  std::vector<std::uint32_t> bin(max_sup + 2, 0);
+  for (std::uint32_t e = 0; e < m; ++e) ++bin[sup[e]];
+  std::uint32_t start = 0;
+  for (std::uint32_t s = 0; s <= max_sup; ++s) {
+    std::uint32_t count = bin[s];
+    bin[s] = start;
+    start += count;
+  }
+  std::vector<std::uint32_t> sorted(m), pos(m);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end());
+    for (std::uint32_t e = 0; e < m; ++e) {
+      pos[e] = cursor[sup[e]];
+      sorted[pos[e]] = e;
+      ++cursor[sup[e]];
+    }
+  }
+
+  std::vector<char> removed(m, 0);
+  auto lower_support = [&](std::uint32_t e, std::uint32_t floor_sup) {
+    if (sup[e] <= floor_sup) return;
+    // Move e to the front of its bucket, then shift one bucket down.
+    std::uint32_t s = sup[e];
+    std::uint32_t pe = pos[e];
+    std::uint32_t pfront = bin[s];
+    std::uint32_t front = sorted[pfront];
+    if (e != front) {
+      std::swap(sorted[pe], sorted[pfront]);
+      pos[e] = pfront;
+      pos[front] = pe;
+    }
+    ++bin[s];
+    --sup[e];
+  };
+
+  for (std::uint32_t i = 0; i < m; ++i) {
+    std::uint32_t e = sorted[i];
+    std::uint32_t s = sup[e];
+    td.trussness_[e] = s + 2;
+    td.max_trussness_ = std::max(td.max_trussness_, td.trussness_[e]);
+    removed[e] = 1;
+    VertexId u = td.edges_[e].u, v = td.edges_[e].v;
+    ForEachCommonNeighbor(g, u, v, [&](VertexId w) {
+      std::uint32_t euw = td.EdgeId(u, w);
+      std::uint32_t evw = td.EdgeId(v, w);
+      if (euw == kInvalidEdge || evw == kInvalidEdge) return;
+      if (removed[euw] || removed[evw]) return;
+      lower_support(euw, s);
+      lower_support(evw, s);
+    });
+  }
+  return td;
+}
+
+std::uint32_t MaxTrussConnecting(const LabeledGraph& g, const TrussDecomposition& td,
+                                 std::span<const VertexId> queries) {
+  std::uint32_t lo = 2, hi = td.max_trussness();
+  if (TrussCommunity(g, td, queries, lo).empty()) return 0;
+  // Largest k with a nonempty connected k-truss community (monotone in k).
+  while (lo < hi) {
+    std::uint32_t mid = lo + (hi - lo + 1) / 2;
+    if (!TrussCommunity(g, td, queries, mid).empty()) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<VertexId> TrussCommunity(const LabeledGraph& g, const TrussDecomposition& td,
+                                     std::span<const VertexId> queries, std::uint32_t k) {
+  if (queries.empty()) return {};
+  VertexId source = queries[0];
+  std::vector<char> visited(g.NumVertices(), 0);
+  std::vector<VertexId> stack = {source};
+  visited[source] = 1;
+  std::vector<VertexId> component = {source};
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : g.Neighbors(v)) {
+      if (visited[w]) continue;
+      std::uint32_t e = td.EdgeId(v, w);
+      if (e == kInvalidEdge || td.trussness()[e] < k) continue;
+      visited[w] = 1;
+      component.push_back(w);
+      stack.push_back(w);
+    }
+  }
+  for (VertexId q : queries) {
+    if (!visited[q]) return {};
+  }
+  // A vertex belongs to the k-truss only if it has an incident edge of
+  // trussness >= k; isolated BFS sources cannot occur beyond the degenerate
+  // single-query case, which we keep (matching "community contains Q").
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+}  // namespace bccs

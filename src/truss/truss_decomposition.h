@@ -1,0 +1,53 @@
+#ifndef BCCS_TRUSS_TRUSS_DECOMPOSITION_H_
+#define BCCS_TRUSS_TRUSS_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Sentinel for "no such edge".
+inline constexpr std::uint32_t kInvalidEdge = static_cast<std::uint32_t>(-1);
+
+/// Edge trussness of a graph: the trussness of edge e is the largest k such
+/// that e belongs to a k-truss (a subgraph where every edge is contained in
+/// at least k-2 triangles). Substrate for the CTC baseline (Huang et al.,
+/// PVLDB 2015).
+class TrussDecomposition {
+ public:
+  /// Computes support via sorted-adjacency intersection and peels edges in
+  /// increasing support order (bucket queue).
+  static TrussDecomposition Compute(const LabeledGraph& g);
+
+  /// Canonical edges (u < v), sorted lexicographically; ids index this list.
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<std::uint32_t>& trussness() const { return trussness_; }
+  std::uint32_t max_trussness() const { return max_trussness_; }
+
+  /// Edge id of {u, v}, or kInvalidEdge. O(log deg).
+  std::uint32_t EdgeId(VertexId u, VertexId v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> trussness_;
+  std::vector<std::size_t> first_edge_;  // first edge id with .u == v
+  std::uint32_t max_trussness_ = 2;
+};
+
+/// The largest k such that all of `queries` lie in the same connected
+/// component of the k-truss of `g`. Returns 0 when the queries are not even
+/// 2-truss-connected.
+std::uint32_t MaxTrussConnecting(const LabeledGraph& g, const TrussDecomposition& td,
+                                 std::span<const VertexId> queries);
+
+/// Vertices of the connected k-truss component containing all of `queries`
+/// (connectivity via edges of trussness >= k). Empty if none. Sorted.
+std::vector<VertexId> TrussCommunity(const LabeledGraph& g, const TrussDecomposition& td,
+                                     std::span<const VertexId> queries, std::uint32_t k);
+
+}  // namespace bccs
+
+#endif  // BCCS_TRUSS_TRUSS_DECOMPOSITION_H_

@@ -1,0 +1,111 @@
+#include "truss/truss_maintenance.h"
+
+#include "bcc/query_distance.h"
+
+namespace bccs {
+
+KTrussMaintainer::KTrussMaintainer(const LabeledGraph& g, const TrussDecomposition& td,
+                                   std::span<const VertexId> component, std::uint32_t k)
+    : g_(&g),
+      td_(&td),
+      k_(k),
+      valive_(g.NumVertices(), 0),
+      ealive_(td.edges().size(), 0),
+      equeued_(td.edges().size(), 0),
+      esup_(td.edges().size(), 0),
+      vdeg_(g.NumVertices(), 0) {
+  for (VertexId v : component) valive_[v] = 1;
+  const auto& edges = td.edges();
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    if (td.trussness()[e] >= k && valive_[edges[e].u] && valive_[edges[e].v]) {
+      ealive_[e] = 1;
+      ++vdeg_[edges[e].u];
+      ++vdeg_[edges[e].v];
+    }
+  }
+  // Supports within the alive subgraph.
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    if (!ealive_[e]) continue;
+    std::uint32_t s = 0;
+    ForEachCommonNeighbor(g, edges[e].u, edges[e].v, [&](VertexId w) {
+      std::uint32_t euw = td.EdgeId(edges[e].u, w);
+      std::uint32_t evw = td.EdgeId(edges[e].v, w);
+      if (euw != kInvalidEdge && evw != kInvalidEdge && ealive_[euw] && ealive_[evw]) ++s;
+    });
+    esup_[e] = s;
+  }
+}
+
+void KTrussMaintainer::CascadeEdges(std::vector<std::uint32_t> equeue,
+                                    std::vector<VertexId>* died) {
+  const auto& edges = td_->edges();
+  std::size_t head = 0;
+  while (head < equeue.size()) {
+    std::uint32_t e = equeue[head++];
+    ealive_[e] = 0;  // dead only when processed: each triangle counted once
+    VertexId u = edges[e].u, v = edges[e].v;
+    ForEachCommonNeighbor(*g_, u, v, [&](VertexId w) {
+      std::uint32_t euw = td_->EdgeId(u, w);
+      std::uint32_t evw = td_->EdgeId(v, w);
+      if (euw == kInvalidEdge || evw == kInvalidEdge) return;
+      if (!ealive_[euw] || !ealive_[evw]) return;
+      for (std::uint32_t f : {euw, evw}) {
+        if (equeued_[f]) continue;
+        if (--esup_[f] + 2 < k_) {
+          equeued_[f] = 1;
+          equeue.push_back(f);
+        }
+      }
+    });
+    for (VertexId x : {u, v}) {
+      if (valive_[x] && --vdeg_[x] == 0) {
+        valive_[x] = 0;
+        died->push_back(x);
+      }
+    }
+  }
+}
+
+std::vector<VertexId> KTrussMaintainer::RemoveVertices(std::span<const VertexId> batch) {
+  std::vector<VertexId> died;
+  std::vector<std::uint32_t> equeue;
+  for (VertexId v : batch) {
+    if (!valive_[v]) continue;
+    valive_[v] = 0;
+    died.push_back(v);
+    for (VertexId w : g_->Neighbors(v)) {
+      std::uint32_t e = td_->EdgeId(v, w);
+      if (e != kInvalidEdge && ealive_[e] && !equeued_[e]) {
+        equeued_[e] = 1;
+        equeue.push_back(e);
+      }
+    }
+  }
+  CascadeEdges(std::move(equeue), &died);
+  return died;
+}
+
+void KTrussMaintainer::BfsOverAlive(VertexId source, std::vector<std::uint32_t>* dist) const {
+  dist->assign(g_->NumVertices(), kInfDistance);
+  if (!valive_[source]) return;
+  std::vector<VertexId> frontier = {source};
+  (*dist)[source] = 0;
+  std::uint32_t level = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    ++level;
+    for (VertexId v : frontier) {
+      for (VertexId w : g_->Neighbors(v)) {
+        if (!valive_[w] || (*dist)[w] != kInfDistance) continue;
+        std::uint32_t e = td_->EdgeId(v, w);
+        if (e == kInvalidEdge || !ealive_[e]) continue;
+        (*dist)[w] = level;
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace bccs

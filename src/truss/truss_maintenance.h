@@ -1,0 +1,58 @@
+#ifndef BCCS_TRUSS_TRUSS_MAINTENANCE_H_
+#define BCCS_TRUSS_TRUSS_MAINTENANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "truss/truss_decomposition.h"
+
+namespace bccs {
+
+/// Maintains a k-truss subgraph under vertex deletions.
+///
+/// Initialized from the connected k-truss component found by TrussCommunity
+/// (edges of trussness >= k among the component's vertices), it supports
+/// batched vertex removal with the edge-support cascade: every destroyed
+/// triangle decrements its surviving partner edges, and edges whose support
+/// falls below k-2 are removed too; vertices die with their last edge.
+/// Substrate of the CTC baseline's greedy peeling phase.
+class KTrussMaintainer {
+ public:
+  /// `component` must be (a subset of) the vertices of a connected k-truss
+  /// of `g` per `td` (e.g. the output of TrussCommunity).
+  KTrussMaintainer(const LabeledGraph& g, const TrussDecomposition& td,
+                   std::span<const VertexId> component, std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+  bool VertexAlive(VertexId v) const { return valive_[v] != 0; }
+  bool EdgeAlive(std::uint32_t edge_id) const { return ealive_[edge_id] != 0; }
+  std::uint32_t EdgeSupport(std::uint32_t edge_id) const { return esup_[edge_id]; }
+  std::uint32_t VertexDegree(VertexId v) const { return vdeg_[v]; }
+  const std::vector<char>& vertex_alive() const { return valive_; }
+  const std::vector<char>& edge_alive() const { return ealive_; }
+
+  /// Removes the batch (each vertex's incident alive edges) and cascades.
+  /// Returns every vertex that died, in death order (batch first).
+  std::vector<VertexId> RemoveVertices(std::span<const VertexId> batch);
+
+  /// BFS distances from `source` over alive vertices and alive edges.
+  void BfsOverAlive(VertexId source, std::vector<std::uint32_t>* dist) const;
+
+ private:
+  void CascadeEdges(std::vector<std::uint32_t> equeue, std::vector<VertexId>* died);
+
+  const LabeledGraph* g_;
+  const TrussDecomposition* td_;
+  std::uint32_t k_;
+  std::vector<char> valive_;
+  std::vector<char> ealive_;
+  std::vector<char> equeued_;
+  std::vector<std::uint32_t> esup_;
+  std::vector<std::uint32_t> vdeg_;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_TRUSS_TRUSS_MAINTENANCE_H_

@@ -1,0 +1,72 @@
+#include "tools/arg_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bccs {
+namespace {
+
+TEST(ArgParserTest, EqualsSyntax) {
+  ArgParser p = ArgParser::Parse({"--graph=g.txt", "--k1=4", "--b=2.5"});
+  EXPECT_EQ(p.GetStringOr("graph", ""), "g.txt");
+  EXPECT_EQ(p.GetIntOr("k1", 0), 4);
+  EXPECT_DOUBLE_EQ(p.GetDoubleOr("b", 0), 2.5);
+}
+
+TEST(ArgParserTest, SpaceSyntax) {
+  ArgParser p = ArgParser::Parse({"--graph", "g.txt", "--k1", "4"});
+  EXPECT_EQ(p.GetStringOr("graph", ""), "g.txt");
+  EXPECT_EQ(p.GetIntOr("k1", 0), 4);
+}
+
+TEST(ArgParserTest, BareBooleanFlags) {
+  ArgParser p = ArgParser::Parse({"--verify", "--method", "lp"});
+  EXPECT_TRUE(p.Has("verify"));
+  EXPECT_EQ(p.GetStringOr("method", ""), "lp");
+  EXPECT_FALSE(p.Has("missing"));
+}
+
+TEST(ArgParserTest, TrailingBareFlag) {
+  ArgParser p = ArgParser::Parse({"--graph", "g.txt", "--verbose"});
+  EXPECT_TRUE(p.Has("verbose"));
+  EXPECT_EQ(p.GetStringOr("verbose", "x"), "");
+}
+
+TEST(ArgParserTest, Positional) {
+  ArgParser p = ArgParser::Parse({"input.txt", "--k1=3", "output.txt"});
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(ArgParserTest, MalformedNumbers) {
+  ArgParser p = ArgParser::Parse({"--k1=abc", "--b=1.2.3", "--empty="});
+  EXPECT_FALSE(p.GetInt("k1").has_value());
+  EXPECT_FALSE(p.GetDouble("b").has_value());
+  EXPECT_FALSE(p.GetInt("empty").has_value());
+  EXPECT_EQ(p.GetIntOr("k1", 7), 7);
+}
+
+TEST(ArgParserTest, NegativeNumbers) {
+  ArgParser p = ArgParser::Parse({"--offset=-5"});
+  EXPECT_EQ(p.GetIntOr("offset", 0), -5);
+}
+
+TEST(ArgParserTest, UnknownFlags) {
+  ArgParser p = ArgParser::Parse({"--graph=g", "--typo=1"});
+  auto unknown = p.UnknownFlags({"graph", "k1"});
+  EXPECT_EQ(unknown, (std::vector<std::string>{"typo"}));
+  EXPECT_TRUE(p.UnknownFlags({"graph", "typo"}).empty());
+}
+
+TEST(ArgParserTest, ArgcArgvEntry) {
+  const char* argv[] = {"prog", "--k1=2", "file"};
+  ArgParser p = ArgParser::Parse(3, argv);
+  EXPECT_EQ(p.GetIntOr("k1", 0), 2);
+  EXPECT_EQ(p.positional().size(), 1u);
+}
+
+TEST(ArgParserTest, LastValueWins) {
+  ArgParser p = ArgParser::Parse({"--k1=2", "--k1=5"});
+  EXPECT_EQ(p.GetIntOr("k1", 0), 5);
+}
+
+}  // namespace
+}  // namespace bccs

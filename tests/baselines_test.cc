@@ -1,0 +1,168 @@
+#include "baselines/ctc.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/psa.h"
+#include "core/core_decomposition.h"
+#include "graph/generators.h"
+#include "graph/paper_graphs.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+using testing::AllVertices;
+using testing::MakeClique;
+using testing::MakeRandomGraph;
+using testing::MaskOf;
+
+bool IsConnectedSubset(const LabeledGraph& g, const std::vector<VertexId>& members) {
+  if (members.empty()) return false;
+  auto comp = ComponentContaining(g, members, members[0]);
+  return comp.size() == members.size();
+}
+
+TEST(CtcTest, CliqueReturnsClique) {
+  LabeledGraph g = MakeClique(6);
+  CtcSearcher ctc(g);
+  Community c = ctc.Search(BccQuery{0, 3});
+  EXPECT_EQ(c.vertices.size(), 6u);
+}
+
+TEST(CtcTest, ContainsQueriesAndConnected) {
+  LabeledGraph g = MakeRandomGraph(40, 0.25, 2, 7);
+  CtcSearcher ctc(g);
+  Community c = ctc.Search(BccQuery{0, 1});
+  if (!c.Empty()) {
+    EXPECT_TRUE(c.Contains(0));
+    EXPECT_TRUE(c.Contains(1));
+    EXPECT_TRUE(IsConnectedSubset(g, c.vertices));
+  }
+}
+
+TEST(CtcTest, DisconnectedQueriesEmpty) {
+  // Two disjoint triangles.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+  LabeledGraph g = LabeledGraph::FromEdges(6, std::move(edges), {0, 0, 0, 1, 1, 1});
+  CtcSearcher ctc(g);
+  EXPECT_TRUE(ctc.Search(BccQuery{0, 5}).Empty());
+}
+
+TEST(CtcTest, PaperSection1ComparisonOnFigure1) {
+  // The paper's Section 1: "such improved models find the answer of
+  // {ql, qr, v5, u3}, which suffers from missing many group members with no
+  // cross-group edges". Our CTC reimplementation peels the Figure 1 instance
+  // down to exactly that bow-tie 4-clique.
+  Figure1Graph f = MakeFigure1Graph();
+  CtcSearcher ctc(f.graph);
+  Community c = ctc.Search(BccQuery{f.ql, f.qr});
+  ASSERT_FALSE(c.Empty());
+  std::vector<VertexId> expected = {f.ql, f.v5, f.qr, f.u3};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(c.vertices, expected);
+  EXPECT_NE(c.vertices, f.expected_bcc);
+}
+
+TEST(CtcTest, PeelingShrinksCommunity) {
+  // A K5 with a long path attached between two query vertices: the distant
+  // path vertices must be peeled away.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) edges.push_back({i, j});
+  }
+  // Path 4-5-6-7 and a triangle {7,8,9} to give the tail some truss.
+  edges.push_back({4, 5});
+  edges.push_back({5, 6});
+  edges.push_back({6, 7});
+  edges.push_back({7, 8});
+  edges.push_back({8, 9});
+  edges.push_back({7, 9});
+  LabeledGraph g = LabeledGraph::FromEdges(10, std::move(edges), std::vector<Label>(10, 0));
+  CtcSearcher ctc(g);
+  Community c = ctc.Search(BccQuery{0, 1});
+  ASSERT_FALSE(c.Empty());
+  // The max truss connecting 0 and 1 is the K5 itself (5-truss).
+  EXPECT_EQ(c.vertices, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(PsaTest, CliqueReturnsCore) {
+  LabeledGraph g = MakeClique(5);
+  PsaSearcher psa(g);
+  Community c = psa.Search(BccQuery{0, 2});
+  EXPECT_EQ(c.vertices.size(), 5u);
+}
+
+TEST(PsaTest, ReturnsConnectedKCoreContainingQueries) {
+  LabeledGraph g = MakeRandomGraph(50, 0.15, 2, 11);
+  PsaSearcher psa(g);
+  const VertexId queries[] = {0, 1};
+  Community c = psa.Search(queries);
+  if (c.Empty()) return;
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_TRUE(IsConnectedSubset(g, c.vertices));
+  // Induced min degree >= min query coreness.
+  std::uint32_t k = std::min(psa.CorenessOf(0), psa.CorenessOf(1));
+  auto mask = MaskOf(g, c.vertices);
+  for (VertexId v : c.vertices) {
+    std::uint32_t d = 0;
+    for (VertexId w : g.Neighbors(v)) d += mask[w];
+    EXPECT_GE(d, k);
+  }
+}
+
+TEST(PsaTest, ShrinksBelowGlobalCore) {
+  // Two K4s sharing a chain of 2-core structure: PSA should not return the
+  // entire global k-core when a local one suffices.
+  PlantedConfig cfg;
+  cfg.num_communities = 10;
+  cfg.min_group_size = 10;
+  cfg.max_group_size = 14;
+  cfg.intra_edge_prob = 0.5;
+  cfg.seed = 3;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  PsaSearcher psa(pg.graph);
+  const auto& comm = pg.communities[0];
+  const VertexId queries[] = {comm.groups[0][0], comm.groups[1][0]};
+  Community c = psa.Search(queries);
+  ASSERT_FALSE(c.Empty());
+  // A planted graph holds ~10 communities; the local result must be far
+  // smaller than the graph.
+  EXPECT_LT(c.vertices.size(), pg.graph.NumVertices() / 2);
+}
+
+TEST(PsaTest, DisconnectedQueriesEmpty) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+  LabeledGraph g = LabeledGraph::FromEdges(6, std::move(edges), {0, 0, 0, 1, 1, 1});
+  PsaSearcher psa(g);
+  EXPECT_TRUE(psa.Search(BccQuery{0, 5}).Empty());
+}
+
+TEST(PsaTest, IsolatedQueryEmpty) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+  LabeledGraph g = LabeledGraph::FromEdges(4, std::move(edges), {0, 0, 0, 1});
+  PsaSearcher psa(g);
+  EXPECT_TRUE(psa.Search(BccQuery{0, 3}).Empty());
+}
+
+class BaselinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselinePropertyTest, CtcCommunityIsTrussConnected) {
+  LabeledGraph g = MakeRandomGraph(35, 0.3, 2, GetParam() + 13);
+  CtcSearcher ctc(g);
+  std::mt19937_64 rng(GetParam());
+  VertexId a = static_cast<VertexId>(rng() % g.NumVertices());
+  VertexId b = static_cast<VertexId>(rng() % g.NumVertices());
+  if (a == b) b = (b + 1) % static_cast<VertexId>(g.NumVertices());
+  const VertexId queries[] = {a, b};
+  Community c = ctc.Search(queries);
+  if (c.Empty()) return;
+  EXPECT_TRUE(c.Contains(a));
+  EXPECT_TRUE(c.Contains(b));
+  EXPECT_TRUE(IsConnectedSubset(g, c.vertices));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinePropertyTest, ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace bccs

@@ -1,0 +1,129 @@
+#include "core/core_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/core_decomposition.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+using testing::AllVertices;
+using testing::MakeClique;
+using testing::MakeRandomGraph;
+
+TEST(CoreHierarchyTest, Clique) {
+  LabeledGraph g = MakeClique(5);
+  CoreHierarchy h(g, AllVertices(g));
+  EXPECT_EQ(h.MaxLevel(), 4u);
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    for (VertexId v = 0; v < 5; ++v) {
+      EXPECT_NE(h.ComponentId(v, k), kInvalidVertex);
+      EXPECT_TRUE(h.SameComponent(0, v, k));
+    }
+  }
+  EXPECT_EQ(h.ComponentId(0, 5), kInvalidVertex);  // beyond max level
+}
+
+TEST(CoreHierarchyTest, DirectBridgeKeepsCoreConnected) {
+  // Two K4s joined by one edge: both bridge endpoints have coreness 3, so
+  // the induced 3-core contains the bridge and stays connected.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({static_cast<VertexId>(4 + i), static_cast<VertexId>(4 + j)});
+    }
+  }
+  edges.push_back({3, 4});
+  LabeledGraph g = LabeledGraph::FromEdges(8, std::move(edges), std::vector<Label>(8, 0));
+  CoreHierarchy h(g, AllVertices(g));
+  EXPECT_EQ(h.MaxLevel(), 3u);
+  EXPECT_TRUE(h.SameComponent(0, 7, 3));
+}
+
+TEST(CoreHierarchyTest, TwoCliquesBridgedByLowCoreVertex) {
+  // Two K4s joined through a middle vertex of coreness 2: at level 3 the
+  // cliques are separate components; at level 2 and below they are one.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({static_cast<VertexId>(4 + i), static_cast<VertexId>(4 + j)});
+    }
+  }
+  edges.push_back({3, 8});
+  edges.push_back({8, 4});
+  LabeledGraph g = LabeledGraph::FromEdges(9, std::move(edges), std::vector<Label>(9, 0));
+  CoreHierarchy h(g, AllVertices(g));
+  EXPECT_EQ(h.MaxLevel(), 3u);
+  EXPECT_EQ(h.Coreness(8), 2u);
+  EXPECT_TRUE(h.SameComponent(0, 7, 1));
+  EXPECT_TRUE(h.SameComponent(0, 7, 2));
+  EXPECT_FALSE(h.SameComponent(0, 7, 3));
+  EXPECT_TRUE(h.SameComponent(0, 3, 3));
+  EXPECT_TRUE(h.SameComponent(4, 7, 3));
+  EXPECT_EQ(h.ComponentMembers(0, 3), (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(h.ComponentMembers(5, 3), (std::vector<VertexId>{4, 5, 6, 7}));
+  EXPECT_EQ(h.ComponentId(8, 3), kInvalidVertex);
+}
+
+TEST(CoreHierarchyTest, NonMemberExcluded) {
+  LabeledGraph g = MakeClique(4);
+  std::vector<VertexId> members = {0, 1, 2};
+  CoreHierarchy h(g, members);
+  EXPECT_EQ(h.Coreness(3), 0u);
+  EXPECT_EQ(h.ComponentId(3, 1), kInvalidVertex);
+  EXPECT_EQ(h.MaxLevel(), 2u);  // K3 among members
+}
+
+class CoreHierarchyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoreHierarchyPropertyTest, MatchesDirectComputation) {
+  LabeledGraph g = MakeRandomGraph(45, 0.12, 1, GetParam() + 321);
+  auto members = AllVertices(g);
+  CoreHierarchy h(g, members);
+  auto coreness = SubsetCoreness(g, members);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(h.Coreness(v), coreness[v]);
+  }
+  for (std::uint32_t k = 1; k <= h.MaxLevel(); ++k) {
+    auto core = KCoreOfSubset(g, members, k);
+    for (VertexId v : core) {
+      // The hierarchy's component must equal the directly computed one.
+      EXPECT_EQ(h.ComponentMembers(v, k), ComponentContaining(g, core, v));
+    }
+    // Vertices outside the k-core must have no component.
+    std::vector<char> in_core(g.NumVertices(), 0);
+    for (VertexId v : core) in_core[v] = 1;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!in_core[v]) EXPECT_EQ(h.ComponentId(v, k), kInvalidVertex);
+    }
+  }
+}
+
+TEST_P(CoreHierarchyPropertyTest, NestingProperty) {
+  // The k-core is nested: same component at level k implies same component
+  // at every level below.
+  LabeledGraph g = MakeRandomGraph(40, 0.15, 1, GetParam() + 654);
+  auto members = AllVertices(g);
+  CoreHierarchy h(g, members);
+  for (std::uint32_t k = 2; k <= h.MaxLevel(); ++k) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (h.ComponentId(v, k) == kInvalidVertex) continue;
+      for (VertexId w = v + 1; w < g.NumVertices(); ++w) {
+        if (h.ComponentId(w, k) == kInvalidVertex) continue;
+        if (h.SameComponent(v, w, k)) {
+          EXPECT_TRUE(h.SameComponent(v, w, k - 1))
+              << "nesting violated at level " << k << " for " << v << "," << w;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreHierarchyPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace bccs

@@ -1,0 +1,112 @@
+// Sanity sweep over every registry dataset: generation succeeds, shapes are
+// sane, queries are sampleable, and at least one BCC query is solvable.
+// Uses shrunken copies of the registry configs so the sweep stays fast.
+
+#include <gtest/gtest.h>
+
+#include "bcc/online_search.h"
+#include "bcc/verify.h"
+#include "eval/datasets.h"
+#include "eval/query_gen.h"
+#include "eval/stats.h"
+
+namespace bccs {
+namespace {
+
+// A small replica of a registry spec (1/10 of the communities/background).
+PlantedConfig Shrink(PlantedConfig cfg) {
+  cfg.num_communities = std::max<std::size_t>(6, cfg.num_communities / 10);
+  cfg.background_vertices = cfg.background_vertices / 10;
+  return cfg;
+}
+
+class StandInSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StandInSweepTest, GeneratesAndSolves) {
+  const DatasetSpec& spec = StandInSpecs()[GetParam()];
+  PlantedGraph pg = GeneratePlanted(Shrink(spec.config));
+  ASSERT_GT(pg.graph.NumVertices(), 0u) << spec.name;
+  ASSERT_GE(pg.communities.size(), 6u) << spec.name;
+
+  GraphStats stats = ComputeGraphStats(pg.graph);
+  EXPECT_EQ(stats.num_labels, spec.config.num_labels) << spec.name;
+  EXPECT_GT(stats.num_cross_edges, 0u) << spec.name;
+  EXPECT_GE(stats.k_max, 2u) << spec.name;
+
+  QueryGenConfig qcfg;
+  qcfg.seed = 3;
+  auto queries = SampleGroundTruthQueries(pg, 4, qcfg);
+  ASSERT_FALSE(queries.empty()) << spec.name;
+  std::size_t solved = 0;
+  for (const auto& gq : queries) {
+    Community c = LpBcc(pg.graph, gq.query, BccParams{});
+    if (c.Empty()) continue;
+    ++solved;
+    SearchStats sstats;
+    G0Result g0 = FindG0(pg.graph, gq.query, BccParams{}, &sstats);
+    ASSERT_TRUE(g0.found) << spec.name;
+    EXPECT_EQ(VerifyBcc(pg.graph, c, gq.query, BccParams{g0.k1, g0.k2, 1}),
+              BccViolation::kNone)
+        << spec.name;
+  }
+  // The strong-backbone stand-ins must solve every query; the weak youtube
+  // regime is allowed misses but not a blanket failure.
+  if (spec.config.strong_backbone) {
+    EXPECT_EQ(solved, queries.size()) << spec.name;
+  } else {
+    EXPECT_GT(solved, 0u) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStandIns, StandInSweepTest, ::testing::Range<std::size_t>(0, 7),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return StandInSpecs()[info.param].name;
+                         });
+
+class MultiLabelSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiLabelSweepTest, GeneratesMixedGroupCounts) {
+  const DatasetSpec& spec = MultiLabelSpecs()[GetParam()];
+  PlantedGraph pg = GeneratePlanted(Shrink(spec.config));
+  ASSERT_FALSE(pg.communities.empty()) << spec.name;
+
+  // The mixed regime must deliver communities of every arity 2..6.
+  std::size_t seen[7] = {};
+  for (const auto& comm : pg.communities) {
+    ASSERT_GE(comm.groups.size(), 2u);
+    ASSERT_LE(comm.groups.size(), 6u);
+    ++seen[comm.groups.size()];
+    // Labels distinct within a community.
+    for (std::size_t i = 0; i < comm.labels.size(); ++i) {
+      for (std::size_t j = i + 1; j < comm.labels.size(); ++j) {
+        EXPECT_NE(comm.labels[i], comm.labels[j]) << spec.name;
+      }
+    }
+  }
+  for (std::size_t m = 2; m <= 6; ++m) {
+    EXPECT_GT(seen[m], 0u) << spec.name << " lacks m=" << m << " communities";
+  }
+
+  // Every arity is queryable.
+  for (std::size_t m = 2; m <= 6; ++m) {
+    auto queries = SampleMbccGroundTruthQueries(pg, m, 2, 5);
+    ASSERT_FALSE(queries.empty()) << spec.name << " m=" << m;
+    for (const auto& gq : queries) {
+      EXPECT_EQ(pg.communities[gq.community_index].groups.size(), m)
+          << "exact-arity preference violated on " << spec.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMultiLabel, MultiLabelSweepTest,
+                         ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           std::string name = MultiLabelSpecs()[info.param].name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace bccs

@@ -1,0 +1,129 @@
+#include "butterfly/edge_butterflies.h"
+
+#include <gtest/gtest.h>
+
+#include "butterfly/butterfly_counting.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+using testing::MaskOf;
+
+struct BipartiteSetup {
+  LabeledGraph g;
+  std::vector<VertexId> left, right;
+  std::vector<char> in_left, in_right;
+
+  BipartiteSetup(std::size_t nl, std::size_t nr, double p, std::uint64_t seed) {
+    g = GenerateRandomBipartite(nl, nr, p, seed);
+    for (VertexId v = 0; v < nl; ++v) left.push_back(v);
+    for (VertexId v = static_cast<VertexId>(nl); v < nl + nr; ++v) right.push_back(v);
+    in_left = MaskOf(g, left);
+    in_right = MaskOf(g, right);
+  }
+};
+
+TEST(EdgeButterfliesTest, SingleButterfly) {
+  BipartiteSetup s(2, 2, 1.0, 1);
+  auto counts = CountEdgeButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+  ASSERT_EQ(counts.edges.size(), 4u);
+  EXPECT_EQ(counts.total, 1u);
+  for (std::uint64_t sup : counts.support) EXPECT_EQ(sup, 1u);
+}
+
+TEST(EdgeButterfliesTest, CompleteBipartite) {
+  // In K_{a,b}, every edge (u, x) is in (a-1)(b-1) butterflies.
+  for (std::size_t a : {3u, 4u}) {
+    for (std::size_t b : {2u, 5u}) {
+      BipartiteSetup s(a, b, 1.0, 2);
+      auto counts = CountEdgeButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+      ASSERT_EQ(counts.edges.size(), a * b);
+      for (std::uint64_t sup : counts.support) {
+        EXPECT_EQ(sup, (a - 1) * (b - 1)) << "a=" << a << " b=" << b;
+      }
+      EXPECT_EQ(counts.total, a * (a - 1) * b * (b - 1) / 4);
+    }
+  }
+}
+
+TEST(EdgeButterfliesTest, ButterflyFree) {
+  // Perfect matching: every edge has support 0.
+  std::vector<Edge> edges = {{0, 3}, {1, 4}, {2, 5}};
+  LabeledGraph g = LabeledGraph::FromEdges(6, std::move(edges), {0, 0, 0, 1, 1, 1});
+  std::vector<VertexId> left = {0, 1, 2}, right = {3, 4, 5};
+  auto counts = CountEdgeButterflies(g, left, right, MaskOf(g, left), MaskOf(g, right));
+  EXPECT_EQ(counts.total, 0u);
+  for (std::uint64_t sup : counts.support) EXPECT_EQ(sup, 0u);
+}
+
+TEST(EdgeButterfliesTest, IndexLookup) {
+  BipartiteSetup s(3, 3, 1.0, 3);
+  auto counts = CountEdgeButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+  EXPECT_GE(counts.IndexOf(0, 3), 0);
+  EXPECT_EQ(counts.IndexOf(3, 0), counts.IndexOf(0, 3));  // orientation-free
+  EXPECT_EQ(counts.IndexOf(0, 1), -1);  // same-side pair, not an edge of B
+}
+
+class EdgeButterflyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdgeButterflyPropertyTest, ConsistentWithVertexCounts) {
+  BipartiteSetup s(14, 12, 0.35, GetParam() + 70);
+  auto edge_counts = CountEdgeButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+  auto vertex_counts = CountButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+
+  EXPECT_EQ(edge_counts.total, vertex_counts.total);
+
+  // Each butterfly contains two of a vertex's incident edges, so the edge
+  // supports around v sum to 2 * chi(v).
+  for (VertexId v = 0; v < s.g.NumVertices(); ++v) {
+    std::uint64_t incident = 0;
+    for (VertexId u : s.g.Neighbors(v)) {
+      std::int64_t idx = edge_counts.IndexOf(v, u);
+      if (idx >= 0) incident += edge_counts.support[static_cast<std::size_t>(idx)];
+    }
+    EXPECT_EQ(incident, 2 * vertex_counts.chi[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EdgeButterflyPropertyTest, MatchesBruteForceEnumeration) {
+  BipartiteSetup s(9, 8, 0.4, GetParam() + 90);
+  auto counts = CountEdgeButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+  // Brute force: enumerate all 2x2 bicliques and accumulate per edge.
+  std::vector<std::uint64_t> expected(counts.edges.size(), 0);
+  for (std::size_t i = 0; i < s.left.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.left.size(); ++j) {
+      for (std::size_t x = 0; x < s.right.size(); ++x) {
+        for (std::size_t y = x + 1; y < s.right.size(); ++y) {
+          VertexId a = s.left[i], b = s.left[j], c = s.right[x], d = s.right[y];
+          if (s.g.HasEdge(a, c) && s.g.HasEdge(a, d) && s.g.HasEdge(b, c) &&
+              s.g.HasEdge(b, d)) {
+            for (auto [u, v] : {std::pair{a, c}, {a, d}, {b, c}, {b, d}}) {
+              ++expected[static_cast<std::size_t>(counts.IndexOf(u, v))];
+            }
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t e = 0; e < counts.edges.size(); ++e) {
+    EXPECT_EQ(counts.support[e], expected[e])
+        << "edge (" << counts.edges[e].u << "," << counts.edges[e].v << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeButterflyPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(EdgeButterfliesTest, MasksFilterEdges) {
+  BipartiteSetup s(4, 4, 1.0, 5);
+  s.in_left[0] = 0;
+  auto counts = CountEdgeButterflies(s.g, s.left, s.right, s.in_left, s.in_right);
+  EXPECT_EQ(counts.edges.size(), 12u);  // K_{3,4} edges only
+  EXPECT_EQ(counts.IndexOf(0, 4), -1);
+  for (std::uint64_t sup : counts.support) EXPECT_EQ(sup, 2u * 3u);
+}
+
+}  // namespace
+}  // namespace bccs

@@ -1,0 +1,195 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "bcc/query_distance.h"
+#include "eval/datasets.h"
+#include "eval/query_gen.h"
+#include "eval/stats.h"
+#include "eval/timer.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+TEST(MetricsTest, PerfectMatch) {
+  std::vector<VertexId> a = {1, 2, 3};
+  F1Result r = F1Score(a, a);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(MetricsTest, Disjoint) {
+  std::vector<VertexId> a = {1, 2}, b = {3, 4};
+  F1Result r = F1Score(a, b);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  std::vector<VertexId> found = {1, 2, 3, 4};   // 2 correct of 4
+  std::vector<VertexId> truth = {3, 4, 5, 6, 7, 8};  // 2 found of 6
+  F1Result r = F1Score(found, truth);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_NEAR(r.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.f1, 0.4, 1e-12);
+}
+
+TEST(MetricsTest, DuplicatesIgnored) {
+  std::vector<VertexId> found = {1, 1, 2, 2};
+  std::vector<VertexId> truth = {1, 2};
+  EXPECT_DOUBLE_EQ(F1Score(found, truth).f1, 1.0);
+}
+
+TEST(MetricsTest, EmptySets) {
+  std::vector<VertexId> empty, some = {1};
+  EXPECT_DOUBLE_EQ(F1Score(empty, some).f1, 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(some, empty).f1, 0.0);
+}
+
+TEST(QueryGenTest, RespectsDegreeRankAndDistance) {
+  PlantedConfig cfg;
+  cfg.num_communities = 10;
+  cfg.seed = 5;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  const LabeledGraph& g = pg.graph;
+
+  QueryGenConfig qcfg;
+  qcfg.degree_rank = 0.5;
+  qcfg.inter_distance = 2;
+  qcfg.seed = 9;
+  auto queries = SampleQueries(g, 10, qcfg);
+  ASSERT_FALSE(queries.empty());
+
+  // Degree threshold at rank 0.5.
+  std::vector<std::size_t> degrees;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) degrees.push_back(g.Degree(v));
+  std::sort(degrees.begin(), degrees.end());
+  std::size_t threshold = degrees[degrees.size() / 2];
+
+  std::vector<char> everything(g.NumVertices(), 1);
+  std::vector<std::uint32_t> dist;
+  for (const BccQuery& q : queries) {
+    EXPECT_NE(g.LabelOf(q.ql), g.LabelOf(q.qr));
+    EXPECT_GE(g.Degree(q.ql) + 1, threshold);  // allow boundary ties
+    EXPECT_GE(g.Degree(q.qr) + 1, threshold);
+    BfsDistances(g, everything, q.ql, &dist);
+    EXPECT_EQ(dist[q.qr], 2u);
+  }
+}
+
+TEST(QueryGenTest, GroundTruthQueriesComeFromCommunities) {
+  PlantedConfig cfg;
+  cfg.num_communities = 8;
+  cfg.seed = 17;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  QueryGenConfig qcfg;
+  qcfg.seed = 3;
+  auto queries = SampleGroundTruthQueries(pg, 12, qcfg);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& gq : queries) {
+    const auto& comm = pg.communities[gq.community_index];
+    EXPECT_TRUE(std::find(comm.groups[0].begin(), comm.groups[0].end(), gq.query.ql) !=
+                comm.groups[0].end());
+    EXPECT_TRUE(std::find(comm.groups[1].begin(), comm.groups[1].end(), gq.query.qr) !=
+                comm.groups[1].end());
+  }
+}
+
+TEST(QueryGenTest, MbccQueriesHaveDistinctLabels) {
+  PlantedConfig cfg;
+  cfg.num_communities = 5;
+  cfg.groups_per_community = 4;
+  cfg.num_labels = 6;
+  cfg.seed = 23;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  auto queries = SampleMbccGroundTruthQueries(pg, 3, 8, 7);
+  ASSERT_FALSE(queries.empty());
+  for (const auto& gq : queries) {
+    ASSERT_EQ(gq.query.vertices.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = i + 1; j < 3; ++j) {
+        EXPECT_NE(pg.graph.LabelOf(gq.query.vertices[i]),
+                  pg.graph.LabelOf(gq.query.vertices[j]));
+      }
+    }
+  }
+}
+
+TEST(StatsTest, KnownGraphs) {
+  LabeledGraph clique = testing::MakeClique(6);
+  GraphStats s = ComputeGraphStats(clique);
+  EXPECT_EQ(s.num_vertices, 6u);
+  EXPECT_EQ(s.num_edges, 15u);
+  EXPECT_EQ(s.k_max, 5u);
+  EXPECT_EQ(s.d_max, 5u);
+  EXPECT_EQ(s.diameter_lb, 1u);
+  EXPECT_EQ(s.num_cross_edges, 0u);
+
+  LabeledGraph path = testing::MakePath(6);
+  s = ComputeGraphStats(path);
+  EXPECT_EQ(s.k_max, 1u);
+  EXPECT_EQ(s.diameter_lb, 5u);
+}
+
+TEST(StatsTest, CrossEdgeCount) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+  LabeledGraph g = LabeledGraph::FromEdges(3, std::move(edges), {0, 0, 1});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_cross_edges, 2u);
+}
+
+TEST(DatasetsTest, RegistryIsComplete) {
+  EXPECT_EQ(StandInSpecs().size(), 7u);
+  EXPECT_EQ(MultiLabelSpecs().size(), 5u);
+  EXPECT_NE(FindSpec("baidu1"), nullptr);
+  EXPECT_NE(FindSpec("orkut-m"), nullptr);
+  EXPECT_EQ(FindSpec("no-such-dataset"), nullptr);
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  const DatasetSpec* spec = FindSpec("baidu1");
+  ASSERT_NE(spec, nullptr);
+  PlantedGraph a = MakeDataset(*spec);
+  PlantedGraph b = MakeDataset(*spec);
+  EXPECT_EQ(a.graph.NumVertices(), b.graph.NumVertices());
+  EXPECT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  EXPECT_EQ(a.communities.size(), b.communities.size());
+}
+
+TEST(DatasetsTest, CaseStudiesWellFormed) {
+  for (const CaseStudy& cs :
+       {MakeFlightCase(), MakeTradeCase(), MakePotterCase(), MakeDblpCase()}) {
+    EXPECT_GT(cs.graph.NumVertices(), 0u) << cs.name;
+    EXPECT_EQ(cs.vertex_names.size(), cs.graph.NumVertices()) << cs.name;
+    EXPECT_GE(cs.queries.size(), 2u) << cs.name;
+    // Query labels must be pairwise distinct.
+    for (std::size_t i = 0; i < cs.queries.size(); ++i) {
+      for (std::size_t j = i + 1; j < cs.queries.size(); ++j) {
+        EXPECT_NE(cs.graph.LabelOf(cs.queries[i]), cs.graph.LabelOf(cs.queries[j]))
+            << cs.name;
+      }
+    }
+  }
+}
+
+TEST(DatasetsTest, PotterCaseShape) {
+  CaseStudy cs = MakePotterCase();
+  EXPECT_EQ(cs.graph.NumLabels(), 2u);
+  EXPECT_EQ(cs.vertex_names[cs.queries[0]], "Ron Weasley");
+  EXPECT_EQ(cs.vertex_names[cs.queries[1]], "Draco Malfoy");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double a = t.Seconds();
+  double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  double acc = 0;
+  { ScopedAccumulator s(&acc); }
+  EXPECT_GE(acc, 0.0);
+}
+
+}  // namespace
+}  // namespace bccs

@@ -1,0 +1,86 @@
+#include "bcc/exact_search.h"
+
+#include <gtest/gtest.h>
+
+#include "bcc/online_search.h"
+#include "bcc/verify.h"
+#include "graph/generators.h"
+#include "graph/paper_graphs.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+TEST(ExactSearchTest, Figure1Optimal) {
+  Figure1Graph f = MakeFigure1Graph();
+  BccQuery q{f.ql, f.qr};
+  BccParams p{4, 3, 1};
+  auto result = ExactMinDiameterBcc(f.graph, q, p);
+  ASSERT_TRUE(result.has_value());
+  // On the Figure 1 instance the only BCC is the full Figure 2 answer.
+  EXPECT_EQ(result->community.vertices, f.expected_bcc);
+  EXPECT_EQ(VerifyBcc(f.graph, result->community, q, p), BccViolation::kNone);
+  EXPECT_GT(result->subsets_checked, 0u);
+}
+
+TEST(ExactSearchTest, NoBccReturnsNullopt) {
+  Figure1Graph f = MakeFigure1Graph();
+  EXPECT_FALSE(ExactMinDiameterBcc(f.graph, BccQuery{f.ql, f.qr}, BccParams{4, 3, 9})
+                   .has_value());
+}
+
+TEST(ExactSearchTest, UniverseTooLargeReturnsNullopt) {
+  Figure1Graph f = MakeFigure1Graph();
+  EXPECT_FALSE(
+      ExactMinDiameterBcc(f.graph, BccQuery{f.ql, f.qr}, BccParams{4, 3, 1}, 5).has_value());
+}
+
+class ExactApproximationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactApproximationTest, GreedyWithinTwiceOptimal) {
+  // Theorem 3: the greedy answer's diameter is at most twice the optimum.
+  PlantedConfig cfg;
+  cfg.num_communities = 1;
+  cfg.min_group_size = 5;
+  cfg.max_group_size = 7;
+  cfg.intra_edge_prob = 0.55;
+  cfg.cross_pair_prob = 0.2;
+  cfg.noise_cross_fraction = 0;
+  cfg.noise_same_fraction = 0;
+  cfg.seed = GetParam() * 13 + 1;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  const auto& comm = pg.communities[0];
+  BccQuery q{comm.groups[0][0], comm.groups[1][0]};
+  BccParams p{2, 2, 1};
+  auto exact = ExactMinDiameterBcc(pg.graph, q, p, 16);
+  if (!exact.has_value()) GTEST_SKIP() << "no exact answer (too large or no BCC)";
+
+  for (const SearchOptions& opts : {OnlineBccOptions(), LpBccOptions()}) {
+    Community greedy = BccSearch(pg.graph, q, p, opts, nullptr);
+    ASSERT_FALSE(greedy.Empty());
+    EXPECT_LE(CommunityDiameter(pg.graph, greedy), 2 * exact->diameter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactApproximationTest, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(ExactSearchTest, TieBreaksTowardSmallerCommunity) {
+  // Two valid BCCs with equal diameter: a triangle pair and the same plus an
+  // extra pendant-ish member; the smaller must win.
+  // Left triangle {0,1,2}, right triangle {3,4,5}, full biclique between
+  // {0,1} x {3,4}; vertex 2 and 5 complete the triangles.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5},
+                             {0, 3}, {0, 4}, {1, 3}, {1, 4}};
+  LabeledGraph g = LabeledGraph::FromEdges(6, std::move(edges), {0, 0, 0, 1, 1, 1});
+  auto result = ExactMinDiameterBcc(g, BccQuery{0, 3}, BccParams{2, 2, 1});
+  ASSERT_TRUE(result.has_value());
+  // The triangles need all six vertices to satisfy the 2-cores, so the
+  // optimum is the whole graph; its diameter is 3 (vertex 2 to vertex 5).
+  EXPECT_EQ(VerifyBcc(g, result->community, BccQuery{0, 3}, BccParams{2, 2, 1}),
+            BccViolation::kNone);
+  EXPECT_EQ(result->community.Size(), 6u);
+  EXPECT_EQ(result->diameter, 3u);
+}
+
+}  // namespace
+}  // namespace bccs

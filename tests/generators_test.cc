@@ -1,0 +1,176 @@
+#include "graph/generators.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "butterfly/butterfly_counting.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+using testing::MaskOf;
+
+TEST(PlantedGeneratorTest, Deterministic) {
+  PlantedConfig cfg;
+  cfg.seed = 99;
+  PlantedGraph a = GeneratePlanted(cfg);
+  PlantedGraph b = GeneratePlanted(cfg);
+  EXPECT_EQ(a.graph.NumVertices(), b.graph.NumVertices());
+  EXPECT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  cfg.seed = 100;
+  PlantedGraph c = GeneratePlanted(cfg);
+  EXPECT_NE(a.graph.NumEdges(), c.graph.NumEdges());
+}
+
+TEST(PlantedGeneratorTest, CommunityStructure) {
+  PlantedConfig cfg;
+  cfg.num_communities = 6;
+  cfg.min_group_size = 10;
+  cfg.max_group_size = 20;
+  cfg.seed = 1;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  ASSERT_EQ(pg.communities.size(), 6u);
+  for (const PlantedCommunity& comm : pg.communities) {
+    ASSERT_EQ(comm.groups.size(), 2u);
+    ASSERT_EQ(comm.labels.size(), 2u);
+    EXPECT_NE(comm.labels[0], comm.labels[1]);
+    for (std::size_t gi = 0; gi < 2; ++gi) {
+      EXPECT_GE(comm.groups[gi].size(), cfg.min_group_size);
+      EXPECT_LE(comm.groups[gi].size(), cfg.max_group_size);
+      for (VertexId v : comm.groups[gi]) {
+        EXPECT_EQ(pg.graph.LabelOf(v), comm.labels[gi]);
+      }
+    }
+  }
+}
+
+TEST(PlantedGeneratorTest, SiblingGroupsHaveAButterfly) {
+  PlantedConfig cfg;
+  cfg.num_communities = 5;
+  cfg.cross_pair_prob = 0.0;  // only the explicit biclique remains
+  cfg.noise_cross_fraction = 0.0;
+  cfg.seed = 4;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  for (const PlantedCommunity& comm : pg.communities) {
+    auto counts = CountButterflies(pg.graph, comm.groups[0], comm.groups[1],
+                                   MaskOf(pg.graph, comm.groups[0]),
+                                   MaskOf(pg.graph, comm.groups[1]));
+    EXPECT_GE(counts.total, 1u);
+    EXPECT_GE(counts.max_left, 1u);
+    EXPECT_GE(counts.max_right, 1u);
+  }
+}
+
+TEST(PlantedGeneratorTest, GroupsAreConnectedAndDense) {
+  PlantedConfig cfg;
+  cfg.num_communities = 4;
+  cfg.intra_edge_prob = 0.3;
+  cfg.seed = 11;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  for (const PlantedCommunity& comm : pg.communities) {
+    for (const auto& group : comm.groups) {
+      // The cycle backbone guarantees same-group degree >= 2.
+      auto mask = MaskOf(pg.graph, group);
+      for (VertexId v : group) {
+        std::uint32_t d = 0;
+        for (VertexId w : pg.graph.Neighbors(v)) d += mask[w];
+        EXPECT_GE(d, 2u);
+      }
+    }
+  }
+}
+
+TEST(PlantedGeneratorTest, MultiLabelCommunities) {
+  PlantedConfig cfg;
+  cfg.groups_per_community = 4;
+  cfg.num_labels = 7;
+  cfg.num_communities = 5;
+  cfg.seed = 2;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  for (const PlantedCommunity& comm : pg.communities) {
+    ASSERT_EQ(comm.groups.size(), 4u);
+    std::set<Label> labels(comm.labels.begin(), comm.labels.end());
+    EXPECT_EQ(labels.size(), 4u) << "labels must be distinct within a community";
+  }
+}
+
+TEST(PlantedGeneratorTest, BackgroundVerticesAttached) {
+  PlantedConfig cfg;
+  cfg.num_communities = 3;
+  cfg.background_vertices = 50;
+  cfg.seed = 6;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  std::size_t planted = 0;
+  for (const auto& comm : pg.communities) {
+    for (const auto& grp : comm.groups) planted += grp.size();
+  }
+  EXPECT_EQ(pg.graph.NumVertices(), planted + 50);
+  for (VertexId v = static_cast<VertexId>(planted); v < pg.graph.NumVertices(); ++v) {
+    EXPECT_GE(pg.graph.Degree(v), 1u) << "background vertex " << v << " isolated";
+  }
+}
+
+TEST(PlantedGeneratorTest, AllVerticesHelper) {
+  PlantedCommunity comm;
+  comm.groups = {{5, 3}, {9, 1}};
+  EXPECT_EQ(comm.AllVertices(), (std::vector<VertexId>{1, 3, 5, 9}));
+}
+
+TEST(ErdosRenyiTest, ApproximatesTargetDegree) {
+  LabeledGraph g = GenerateErdosRenyi(2000, 8.0, 3, 5);
+  double avg = 2.0 * static_cast<double>(g.NumEdges()) / static_cast<double>(g.NumVertices());
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 9.0);
+  EXPECT_EQ(g.NumLabels(), 3u);
+}
+
+TEST(RandomBipartiteTest, OnlyCrossEdges) {
+  LabeledGraph g = GenerateRandomBipartite(20, 30, 0.2, 8);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  for (const Edge& e : g.AllEdges()) {
+    EXPECT_NE(g.LabelOf(e.u), g.LabelOf(e.v));
+  }
+}
+
+TEST(HubSpokeTest, Shape) {
+  HubSpokeConfig cfg;
+  cfg.num_countries = 6;
+  cfg.hubs_per_country = 2;
+  cfg.spokes_per_country = 8;
+  LabeledGraph g = GenerateHubSpoke(cfg);
+  EXPECT_EQ(g.NumVertices(), 6u * 10u);
+  EXPECT_EQ(g.NumLabels(), 6u);
+  // Hubs (first vertices of each country block) out-degree spokes on
+  // average.
+  double hub_deg = 0, spoke_deg = 0;
+  for (std::size_t c = 0; c < 6; ++c) {
+    auto base = static_cast<VertexId>(c * 10);
+    for (VertexId h = base; h < base + 2; ++h) hub_deg += static_cast<double>(g.Degree(h));
+    for (VertexId s = base + 2; s < base + 10; ++s) {
+      spoke_deg += static_cast<double>(g.Degree(s));
+    }
+  }
+  EXPECT_GT(hub_deg / 12.0, spoke_deg / 48.0);
+}
+
+TEST(CorePeripheryTest, MajorsFormWorldCore) {
+  CorePeripheryConfig cfg;
+  LabeledGraph g = GenerateCorePeriphery(cfg);
+  EXPECT_EQ(g.NumLabels(), cfg.num_continents);
+  // Majors have many cross-label edges; minors mostly intra-continent.
+  std::size_t cross_major = 0;
+  const auto stride =
+      static_cast<VertexId>(cfg.majors_per_continent + cfg.minors_per_continent);
+  for (std::size_t c = 0; c < cfg.num_continents; ++c) {
+    VertexId major0 = static_cast<VertexId>(c) * stride;
+    for (VertexId w : g.Neighbors(major0)) {
+      if (g.IsCrossEdge(major0, w)) ++cross_major;
+    }
+  }
+  EXPECT_GT(cross_major, cfg.num_continents);
+}
+
+}  // namespace
+}  // namespace bccs

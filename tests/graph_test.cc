@@ -1,0 +1,156 @@
+#include "graph/labeled_graph.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "graph/union_find.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+TEST(LabeledGraphTest, EmptyGraph) {
+  LabeledGraph g = LabeledGraph::FromEdges(0, {}, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumLabels(), 0u);
+}
+
+TEST(LabeledGraphTest, SingleEdge) {
+  LabeledGraph g = LabeledGraph::FromEdges(2, {{0, 1}}, {0, 1});
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.IsCrossEdge(0, 1));
+}
+
+TEST(LabeledGraphTest, DropsSelfLoopsAndDuplicates) {
+  LabeledGraph g = LabeledGraph::FromEdges(3, {{0, 1}, {1, 0}, {2, 2}, {0, 1}, {1, 2}},
+                                           {0, 0, 0});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(LabeledGraphTest, NeighborsSorted) {
+  LabeledGraph g = LabeledGraph::FromEdges(5, {{3, 0}, {3, 4}, {3, 1}, {3, 2}},
+                                           {0, 0, 0, 0, 0});
+  auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.MaxDegree(), 4u);
+}
+
+TEST(LabeledGraphTest, LabelMembership) {
+  LabeledGraph g = LabeledGraph::FromEdges(6, {{0, 1}}, {0, 1, 0, 2, 1, 0});
+  EXPECT_EQ(g.NumLabels(), 3u);
+  auto zeros = g.VerticesWithLabel(0);
+  EXPECT_EQ(std::vector<VertexId>(zeros.begin(), zeros.end()),
+            (std::vector<VertexId>{0, 2, 5}));
+  auto twos = g.VerticesWithLabel(2);
+  EXPECT_EQ(std::vector<VertexId>(twos.begin(), twos.end()), (std::vector<VertexId>{3}));
+  EXPECT_EQ(g.LabelOf(4), 1u);
+}
+
+TEST(LabeledGraphTest, AllEdgesCanonical) {
+  LabeledGraph g = LabeledGraph::FromEdges(4, {{2, 1}, {3, 0}, {1, 0}}, {0, 0, 0, 0});
+  auto edges = g.AllEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }));
+}
+
+TEST(LabeledGraphTest, CliqueDegrees) {
+  LabeledGraph g = testing::MakeClique(7);
+  EXPECT_EQ(g.NumEdges(), 21u);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.Degree(v), 6u);
+}
+
+TEST(LabeledGraphTest, ForEachCommonNeighbor) {
+  // Triangle 0-1-2 plus pendant 3 on 0.
+  LabeledGraph g = LabeledGraph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}}, {0, 0, 0, 0});
+  std::vector<VertexId> common;
+  ForEachCommonNeighbor(g, 0, 1, [&](VertexId w) { common.push_back(w); });
+  EXPECT_EQ(common, (std::vector<VertexId>{2}));
+  common.clear();
+  ForEachCommonNeighbor(g, 2, 3, [&](VertexId w) { common.push_back(w); });
+  EXPECT_EQ(common, (std::vector<VertexId>{0}));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  LabeledGraph g = testing::MakeRandomGraph(30, 0.2, 3, 42);
+  std::stringstream ss;
+  WriteLabeledGraph(g, ss);
+  auto g2 = ReadLabeledGraph(ss);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->NumVertices(), g.NumVertices());
+  EXPECT_EQ(g2->NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g2->LabelOf(v), g.LabelOf(v));
+    auto a = g.Neighbors(v);
+    auto b = g2->Neighbors(v);
+    EXPECT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+              std::vector<VertexId>(b.begin(), b.end()));
+  }
+}
+
+TEST(GraphIoTest, RejectsMalformed) {
+  std::stringstream missing_header("e 0 1\n");
+  EXPECT_FALSE(ReadLabeledGraph(missing_header).has_value());
+  std::stringstream bad_vertex("v 2\ne 0 5\n");
+  EXPECT_FALSE(ReadLabeledGraph(bad_vertex).has_value());
+  std::stringstream bad_kind("v 2\nx 0 1\n");
+  EXPECT_FALSE(ReadLabeledGraph(bad_kind).has_value());
+}
+
+TEST(GraphIoTest, CommentsIgnored) {
+  std::stringstream ss("# header comment\nv 2\n# middle\nl 0 3\nl 1 4\ne 0 1\n");
+  auto g = ReadLabeledGraph(ss);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(g->LabelOf(0), 3u);
+  EXPECT_EQ(g->LabelOf(1), 4u);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  LabeledGraph g = testing::MakeRandomGraph(20, 0.3, 2, 99);
+  const std::string path = ::testing::TempDir() + "/bccs_io_roundtrip.txt";
+  ASSERT_TRUE(WriteLabeledGraphToFile(g, path));
+  auto g2 = ReadLabeledGraphFromFile(path);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->NumVertices(), g.NumVertices());
+  EXPECT_EQ(g2->NumEdges(), g.NumEdges());
+  EXPECT_FALSE(ReadLabeledGraphFromFile(path + ".does-not-exist").has_value());
+}
+
+TEST(UnionFindTest, Basics) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Connected(0, 3));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(0), 4u);
+  EXPECT_EQ(uf.SetSize(4), 1u);
+}
+
+TEST(UnionFindTest, LargeChain) {
+  constexpr std::uint32_t n = 1000;
+  UnionFind uf(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+  EXPECT_EQ(uf.SetSize(500), n);
+}
+
+}  // namespace
+}  // namespace bccs

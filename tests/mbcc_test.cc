@@ -1,0 +1,166 @@
+#include "bcc/mbcc.h"
+
+#include <gtest/gtest.h>
+
+#include "bcc/online_search.h"
+#include "bcc/verify.h"
+#include "graph/generators.h"
+#include "graph/paper_graphs.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+TEST(MbccTest, TwoLabelsEquivalentToBcc) {
+  // Definition 8 with m = 2 coincides with Definition 4; the search result
+  // must match the two-label search.
+  Figure1Graph f = MakeFigure1Graph();
+  MbccQuery q{{f.ql, f.qr}};
+  MbccParams p;
+  p.k = {4, 3};
+  p.b = 1;
+  Community mbcc = MbccSearch(f.graph, q, p, LpBccOptions());
+  Community bcc = LpBcc(f.graph, BccQuery{f.ql, f.qr}, BccParams{4, 3, 1});
+  EXPECT_EQ(mbcc.vertices, bcc.vertices);
+}
+
+TEST(MbccTest, RejectsDuplicateLabels) {
+  Figure1Graph f = MakeFigure1Graph();
+  MbccQuery q{{f.ql, f.v1}};  // both SE
+  EXPECT_TRUE(MbccSearch(f.graph, q, MbccParams{}, LpBccOptions()).Empty());
+}
+
+TEST(MbccTest, RejectsSingleQuery) {
+  Figure1Graph f = MakeFigure1Graph();
+  MbccQuery q{{f.ql}};
+  EXPECT_TRUE(MbccSearch(f.graph, q, MbccParams{}, LpBccOptions()).Empty());
+}
+
+TEST(MbccTest, ResolveCores) {
+  Figure1Graph f = MakeFigure1Graph();
+  MbccQuery q{{f.ql, f.qr}};
+  MbccParams p;  // all auto
+  auto ks = ResolveMbccCores(f.graph, q, p);
+  EXPECT_EQ(ks, (std::vector<std::uint32_t>{4, 3}));
+  p.k = {2, 0};
+  ks = ResolveMbccCores(f.graph, q, p);
+  EXPECT_EQ(ks, (std::vector<std::uint32_t>{2, 3}));
+}
+
+// Builds a 3-label chain community: groups A-B connected by a biclique and
+// B-C connected by a biclique, but no A-C cross edges. Cross-group
+// connectivity (Definition 7) must hold through the path A-B-C.
+LabeledGraph ChainCommunity() {
+  std::vector<Edge> edges;
+  std::vector<Label> labels(12);
+  // Three labeled K4s: {0..3} label 0, {4..7} label 1, {8..11} label 2.
+  for (VertexId base : {0u, 4u, 8u}) {
+    for (VertexId i = 0; i < 4; ++i) {
+      for (VertexId j = i + 1; j < 4; ++j) {
+        edges.push_back({base + i, base + j});
+      }
+      labels[base + i] = base / 4;
+    }
+  }
+  // Biclique {0,1} x {4,5} and biclique {6,7} x {8,9}.
+  for (VertexId a : {0u, 1u}) {
+    for (VertexId b : {4u, 5u}) edges.push_back({a, b});
+  }
+  for (VertexId a : {6u, 7u}) {
+    for (VertexId b : {8u, 9u}) edges.push_back({a, b});
+  }
+  return LabeledGraph::FromEdges(12, std::move(edges), std::move(labels));
+}
+
+TEST(MbccTest, ChainConnectivityAccepted) {
+  LabeledGraph g = ChainCommunity();
+  MbccQuery q{{0, 4, 8}};
+  MbccParams p;
+  p.k = {3, 3, 3};
+  p.b = 1;
+  Community c = MbccSearch(g, q, p, LpBccOptions());
+  ASSERT_FALSE(c.Empty());
+  EXPECT_EQ(c.vertices.size(), 12u);
+  EXPECT_EQ(VerifyMbcc(g, c, q.vertices, p.k, p.b), MbccViolation::kNone);
+}
+
+TEST(MbccTest, BrokenChainRejected) {
+  // Remove the B-C biclique: label 2 becomes unreachable in the meta-graph.
+  std::vector<Edge> edges;
+  std::vector<Label> labels(12);
+  for (VertexId base : {0u, 4u, 8u}) {
+    for (VertexId i = 0; i < 4; ++i) {
+      for (VertexId j = i + 1; j < 4; ++j) edges.push_back({base + i, base + j});
+      labels[base + i] = base / 4;
+    }
+  }
+  for (VertexId a : {0u, 1u}) {
+    for (VertexId b : {4u, 5u}) edges.push_back({a, b});
+  }
+  // Single edge B-C: connectivity of the plain graph holds but there is no
+  // butterfly between labels 1 and 2.
+  edges.push_back({7, 8});
+  LabeledGraph g = LabeledGraph::FromEdges(12, std::move(edges), std::move(labels));
+  MbccQuery q{{0, 4, 8}};
+  MbccParams p;
+  p.k = {3, 3, 3};
+  p.b = 1;
+  EXPECT_TRUE(MbccSearch(g, q, p, LpBccOptions()).Empty());
+}
+
+class MbccPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MbccPropertyTest, ValidOnPlantedMultiLabelGraphs) {
+  PlantedConfig cfg;
+  cfg.num_communities = 5;
+  cfg.groups_per_community = 4;
+  cfg.num_labels = 6;
+  cfg.min_group_size = 8;
+  cfg.max_group_size = 12;
+  cfg.intra_edge_prob = 0.5;
+  cfg.cross_pair_prob = 0.15;
+  cfg.seed = GetParam() + 60;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  const auto& comm = pg.communities[GetParam() % pg.communities.size()];
+
+  for (std::size_t m : {2u, 3u, 4u}) {
+    MbccQuery q;
+    for (std::size_t i = 0; i < m; ++i) q.vertices.push_back(comm.groups[i][0]);
+    MbccParams p;
+    p.k.assign(m, 2);
+    p.b = 1;
+    for (bool leader : {false, true}) {
+      SearchOptions opts = leader ? LpBccOptions() : OnlineBccOptions();
+      Community c = MbccSearch(pg.graph, q, p, opts);
+      ASSERT_FALSE(c.Empty()) << "m=" << m << " leader=" << leader;
+      EXPECT_EQ(VerifyMbcc(pg.graph, c, q.vertices, p.k, p.b), MbccViolation::kNone)
+          << "m=" << m << " leader=" << leader << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(MbccPropertyTest, LeaderStrategyMatchesOnline) {
+  PlantedConfig cfg;
+  cfg.num_communities = 4;
+  cfg.groups_per_community = 3;
+  cfg.num_labels = 5;
+  cfg.min_group_size = 8;
+  cfg.max_group_size = 12;
+  cfg.intra_edge_prob = 0.5;
+  cfg.cross_pair_prob = 0.2;
+  cfg.seed = GetParam() + 90;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  const auto& comm = pg.communities[0];
+  MbccQuery q;
+  for (std::size_t i = 0; i < 3; ++i) q.vertices.push_back(comm.groups[i][0]);
+  MbccParams p;
+  p.k.assign(3, 2);
+  Community online = MbccSearch(pg.graph, q, p, OnlineBccOptions());
+  Community lp = MbccSearch(pg.graph, q, p, LpBccOptions());
+  EXPECT_EQ(online.vertices, lp.vertices);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbccPropertyTest, ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace bccs

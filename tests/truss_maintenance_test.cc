@@ -1,0 +1,172 @@
+#include "truss/truss_maintenance.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "bcc/query_distance.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+using testing::AllVertices;
+using testing::MakeClique;
+using testing::MakeRandomGraph;
+
+TEST(KTrussMaintainerTest, InitialStateMatchesDecomposition) {
+  LabeledGraph g = MakeClique(5);
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0};
+  auto comp = TrussCommunity(g, td, queries, 5);
+  KTrussMaintainer m(g, td, comp, 5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(m.VertexAlive(v));
+    EXPECT_EQ(m.VertexDegree(v), 4u);
+  }
+  // Every K5 edge has support 3 inside the 5-truss.
+  for (std::uint32_t e = 0; e < td.edges().size(); ++e) {
+    EXPECT_TRUE(m.EdgeAlive(e));
+    EXPECT_EQ(m.EdgeSupport(e), 3u);
+  }
+}
+
+TEST(KTrussMaintainerTest, RemovingOneCliqueVertexCollapses) {
+  // K5 as a 5-truss: removing any vertex drops all supports below 3.
+  LabeledGraph g = MakeClique(5);
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0};
+  auto comp = TrussCommunity(g, td, queries, 5);
+  KTrussMaintainer m(g, td, comp, 5);
+  const VertexId batch[] = {4};
+  auto died = m.RemoveVertices(batch);
+  EXPECT_EQ(died.size(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_FALSE(m.VertexAlive(v));
+}
+
+TEST(KTrussMaintainerTest, LowerTrussSurvivesRemoval) {
+  // K5 maintained as a 3-truss: removing one vertex leaves K4 (3-truss ok).
+  LabeledGraph g = MakeClique(5);
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0};
+  auto comp = TrussCommunity(g, td, queries, 3);
+  KTrussMaintainer m(g, td, comp, 3);
+  const VertexId batch[] = {4};
+  auto died = m.RemoveVertices(batch);
+  EXPECT_EQ(died.size(), 1u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(m.VertexAlive(v));
+    EXPECT_EQ(m.VertexDegree(v), 3u);
+  }
+}
+
+TEST(KTrussMaintainerTest, BatchRemovalCountsTrianglesOnce) {
+  // Regression for the batch-cascade bug: removing several vertices at once
+  // must fully propagate support losses. In K6 as a 4-truss, removing
+  // {4, 5} leaves K4 (support 2 = k-2, survives); removing {3, 4, 5}
+  // leaves K3 (support 1 < 2, collapses).
+  LabeledGraph g = MakeClique(6);
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0};
+  {
+    KTrussMaintainer m(g, td, TrussCommunity(g, td, queries, 4), 4);
+    const VertexId batch[] = {4, 5};
+    EXPECT_EQ(m.RemoveVertices(batch).size(), 2u);
+    EXPECT_TRUE(m.VertexAlive(0));
+  }
+  {
+    KTrussMaintainer m(g, td, TrussCommunity(g, td, queries, 4), 4);
+    const VertexId batch[] = {3, 4, 5};
+    EXPECT_EQ(m.RemoveVertices(batch).size(), 6u);
+    EXPECT_FALSE(m.VertexAlive(0));
+  }
+}
+
+TEST(KTrussMaintainerTest, BfsRespectsDeadEdges) {
+  // Path of triangles: {0,1,2}, {2,3,4} as a 3-truss.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}};
+  LabeledGraph g = LabeledGraph::FromEdges(5, std::move(edges), std::vector<Label>(5, 0));
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0};
+  auto comp = TrussCommunity(g, td, queries, 3);
+  KTrussMaintainer m(g, td, comp, 3);
+  std::vector<std::uint32_t> dist;
+  m.BfsOverAlive(0, &dist);
+  EXPECT_EQ(dist[4], 2u);
+  // Removing vertex 3 collapses the second triangle; 4 becomes unreachable.
+  const VertexId batch[] = {3};
+  m.RemoveVertices(batch);
+  m.BfsOverAlive(0, &dist);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], kInfDistance);
+}
+
+// Reference: recompute the k-truss of the surviving vertex set from scratch
+// and compare alive edges/vertices.
+class TrussMaintenancePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrussMaintenancePropertyTest, MatchesRecomputationUnderRandomRemovals) {
+  LabeledGraph g = MakeRandomGraph(24, 0.35, 1, GetParam() + 17);
+  auto td = TrussDecomposition::Compute(g);
+  const std::uint32_t k = 3;
+  const VertexId queries[] = {0};
+  auto comp = TrussCommunity(g, td, queries, k);
+  if (comp.empty()) GTEST_SKIP() << "no 3-truss around vertex 0";
+  KTrussMaintainer m(g, td, comp, k);
+
+  std::mt19937_64 rng(GetParam());
+  std::vector<VertexId> alive = comp;
+  while (!alive.empty()) {
+    VertexId victim = alive[rng() % alive.size()];
+    m.RemoveVertices(std::vector<VertexId>{victim});
+    std::erase(alive, victim);
+
+    // Reference: iteratively peel edges with low support on the survivor
+    // set, then drop edgeless vertices.
+    std::vector<char> vmask(g.NumVertices(), 0);
+    for (VertexId v : alive) vmask[v] = 1;
+    std::vector<char> emask(td.edges().size(), 0);
+    for (std::uint32_t e = 0; e < td.edges().size(); ++e) {
+      emask[e] = td.trussness()[e] >= k && vmask[td.edges()[e].u] && vmask[td.edges()[e].v];
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::uint32_t e = 0; e < td.edges().size(); ++e) {
+        if (!emask[e]) continue;
+        std::uint32_t s = 0;
+        ForEachCommonNeighbor(g, td.edges()[e].u, td.edges()[e].v, [&](VertexId w) {
+          std::uint32_t euw = td.EdgeId(td.edges()[e].u, w);
+          std::uint32_t evw = td.EdgeId(td.edges()[e].v, w);
+          if (euw != kInvalidEdge && evw != kInvalidEdge && emask[euw] && emask[evw]) ++s;
+        });
+        if (s + 2 < k) {
+          emask[e] = 0;
+          changed = true;
+        }
+      }
+    }
+    std::vector<char> expect_alive(g.NumVertices(), 0);
+    for (std::uint32_t e = 0; e < td.edges().size(); ++e) {
+      if (emask[e]) {
+        expect_alive[td.edges()[e].u] = 1;
+        expect_alive[td.edges()[e].v] = 1;
+      }
+    }
+    for (std::uint32_t e = 0; e < td.edges().size(); ++e) {
+      ASSERT_EQ(m.EdgeAlive(e), emask[e] != 0) << "edge " << e << " seed " << GetParam();
+    }
+    for (VertexId v : comp) {
+      if (v == victim) continue;
+      ASSERT_EQ(m.VertexAlive(v), expect_alive[v] != 0) << "vertex " << v;
+    }
+    // Keep `alive` in sync with the cascade for the next iteration.
+    std::erase_if(alive, [&](VertexId v) { return !m.VertexAlive(v); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrussMaintenancePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace bccs

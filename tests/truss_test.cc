@@ -1,0 +1,174 @@
+#include "truss/truss_decomposition.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+using testing::MakeClique;
+using testing::MakeCycle;
+using testing::MakeRandomGraph;
+
+// Reference truss decomposition: repeatedly peel a minimum-support edge.
+std::map<std::pair<VertexId, VertexId>, std::uint32_t> NaiveTrussness(const LabeledGraph& g) {
+  auto edges = g.AllEdges();
+  std::map<std::pair<VertexId, VertexId>, std::uint32_t> result;
+  std::vector<char> alive(edges.size(), 1);
+  auto support = [&](std::size_t e) {
+    std::uint32_t s = 0;
+    ForEachCommonNeighbor(g, edges[e].u, edges[e].v, [&](VertexId w) {
+      // The triangle counts only if both partner edges are still alive.
+      bool uw = false, vw = false;
+      for (std::size_t f = 0; f < edges.size(); ++f) {
+        if (!alive[f]) continue;
+        VertexId a = edges[f].u, b = edges[f].v;
+        if ((a == std::min(edges[e].u, w) && b == std::max(edges[e].u, w))) uw = true;
+        if ((a == std::min(edges[e].v, w) && b == std::max(edges[e].v, w))) vw = true;
+      }
+      if (uw && vw) ++s;
+    });
+    return s;
+  };
+  std::uint32_t k = 2;
+  std::size_t remaining = edges.size();
+  while (remaining > 0) {
+    std::size_t best = edges.size();
+    std::uint32_t best_sup = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!alive[e]) continue;
+      std::uint32_t s = support(e);
+      if (best == edges.size() || s < best_sup) {
+        best = e;
+        best_sup = s;
+      }
+    }
+    k = std::max(k, best_sup + 2);
+    result[{edges[best].u, edges[best].v}] = k;
+    alive[best] = 0;
+    --remaining;
+  }
+  return result;
+}
+
+TEST(TrussDecompositionTest, Clique) {
+  // Every edge of K_n has trussness n.
+  for (std::size_t n : {3u, 4u, 6u}) {
+    LabeledGraph g = MakeClique(n);
+    auto td = TrussDecomposition::Compute(g);
+    for (std::uint32_t t : td.trussness()) EXPECT_EQ(t, n);
+    EXPECT_EQ(td.max_trussness(), n);
+  }
+}
+
+TEST(TrussDecompositionTest, TriangleFreeIsTwoTruss) {
+  LabeledGraph g = MakeCycle(8);
+  auto td = TrussDecomposition::Compute(g);
+  for (std::uint32_t t : td.trussness()) EXPECT_EQ(t, 2u);
+}
+
+TEST(TrussDecompositionTest, TwoTrianglesSharedEdge) {
+  // Triangles {0,1,2} and {1,2,3} sharing edge (1,2): all edges 3-truss.
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}};
+  LabeledGraph g = LabeledGraph::FromEdges(4, std::move(edges), std::vector<Label>(4, 0));
+  auto td = TrussDecomposition::Compute(g);
+  for (std::uint32_t t : td.trussness()) EXPECT_EQ(t, 3u);
+}
+
+TEST(TrussDecompositionTest, EdgeIdLookup) {
+  LabeledGraph g = MakeClique(5);
+  auto td = TrussDecomposition::Compute(g);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = 0; v < 5; ++v) {
+      if (u == v) continue;
+      std::uint32_t e = td.EdgeId(u, v);
+      ASSERT_NE(e, kInvalidEdge);
+      EXPECT_EQ(td.edges()[e].u, std::min(u, v));
+      EXPECT_EQ(td.edges()[e].v, std::max(u, v));
+    }
+  }
+  EXPECT_EQ(td.EdgeId(0, 0), kInvalidEdge);
+}
+
+class TrussPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrussPropertyTest, MatchesNaivePeeling) {
+  LabeledGraph g = MakeRandomGraph(18, 0.3, 1, GetParam());
+  auto td = TrussDecomposition::Compute(g);
+  auto naive = NaiveTrussness(g);
+  for (std::size_t e = 0; e < td.edges().size(); ++e) {
+    auto key = std::make_pair(td.edges()[e].u, td.edges()[e].v);
+    EXPECT_EQ(td.trussness()[e], naive.at(key))
+        << "edge (" << key.first << "," << key.second << ") seed " << GetParam();
+  }
+}
+
+TEST_P(TrussPropertyTest, KTrussSubgraphHasSupport) {
+  // Within the k-truss (edges with trussness >= k), every edge must close
+  // at least k-2 triangles using k-truss edges only.
+  LabeledGraph g = MakeRandomGraph(25, 0.25, 1, GetParam() + 50);
+  auto td = TrussDecomposition::Compute(g);
+  for (std::uint32_t k = 3; k <= td.max_trussness(); ++k) {
+    for (std::size_t e = 0; e < td.edges().size(); ++e) {
+      if (td.trussness()[e] < k) continue;
+      std::uint32_t s = 0;
+      ForEachCommonNeighbor(g, td.edges()[e].u, td.edges()[e].v, [&](VertexId w) {
+        std::uint32_t euw = td.EdgeId(td.edges()[e].u, w);
+        std::uint32_t evw = td.EdgeId(td.edges()[e].v, w);
+        if (euw != kInvalidEdge && evw != kInvalidEdge && td.trussness()[euw] >= k &&
+            td.trussness()[evw] >= k) {
+          ++s;
+        }
+      });
+      EXPECT_GE(s + 2, k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrussPropertyTest, ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(TrussCommunityTest, CliqueCommunity) {
+  LabeledGraph g = MakeClique(5);
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0, 3};
+  EXPECT_EQ(MaxTrussConnecting(g, td, queries), 5u);
+  auto comm = TrussCommunity(g, td, queries, 5);
+  EXPECT_EQ(comm.size(), 5u);
+}
+
+TEST(TrussCommunityTest, BridgeLimitsTrussLevel) {
+  // Two K4s joined by a single bridge edge: the bridge is 2-truss, so the
+  // max truss connecting the two sides is 2.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({static_cast<VertexId>(4 + i), static_cast<VertexId>(4 + j)});
+    }
+  }
+  edges.push_back({3, 4});
+  LabeledGraph g = LabeledGraph::FromEdges(8, std::move(edges), std::vector<Label>(8, 0));
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId cross_queries[] = {0, 7};
+  EXPECT_EQ(MaxTrussConnecting(g, td, cross_queries), 2u);
+  const VertexId same_side[] = {0, 3};
+  EXPECT_EQ(MaxTrussConnecting(g, td, same_side), 4u);
+  auto comm = TrussCommunity(g, td, same_side, 4);
+  EXPECT_EQ(comm, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(TrussCommunityTest, DisconnectedQueries) {
+  // Two disjoint triangles.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+  LabeledGraph g = LabeledGraph::FromEdges(6, std::move(edges), std::vector<Label>(6, 0));
+  auto td = TrussDecomposition::Compute(g);
+  const VertexId queries[] = {0, 5};
+  EXPECT_EQ(MaxTrussConnecting(g, td, queries), 0u);
+  EXPECT_TRUE(TrussCommunity(g, td, queries, 2).empty());
+}
+
+}  // namespace
+}  // namespace bccs

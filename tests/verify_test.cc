@@ -1,0 +1,126 @@
+#include "bcc/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "bcc/query_distance.h"
+#include "graph/paper_graphs.h"
+#include "test_util.h"
+
+namespace bccs {
+namespace {
+
+class VerifyBccTest : public ::testing::Test {
+ protected:
+  Figure1Graph f_ = MakeFigure1Graph();
+  BccQuery q_{f_.ql, f_.qr};
+  BccParams p_{4, 3, 1};
+
+  Community Expected() const { return Community{f_.expected_bcc}; }
+};
+
+TEST_F(VerifyBccTest, AcceptsValid) {
+  EXPECT_EQ(VerifyBcc(f_.graph, Expected(), q_, p_), BccViolation::kNone);
+}
+
+TEST_F(VerifyBccTest, Empty) {
+  EXPECT_EQ(VerifyBcc(f_.graph, Community{}, q_, p_), BccViolation::kEmpty);
+}
+
+TEST_F(VerifyBccTest, MissingQuery) {
+  Community c = Expected();
+  std::erase(c.vertices, f_.qr);
+  EXPECT_EQ(VerifyBcc(f_.graph, c, q_, p_), BccViolation::kMissingQuery);
+}
+
+TEST_F(VerifyBccTest, WrongLabels) {
+  Community c = Expected();
+  c.vertices.push_back(f_.z1);  // a PM vertex
+  std::sort(c.vertices.begin(), c.vertices.end());
+  EXPECT_EQ(VerifyBcc(f_.graph, c, q_, p_), BccViolation::kWrongLabels);
+}
+
+TEST_F(VerifyBccTest, LeftCoreViolated) {
+  Community c = Expected();
+  std::erase(c.vertices, f_.v1);  // drops left degrees below 4
+  EXPECT_EQ(VerifyBcc(f_.graph, c, q_, p_), BccViolation::kLeftCoreViolated);
+}
+
+TEST_F(VerifyBccTest, RightCoreViolated) {
+  Community c = Expected();
+  std::erase(c.vertices, f_.u1);
+  EXPECT_EQ(VerifyBcc(f_.graph, c, q_, p_), BccViolation::kRightCoreViolated);
+}
+
+TEST_F(VerifyBccTest, ButterflyViolated) {
+  BccParams strict = p_;
+  strict.b = 2;  // the instance has exactly one butterfly
+  EXPECT_EQ(VerifyBcc(f_.graph, Expected(), q_, strict), BccViolation::kButterflyViolated);
+}
+
+TEST_F(VerifyBccTest, Disconnected) {
+  // Two disjoint valid-looking halves: left triangle-pair and right
+  // triangle-pair with no connection.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+  LabeledGraph g = LabeledGraph::FromEdges(6, std::move(edges), {0, 0, 0, 1, 1, 1});
+  Community c{{0, 1, 2, 3, 4, 5}};
+  EXPECT_EQ(VerifyBcc(g, c, BccQuery{0, 3}, BccParams{2, 2, 0}),
+            BccViolation::kDisconnected);
+}
+
+TEST(VerifyBccToStringTest, AllNamesDistinct) {
+  EXPECT_STREQ(ToString(BccViolation::kNone), "none");
+  EXPECT_STREQ(ToString(BccViolation::kButterflyViolated), "butterfly");
+  EXPECT_STREQ(ToString(MbccViolation::kMetaDisconnected), "meta-disconnected");
+}
+
+TEST(CommunityDiameterTest, PathDiameter) {
+  LabeledGraph g = testing::MakePath(5);
+  Community c{{0, 1, 2, 3, 4}};
+  EXPECT_EQ(CommunityDiameter(g, c), 4u);
+  Community sub{{0, 1, 2}};
+  EXPECT_EQ(CommunityDiameter(g, sub), 2u);
+  Community split{{0, 1, 3}};
+  EXPECT_EQ(CommunityDiameter(g, split), kInfDistance);
+}
+
+TEST(CommunityQueryDistanceTest, Basics) {
+  LabeledGraph g = testing::MakePath(5);
+  Community c{{0, 1, 2, 3, 4}};
+  EXPECT_EQ(CommunityQueryDistance(g, c, {0}), 4u);
+  EXPECT_EQ(CommunityQueryDistance(g, c, {2}), 2u);
+  EXPECT_EQ(CommunityQueryDistance(g, c, {0, 4}), 4u);
+}
+
+TEST(VerifyMbccTest, DetectsCoreAndMetaViolations) {
+  // Three labeled K4s chained by bicliques (the mbcc_test chain fixture).
+  std::vector<Edge> edges;
+  std::vector<Label> labels(12);
+  for (VertexId base : {0u, 4u, 8u}) {
+    for (VertexId i = 0; i < 4; ++i) {
+      for (VertexId j = i + 1; j < 4; ++j) edges.push_back({base + i, base + j});
+      labels[base + i] = base / 4;
+    }
+  }
+  for (VertexId a : {0u, 1u}) {
+    for (VertexId b : {4u, 5u}) edges.push_back({a, b});
+  }
+  for (VertexId a : {6u, 7u}) {
+    for (VertexId b : {8u, 9u}) edges.push_back({a, b});
+  }
+  LabeledGraph g = LabeledGraph::FromEdges(12, std::move(edges), std::move(labels));
+  std::vector<VertexId> queries = {0, 4, 8};
+  std::vector<std::uint32_t> ks = {3, 3, 3};
+  Community all{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}};
+  EXPECT_EQ(VerifyMbcc(g, all, queries, ks, 1), MbccViolation::kNone);
+  // b = 2 demands two butterflies per pair; each biclique has exactly one.
+  EXPECT_EQ(VerifyMbcc(g, all, queries, ks, 2), MbccViolation::kMetaDisconnected);
+  // Raising a core requirement breaks the K4 groups.
+  std::vector<std::uint32_t> ks4 = {4, 3, 3};
+  EXPECT_EQ(VerifyMbcc(g, all, queries, ks4, 1), MbccViolation::kCoreViolated);
+  // Dropping one group's member: core violation there.
+  Community missing{{0, 1, 2, 3, 4, 5, 6, 8, 9, 10, 11}};
+  EXPECT_EQ(VerifyMbcc(g, missing, queries, ks, 1), MbccViolation::kCoreViolated);
+}
+
+}  // namespace
+}  // namespace bccs
