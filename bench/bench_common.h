@@ -10,6 +10,7 @@
 #include "baselines/psa.h"
 #include "bcc/local_search.h"
 #include "bcc/online_search.h"
+#include "eval/batch_runner.h"
 #include "eval/datasets.h"
 #include "eval/query_gen.h"
 
@@ -73,6 +74,18 @@ MethodAggregate RunMethod(PreparedDataset& ds, Method m, const BccParams& params
 /// benches).
 MethodAggregate RunMethodOnQueries(PreparedDataset& ds, Method m, const BccParams& params,
                                    const std::vector<GroundTruthQuery>& queries);
+
+/// Runs a method's whole query set through the parallel BatchRunner (one
+/// warm workspace per worker). Fills the same aggregate as RunMethod — the
+/// per-query communities are identical to the sequential path — plus the
+/// batch latency summary in `*batch` when non-null.
+MethodAggregate RunMethodBatch(PreparedDataset& ds, Method m, const BccParams& params,
+                               BatchRunner& runner, BatchResult* batch = nullptr);
+
+/// Batch variant over externally supplied queries.
+MethodAggregate RunMethodBatchOnQueries(PreparedDataset& ds, Method m, const BccParams& params,
+                                        const std::vector<GroundTruthQuery>& queries,
+                                        BatchRunner& runner, BatchResult* batch = nullptr);
 
 /// Prints a figure-style table header: "series" column plus one column per
 /// entry.

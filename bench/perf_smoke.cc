@@ -1,0 +1,183 @@
+// perf_smoke: the PR-over-PR performance trajectory micro-benchmark.
+//
+// Runs LP-BCC, Online-BCC and mBCC query batches over a planted synthetic
+// graph, sequentially (1 worker) and in parallel (all cores), checks that
+// the parallel engine returns identical communities, and emits a JSON
+// summary (default BENCH_PR1.json) with per-stage seconds and QPS so future
+// PRs can compare against this one.
+//
+//   perf_smoke [--out BENCH_PR1.json] [--queries 64] [--threads 0]
+//              [--communities 24] [--group-size 24]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/batch_runner.h"
+#include "graph/generators.h"
+#include "tools/arg_parser.h"
+
+namespace {
+
+using namespace bccs;
+using namespace bccs::bench;
+
+struct MethodRow {
+  std::string name;
+  std::size_t queries = 0;
+  double seq_qps = 0, par_qps = 0, speedup = 0;
+  double p50 = 0, p99 = 0;
+  bool identical = false;
+  std::uint64_t steady_bulk_inits = 0;  // bulk inits during the 2nd (warm) batch
+  SearchStats stage;                    // aggregated per-query stage seconds
+};
+
+void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, std::size_t n,
+               std::size_t edges, std::size_t par_threads) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
+  std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
+  std::fprintf(f, "  \"parallel_threads\": %zu,\n", par_threads);
+  std::fprintf(f, "  \"methods\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MethodRow& r = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"queries\": %zu,\n", r.queries);
+    std::fprintf(f, "      \"seq_qps\": %.2f,\n", r.seq_qps);
+    std::fprintf(f, "      \"par_qps\": %.2f,\n", r.par_qps);
+    std::fprintf(f, "      \"speedup\": %.3f,\n", r.speedup);
+    std::fprintf(f, "      \"p50_seconds\": %.6f,\n", r.p50);
+    std::fprintf(f, "      \"p99_seconds\": %.6f,\n", r.p99);
+    std::fprintf(f, "      \"identical_to_sequential\": %s,\n", r.identical ? "true" : "false");
+    std::fprintf(f, "      \"steady_state_bulk_inits\": %llu,\n",
+                 static_cast<unsigned long long>(r.steady_bulk_inits));
+    std::fprintf(f, "      \"stage_seconds\": {\n");
+    std::fprintf(f, "        \"find_g0\": %.6f,\n", r.stage.find_g0_seconds);
+    std::fprintf(f, "        \"query_distance\": %.6f,\n", r.stage.query_distance_seconds);
+    std::fprintf(f, "        \"butterfly\": %.6f,\n", r.stage.butterfly_seconds);
+    std::fprintf(f, "        \"leader_update\": %.6f,\n", r.stage.leader_update_seconds);
+    std::fprintf(f, "        \"total\": %.6f\n", r.stage.total_seconds);
+    std::fprintf(f, "      }\n");
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+bool SameCommunities(const BatchResult& a, const BatchResult& b) {
+  if (a.communities.size() != b.communities.size()) return false;
+  for (std::size_t i = 0; i < a.communities.size(); ++i) {
+    if (a.communities[i].vertices != b.communities[i].vertices) return false;
+  }
+  return true;
+}
+
+SearchStats SumStats(const BatchResult& r) {
+  SearchStats s;
+  for (const SearchStats& q : r.stats) s += q;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args = ArgParser::Parse(argc, argv);
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR1.json");
+  const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
+  const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
+
+  PlantedConfig cfg;
+  cfg.num_communities = static_cast<std::size_t>(args.GetIntOr("communities", 24));
+  cfg.groups_per_community = 3;
+  cfg.num_labels = 3;
+  cfg.mixed_group_counts = true;
+  cfg.min_group_size = 14;
+  cfg.max_group_size = static_cast<std::size_t>(args.GetIntOr("group-size", 24));
+  cfg.seed = 7;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  const std::size_t n = pg.graph.NumVertices();
+  std::printf("perf_smoke: graph %zu vertices, %zu edges, %zu labels\n", n,
+              pg.graph.NumEdges(), pg.graph.NumLabels());
+
+  QueryGenConfig qcfg;
+  std::vector<GroundTruthQuery> gt = SampleGroundTruthQueries(pg, num_queries, qcfg);
+  std::vector<BccQuery> queries;
+  for (const auto& g : gt) queries.push_back(g.query);
+  std::vector<MbccGroundTruthQuery> mgt = SampleMbccGroundTruthQueries(pg, 3, num_queries, 11);
+  std::vector<MbccQuery> mqueries;
+  for (const auto& g : mgt) mqueries.push_back(g.query);
+
+  BccParams params;  // auto k, b = 1
+  MbccParams mparams;
+
+  BatchRunner seq(1);
+  BatchRunner par(par_threads);
+  std::printf("parallel workers: %zu\n", par.NumThreads());
+
+  std::vector<MethodRow> rows;
+
+  auto run_bcc = [&](const char* name, const SearchOptions& opts) {
+    MethodRow row;
+    row.name = name;
+    row.queries = queries.size();
+    BatchResult warmup = seq.RunBccBatch(pg.graph, queries, params, opts);
+    const std::uint64_t warm_inits = seq.AggregateWorkspaceStats().bulk_inits;
+    BatchResult s = seq.RunBccBatch(pg.graph, queries, params, opts);
+    row.steady_bulk_inits = seq.AggregateWorkspaceStats().bulk_inits - warm_inits;
+    par.RunBccBatch(pg.graph, queries, params, opts);  // parallel warm-up
+    BatchResult p = par.RunBccBatch(pg.graph, queries, params, opts);
+    row.seq_qps = s.latency.qps;
+    row.par_qps = p.latency.qps;
+    row.speedup = s.latency.qps > 0 ? p.latency.qps / s.latency.qps : 0;
+    row.p50 = p.latency.p50_seconds;
+    row.p99 = p.latency.p99_seconds;
+    row.identical = SameCommunities(s, p) && SameCommunities(s, warmup);
+    row.stage = SumStats(s);
+    rows.push_back(row);
+  };
+  run_bcc("LP-BCC", LpBccOptions());
+  run_bcc("Online-BCC", OnlineBccOptions());
+
+  {
+    MethodRow row;
+    row.name = "MBCC-LP";
+    row.queries = mqueries.size();
+    BatchResult warmup = seq.RunMbccBatch(pg.graph, mqueries, mparams, LpBccOptions());
+    const std::uint64_t warm_inits = seq.AggregateWorkspaceStats().bulk_inits;
+    BatchResult s = seq.RunMbccBatch(pg.graph, mqueries, mparams, LpBccOptions());
+    row.steady_bulk_inits = seq.AggregateWorkspaceStats().bulk_inits - warm_inits;
+    par.RunMbccBatch(pg.graph, mqueries, mparams, LpBccOptions());
+    BatchResult p = par.RunMbccBatch(pg.graph, mqueries, mparams, LpBccOptions());
+    row.seq_qps = s.latency.qps;
+    row.par_qps = p.latency.qps;
+    row.speedup = s.latency.qps > 0 ? p.latency.qps / s.latency.qps : 0;
+    row.p50 = p.latency.p50_seconds;
+    row.p99 = p.latency.p99_seconds;
+    row.identical = SameCommunities(s, p) && SameCommunities(s, warmup);
+    row.stage = SumStats(s);
+    rows.push_back(row);
+  }
+
+  for (const MethodRow& r : rows) {
+    std::printf(
+        "%-10s  seq=%8.1f qps  par=%8.1f qps  speedup=%.2fx  p50=%.4fs p99=%.4fs  "
+        "identical=%s  steady_bulk_inits=%llu\n",
+        r.name.c_str(), r.seq_qps, r.par_qps, r.speedup, r.p50, r.p99,
+        r.identical ? "yes" : "NO", static_cast<unsigned long long>(r.steady_bulk_inits));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  PrintJson(f, rows, n, pg.graph.NumEdges(), par.NumThreads());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bool ok = true;
+  for (const MethodRow& r : rows) ok = ok && r.identical && r.steady_bulk_inits == 0;
+  return ok ? 0 : 1;
+}

@@ -17,9 +17,15 @@ BcIndex::BcIndex(const LabeledGraph& g)
 const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) {
   if (a > b) std::swap(a, b);
   auto key = std::make_pair(a, b);
-  auto it = pair_cache_.find(key);
-  if (it != pair_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    auto it = pair_cache_.find(key);
+    if (it != pair_cache_.end()) return it->second;
+  }
 
+  // Compute outside the lock so cached lookups of other pairs never block
+  // behind a cold count; concurrent faults of the same pair waste one
+  // recount, and the first insert wins (map nodes are reference-stable).
   auto left = g_->VerticesWithLabel(a);
   auto right = g_->VerticesWithLabel(b);
   std::vector<char> in_left(g_->NumVertices(), 0), in_right(g_->NumVertices(), 0);
@@ -28,6 +34,7 @@ const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) {
   ButterflyCounts counts =
       CountButterflies(*g_, {left.begin(), left.end()}, {right.begin(), right.end()}, in_left,
                        in_right);
+  std::lock_guard<std::mutex> lock(pair_cache_mutex_);
   auto [pos, inserted] = pair_cache_.emplace(key, std::move(counts));
   return pos->second;
 }

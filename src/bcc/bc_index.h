@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -31,7 +32,10 @@ class BcIndex {
   std::uint32_t MaxCoreness(Label l) const { return max_core_per_label_[l]; }
 
   /// Butterfly degrees over the full bipartite graph between label groups
-  /// `a` and `b`. Cached after the first call for the pair.
+  /// `a` and `b`. Cached after the first call for the pair. Thread-safe:
+  /// concurrent batch queries may fault the same pair in; the cache is
+  /// guarded by a mutex and entries are never invalidated, so returned
+  /// references stay valid for the index lifetime.
   const ButterflyCounts& PairButterflies(Label a, Label b);
 
   const LabeledGraph& graph() const { return *g_; }
@@ -40,6 +44,7 @@ class BcIndex {
   const LabeledGraph* g_;
   std::vector<std::uint32_t> label_coreness_;
   std::vector<std::uint32_t> max_core_per_label_;
+  std::mutex pair_cache_mutex_;
   std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_;
 };
 

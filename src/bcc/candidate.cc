@@ -1,21 +1,32 @@
 #include "bcc/candidate.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bccs {
 
 GroupedCandidate::GroupedCandidate(const LabeledGraph& g,
                                    std::vector<std::vector<VertexId>> groups,
-                                   std::vector<std::uint32_t> ks)
-    : g_(&g),
-      ks_(std::move(ks)),
-      members_(std::move(groups)),
-      alive_(g.NumVertices(), 0),
-      group_of_(g.NumVertices(), kNoGroup),
-      group_deg_(g.NumVertices(), 0),
-      queued_(g.NumVertices(), 0) {
+                                   std::vector<std::uint32_t> ks, QueryWorkspace* ws)
+    : g_(&g), ws_(ws), ks_(std::move(ks)), members_(std::move(groups)) {
   assert(members_.size() == ks_.size());
-  group_masks_.assign(members_.size(), std::vector<char>(g.NumVertices(), 0));
+  const std::size_t n = g.NumVertices();
+  if (ws_ != nullptr) {
+    alive_ = ws_->CharPool().Acquire(n);
+    group_of_ = ws_->U32InfPool().Acquire(n);  // default kNoGroup
+    group_deg_ = ws_->U32ZeroPool().Acquire(n);
+    queued_ = ws_->CharPool().Acquire(n);
+    group_masks_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      group_masks_.push_back(ws_->CharPool().Acquire(n));
+    }
+  } else {
+    alive_.assign(n, 0);
+    group_of_.assign(n, kNoGroup);
+    group_deg_.assign(n, 0);
+    queued_.assign(n, 0);
+    group_masks_.assign(members_.size(), std::vector<char>(n, 0));
+  }
   for (std::uint32_t gi = 0; gi < members_.size(); ++gi) {
     for (VertexId v : members_[gi]) {
       assert(group_of_[v] == kNoGroup);
@@ -34,12 +45,35 @@ GroupedCandidate::GroupedCandidate(const LabeledGraph& g,
   }
 }
 
+GroupedCandidate::~GroupedCandidate() {
+  if (ws_ == nullptr) return;
+  // Restore the pool defaults for exactly the entries this candidate wrote:
+  // all state is confined to the initial members (queued_ is kept all-zero
+  // by RemoveAndMaintain itself).
+  for (std::uint32_t gi = 0; gi < members_.size(); ++gi) {
+    for (VertexId v : members_[gi]) {
+      alive_[v] = 0;
+      group_masks_[gi][v] = 0;
+      group_of_[v] = kNoGroup;
+      group_deg_[v] = 0;
+    }
+  }
+  ws_->CharPool().ReleaseClean(std::move(alive_));
+  ws_->U32InfPool().ReleaseClean(std::move(group_of_));
+  ws_->U32ZeroPool().ReleaseClean(std::move(group_deg_));
+  ws_->CharPool().ReleaseClean(std::move(queued_));
+  for (auto& mask : group_masks_) ws_->CharPool().ReleaseClean(std::move(mask));
+}
+
 std::vector<VertexId> GroupedCandidate::AliveVertices() const {
   std::vector<VertexId> out;
   out.reserve(num_alive_);
-  for (VertexId v = 0; v < alive_.size(); ++v) {
-    if (alive_[v]) out.push_back(v);
+  for (std::uint32_t gi = 0; gi < members_.size(); ++gi) {
+    for (VertexId v : members_[gi]) {
+      if (alive_[v]) out.push_back(v);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

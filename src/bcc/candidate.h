@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "bcc/workspace.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
@@ -25,8 +26,18 @@ class GroupedCandidate {
  public:
   /// `groups[i]` are the initial members of group i (the output of Find-G0);
   /// `ks[i]` is the core parameter of group i. Groups must be disjoint.
+  ///
+  /// With a workspace, the vertex-indexed state is borrowed from its scratch
+  /// pools and restored on destruction in O(sum of group sizes), so building
+  /// a candidate performs no O(n) allocation or fill after warm-up.
   GroupedCandidate(const LabeledGraph& g, std::vector<std::vector<VertexId>> groups,
-                   std::vector<std::uint32_t> ks);
+                   std::vector<std::uint32_t> ks, QueryWorkspace* ws = nullptr);
+  ~GroupedCandidate();
+
+  // The borrowed buffers are registered with the workspace; moving would
+  // double-release them.
+  GroupedCandidate(const GroupedCandidate&) = delete;
+  GroupedCandidate& operator=(const GroupedCandidate&) = delete;
 
   std::size_t NumGroups() const { return ks_.size(); }
   bool IsAlive(VertexId v) const { return group_of_[v] != kNoGroup; }
@@ -88,6 +99,7 @@ class GroupedCandidate {
 
  private:
   const LabeledGraph* g_;
+  QueryWorkspace* ws_ = nullptr;
   std::vector<std::uint32_t> ks_;
   std::vector<std::vector<VertexId>> members_;
   std::vector<char> alive_;

@@ -1,6 +1,7 @@
 #include "bcc/find_g0.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/core_decomposition.h"
 #include "eval/timer.h"
@@ -9,53 +10,95 @@ namespace bccs {
 namespace {
 
 // Vertices of the query's label group, optionally intersected with a
-// restriction mask.
-std::vector<VertexId> LabelCandidates(const LabeledGraph& g, VertexId q,
-                                      const std::vector<char>* restrict_to) {
-  std::vector<VertexId> out;
-  for (VertexId v : g.VerticesWithLabel(g.LabelOf(q))) {
-    if (restrict_to == nullptr || (*restrict_to)[v]) out.push_back(v);
+// restriction mask; the filtered copy goes into a pooled scratch vector.
+std::span<const VertexId> LabelCandidates(const LabeledGraph& g, VertexId q,
+                                          const std::vector<char>* restrict_to,
+                                          std::vector<VertexId>* scratch) {
+  std::span<const VertexId> all = g.VerticesWithLabel(g.LabelOf(q));
+  if (restrict_to == nullptr) return all;
+  scratch->clear();
+  for (VertexId v : all) {
+    if ((*restrict_to)[v]) scratch->push_back(v);
   }
-  return out;
+  return *scratch;
 }
 
 }  // namespace
 
 G0Result FindG0Restricted(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                          const std::vector<char>* restrict_to, SearchStats* stats) {
+                          const std::vector<char>* restrict_to, SearchStats* stats,
+                          QueryWorkspace* ws) {
   SearchStats local;
   if (stats == nullptr) stats = &local;
   G0Result out;
   if (q.ql >= g.NumVertices() || q.qr >= g.NumVertices()) return out;
   if (g.LabelOf(q.ql) == g.LabelOf(q.qr)) return out;
 
-  std::vector<VertexId> cand_left = LabelCandidates(g, q.ql, restrict_to);
-  std::vector<VertexId> cand_right = LabelCandidates(g, q.qr, restrict_to);
-  if (cand_left.empty() || cand_right.empty()) return out;
+  // Without a caller workspace, run on a scoped one (same engine, cold
+  // cost comparable to the old per-call allocations). The chi buffer it
+  // pools into out.counts is simply owned by the result afterwards —
+  // ReleaseG0Counts with a null ws is a no-op.
+  std::unique_ptr<QueryWorkspace> scoped_ws;
+  QueryWorkspace* active_ws = ws;
+  if (active_ws == nullptr) {
+    scoped_ws = std::make_unique<QueryWorkspace>();
+    active_ws = scoped_ws.get();
+  }
+
+  std::vector<VertexId>* scratch_left = active_ws->AcquireIdVec();
+  std::vector<VertexId>* scratch_right = active_ws->AcquireIdVec();
+  std::span<const VertexId> cand_left = LabelCandidates(g, q.ql, restrict_to, scratch_left);
+  std::span<const VertexId> cand_right = LabelCandidates(g, q.qr, restrict_to, scratch_right);
+  auto release_scratch = [&] {
+    active_ws->ReleaseIdVec(scratch_left);
+    active_ws->ReleaseIdVec(scratch_right);
+  };
+  if (cand_left.empty() || cand_right.empty()) {
+    release_scratch();
+    return out;
+  }
 
   // Resolve auto core parameters with the query coreness inside its group
   // (paper Section 3.5).
   out.k1 = p.k1;
   out.k2 = p.k2;
-  if (out.k1 == 0) out.k1 = SubsetCoreness(g, cand_left)[q.ql];
-  if (out.k2 == 0) out.k2 = SubsetCoreness(g, cand_right)[q.qr];
-  if (out.k1 == 0 || out.k2 == 0) return out;  // queries have no usable core
+  CoreScratch& cs = active_ws->core_scratch();
+  if (out.k1 == 0) out.k1 = SubsetCorenessOfScoped(g, cand_left, q.ql, &cs);
+  if (out.k2 == 0) out.k2 = SubsetCorenessOfScoped(g, cand_right, q.qr, &cs);
+  if (out.k1 == 0 || out.k2 == 0) {
+    release_scratch();
+    return out;  // queries have no usable core
+  }
 
   // Left and right cores, restricted to the component containing the query.
-  std::vector<VertexId> left_core = KCoreOfSubset(g, cand_left, out.k1);
-  out.left = ComponentContaining(g, left_core, q.ql);
-  if (out.left.empty()) return out;
-  std::vector<VertexId> right_core = KCoreOfSubset(g, cand_right, out.k2);
-  out.right = ComponentContaining(g, right_core, q.qr);
-  if (out.right.empty()) return out;
+  std::vector<VertexId>* core = active_ws->AcquireIdVec();
+  KCoreOfSubsetScoped(g, cand_left, out.k1, &cs, core);
+  ComponentContainingScoped(g, *core, q.ql, &cs, &out.left);
+  if (!out.left.empty()) {
+    KCoreOfSubsetScoped(g, cand_right, out.k2, &cs, core);
+    ComponentContainingScoped(g, *core, q.qr, &cs, &out.right);
+  }
+  active_ws->ReleaseIdVec(core);
+  release_scratch();
+  if (out.left.empty() || out.right.empty()) {
+    out.left.clear();
+    out.right.clear();
+    return out;
+  }
 
   // Butterfly check over B = cross edges between the two cores.
-  std::vector<char> in_left(g.NumVertices(), 0), in_right(g.NumVertices(), 0);
-  for (VertexId v : out.left) in_left[v] = 1;
-  for (VertexId v : out.right) in_right[v] = 1;
   {
-    ScopedAccumulator t(&stats->butterfly_seconds);
-    out.counts = CountButterflies(g, out.left, out.right, in_left, in_right);
+    std::vector<char> in_left = active_ws->CharPool().Acquire(g.NumVertices());
+    std::vector<char> in_right = active_ws->CharPool().Acquire(g.NumVertices());
+    for (VertexId v : out.left) in_left[v] = 1;
+    for (VertexId v : out.right) in_right[v] = 1;
+    out.counts.chi = active_ws->U64ZeroPool().Acquire(g.NumVertices());
+    {
+      ScopedAccumulator t(&stats->butterfly_seconds);
+      CountButterfliesInto(g, out.left, out.right, in_left, in_right, active_ws, &out.counts);
+    }
+    active_ws->CharPool().Release(std::move(in_left), out.left);
+    active_ws->CharPool().Release(std::move(in_right), out.right);
   }
   ++stats->butterfly_counting_calls;
   if (out.counts.max_left < p.b || out.counts.max_right < p.b) return out;
@@ -65,8 +108,17 @@ G0Result FindG0Restricted(const LabeledGraph& g, const BccQuery& q, const BccPar
 }
 
 G0Result FindG0(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                SearchStats* stats) {
-  return FindG0Restricted(g, q, p, nullptr, stats);
+                SearchStats* stats, QueryWorkspace* ws) {
+  return FindG0Restricted(g, q, p, nullptr, stats, ws);
+}
+
+void ReleaseG0Counts(QueryWorkspace* ws, G0Result* g0) {
+  if (ws == nullptr || g0->counts.chi.empty()) return;
+  std::vector<std::uint64_t> chi = std::move(g0->counts.chi);
+  g0->counts.chi.clear();
+  for (VertexId v : g0->left) chi[v] = 0;
+  for (VertexId v : g0->right) chi[v] = 0;
+  ws->U64ZeroPool().ReleaseClean(std::move(chi));
 }
 
 }  // namespace bccs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bcc/bcc_types.h"
+#include "bcc/workspace.h"
 #include "butterfly/butterfly_counting.h"
 #include "graph/labeled_graph.h"
 
@@ -28,13 +29,24 @@ struct G0Result {
 /// Algorithm 2 on the whole graph. Increments
 /// stats->butterfly_counting_calls and accumulates stats->butterfly_seconds
 /// for the embedded Algorithm 3 run. `stats` may be null.
+///
+/// With a workspace, the core/component/butterfly scratch comes from its
+/// pools and `counts.chi` of the result is a pooled buffer — the caller
+/// must hand the finished result to ReleaseG0Counts(ws, &g0) (results are
+/// identical with or without a workspace).
 G0Result FindG0(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                SearchStats* stats);
+                SearchStats* stats, QueryWorkspace* ws = nullptr);
 
 /// Algorithm 2 restricted to the vertices enabled in `restrict_to` (the L2P
 /// local candidate G_t). Pass null for no restriction.
 G0Result FindG0Restricted(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                          const std::vector<char>* restrict_to, SearchStats* stats);
+                          const std::vector<char>* restrict_to, SearchStats* stats,
+                          QueryWorkspace* ws = nullptr);
+
+/// Returns a workspace-pooled `g0->counts.chi` buffer to the pool (no-op for
+/// results produced without a workspace). `g0->left` / `g0->right` must
+/// still describe the counted members.
+void ReleaseG0Counts(QueryWorkspace* ws, G0Result* g0);
 
 }  // namespace bccs
 

@@ -5,7 +5,7 @@ namespace bccs {
 LeaderState IdentifyLeader(const LabeledGraph& g, const std::vector<char>& side_mask,
                            VertexId q, std::uint32_t rho, std::uint64_t b,
                            const ButterflyCounts& counts, std::uint64_t side_max,
-                           VertexId side_argmax) {
+                           VertexId side_argmax, QueryWorkspace* ws) {
   LeaderState out;
   out.leader = q;
   out.chi = counts.chi[q];
@@ -16,7 +16,8 @@ LeaderState IdentifyLeader(const LabeledGraph& g, const std::vector<char>& side_
   // BFS level sets within the side graph, up to rho hops.
   std::vector<std::vector<VertexId>> levels;
   {
-    std::vector<char> visited(g.NumVertices(), 0);
+    std::vector<char> visited =
+        ws != nullptr ? ws->CharPool().Acquire(g.NumVertices()) : std::vector<char>(g.NumVertices(), 0);
     visited[q] = 1;
     std::vector<VertexId> frontier = {q};
     for (std::uint32_t d = 0; d < rho && !frontier.empty(); ++d) {
@@ -30,6 +31,13 @@ LeaderState IdentifyLeader(const LabeledGraph& g, const std::vector<char>& side_
       }
       frontier = next;
       levels.push_back(std::move(next));
+    }
+    if (ws != nullptr) {
+      visited[q] = 0;
+      for (const auto& level : levels) {
+        for (VertexId v : level) visited[v] = 0;
+      }
+      ws->CharPool().ReleaseClean(std::move(visited));
     }
   }
 

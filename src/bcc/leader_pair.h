@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bcc/workspace.h"
 #include "butterfly/butterfly_counting.h"
 #include "graph/labeled_graph.h"
 
@@ -25,10 +26,12 @@ struct LeaderState {
 /// /4, ... >= b within rho hops of `q`; if the scan fails, returns the
 /// side's argmax vertex, which is guaranteed to satisfy chi >= b whenever
 /// the side satisfies the BCC butterfly condition.
+/// `ws` (optional) supplies the visited-mask scratch so repeated calls stay
+/// free of O(n) allocations; results are identical either way.
 LeaderState IdentifyLeader(const LabeledGraph& g, const std::vector<char>& side_mask,
                            VertexId q, std::uint32_t rho, std::uint64_t b,
                            const ButterflyCounts& counts, std::uint64_t side_max,
-                           VertexId side_argmax);
+                           VertexId side_argmax, QueryWorkspace* ws = nullptr);
 
 }  // namespace bccs
 

@@ -7,6 +7,7 @@
 
 #include "bcc/find_g0.h"
 #include "bcc/online_search.h"
+#include "core/core_decomposition.h"
 #include "eval/timer.h"
 
 namespace bccs {
@@ -21,7 +22,8 @@ struct HeapEntry {
 }  // namespace
 
 std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
-                                        const BccQuery& q, double gamma1, double gamma2) {
+                                        const BccQuery& q, double gamma1, double gamma2,
+                                        QueryWorkspace* ws) {
   const Label al = g.LabelOf(q.ql), ar = g.LabelOf(q.qr);
   if (al == ar) return {};
   const ButterflyCounts& pair = index.PairButterflies(al, ar);
@@ -36,10 +38,19 @@ std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
   };
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> cost(g.NumVertices(), kInf);
-  std::vector<VertexId> parent(g.NumVertices(), kInvalidVertex);
+  const std::size_t n = g.NumVertices();
+  // Pooled (default +inf / kInvalidVertex) when a workspace is supplied;
+  // `reached` records every entry written so release is O(touched).
+  std::vector<double> cost =
+      ws != nullptr ? ws->DoubleInfPool().Acquire(n) : std::vector<double>(n, kInf);
+  std::vector<VertexId> parent = ws != nullptr
+                                     ? ws->U32InfPool().Acquire(n)
+                                     : std::vector<VertexId>(n, kInvalidVertex);
+  std::vector<VertexId>* reached = ws != nullptr ? ws->AcquireIdVec() : nullptr;
+
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
   cost[q.ql] = 0.0;
+  if (reached != nullptr) reached->push_back(q.ql);
   heap.push({0.0, q.ql});
 
   while (!heap.empty()) {
@@ -52,17 +63,24 @@ std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
       if (lw != al && lw != ar) continue;
       double nc = c + entry_cost(w);
       if (nc < cost[w]) {
+        if (reached != nullptr && cost[w] == kInf) reached->push_back(w);
         cost[w] = nc;
         parent[w] = v;
         heap.push({nc, w});
       }
     }
   }
-  if (cost[q.qr] == kInf) return {};
 
   std::vector<VertexId> path;
-  for (VertexId v = q.qr; v != kInvalidVertex; v = parent[v]) path.push_back(v);
-  std::reverse(path.begin(), path.end());
+  if (cost[q.qr] != kInf) {
+    for (VertexId v = q.qr; v != kInvalidVertex; v = parent[v]) path.push_back(v);
+    std::reverse(path.begin(), path.end());
+  }
+  if (ws != nullptr) {
+    ws->DoubleInfPool().Release(std::move(cost), *reached);
+    ws->U32InfPool().Release(std::move(parent), *reached);
+    ws->ReleaseIdVec(reached);
+  }
   return path;
 }
 
@@ -84,8 +102,49 @@ double ButterflyCorePathWeight(const LabeledGraph& g, BcIndex& index,
          gamma2 * (xmax - static_cast<double>(min_chi));
 }
 
+namespace {
+
+// Bounded admissible-neighborhood expansion shared by L2pBcc and L2pMbcc:
+// grows `in_gt` (and `selected_list`) from the seeds until the budget is
+// exceeded or the admissible region is exhausted. Returns whether the
+// region saturated (budget not exceeded).
+template <typename Admissible>
+bool ExpandCandidate(const LabeledGraph& g, std::span<const VertexId> seeds, std::size_t eta,
+                     Admissible admissible, std::vector<char>* in_gt,
+                     std::vector<VertexId>* selected_list) {
+  std::size_t selected = 0;
+  std::vector<VertexId> frontier;
+  for (VertexId v : seeds) {
+    if (!(*in_gt)[v]) {
+      (*in_gt)[v] = 1;
+      selected_list->push_back(v);
+      ++selected;
+      frontier.push_back(v);
+    }
+  }
+  while (!frontier.empty() && selected <= eta) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (VertexId w : g.Neighbors(v)) {
+        if ((*in_gt)[w] || !admissible(w)) continue;
+        (*in_gt)[w] = 1;
+        selected_list->push_back(w);
+        ++selected;
+        next.push_back(w);
+        if (selected > eta) break;
+      }
+      if (selected > eta) break;
+    }
+    frontier = std::move(next);
+  }
+  return selected <= eta;
+}
+
+}  // namespace
+
 Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
-                 const BccParams& p, const L2pOptions& opts, SearchStats* stats) {
+                 const BccParams& p, const L2pOptions& opts, SearchStats* stats,
+                 QueryWorkspace* ws) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   Timer total;
@@ -95,7 +154,7 @@ Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
   if (al == ar) return out;
 
   // Line 1: weighted shortest path connecting the queries.
-  std::vector<VertexId> path = ButterflyCorePath(g, index, q, opts.gamma1, opts.gamma2);
+  std::vector<VertexId> path = ButterflyCorePath(g, index, q, opts.gamma1, opts.gamma2, ws);
   if (path.empty()) {
     stats->total_seconds += total.Seconds();
     return out;
@@ -120,41 +179,27 @@ Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
   // BCC, and peel with the LP strategies.
   std::size_t eta = opts.eta;
   for (std::size_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
-    std::vector<char> in_gt(g.NumVertices(), 0);
-    std::size_t selected = 0;
-    std::vector<VertexId> frontier;
-    for (VertexId v : path) {
-      if (!in_gt[v]) {
-        in_gt[v] = 1;
-        ++selected;
-        frontier.push_back(v);
-      }
-    }
-    while (!frontier.empty() && selected <= eta) {
-      std::vector<VertexId> next;
-      for (VertexId v : frontier) {
-        for (VertexId w : g.Neighbors(v)) {
-          if (in_gt[w] || !admissible(w)) continue;
-          in_gt[w] = 1;
-          ++selected;
-          next.push_back(w);
-          if (selected > eta) break;
-        }
-        if (selected > eta) break;
-      }
-      frontier = std::move(next);
-    }
+    std::vector<char> in_gt = ws != nullptr ? ws->CharPool().Acquire(g.NumVertices())
+                                            : std::vector<char>(g.NumVertices(), 0);
+    std::vector<VertexId> owned_selected;
+    std::vector<VertexId>* selected_list = ws != nullptr ? ws->AcquireIdVec() : &owned_selected;
     // If the BFS drained without hitting the budget, the candidate already
     // contains every admissible vertex reachable from the path.
-    const bool saturated = selected <= eta;
+    const bool saturated = ExpandCandidate(g, path, eta, admissible, &in_gt, selected_list);
 
     G0Result g0;
     {
       ScopedAccumulator t(&stats->find_g0_seconds);
-      g0 = FindG0Restricted(g, q, p, &in_gt, stats);
+      g0 = FindG0Restricted(g, q, p, &in_gt, stats, ws);
     }
-    if (g0.found) {
-      out = PeelToBcc(g, g0, q, opts.search, p.b, stats);
+    const bool found = g0.found;
+    if (found) out = PeelToBcc(g, g0, q, opts.search, p.b, stats, ws);
+    ReleaseG0Counts(ws, &g0);
+    if (ws != nullptr) {
+      ws->CharPool().Release(std::move(in_gt), *selected_list);
+      ws->ReleaseIdVec(selected_list);
+    }
+    if (found) {
       stats->total_seconds += total.Seconds();
       return out;
     }
@@ -166,7 +211,8 @@ Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
 }
 
 Community L2pMbcc(const LabeledGraph& g, BcIndex& index, const MbccQuery& q,
-                  const MbccParams& p, const L2pOptions& opts, SearchStats* stats) {
+                  const MbccParams& p, const L2pOptions& opts, SearchStats* stats,
+                  QueryWorkspace* ws) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   Community out;  // nested MbccSearch calls own the total_seconds accounting
@@ -178,7 +224,7 @@ Community L2pMbcc(const LabeledGraph& g, BcIndex& index, const MbccQuery& q,
   }
 
   // Per-label admission threshold: the group's resolved core parameter.
-  std::vector<std::uint32_t> ks = ResolveMbccCores(g, q, p);
+  std::vector<std::uint32_t> ks = ResolveMbccCores(g, q, p, ws);
   std::vector<std::uint32_t> min_core_for_label(g.NumLabels(), kInvalidVertex);
   for (std::size_t i = 0; i < m; ++i) {
     min_core_for_label[g.LabelOf(q.vertices[i])] = ks[i];
@@ -190,33 +236,18 @@ Community L2pMbcc(const LabeledGraph& g, BcIndex& index, const MbccQuery& q,
 
   std::size_t eta = opts.eta;
   for (std::size_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
-    std::vector<char> in_gt(g.NumVertices(), 0);
-    std::size_t selected = 0;
-    std::vector<VertexId> frontier;
-    for (VertexId v : q.vertices) {
-      if (!in_gt[v]) {
-        in_gt[v] = 1;
-        ++selected;
-        frontier.push_back(v);
-      }
-    }
-    while (!frontier.empty() && selected <= eta) {
-      std::vector<VertexId> next;
-      for (VertexId v : frontier) {
-        for (VertexId w : g.Neighbors(v)) {
-          if (in_gt[w] || !admissible(w)) continue;
-          in_gt[w] = 1;
-          ++selected;
-          next.push_back(w);
-          if (selected > eta) break;
-        }
-        if (selected > eta) break;
-      }
-      frontier = std::move(next);
-    }
-    const bool saturated = selected <= eta;
+    std::vector<char> in_gt = ws != nullptr ? ws->CharPool().Acquire(g.NumVertices())
+                                            : std::vector<char>(g.NumVertices(), 0);
+    std::vector<VertexId> owned_selected;
+    std::vector<VertexId>* selected_list = ws != nullptr ? ws->AcquireIdVec() : &owned_selected;
+    const bool saturated =
+        ExpandCandidate(g, q.vertices, eta, admissible, &in_gt, selected_list);
 
-    Community c = MbccSearch(g, q, p, opts.search, stats, &in_gt);
+    Community c = MbccSearch(g, q, p, opts.search, stats, &in_gt, ws);
+    if (ws != nullptr) {
+      ws->CharPool().Release(std::move(in_gt), *selected_list);
+      ws->ReleaseIdVec(selected_list);
+    }
     if (!c.Empty()) return c;
     if (saturated) break;
     eta *= 2;

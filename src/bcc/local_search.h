@@ -36,7 +36,8 @@ struct L2pOptions {
 /// see DESIGN.md deviation 1). Traversal is restricted to the two query
 /// labels. Returns the vertex sequence from q_l to q_r, empty if none.
 std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
-                                        const BccQuery& q, double gamma1, double gamma2);
+                                        const BccQuery& q, double gamma1, double gamma2,
+                                        QueryWorkspace* ws = nullptr);
 
 /// Exact Definition 6 weight of a path (for reporting and tests):
 /// dist + gamma1*(dmax - min delta) + gamma2*(xmax - min chi).
@@ -49,7 +50,7 @@ double ButterflyCorePathWeight(const LabeledGraph& g, BcIndex& index,
 /// guarantee but is the fastest variant in practice.
 Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
                  const BccParams& p, const L2pOptions& opts = {},
-                 SearchStats* stats = nullptr);
+                 SearchStats* stats = nullptr, QueryWorkspace* ws = nullptr);
 
 /// L2P extension for the multi-labeled model (Section 7): expands a bounded
 /// candidate around the m query vertices (admitting vertices of the query
@@ -58,7 +59,7 @@ Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
 /// failure, like L2pBcc.
 Community L2pMbcc(const LabeledGraph& g, BcIndex& index, const MbccQuery& q,
                   const MbccParams& p, const L2pOptions& opts = {},
-                  SearchStats* stats = nullptr);
+                  SearchStats* stats = nullptr, QueryWorkspace* ws = nullptr);
 
 }  // namespace bccs
 

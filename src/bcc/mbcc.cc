@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "bcc/candidate.h"
 #include "bcc/leader_pair.h"
@@ -28,7 +29,7 @@ struct PairState {
 }  // namespace
 
 std::vector<std::uint32_t> ResolveMbccCores(const LabeledGraph& g, const MbccQuery& q,
-                                            const MbccParams& p) {
+                                            const MbccParams& p, QueryWorkspace* ws) {
   const std::size_t m = q.vertices.size();
   std::vector<std::uint32_t> ks(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
@@ -36,7 +37,9 @@ std::vector<std::uint32_t> ResolveMbccCores(const LabeledGraph& g, const MbccQue
       ks[i] = p.k[i];
     } else {
       auto members = g.VerticesWithLabel(g.LabelOf(q.vertices[i]));
-      ks[i] = SubsetCoreness(g, members)[q.vertices[i]];
+      ks[i] = ws != nullptr
+                  ? SubsetCorenessOfScoped(g, members, q.vertices[i], &ws->core_scratch())
+                  : SubsetCoreness(g, members)[q.vertices[i]];
     }
   }
   return ks;
@@ -44,7 +47,7 @@ std::vector<std::uint32_t> ResolveMbccCores(const LabeledGraph& g, const MbccQue
 
 Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams& p,
                      const SearchOptions& opts, SearchStats* stats,
-                     const std::vector<char>* restrict_to) {
+                     const std::vector<char>* restrict_to, QueryWorkspace* ws) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   Timer total;
@@ -63,46 +66,68 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     }
   }
 
+  std::unique_ptr<QueryWorkspace> scoped_ws;
+  if (ws == nullptr) {
+    scoped_ws = std::make_unique<QueryWorkspace>();
+    ws = scoped_ws.get();
+  }
+  const std::size_t n = g.NumVertices();
+
   // --- Find G0 (Algorithm 9 line 1): per-group k_i-core components. ---
   std::vector<std::vector<VertexId>> groups(m);
   std::vector<std::uint32_t> ks(m, 0);
   {
     ScopedAccumulator t(&stats->find_g0_seconds);
-    for (std::size_t i = 0; i < m; ++i) {
-      std::vector<VertexId> members;
-      for (VertexId v : g.VerticesWithLabel(g.LabelOf(q.vertices[i]))) {
-        if (restrict_to == nullptr || (*restrict_to)[v]) members.push_back(v);
+    std::vector<VertexId>* filtered = ws->AcquireIdVec();
+    std::vector<VertexId>* core = ws->AcquireIdVec();
+    bool dead_end = false;
+    for (std::size_t i = 0; i < m && !dead_end; ++i) {
+      std::span<const VertexId> members = g.VerticesWithLabel(g.LabelOf(q.vertices[i]));
+      if (restrict_to != nullptr) {
+        filtered->clear();
+        for (VertexId v : members) {
+          if ((*restrict_to)[v]) filtered->push_back(v);
+        }
+        members = *filtered;
       }
       if (i < p.k.size() && p.k[i] > 0) {
         ks[i] = p.k[i];
       } else {
-        ks[i] = SubsetCoreness(g, members)[q.vertices[i]];
+        ks[i] = SubsetCorenessOfScoped(g, members, q.vertices[i], &ws->core_scratch());
       }
       if (ks[i] == 0) {
-        stats->total_seconds += total.Seconds();
-        return out;
+        dead_end = true;
+        break;
       }
-      std::vector<VertexId> core = KCoreOfSubset(g, members, ks[i]);
-      groups[i] = ComponentContaining(g, core, q.vertices[i]);
-      if (groups[i].empty()) {
-        stats->total_seconds += total.Seconds();
-        return out;
-      }
+      KCoreOfSubsetScoped(g, members, ks[i], &ws->core_scratch(), core);
+      ComponentContainingScoped(g, *core, q.vertices[i], &ws->core_scratch(), &groups[i]);
+      if (groups[i].empty()) dead_end = true;
+    }
+    ws->ReleaseIdVec(filtered);
+    ws->ReleaseIdVec(core);
+    if (dead_end) {
+      stats->total_seconds += total.Seconds();
+      return out;
     }
   }
 
-  GroupedCandidate cand(g, groups, ks);
+  GroupedCandidate cand(g, groups, ks, ws);
   stats->g0_size += cand.NumAlive();
 
   std::vector<VertexId> members;
   for (const auto& grp : groups) members.insert(members.end(), grp.begin(), grp.end());
 
   // --- Pair states and initial cross-group connectivity. ---
+  // One pooled counts buffer serves every per-pair (re)count; chi entries
+  // are only ever written for candidate members and scrubbed on release.
+  ButterflyCounts counts;
+  counts.chi = ws->U64ZeroPool().Acquire(n);
   std::vector<PairState> pairs;
   auto count_pair = [&](std::size_t i, std::size_t j) {
     ScopedAccumulator t(&stats->butterfly_seconds);
     ++stats->butterfly_counting_calls;
-    return CountButterflies(g, groups[i], groups[j], cand.GroupMask(i), cand.GroupMask(j));
+    CountButterfliesInto(g, groups[i], groups[j], cand.GroupMask(i), cand.GroupMask(j), ws,
+                         &counts);
   };
   auto meta_connected = [&]() {
     UnionFind uf(m);
@@ -120,75 +145,82 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
       PairState ps;
       ps.i = i;
       ps.j = j;
-      ButterflyCounts counts = count_pair(i, j);
+      count_pair(i, j);
       ps.active = counts.max_left >= p.b && counts.max_right >= p.b;
       if (ps.active && opts.use_leader_pair) {
         ScopedAccumulator t(&stats->leader_update_seconds);
         ps.leader_i = IdentifyLeader(g, cand.GroupMask(i), q.vertices[i], opts.leader_rho, p.b,
-                                     counts, counts.max_left, counts.argmax_left);
+                                     counts, counts.max_left, counts.argmax_left, ws);
         ps.leader_j = IdentifyLeader(g, cand.GroupMask(j), q.vertices[j], opts.leader_rho, p.b,
-                                     counts, counts.max_right, counts.argmax_right);
+                                     counts, counts.max_right, counts.argmax_right, ws);
       }
       pairs.push_back(ps);
     }
   }
+  auto release_buffers = [&] {
+    ws->U64ZeroPool().Release(std::move(counts.chi), members);
+  };
   if (!meta_connected()) {
+    release_buffers();
     stats->total_seconds += total.Seconds();
     return out;
   }
 
   // --- Query distances (one BFS tree per query vertex). ---
-  std::vector<std::vector<std::uint32_t>> dist(m);
+  std::vector<DistanceMap*> dist(m);
   {
     ScopedAccumulator t(&stats->query_distance_seconds);
     for (std::size_t i = 0; i < m; ++i) {
-      BfsDistances(g, cand.alive(), q.vertices[i], &dist[i]);
+      dist[i] = ws->AcquireDistance();
+      BfsDistances(g, cand.alive(), q.vertices[i], dist[i]);
     }
   }
   auto query_distance = [&](VertexId v) {
     std::uint32_t d = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      if (dist[i][v] == kInfDistance) return kInfDistance;
-      d = std::max(d, dist[i][v]);
+      std::uint32_t di = dist[i]->Get(v);
+      if (di == kInfDistance) return kInfDistance;
+      d = std::max(d, di);
     }
     return d;
   };
   auto queries_connected = [&]() {
     for (std::size_t i = 1; i < m; ++i) {
-      if (dist[0][q.vertices[i]] == kInfDistance) return false;
+      if (dist[0]->Get(q.vertices[i]) == kInfDistance) return false;
     }
     return true;
   };
 
-  LeaderButterflyUpdater updater(g);
-  constexpr std::uint32_t kNeverRemoved = static_cast<std::uint32_t>(-1);
-  std::vector<std::uint32_t> removal_round(g.NumVertices(), kNeverRemoved);
+  LeaderButterflyUpdater updater(g, ws->LeaderStamp(n), ws->LeaderStampCounter());
+  // removal_round defaults to 0xffffffff = "never removed" (the pool default).
+  std::vector<std::uint32_t> removal_round = ws->U32InfPool().Acquire(n);
   std::vector<std::uint32_t> round_qd;
+
+  PeelQueue& queue = ws->peel_queue();
+  queue.Reset(n);
+  for (VertexId v : members) queue.Update(v, query_distance(v));
+  auto is_query = [&](VertexId v) {
+    return std::find(q.vertices.begin(), q.vertices.end(), v) != q.vertices.end();
+  };
+
   std::vector<VertexId> batch;
+  std::vector<VertexId> changed;
 
   while (true) {
     std::uint32_t qd = 0;
-    bool any = false;
-    batch.clear();
-    for (VertexId v : members) {
-      if (!cand.IsAlive(v)) continue;
-      any = true;
-      std::uint32_t d = query_distance(v);
-      if (d > qd) {
-        qd = d;
-        batch.clear();
-      }
-      if (d == qd) batch.push_back(v);
-    }
-    if (!any) break;
+    if (!queue.PopFarthest(cand.alive(), is_query, &batch, &qd)) break;
     round_qd.push_back(qd);
     ++stats->rounds;
-
-    std::erase_if(batch, [&](VertexId v) {
-      return std::find(q.vertices.begin(), q.vertices.end(), v) != q.vertices.end();
-    });
     if (batch.empty()) break;
-    if (!opts.bulk_delete) batch.resize(1);
+    if (!opts.bulk_delete) {
+      std::size_t min_idx = 0;
+      for (std::size_t i = 1; i < batch.size(); ++i) {
+        if (batch[i] < batch[min_idx]) min_idx = i;
+      }
+      std::swap(batch[0], batch[min_idx]);
+      for (std::size_t i = 1; i < batch.size(); ++i) queue.Requeue(batch[i]);
+      batch.resize(1);
+    }
 
     const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
     std::vector<VertexId> removed;
@@ -233,7 +265,7 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
         if (need_recount) ++stats->leader_rebuilds;
       }
       if (!need_recount) continue;
-      ButterflyCounts counts = count_pair(ps.i, ps.j);
+      count_pair(ps.i, ps.j);
       if (counts.max_left < p.b || counts.max_right < p.b) {
         ps.active = false;
         continue;
@@ -241,38 +273,48 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
       if (opts.use_leader_pair) {
         ScopedAccumulator t(&stats->leader_update_seconds);
         ps.leader_i = IdentifyLeader(g, cand.GroupMask(ps.i), q.vertices[ps.i], opts.leader_rho,
-                                     p.b, counts, counts.max_left, counts.argmax_left);
+                                     p.b, counts, counts.max_left, counts.argmax_left, ws);
         ps.leader_j = IdentifyLeader(g, cand.GroupMask(ps.j), q.vertices[ps.j], opts.leader_rho,
-                                     p.b, counts, counts.max_right, counts.argmax_right);
+                                     p.b, counts, counts.max_right, counts.argmax_right, ws);
       }
     }
     if (!meta_connected()) break;
 
     {
       ScopedAccumulator t(&stats->query_distance_seconds);
-      for (std::size_t i = 0; i < m; ++i) {
-        if (opts.fast_query_distance) {
-          UpdateDistancesAfterDeletion(g, cand.alive(), removed, &dist[i]);
-        } else {
-          BfsDistances(g, cand.alive(), q.vertices[i], &dist[i]);
+      if (opts.fast_query_distance) {
+        for (std::size_t i = 0; i < m; ++i) {
+          UpdateDistancesAfterDeletion(g, cand.alive(), removed, dist[i], &changed);
+          for (VertexId v : changed) {
+            if (cand.IsAlive(v)) queue.Update(v, query_distance(v));
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < m; ++i) {
+          BfsDistances(g, cand.alive(), q.vertices[i], dist[i]);
+        }
+        for (VertexId v : members) {
+          if (cand.IsAlive(v)) queue.Update(v, query_distance(v));
         }
       }
     }
     if (!queries_connected()) break;
   }
 
-  if (round_qd.empty()) {
-    stats->total_seconds += total.Seconds();
-    return out;
+  if (!round_qd.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < round_qd.size(); ++i) {
+      if (round_qd[i] <= round_qd[best]) best = i;
+    }
+    for (VertexId v : members) {
+      if (removal_round[v] >= best) out.vertices.push_back(v);
+    }
+    std::sort(out.vertices.begin(), out.vertices.end());
   }
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < round_qd.size(); ++i) {
-    if (round_qd[i] <= round_qd[best]) best = i;
-  }
-  for (VertexId v : members) {
-    if (removal_round[v] >= best) out.vertices.push_back(v);
-  }
-  std::sort(out.vertices.begin(), out.vertices.end());
+
+  release_buffers();
+  ws->U32InfPool().Release(std::move(removal_round), members);
+  for (std::size_t i = 0; i < m; ++i) ws->ReleaseDistance(dist[i]);
   stats->total_seconds += total.Seconds();
   return out;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bcc/bcc_types.h"
+#include "bcc/workspace.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
@@ -33,14 +34,21 @@ struct MbccParams {
 /// When `restrict_to` is non-null, the whole search is confined to the
 /// enabled vertices (used by the L2P local extension); auto core parameters
 /// then resolve within the restriction.
+///
+/// Like PeelToBcc, the engine runs on an epoch-stamped workspace (bucketed
+/// farthest-vertex queue, pooled scratch); pass a warm `ws` for
+/// allocation-free steady-state execution, or nullptr for a scoped one.
 Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams& p,
                      const SearchOptions& opts, SearchStats* stats = nullptr,
-                     const std::vector<char>* restrict_to = nullptr);
+                     const std::vector<char>* restrict_to = nullptr,
+                     QueryWorkspace* ws = nullptr);
 
 /// The resolved per-group core parameters (auto entries replaced by query
-/// coreness). Exposed for verification in tests and benchmarks.
+/// coreness). Exposed for verification in tests and benchmarks. `ws`
+/// (optional) supplies the coreness scratch for allocation-free resolution.
 std::vector<std::uint32_t> ResolveMbccCores(const LabeledGraph& g, const MbccQuery& q,
-                                            const MbccParams& p);
+                                            const MbccParams& p,
+                                            QueryWorkspace* ws = nullptr);
 
 }  // namespace bccs
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "bcc/candidate.h"
 #include "bcc/leader_pair.h"
@@ -22,68 +23,84 @@ inline std::uint32_t QueryDistance(std::uint32_t dl, std::uint32_t dr) {
 }  // namespace
 
 Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q,
-                    const SearchOptions& opts, std::uint64_t b, SearchStats* stats) {
+                    const SearchOptions& opts, std::uint64_t b, SearchStats* stats,
+                    QueryWorkspace* ws) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   Community out;
   if (!g0.found) return out;
 
-  GroupedCandidate cand(g, {g0.left, g0.right}, {g0.k1, g0.k2});
+  // Callers without a warm workspace still run through the same engine on a
+  // scoped one (cold start costs what the old per-query allocations did).
+  std::unique_ptr<QueryWorkspace> scoped_ws;
+  if (ws == nullptr) {
+    scoped_ws = std::make_unique<QueryWorkspace>();
+    ws = scoped_ws.get();
+  }
+  const std::size_t n = g.NumVertices();
+
+  GroupedCandidate cand(g, {g0.left, g0.right}, {g0.k1, g0.k2}, ws);
   stats->g0_size += cand.NumAlive();
 
-  // All initial members, used to enumerate alive vertices each round.
+  // All initial members, used to scope resets and the final answer scan.
   std::vector<VertexId> members = g0.left;
   members.insert(members.end(), g0.right.begin(), g0.right.end());
 
-  std::vector<std::uint32_t> dist_l, dist_r;
+  DistanceMap* dist_l = ws->AcquireDistance();
+  DistanceMap* dist_r = ws->AcquireDistance();
   {
     ScopedAccumulator t(&stats->query_distance_seconds);
-    BfsDistances(g, cand.alive(), q.ql, &dist_l);
-    BfsDistances(g, cand.alive(), q.qr, &dist_r);
+    BfsDistances(g, cand.alive(), q.ql, dist_l);
+    BfsDistances(g, cand.alive(), q.qr, dist_r);
   }
 
   // Leader pair state (LP strategy).
-  LeaderButterflyUpdater updater(g);
-  ButterflyCounts counts = g0.counts;
+  LeaderButterflyUpdater updater(g, ws->LeaderStamp(n), ws->LeaderStampCounter());
+  const ButterflyCounts* counts = &g0.counts;
+  ButterflyCounts recount;
+  recount.chi = ws->U64ZeroPool().Acquire(n);
   LeaderState lead_l, lead_r;
   if (opts.use_leader_pair) {
     ScopedAccumulator t(&stats->leader_update_seconds);
-    lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, counts,
-                            counts.max_left, counts.argmax_left);
-    lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, counts,
-                            counts.max_right, counts.argmax_right);
+    lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, *counts,
+                            counts->max_left, counts->argmax_left, ws);
+    lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, *counts,
+                            counts->max_right, counts->argmax_right, ws);
   }
 
-  constexpr std::uint32_t kNeverRemoved = static_cast<std::uint32_t>(-1);
-  std::vector<std::uint32_t> removal_round(g.NumVertices(), kNeverRemoved);
+  // removal_round defaults to 0xffffffff = "never removed" (the pool default).
+  std::vector<std::uint32_t> removal_round = ws->U32InfPool().Acquire(n);
   std::vector<std::uint32_t> round_qd;
+
+  // Bucketed farthest-vertex selection: every alive member is queued at its
+  // query distance; each round pops the maximum level.
+  PeelQueue& queue = ws->peel_queue();
+  queue.Reset(n);
+  for (VertexId v : members) {
+    queue.Update(v, QueryDistance(dist_l->Get(v), dist_r->Get(v)));
+  }
+  auto is_query = [&](VertexId v) { return v == q.ql || v == q.qr; };
+
   std::vector<VertexId> batch;
+  std::vector<VertexId> changed_l, changed_r;
 
   while (true) {
-    // Farthest alive vertices (lines 4-6 of Algorithm 1).
     std::uint32_t qd = 0;
-    bool any = false;
-    batch.clear();
-    for (VertexId v : members) {
-      if (!cand.IsAlive(v)) continue;
-      any = true;
-      std::uint32_t d = QueryDistance(dist_l[v], dist_r[v]);
-      if (d > qd || batch.empty()) {
-        if (d > qd) batch.clear();
-        qd = std::max(qd, d);
-        if (d == qd) batch.push_back(v);
-      } else if (d == qd) {
-        batch.push_back(v);
-      }
-    }
-    if (!any) break;
+    if (!queue.PopFarthest(cand.alive(), is_query, &batch, &qd)) break;
     round_qd.push_back(qd);
     ++stats->rounds;
-
-    // Never delete the query vertices themselves.
-    std::erase_if(batch, [&](VertexId v) { return v == q.ql || v == q.qr; });
     if (batch.empty()) break;  // only the queries remain at max distance
-    if (!opts.bulk_delete) batch.resize(1);
+    if (!opts.bulk_delete) {
+      // Single-vertex deletion: peel the smallest id for determinism and
+      // requeue the untouched remainder.
+      std::size_t min_idx = 0;
+      for (std::size_t i = 1; i < batch.size(); ++i) {
+        if (batch[i] < batch[min_idx]) min_idx = i;
+      }
+      std::swap(batch[0], batch[min_idx]);
+      for (std::size_t i = 1; i < batch.size(); ++i) queue.Requeue(batch[i]);
+      batch.resize(1);
+    }
 
     const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
 
@@ -122,82 +139,102 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
       if (!left_ok || !right_ok) {
         {
           ScopedAccumulator t(&stats->butterfly_seconds);
-          counts = CountButterflies(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1));
+          CountButterfliesInto(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws,
+                               &recount);
+          counts = &recount;
         }
         ++stats->butterfly_counting_calls;
         ++stats->leader_rebuilds;
-        if (counts.max_left < b || counts.max_right < b) {
+        if (counts->max_left < b || counts->max_right < b) {
           valid = false;
         } else {
           ScopedAccumulator t(&stats->leader_update_seconds);
-          lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, counts,
-                                  counts.max_left, counts.argmax_left);
-          lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, counts,
-                                  counts.max_right, counts.argmax_right);
+          lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, *counts,
+                                  counts->max_left, counts->argmax_left, ws);
+          lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, *counts,
+                                  counts->max_right, counts->argmax_right, ws);
         }
       }
     } else {
       {
         ScopedAccumulator t(&stats->butterfly_seconds);
-        counts = CountButterflies(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1));
+        CountButterfliesInto(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws,
+                             &recount);
+        counts = &recount;
       }
       ++stats->butterfly_counting_calls;
-      if (counts.max_left < b || counts.max_right < b) valid = false;
+      if (counts->max_left < b || counts->max_right < b) valid = false;
     }
     if (!valid) break;
 
-    // Query distance maintenance.
+    // Query distance maintenance. Only vertices whose distance changed need
+    // a queue update; the incremental repair reports exactly those.
     {
       ScopedAccumulator t(&stats->query_distance_seconds);
       if (opts.fast_query_distance) {
-        UpdateDistancesAfterDeletion(g, cand.alive(), removed, &dist_l);
-        UpdateDistancesAfterDeletion(g, cand.alive(), removed, &dist_r);
+        UpdateDistancesAfterDeletion(g, cand.alive(), removed, dist_l, &changed_l);
+        UpdateDistancesAfterDeletion(g, cand.alive(), removed, dist_r, &changed_r);
+        for (VertexId v : changed_l) {
+          if (cand.IsAlive(v)) queue.Update(v, QueryDistance(dist_l->Get(v), dist_r->Get(v)));
+        }
+        for (VertexId v : changed_r) {
+          if (cand.IsAlive(v)) queue.Update(v, QueryDistance(dist_l->Get(v), dist_r->Get(v)));
+        }
       } else {
-        BfsDistances(g, cand.alive(), q.ql, &dist_l);
-        BfsDistances(g, cand.alive(), q.qr, &dist_r);
+        BfsDistances(g, cand.alive(), q.ql, dist_l);
+        BfsDistances(g, cand.alive(), q.qr, dist_r);
+        for (VertexId v : members) {
+          if (cand.IsAlive(v)) queue.Update(v, QueryDistance(dist_l->Get(v), dist_r->Get(v)));
+        }
       }
     }
-    if (dist_l[q.qr] == kInfDistance) break;  // queries disconnected
+    if (dist_l->Get(q.qr) == kInfDistance) break;  // queries disconnected
   }
 
-  if (round_qd.empty()) return out;
+  if (!round_qd.empty()) {
+    // Answer: the intermediate BCC with the smallest query distance (latest
+    // such round, which is the smallest such graph).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < round_qd.size(); ++i) {
+      if (round_qd[i] <= round_qd[best]) best = i;
+    }
+    for (VertexId v : members) {
+      if (removal_round[v] >= best) out.vertices.push_back(v);  // alive = never removed
+    }
+    std::sort(out.vertices.begin(), out.vertices.end());
+  }
 
-  // Answer: the intermediate BCC with the smallest query distance (latest
-  // such round, which is the smallest such graph).
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < round_qd.size(); ++i) {
-    if (round_qd[i] <= round_qd[best]) best = i;
-  }
-  for (VertexId v : members) {
-    if (removal_round[v] >= best) out.vertices.push_back(v);  // alive = never removed
-  }
-  std::sort(out.vertices.begin(), out.vertices.end());
+  ws->U32InfPool().Release(std::move(removal_round), members);
+  ws->U64ZeroPool().Release(std::move(recount.chi), members);
+  ws->ReleaseDistance(dist_l);
+  ws->ReleaseDistance(dist_r);
   return out;
 }
 
 Community BccSearch(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                    const SearchOptions& opts, SearchStats* stats) {
+                    const SearchOptions& opts, SearchStats* stats, QueryWorkspace* ws) {
   SearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   Timer total;
   G0Result g0;
   {
     ScopedAccumulator t(&stats->find_g0_seconds);
-    g0 = FindG0(g, q, p, stats);
+    g0 = FindG0(g, q, p, stats, ws);
   }
-  Community out = PeelToBcc(g, g0, q, opts, p.b, stats);
+  Community out = PeelToBcc(g, g0, q, opts, p.b, stats, ws);
+  ReleaseG0Counts(ws, &g0);
   stats->total_seconds += total.Seconds();
   return out;
 }
 
 Community OnlineBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                    SearchStats* stats) {
-  return BccSearch(g, q, p, OnlineBccOptions(), stats);
+                    SearchStats* stats, QueryWorkspace* ws) {
+  return BccSearch(g, q, p, OnlineBccOptions(), stats, ws);
 }
 
 Community LpBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                SearchStats* stats) {
-  return BccSearch(g, q, p, LpBccOptions(), stats);
+                SearchStats* stats, QueryWorkspace* ws) {
+  return BccSearch(g, q, p, LpBccOptions(), stats, ws);
 }
 
 }  // namespace bccs

@@ -22,22 +22,30 @@ namespace bccs {
 /// Used by Online-BCC, LP-BCC (this header) and L2P-BCC (local_search.h).
 /// `b` is the butterfly threshold; `stats` may be null. Does not accumulate
 /// total_seconds (callers own end-to-end timing).
+///
+/// The engine selects each round's farthest batch through an epoch-stamped
+/// bucket queue keyed by query distance, so a round costs O(batch + distance
+/// changes) instead of O(|members|). Passing a warm `ws` additionally makes
+/// the whole round trip free of O(n) allocations; with ws == nullptr a
+/// scoped workspace is used (identical results).
 Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q,
-                    const SearchOptions& opts, std::uint64_t b, SearchStats* stats);
+                    const SearchOptions& opts, std::uint64_t b, SearchStats* stats,
+                    QueryWorkspace* ws = nullptr);
 
 /// Full search: Find-G0 then peel. Respects every option combination.
 Community BccSearch(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                    const SearchOptions& opts, SearchStats* stats);
+                    const SearchOptions& opts, SearchStats* stats,
+                    QueryWorkspace* ws = nullptr);
 
 /// Paper's Online-BCC: bulk deletion, full BFS distances, full butterfly
 /// recount per round.
 Community OnlineBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                    SearchStats* stats = nullptr);
+                    SearchStats* stats = nullptr, QueryWorkspace* ws = nullptr);
 
 /// Paper's LP-BCC: Online-BCC plus fast query distance (Algorithm 5) and the
 /// leader-pair strategy (Algorithms 6 and 7).
 Community LpBcc(const LabeledGraph& g, const BccQuery& q, const BccParams& p,
-                SearchStats* stats = nullptr);
+                SearchStats* stats = nullptr, QueryWorkspace* ws = nullptr);
 
 }  // namespace bccs
 

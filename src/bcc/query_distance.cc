@@ -26,6 +26,28 @@ void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexI
   }
 }
 
+void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexId source,
+                  DistanceMap* dm) {
+  dm->Reset(g.NumVertices());
+  if (source >= g.NumVertices() || !alive[source]) return;
+  dm->Set(source, 0);
+  std::uint32_t level = 0;
+  while (true) {
+    const std::vector<VertexId>& frontier = dm->bucket(level);
+    if (frontier.empty()) break;
+    // The frontier bucket is append-only while we scan it and the BFS only
+    // appends to bucket level+1, so indexing stays valid.
+    ++level;
+    for (std::size_t i = 0; i < dm->bucket(level - 1).size(); ++i) {
+      VertexId v = dm->bucket(level - 1)[i];
+      for (VertexId w : g.Neighbors(v)) {
+        if (!alive[w] || dm->Get(w) != kInfDistance) continue;
+        dm->Set(w, level);
+      }
+    }
+  }
+}
+
 void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>& alive,
                                   std::span<const VertexId> removed,
                                   std::vector<std::uint32_t>* dist) {
@@ -60,6 +82,53 @@ void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>
       }
     }
     frontier.swap(next);
+  }
+}
+
+void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>& alive,
+                                  std::span<const VertexId> removed, DistanceMap* dm,
+                                  std::vector<VertexId>* changed) {
+  changed->clear();
+  std::uint32_t d_min = kInfDistance;
+  for (VertexId v : removed) d_min = std::min(d_min, dm->Get(v));
+  for (VertexId v : removed) dm->SetUnreachable(v);
+  if (d_min == kInfDistance) return;
+
+  // The d_min level set is unchanged by the deletion; compact its bucket to
+  // the valid entries (drop dead vertices and stale lower-level leftovers).
+  std::vector<VertexId>& source_bucket = dm->bucket(d_min);
+  std::size_t keep = 0;
+  for (VertexId v : source_bucket) {
+    if (alive[v] && dm->Get(v) == d_min) source_bucket[keep++] = v;
+  }
+  source_bucket.resize(keep);
+
+  // Stale set via the buckets above d_min: exactly the alive vertices with
+  // dist > d_min, in time proportional to their bucket entries.
+  const std::uint32_t old_max = dm->max_level();
+  for (std::uint32_t d = d_min + 1; d <= old_max; ++d) {
+    for (VertexId v : dm->bucket(d)) {
+      if (!alive[v] || dm->Get(v) != d) continue;  // dead or stale entry
+      dm->SetUnreachable(v);
+      changed->push_back(v);
+    }
+    dm->bucket(d).clear();
+  }
+  dm->set_max_level(d_min);
+
+  // Multi-source BFS from the d_min level set; Set() refills the buckets.
+  std::uint32_t level = d_min;
+  while (true) {
+    const std::vector<VertexId>& frontier = dm->bucket(level);
+    if (frontier.empty()) break;
+    ++level;
+    for (std::size_t i = 0; i < dm->bucket(level - 1).size(); ++i) {
+      VertexId v = dm->bucket(level - 1)[i];
+      for (VertexId w : g.Neighbors(v)) {
+        if (!alive[w] || dm->Get(w) != kInfDistance) continue;
+        dm->Set(w, level);
+      }
+    }
   }
 }
 

@@ -5,18 +5,22 @@
 #include <span>
 #include <vector>
 
+#include "bcc/workspace.h"  // kInfDistance, DistanceMap
 #include "graph/labeled_graph.h"
 
 namespace bccs {
-
-/// Distance value for unreachable vertices.
-inline constexpr std::uint32_t kInfDistance = static_cast<std::uint32_t>(-1);
 
 /// Full BFS from `source` over the subgraph induced by `alive`. `dist` is
 /// resized to the graph and filled with hop counts (kInfDistance where
 /// unreachable or dead).
 void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexId source,
                   std::vector<std::uint32_t>* dist);
+
+/// Workspace variant: starts a fresh epoch on `dm` (O(touched) of the
+/// previous use) and fills it with the same distances, maintaining the
+/// per-level buckets the incremental repair and the peel queue consume.
+void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexId source,
+                  DistanceMap* dm);
 
 /// Paper's Algorithm 5: incrementally repairs `dist` (distances to one query
 /// vertex) after the vertices in `removed` were deleted. `alive` must already
@@ -29,6 +33,16 @@ void BfsDistances(const LabeledGraph& g, const std::vector<char>& alive, VertexI
 void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>& alive,
                                   std::span<const VertexId> removed,
                                   std::vector<std::uint32_t>* dist);
+
+/// Bucketed workspace variant: finds the stale set {v alive : dist(v) >
+/// d_min} by walking the distance buckets above d_min instead of scanning
+/// all n vertices, so a repair costs O(vertices at distance > d_min + edges
+/// re-traversed). Every vertex whose distance may have changed (the stale
+/// set) is appended to `changed` (cleared first); the removed vertices
+/// themselves are not reported. Values are identical to the legacy variant.
+void UpdateDistancesAfterDeletion(const LabeledGraph& g, const std::vector<char>& alive,
+                                  std::span<const VertexId> removed, DistanceMap* dm,
+                                  std::vector<VertexId>* changed);
 
 }  // namespace bccs
 

@@ -1,0 +1,67 @@
+#include "bcc/workspace.h"
+
+#include <algorithm>
+
+namespace bccs {
+
+DistanceMap* QueryWorkspace::AcquireDistance() {
+  if (distance_free_.empty()) distance_free_.push_back(std::make_unique<DistanceMap>());
+  distance_used_.push_back(std::move(distance_free_.back()));
+  distance_free_.pop_back();
+  return distance_used_.back().get();
+}
+
+void QueryWorkspace::ReleaseDistance(DistanceMap* dm) {
+  for (auto& slot : distance_used_) {
+    if (slot.get() == dm) {
+      distance_free_.push_back(std::move(slot));
+      std::swap(slot, distance_used_.back());
+      distance_used_.pop_back();
+      return;
+    }
+  }
+  assert(false && "ReleaseDistance: unknown DistanceMap");
+}
+
+std::vector<VertexId>* QueryWorkspace::AcquireIdVec() {
+  if (id_free_.empty()) id_free_.push_back(std::make_unique<std::vector<VertexId>>());
+  id_used_.push_back(std::move(id_free_.back()));
+  id_free_.pop_back();
+  id_used_.back()->clear();
+  return id_used_.back().get();
+}
+
+void QueryWorkspace::ReleaseIdVec(std::vector<VertexId>* vec) {
+  for (auto& slot : id_used_) {
+    if (slot.get() == vec) {
+      id_free_.push_back(std::move(slot));
+      std::swap(slot, id_used_.back());
+      id_used_.pop_back();
+      return;
+    }
+  }
+  assert(false && "ReleaseIdVec: unknown vector");
+}
+
+WorkspaceStats QueryWorkspace::Stats() const {
+  WorkspaceStats s;
+  s.bulk_inits = local_bulk_inits_ + char_pool_.bulk_inits() + u32_zero_pool_.bulk_inits() +
+                 u32_inf_pool_.bulk_inits() + u64_zero_pool_.bulk_inits() +
+                 double_inf_pool_.bulk_inits() + core_scratch_.bulk_inits() +
+                 peel_queue_.bulk_inits();
+  s.buffer_acquires = char_pool_.acquires() + u32_zero_pool_.acquires() +
+                      u32_inf_pool_.acquires() + u64_zero_pool_.acquires() +
+                      double_inf_pool_.acquires();
+  s.peel_resets = peel_queue_.resets();
+  for (const auto& dm : distance_free_) {
+    s.bulk_inits += dm->bulk_inits();
+    s.distance_resets += dm->resets();
+  }
+  for (const auto& dm : distance_used_) {
+    s.bulk_inits += dm->bulk_inits();
+    s.distance_resets += dm->resets();
+  }
+  return s;
+}
+
+}  // namespace bccs

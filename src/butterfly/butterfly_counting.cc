@@ -2,10 +2,27 @@
 
 #include <algorithm>
 
+#include "bcc/workspace.h"
+
 namespace bccs {
 namespace {
 
 inline std::uint64_t Choose2(std::uint64_t x) { return x * (x - 1) / 2; }
+
+// Accumulates one side's chi sum and argmax. Any non-empty side yields a
+// valid argmax, even when every chi on it is zero.
+void SideMaxAndSum(std::span<const VertexId> side, const std::vector<char>& side_mask,
+                   const std::vector<std::uint64_t>& chi, std::uint64_t* sum,
+                   std::uint64_t* side_max, VertexId* side_argmax) {
+  for (VertexId v : side) {
+    if (!side_mask[v]) continue;
+    *sum += chi[v];
+    if (*side_argmax == kInvalidVertex || chi[v] > *side_max) {
+      *side_max = chi[v];
+      *side_argmax = v;
+    }
+  }
+}
 
 // Accumulates chi for every alive vertex of `side`, whose cross neighbors
 // live in `other_mask`.
@@ -40,34 +57,40 @@ ButterflyCounts CountButterflies(const LabeledGraph& g, std::span<const VertexId
                                  const std::vector<char>& in_left,
                                  const std::vector<char>& in_right) {
   ButterflyCounts out;
-  out.chi.assign(g.NumVertices(), 0);
-  std::vector<std::uint32_t> paths(g.NumVertices(), 0);
-  std::vector<VertexId> touched;
+  CountButterfliesInto(g, left, right, in_left, in_right, nullptr, &out);
+  return out;
+}
 
-  CountSide(g, left, in_left, in_right, &out.chi, &paths, &touched);
-  CountSide(g, right, in_right, in_left, &out.chi, &paths, &touched);
+void CountButterfliesInto(const LabeledGraph& g, std::span<const VertexId> left,
+                          std::span<const VertexId> right, const std::vector<char>& in_left,
+                          const std::vector<char>& in_right, QueryWorkspace* ws,
+                          ButterflyCounts* out) {
+  const std::size_t n = g.NumVertices();
+  out->total = 0;
+  out->max_left = out->max_right = 0;
+  out->argmax_left = out->argmax_right = kInvalidVertex;
+  if (ws == nullptr || out->chi.size() != n) {
+    out->chi.assign(n, 0);
+  } else {
+    // Pooled buffer: all-zero outside the members; the members may carry
+    // values from the previous (re)count over the same candidate.
+    for (VertexId v : left) out->chi[v] = 0;
+    for (VertexId v : right) out->chi[v] = 0;
+  }
+
+  std::vector<std::uint32_t> local_paths;
+  std::vector<VertexId> local_touched;
+  std::vector<std::uint32_t>& paths = ws != nullptr ? ws->WedgePaths(n) : local_paths;
+  std::vector<VertexId>& touched = ws != nullptr ? ws->WedgeTouched() : local_touched;
+  if (ws == nullptr) local_paths.assign(n, 0);
+
+  CountSide(g, left, in_left, in_right, &out->chi, &paths, &touched);
+  CountSide(g, right, in_right, in_left, &out->chi, &paths, &touched);
 
   std::uint64_t sum = 0;
-  for (VertexId v : left) {
-    if (!in_left[v]) continue;
-    sum += out.chi[v];
-    if (out.chi[v] > out.max_left ||
-        (out.argmax_left == kInvalidVertex && out.chi[v] >= out.max_left)) {
-      out.max_left = out.chi[v];
-      out.argmax_left = v;
-    }
-  }
-  for (VertexId v : right) {
-    if (!in_right[v]) continue;
-    sum += out.chi[v];
-    if (out.chi[v] > out.max_right ||
-        (out.argmax_right == kInvalidVertex && out.chi[v] >= out.max_right)) {
-      out.max_right = out.chi[v];
-      out.argmax_right = v;
-    }
-  }
-  out.total = sum / 4;  // every butterfly contains exactly four vertices
-  return out;
+  SideMaxAndSum(left, in_left, out->chi, &sum, &out->max_left, &out->argmax_left);
+  SideMaxAndSum(right, in_right, out->chi, &sum, &out->max_right, &out->argmax_right);
+  out->total = sum / 4;  // every butterfly contains exactly four vertices
 }
 
 std::uint64_t CountTotalButterfliesVertexPriority(const LabeledGraph& g,
@@ -155,18 +178,9 @@ ButterflyCounts CountButterfliesBruteForce(const LabeledGraph& g,
   };
   process(left, in_left, in_right);
   (void)right;  // butterflies are fully determined by left-side pairs
-  for (VertexId v : left) {
-    if (in_left[v] && out.chi[v] > out.max_left) {
-      out.max_left = out.chi[v];
-      out.argmax_left = v;
-    }
-  }
-  for (VertexId v : right) {
-    if (in_right[v] && out.chi[v] > out.max_right) {
-      out.max_right = out.chi[v];
-      out.argmax_right = v;
-    }
-  }
+  std::uint64_t ignored_sum = 0;
+  SideMaxAndSum(left, in_left, out.chi, &ignored_sum, &out.max_left, &out.argmax_left);
+  SideMaxAndSum(right, in_right, out.chi, &ignored_sum, &out.max_right, &out.argmax_right);
   return out;
 }
 

@@ -9,6 +9,8 @@
 
 namespace bccs {
 
+class QueryWorkspace;
+
 /// Per-vertex butterfly degrees over a bipartite cross graph.
 struct ButterflyCounts {
   /// chi[v] = number of butterflies (2x2 bicliques) containing v. Indexed by
@@ -34,6 +36,21 @@ ButterflyCounts CountButterflies(const LabeledGraph& g, std::span<const VertexId
                                  std::span<const VertexId> right,
                                  const std::vector<char>& in_left,
                                  const std::vector<char>& in_right);
+
+/// Workspace variant writing into `out`. With a workspace, the wedge counter
+/// comes from the workspace and `out->chi` is only rewritten for the
+/// left/right members (the buffer must be sized to the graph and all-zero
+/// outside those members — the contract of workspace-pooled chi buffers), so
+/// a recount costs O(|members| + wedges) with no O(n) pass. With ws ==
+/// nullptr it behaves exactly like CountButterflies into `out`.
+///
+/// Both variants guarantee a valid argmax for every non-empty side: if all
+/// butterfly degrees on a side are zero, the side's first alive vertex is
+/// reported with max = 0.
+void CountButterfliesInto(const LabeledGraph& g, std::span<const VertexId> left,
+                          std::span<const VertexId> right, const std::vector<char>& in_left,
+                          const std::vector<char>& in_right, QueryWorkspace* ws,
+                          ButterflyCounts* out);
 
 /// Total butterfly count using the vertex-priority wedge ordering of Wang et
 /// al. (PVLDB 2019): each wedge is charged to its highest-priority endpoint

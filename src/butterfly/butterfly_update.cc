@@ -10,11 +10,11 @@ std::uint64_t LeaderButterflyUpdater::LossOnDeletion(const std::vector<char>& in
   const std::vector<char>& other_side = in_a[leader] ? in_b : in_a;
   if (!leader_side[leader]) return 0;
 
-  ++current_stamp_;
-  const std::uint32_t stamp = current_stamp_;
+  ++*counter_;
+  const std::uint32_t stamp = *counter_;
   // Mark the leader's alive cross neighbors N_B(leader).
   for (VertexId u : g_->Neighbors(leader)) {
-    if (other_side[u]) stamp_[u] = stamp;
+    if (other_side[u]) (*stamp_)[u] = stamp;
   }
 
   if (leader_side[removed]) {
@@ -22,13 +22,13 @@ std::uint64_t LeaderButterflyUpdater::LossOnDeletion(const std::vector<char>& in
     // cross neighbors.
     std::uint64_t alpha = 0;
     for (VertexId u : g_->Neighbors(removed)) {
-      if (other_side[u] && stamp_[u] == stamp) ++alpha;
+      if (other_side[u] && (*stamp_)[u] == stamp) ++alpha;
     }
     return alpha * (alpha - 1) / 2;
   }
 
   if (!other_side[removed]) return 0;  // not part of B
-  if (stamp_[removed] != stamp) return 0;  // no edge (leader, removed) in B
+  if ((*stamp_)[removed] != stamp) return 0;  // no edge (leader, removed) in B
 
   // Different sides: for every other leader-side vertex u adjacent to
   // `removed`, each common cross neighbor of u and leader besides `removed`
@@ -38,7 +38,7 @@ std::uint64_t LeaderButterflyUpdater::LossOnDeletion(const std::vector<char>& in
     if (u == leader || !leader_side[u]) continue;
     std::uint64_t common = 0;
     for (VertexId x : g_->Neighbors(u)) {
-      if (other_side[x] && stamp_[x] == stamp) ++common;
+      if (other_side[x] && (*stamp_)[x] == stamp) ++common;
     }
     beta += common - 1;  // `removed` itself is always in the intersection
   }

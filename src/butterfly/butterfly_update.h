@@ -16,7 +16,17 @@ namespace bccs {
 class LeaderButterflyUpdater {
  public:
   explicit LeaderButterflyUpdater(const LabeledGraph& g)
-      : g_(&g), stamp_(g.NumVertices(), 0) {}
+      : g_(&g), own_stamp_(g.NumVertices(), 0), stamp_(&own_stamp_), counter_(&own_counter_) {}
+
+  /// Borrows the stamp scratch (sized >= NumVertices, monotone counter) from
+  /// a caller that keeps it alive across queries — no O(n) allocation here.
+  LeaderButterflyUpdater(const LabeledGraph& g, std::vector<std::uint32_t>* stamp,
+                         std::uint32_t* counter)
+      : g_(&g), stamp_(stamp), counter_(counter) {}
+
+  // stamp_ may point into own_stamp_; copying would dangle.
+  LeaderButterflyUpdater(const LeaderButterflyUpdater&) = delete;
+  LeaderButterflyUpdater& operator=(const LeaderButterflyUpdater&) = delete;
 
   /// Returns the number of butterflies of B that contain both `leader` and
   /// `removed`, i.e. how much chi(leader) drops when `removed` is deleted.
@@ -30,8 +40,10 @@ class LeaderButterflyUpdater {
 
  private:
   const LabeledGraph* g_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t current_stamp_ = 0;
+  std::vector<std::uint32_t> own_stamp_;
+  std::uint32_t own_counter_ = 0;
+  std::vector<std::uint32_t>* stamp_;
+  std::uint32_t* counter_;
 };
 
 }  // namespace bccs

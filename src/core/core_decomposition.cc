@@ -118,6 +118,138 @@ std::vector<VertexId> KCoreOfSubset(const LabeledGraph& g, std::span<const Verte
   return result;
 }
 
+std::uint32_t SubsetCorenessOfScoped(const LabeledGraph& g, std::span<const VertexId> members,
+                                     VertexId target, CoreScratch* s) {
+  if (members.empty()) return 0;
+  s->EnsureSize(g.NumVertices());
+  std::vector<char>& in_set = s->mask;
+  std::vector<std::uint32_t>& deg = s->num_a;
+  std::vector<std::uint32_t>& pos = s->num_b;
+
+  for (VertexId v : members) in_set[v] = 1;
+  std::uint32_t result = 0;
+  if (target < g.NumVertices() && in_set[target]) {
+    std::uint32_t max_deg = 0;
+    for (VertexId v : members) {
+      std::uint32_t d = 0;
+      for (VertexId w : g.Neighbors(v)) d += in_set[w];
+      deg[v] = d;
+      max_deg = std::max(max_deg, d);
+    }
+
+    s->bins.assign(max_deg + 2, 0);
+    for (VertexId v : members) ++s->bins[deg[v]];
+    std::uint32_t start = 0;
+    for (std::uint32_t d = 0; d <= max_deg; ++d) {
+      std::uint32_t count = s->bins[d];
+      s->bins[d] = start;
+      start += count;
+    }
+    s->order.resize(members.size());
+    s->cursor.assign(s->bins.begin(), s->bins.end());
+    for (VertexId v : members) {
+      pos[v] = s->cursor[deg[v]];
+      s->order[pos[v]] = v;
+      ++s->cursor[deg[v]];
+    }
+
+    // Peel in nondecreasing degree order; the target's coreness is fixed the
+    // moment it is popped, so stop there.
+    for (std::size_t i = 0; i < s->order.size(); ++i) {
+      VertexId v = s->order[i];
+      if (v == target) {
+        result = deg[v];
+        break;
+      }
+      for (VertexId w : g.Neighbors(v)) {
+        if (!in_set[w] || deg[w] <= deg[v]) continue;
+        std::uint32_t dw = deg[w];
+        std::uint32_t pw = pos[w];
+        std::uint32_t pfront = s->bins[dw];
+        VertexId front = s->order[pfront];
+        if (w != front) {
+          std::swap(s->order[pw], s->order[pfront]);
+          pos[w] = pfront;
+          pos[front] = pw;
+        }
+        ++s->bins[dw];
+        --deg[w];
+      }
+    }
+  }
+
+  for (VertexId v : members) {
+    in_set[v] = 0;
+    deg[v] = 0;
+    pos[v] = 0;
+  }
+  return result;
+}
+
+void KCoreOfSubsetScoped(const LabeledGraph& g, std::span<const VertexId> members,
+                         std::uint32_t k, CoreScratch* s, std::vector<VertexId>* out) {
+  out->clear();
+  s->EnsureSize(g.NumVertices());
+  std::vector<char>& in_set = s->mask;
+  std::vector<std::uint32_t>& deg = s->num_a;
+
+  for (VertexId v : members) in_set[v] = 1;
+  s->order.clear();  // doubles as the deletion queue
+  for (VertexId v : members) {
+    std::uint32_t d = 0;
+    for (VertexId w : g.Neighbors(v)) d += in_set[w];
+    deg[v] = d;
+    if (d < k) s->order.push_back(v);
+  }
+  for (VertexId v : s->order) in_set[v] = 0;
+  while (!s->order.empty()) {
+    VertexId v = s->order.back();
+    s->order.pop_back();
+    for (VertexId w : g.Neighbors(v)) {
+      if (!in_set[w]) continue;
+      if (--deg[w] < k) {
+        in_set[w] = 0;
+        s->order.push_back(w);
+      }
+    }
+  }
+  for (VertexId v : members) {
+    if (in_set[v]) out->push_back(v);
+    in_set[v] = 0;
+    deg[v] = 0;
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void ComponentContainingScoped(const LabeledGraph& g, std::span<const VertexId> members,
+                               VertexId q, CoreScratch* s, std::vector<VertexId>* out) {
+  out->clear();
+  s->EnsureSize(g.NumVertices());
+  std::vector<char>& in_set = s->mask;
+  for (VertexId v : members) in_set[v] = 1;
+  if (q >= g.NumVertices() || !in_set[q]) {
+    for (VertexId v : members) in_set[v] = 0;
+    return;
+  }
+  s->order.clear();  // doubles as the DFS stack
+  s->order.push_back(q);
+  in_set[q] = 0;
+  out->push_back(q);
+  while (!s->order.empty()) {
+    VertexId v = s->order.back();
+    s->order.pop_back();
+    for (VertexId w : g.Neighbors(v)) {
+      if (!in_set[w]) continue;
+      in_set[w] = 0;
+      out->push_back(w);
+      s->order.push_back(w);
+    }
+  }
+  for (VertexId v : members) in_set[v] = 0;
+  std::sort(out->begin(), out->end());
+}
+
 std::vector<VertexId> ComponentContaining(const LabeledGraph& g,
                                           std::span<const VertexId> members, VertexId q) {
   const std::size_t n = g.NumVertices();

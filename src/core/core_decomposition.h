@@ -37,6 +37,50 @@ std::vector<VertexId> KCoreOfSubset(const LabeledGraph& g, std::span<const Verte
 std::vector<VertexId> ComponentContaining(const LabeledGraph& g,
                                           std::span<const VertexId> members, VertexId q);
 
+/// Reusable scratch for the *Scoped core routines below. The vertex-indexed
+/// arrays (`mask`, `num_a`, `num_b`) are maintained all-zero between calls,
+/// so a warm scratch serves a query in O(|members|) with no O(n) work; the
+/// small vectors just keep their capacity. Owned per query workspace.
+class CoreScratch {
+ public:
+  void EnsureSize(std::size_t n) {
+    if (mask.size() >= n) return;
+    ++bulk_inits_;
+    mask.assign(n, 0);
+    num_a.assign(n, 0);
+    num_b.assign(n, 0);
+  }
+
+  std::uint64_t bulk_inits() const { return bulk_inits_; }
+
+  std::vector<char> mask;             // all-zero invariant
+  std::vector<std::uint32_t> num_a;   // all-zero invariant
+  std::vector<std::uint32_t> num_b;   // all-zero invariant
+  std::vector<VertexId> order;        // capacity cache only
+  std::vector<std::uint32_t> bins;    // capacity cache only
+  std::vector<std::uint32_t> cursor;  // capacity cache only
+
+ private:
+  std::uint64_t bulk_inits_ = 0;
+};
+
+/// Coreness of `v` within the subgraph induced by `members`, computed with
+/// the same bucket peeling as SubsetCoreness but stopping as soon as v is
+/// peeled and touching only scratch entries of `members`. Returns 0 when v
+/// is not a member.
+std::uint32_t SubsetCorenessOfScoped(const LabeledGraph& g, std::span<const VertexId> members,
+                                     VertexId v, CoreScratch* scratch);
+
+/// KCoreOfSubset into a reused output vector, using `scratch` instead of
+/// fresh O(n) arrays. Identical result to KCoreOfSubset.
+void KCoreOfSubsetScoped(const LabeledGraph& g, std::span<const VertexId> members,
+                         std::uint32_t k, CoreScratch* scratch, std::vector<VertexId>* out);
+
+/// ComponentContaining into a reused output vector via `scratch`. Identical
+/// result to ComponentContaining.
+void ComponentContainingScoped(const LabeledGraph& g, std::span<const VertexId> members,
+                               VertexId q, CoreScratch* scratch, std::vector<VertexId>* out);
+
 }  // namespace bccs
 
 #endif  // BCCS_CORE_CORE_DECOMPOSITION_H_

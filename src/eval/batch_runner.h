@@ -1,0 +1,111 @@
+#ifndef BCCS_EVAL_BATCH_RUNNER_H_
+#define BCCS_EVAL_BATCH_RUNNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bcc/bcc_types.h"
+#include "bcc/local_search.h"
+#include "bcc/mbcc.h"
+#include "bcc/online_search.h"
+#include "bcc/workspace.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Latency/throughput summary of one batch execution.
+struct BatchLatency {
+  double wall_seconds = 0;
+  double qps = 0;
+  double avg_seconds = 0;
+  double p50_seconds = 0;
+  double p90_seconds = 0;
+  double p99_seconds = 0;
+};
+
+/// Result of a batch: per-query outputs in input order plus the summary.
+struct BatchResult {
+  std::vector<Community> communities;
+  std::vector<SearchStats> stats;
+  std::vector<double> seconds;  // per-query latency
+  BatchLatency latency;
+  std::size_t threads_used = 0;
+  WorkspaceStats workspace_stats;  // aggregated over worker workspaces
+};
+
+/// Thread-pool batch-query engine. Each worker owns a persistent
+/// QueryWorkspace, so per-worker steady state performs no O(n) allocations;
+/// queries of a batch are claimed dynamically over an atomic cursor.
+///
+/// The pool threads persist across Run() calls (construction cost is paid
+/// once per runner, matching a long-lived serving process).
+class BatchRunner {
+ public:
+  /// num_threads == 0 picks std::thread::hardware_concurrency().
+  explicit BatchRunner(std::size_t num_threads = 0);
+  ~BatchRunner();
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  std::size_t NumThreads() const { return threads_.size(); }
+
+  /// Generic fan-out: invokes fn(index, workspace) for every index in
+  /// [0, count), distributing indices over the pool. fn must only touch
+  /// shared state in a thread-safe way; the workspace is exclusive to the
+  /// calling worker. Blocks until the batch drains.
+  void Run(std::size_t count, const std::function<void(std::size_t, QueryWorkspace&)>& fn);
+
+  /// Aggregated workspace stats over all workers (for allocation tests).
+  WorkspaceStats AggregateWorkspaceStats() const;
+
+  /// Per-query callable of the timed batch wrappers.
+  using RunTimedFn = std::function<void(std::size_t, QueryWorkspace&, Community*, SearchStats*)>;
+
+  /// Timed fan-out of an arbitrary per-query function (used for methods not
+  /// covered by the convenience wrappers, e.g. the CTC/PSA baselines).
+  BatchResult RunCustomBatch(std::size_t count, const RunTimedFn& fn);
+
+  /// Batch Online-BCC / LP-BCC (per `opts`) over one graph.
+  BatchResult RunBccBatch(const LabeledGraph& g, std::span<const BccQuery> queries,
+                          const BccParams& params, const SearchOptions& opts);
+
+  /// Batch L2P-BCC. The index's lazy pair cache is internally synchronized.
+  BatchResult RunL2pBatch(const LabeledGraph& g, BcIndex& index,
+                          std::span<const BccQuery> queries, const BccParams& params,
+                          const L2pOptions& opts);
+
+  /// Batch multi-label search.
+  BatchResult RunMbccBatch(const LabeledGraph& g, std::span<const MbccQuery> queries,
+                           const MbccParams& params, const SearchOptions& opts);
+
+ private:
+  void WorkerLoop(std::size_t tid);
+
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<QueryWorkspace>> workspaces_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, QueryWorkspace&)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  // (generation & 0xffffffff) << 32 | next_index; see WorkerLoop.
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::size_t> pending_{0};
+  bool stop_ = false;
+};
+
+/// Computes the latency summary from per-query seconds (sorted copy inside).
+BatchLatency SummarizeLatency(std::span<const double> seconds, double wall_seconds);
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_BATCH_RUNNER_H_

@@ -4,9 +4,18 @@
 //              [--method online|lp|l2p] [--verify]
 //   bccs_query --graph g.txt --queries 3,17,42 --b 1      (multi-label mBCC)
 //
+// Batch mode (parallel engine with per-thread workspaces):
+//   bccs_query --graph g.txt --batch-file queries.txt [--threads 8]
+//              [--method online|lp|l2p] [--b 1]
+//     queries.txt: one "ql qr" pair per line ('#' comments allowed).
+//   bccs_query --graph g.txt --ql 3 --qr 17 --repeat 1000 [--threads 8]
+//     repeats one query to measure steady-state QPS / latency.
+//
 // k = 0 means auto (query coreness). Prints the community and search stats.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +23,7 @@
 #include "bcc/mbcc.h"
 #include "bcc/online_search.h"
 #include "bcc/verify.h"
+#include "eval/batch_runner.h"
 #include "graph/graph_io.h"
 #include "tools/arg_parser.h"
 
@@ -37,15 +47,86 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: bccs_query --graph FILE (--ql ID --qr ID | --queries ID,ID[,ID...])\n"
                "                  [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]\n"
-               "                  [--verify]\n");
+               "                  [--verify]\n"
+               "       bccs_query --graph FILE --batch-file FILE [--threads N] [--b N]\n"
+               "                  [--k1 N] [--k2 N] [--method online|lp|l2p]\n"
+               "       bccs_query --graph FILE --ql ID --qr ID --repeat N [--threads N]\n");
+}
+
+std::vector<bccs::BccQuery> ReadBatchFile(const std::string& path, std::size_t num_vertices,
+                                           bool* opened) {
+  std::vector<bccs::BccQuery> out;
+  std::ifstream in(path);
+  *opened = in.good();
+  if (!*opened) return out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t ql = 0, qr = 0;
+    if (!(ls >> ql >> qr)) {
+      bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+      if (!blank) {
+        std::fprintf(stderr, "%s:%zu: expected two vertex ids, skipped\n", path.c_str(),
+                     line_no);
+      }
+      continue;
+    }
+    if (ql >= num_vertices || qr >= num_vertices) {
+      std::fprintf(stderr, "%s:%zu: vertex id out of range (graph has %zu vertices), skipped\n",
+                   path.c_str(), line_no, num_vertices);
+      continue;
+    }
+    out.push_back({static_cast<bccs::VertexId>(ql), static_cast<bccs::VertexId>(qr)});
+  }
+  return out;
+}
+
+int RunBatch(const bccs::LabeledGraph& graph, std::vector<bccs::BccQuery> queries,
+             const bccs::BccParams& params, const std::string& method,
+             std::size_t threads) {
+  bccs::BatchRunner runner(threads);
+  bccs::BatchResult result;
+  if (method == "online") {
+    result = runner.RunBccBatch(graph, queries, params, bccs::OnlineBccOptions());
+  } else if (method == "lp") {
+    result = runner.RunBccBatch(graph, queries, params, bccs::LpBccOptions());
+  } else if (method == "l2p") {
+    bccs::BcIndex index(graph);
+    result = runner.RunL2pBatch(graph, index, queries, params, {});
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  std::size_t non_empty = 0;
+  for (const auto& c : result.communities) non_empty += c.Empty() ? 0 : 1;
+  std::printf("batch: %zu queries, %zu threads, %zu non-empty\n", queries.size(),
+              result.threads_used, non_empty);
+  std::printf("wall=%.4fs qps=%.1f avg=%.6fs p50=%.6fs p90=%.6fs p99=%.6fs\n",
+              result.latency.wall_seconds, result.latency.qps, result.latency.avg_seconds,
+              result.latency.p50_seconds, result.latency.p90_seconds,
+              result.latency.p99_seconds);
+  std::printf("workspace: bulk_inits=%llu buffer_acquires=%llu\n",
+              static_cast<unsigned long long>(result.workspace_stats.bulk_inits),
+              static_cast<unsigned long long>(result.workspace_stats.buffer_acquires));
+  for (std::size_t i = 0; i < queries.size() && i < 10; ++i) {
+    std::printf("  [%zu] (%u, %u) -> %zu members\n", i, queries[i].ql, queries[i].qr,
+                result.communities[i].Size());
+  }
+  if (queries.size() > 10) std::printf("  ... (%zu more)\n", queries.size() - 10);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
-  auto unknown = args.UnknownFlags(
-      {"graph", "ql", "qr", "queries", "k1", "k2", "b", "method", "verify", "help"});
+  auto unknown = args.UnknownFlags({"graph", "ql", "qr", "queries", "k1", "k2", "b", "method",
+                                    "verify", "help", "batch-file", "threads", "repeat"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -67,6 +148,46 @@ int main(int argc, char** argv) {
 
   const auto b = static_cast<std::uint64_t>(args.GetIntOr("b", 1));
   const std::string method = args.GetStringOr("method", "lp");
+
+  // Batch modes run through the parallel engine and return early.
+  const std::int64_t threads_arg = args.GetIntOr("threads", 0);
+  const std::int64_t repeat_arg = args.GetIntOr("repeat", 0);
+  if (threads_arg < 0 || (args.Has("repeat") && repeat_arg <= 0)) {
+    std::fprintf(stderr, "--threads must be >= 0 and --repeat must be > 0\n");
+    return 2;
+  }
+  const auto threads = static_cast<std::size_t>(threads_arg);
+  bccs::BccParams batch_params{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
+                               static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
+  if ((args.Has("batch-file") || args.Has("repeat")) && args.Has("verify")) {
+    std::fprintf(stderr, "warning: --verify is not supported in batch mode and is ignored\n");
+  }
+  if (args.Has("batch-file")) {
+    const std::string batch_path = args.GetStringOr("batch-file", "");
+    bool opened = false;
+    auto batch = ReadBatchFile(batch_path, graph->NumVertices(), &opened);
+    if (!opened) {
+      std::fprintf(stderr, "cannot read batch file %s\n", batch_path.c_str());
+      return 2;
+    }
+    if (batch.empty()) {
+      std::fprintf(stderr, "no queries in batch file\n");
+      return 2;
+    }
+    return RunBatch(*graph, std::move(batch), batch_params, method, threads);
+  }
+  if (args.Has("repeat")) {
+    auto ql = args.GetInt("ql");
+    auto qr = args.GetInt("qr");
+    auto repeat = static_cast<std::size_t>(repeat_arg);
+    if (!ql || !qr) {
+      PrintUsage();
+      return 2;
+    }
+    std::vector<bccs::BccQuery> batch(
+        repeat, {static_cast<bccs::VertexId>(*ql), static_cast<bccs::VertexId>(*qr)});
+    return RunBatch(*graph, std::move(batch), batch_params, method, threads);
+  }
 
   bccs::Community community;
   bccs::SearchStats stats;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
+# leaving BENCH_PR1.json next to this script's repo root. Future PRs append
+# their own BENCH_PR<N>.json and compare.
+#
+# usage: tools/run_bench.sh [extra perf_smoke args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target perf_smoke -j >/dev/null
+
+"$build_dir/perf_smoke" --out "$repo_root/BENCH_PR1.json" "$@"
