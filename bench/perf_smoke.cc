@@ -2,20 +2,25 @@
 //
 // Runs LP-BCC, Online-BCC and mBCC query batches over a planted synthetic
 // graph, sequentially (1 worker) and in parallel (all cores), checks that
-// the parallel engine returns identical communities, and emits a JSON
-// summary (default BENCH_PR1.json) with per-stage seconds and QPS so future
-// PRs can compare against this one.
+// the parallel engine returns identical communities, measures BcIndex
+// snapshot cold-start (index_build_seconds vs index_load_seconds, with an
+// identical-answers check for L2P on the loaded index), and emits a JSON
+// summary (default BENCH_PR2.json) so future PRs can compare against this
+// one.
 //
-//   perf_smoke [--out BENCH_PR1.json] [--queries 64] [--threads 0]
-//              [--communities 24] [--group-size 24]
+//   perf_smoke [--out BENCH_PR2.json] [--queries 64] [--threads 0]
+//              [--communities 24] [--group-size 24] [--keep-snapshot]
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "eval/batch_runner.h"
+#include "eval/timer.h"
 #include "graph/generators.h"
+#include "graph/snapshot.h"
 #include "tools/arg_parser.h"
 
 namespace {
@@ -33,12 +38,48 @@ struct MethodRow {
   SearchStats stage;                    // aggregated per-query stage seconds
 };
 
-void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, std::size_t n,
-               std::size_t edges, std::size_t par_threads) {
+/// Snapshot cold-start measurements for the JSON "index" block.
+struct IndexRow {
+  double build_seconds = 0;   // BcIndex build + all-pairs materialization
+  double save_seconds = 0;
+  double load_seconds = 0;    // LoadSnapshot (checksum verified)
+  double load_over_build = 0;
+  std::size_t snapshot_bytes = 0;
+  std::size_t pairs = 0;
+  bool mapped = false;
+  bool identical = false;     // L2P answers: built index vs loaded index
+};
+
+bool SameCommunities(const BatchResult& a, const BatchResult& b) {
+  if (a.communities.size() != b.communities.size()) return false;
+  for (std::size_t i = 0; i < a.communities.size(); ++i) {
+    if (a.communities[i].vertices != b.communities[i].vertices) return false;
+  }
+  return true;
+}
+
+SearchStats SumStats(const BatchResult& r) {
+  SearchStats s;
+  for (const SearchStats& q : r.stats) s += q;
+  return s;
+}
+
+void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow& index,
+               std::size_t n, std::size_t edges, std::size_t par_threads) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
   std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
   std::fprintf(f, "  \"parallel_threads\": %zu,\n", par_threads);
+  std::fprintf(f, "  \"index\": {\n");
+  std::fprintf(f, "    \"index_build_seconds\": %.6f,\n", index.build_seconds);
+  std::fprintf(f, "    \"index_save_seconds\": %.6f,\n", index.save_seconds);
+  std::fprintf(f, "    \"index_load_seconds\": %.6f,\n", index.load_seconds);
+  std::fprintf(f, "    \"load_over_build\": %.6f,\n", index.load_over_build);
+  std::fprintf(f, "    \"snapshot_bytes\": %zu,\n", index.snapshot_bytes);
+  std::fprintf(f, "    \"materialized_pairs\": %zu,\n", index.pairs);
+  std::fprintf(f, "    \"mmap\": %s,\n", index.mapped ? "true" : "false");
+  std::fprintf(f, "    \"identical_to_built\": %s\n", index.identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"methods\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const MethodRow& r = rows[i];
@@ -66,25 +107,82 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, std::size_t n,
   std::fprintf(f, "}\n");
 }
 
-bool SameCommunities(const BatchResult& a, const BatchResult& b) {
-  if (a.communities.size() != b.communities.size()) return false;
-  for (std::size_t i = 0; i < a.communities.size(); ++i) {
-    if (a.communities[i].vertices != b.communities[i].vertices) return false;
-  }
-  return true;
-}
+/// Builds the index (with every pair materialized), saves a snapshot next to
+/// `out_path`, reloads it, and checks that L2P answers from the loaded index
+/// match the freshly built one. This is the serving cold-start story: load
+/// must be a small fraction of build.
+///
+/// Runs on its own, larger planted graph (the method rows keep the
+/// PR1-comparable default) so the build cost being amortized is a realistic
+/// one: butterfly materialization is superlinear in group degree while load
+/// stays linear in file size.
+IndexRow MeasureSnapshotColdStart(std::size_t index_communities, const std::string& out_path,
+                                  bool keep_snapshot) {
+  IndexRow row;
+  const std::string snap_path = out_path + ".snapshot";
 
-SearchStats SumStats(const BatchResult& r) {
-  SearchStats s;
-  for (const SearchStats& q : r.stats) s += q;
-  return s;
+  PlantedConfig cfg;
+  cfg.num_communities = index_communities;
+  cfg.groups_per_community = 3;
+  cfg.num_labels = 3;
+  cfg.mixed_group_counts = true;
+  cfg.min_group_size = 40;
+  cfg.max_group_size = 72;
+  // Denser cross-label wiring: butterfly materialization cost (the build
+  // side of the ratio) grows with the square of cross degrees, while
+  // snapshot size — and so load cost — grows only linearly.
+  cfg.cross_pair_prob = 0.25;
+  cfg.seed = 17;
+  PlantedGraph pg = GeneratePlanted(cfg);
+  std::printf("index graph: %zu vertices, %zu edges, %zu labels\n", pg.graph.NumVertices(),
+              pg.graph.NumEdges(), pg.graph.NumLabels());
+
+  QueryGenConfig qcfg;
+  std::vector<GroundTruthQuery> gt = SampleGroundTruthQueries(pg, 32, qcfg);
+  std::vector<BccQuery> queries;
+  for (const auto& g : gt) queries.push_back(g.query);
+  const BccParams params;  // auto k, b = 1
+
+  Timer build_timer;
+  BcIndex built(pg.graph);
+  built.MaterializeAllPairs();
+  row.build_seconds = build_timer.Seconds();
+  row.pairs = built.CachedPairCount();
+
+  Timer save_timer;
+  std::string error;
+  if (!SaveSnapshot(built, snap_path, &error)) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", error.c_str());
+    return row;
+  }
+  row.save_seconds = save_timer.Seconds();
+
+  Timer load_timer;
+  auto loaded = LoadSnapshot(snap_path, &error);
+  row.load_seconds = load_timer.Seconds();
+  if (!loaded) {
+    std::fprintf(stderr, "snapshot load failed: %s\n", error.c_str());
+    return row;
+  }
+  row.load_over_build = row.build_seconds > 0 ? row.load_seconds / row.build_seconds : 0;
+  row.snapshot_bytes = loaded->snapshot_bytes;
+  row.mapped = loaded->mapped;
+
+  BatchRunner seq(1);
+  BatchResult from_built = seq.RunL2pBatch(pg.graph, built, queries, params, {});
+  BatchResult from_loaded =
+      seq.RunL2pBatch(*loaded->graph, *loaded->index, queries, params, {});
+  row.identical = SameCommunities(from_built, from_loaded);
+
+  if (!keep_snapshot) std::remove(snap_path.c_str());
+  return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR1.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR2.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -168,16 +266,26 @@ int main(int argc, char** argv) {
         r.identical ? "yes" : "NO", static_cast<unsigned long long>(r.steady_bulk_inits));
   }
 
+  IndexRow index = MeasureSnapshotColdStart(
+      static_cast<std::size_t>(args.GetIntOr("index-communities", 48)), out_path,
+      args.Has("keep-snapshot"));
+  std::printf(
+      "index       build=%.4fs save=%.4fs load=%.4fs (%.1f%% of build)  %zu pairs  "
+      "%zu bytes  mmap=%s  identical=%s\n",
+      index.build_seconds, index.save_seconds, index.load_seconds,
+      100.0 * index.load_over_build, index.pairs, index.snapshot_bytes,
+      index.mapped ? "yes" : "no", index.identical ? "yes" : "NO");
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  PrintJson(f, rows, n, pg.graph.NumEdges(), par.NumThreads());
+  PrintJson(f, rows, index, n, pg.graph.NumEdges(), par.NumThreads());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
-  bool ok = true;
+  bool ok = index.identical;
   for (const MethodRow& r : rows) ok = ok && r.identical && r.steady_bulk_inits == 0;
   return ok ? 0 : 1;
 }

@@ -6,15 +6,16 @@
 
 namespace bccs {
 
-BcIndex::BcIndex(const LabeledGraph& g)
-    : g_(&g), label_coreness_(LabelCoreness(g)), max_core_per_label_(g.NumLabels(), 0) {
+BcIndex::BcIndex(const LabeledGraph& g) : g_(&g), label_coreness_(LabelCoreness(g)) {
+  std::vector<std::uint32_t> max_core(g.NumLabels(), 0);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    auto& best = max_core_per_label_[g.LabelOf(v)];
+    auto& best = max_core[g.LabelOf(v)];
     best = std::max(best, label_coreness_[v]);
   }
+  max_core_per_label_ = std::move(max_core);
 }
 
-const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) {
+const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) const {
   if (a > b) std::swap(a, b);
   auto key = std::make_pair(a, b);
   {
@@ -37,6 +38,28 @@ const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) {
   std::lock_guard<std::mutex> lock(pair_cache_mutex_);
   auto [pos, inserted] = pair_cache_.emplace(key, std::move(counts));
   return pos->second;
+}
+
+void BcIndex::MaterializeAllPairs() {
+  const std::size_t num_labels = g_->NumLabels();
+  for (Label a = 0; a < num_labels; ++a) {
+    if (g_->VerticesWithLabel(a).empty()) continue;
+    for (Label b = a + 1; b < num_labels; ++b) {
+      if (g_->VerticesWithLabel(b).empty()) continue;
+      PairButterflies(a, b);
+    }
+  }
+}
+
+std::size_t BcIndex::CachedPairCount() const {
+  std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+  return pair_cache_.size();
+}
+
+void BcIndex::ForEachCachedPair(
+    const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const {
+  std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+  for (const auto& [key, counts] : pair_cache_) fn(key.first, key.second, counts);
 }
 
 }  // namespace bccs

@@ -2,8 +2,10 @@
 #define BCCS_BCC_BC_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "graph/labeled_graph.h"
 
 namespace bccs {
+
+struct SnapshotBundle;  // graph/snapshot.h
 
 /// The offline butterfly-core index of Section 6.3.
 ///
@@ -21,6 +25,13 @@ namespace bccs {
 /// and cached, which keeps construction linear for graphs with hundreds of
 /// labels while preserving exact per-pair query-time semantics (documented
 /// deviation 3 in DESIGN.md).
+///
+/// The index is share-safe and const-usable: all query entry points are
+/// const (the lazy pair cache is logically immutable state guarded by an
+/// internal mutex), so one index instance — freshly built or reconstructed
+/// from a snapshot — can serve every worker thread of a BatchRunner. The
+/// coreness arrays live in ArrayRef storage so a snapshot load keeps them as
+/// zero-copy views over the mapped file.
 class BcIndex {
  public:
   explicit BcIndex(const LabeledGraph& g);
@@ -36,16 +47,46 @@ class BcIndex {
   /// concurrent batch queries may fault the same pair in; the cache is
   /// guarded by a mutex and entries are never invalidated, so returned
   /// references stay valid for the index lifetime.
-  const ButterflyCounts& PairButterflies(Label a, Label b);
+  const ButterflyCounts& PairButterflies(Label a, Label b) const;
+
+  /// Eagerly faults in every cross-label pair whose two label groups are
+  /// both non-empty. This is what bccs_build runs before saving a snapshot,
+  /// so a loaded index answers every pair without computing butterflies.
+  void MaterializeAllPairs();
+
+  /// Number of label pairs currently materialized in the cache.
+  std::size_t CachedPairCount() const;
+
+  /// Visits every cached pair as (a, b, counts) with a < b, in key order.
+  /// Holds the cache lock for the duration; `fn` must not call back into the
+  /// pair cache.
+  void ForEachCachedPair(
+      const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const;
+
+  /// Loads the snapshot at `path` (graph + index, see graph/snapshot.h); on
+  /// any load failure (absent, truncated, corrupt, version mismatch) builds
+  /// a fresh index from `g`, materializes all pairs, and best-effort saves a
+  /// new snapshot to `path`. `error`, when non-null, receives the load
+  /// failure reason (empty when the snapshot loaded cleanly).
+  ///
+  /// When the snapshot loads, the returned bundle's graph is the snapshot's
+  /// own (mapped) graph and `g` is ignored — callers must query through
+  /// `bundle.graph`, not `g`.
+  static SnapshotBundle BuildOrLoad(const LabeledGraph& g, const std::string& path,
+                                    std::string* error = nullptr);
 
   const LabeledGraph& graph() const { return *g_; }
 
  private:
-  const LabeledGraph* g_;
-  std::vector<std::uint32_t> label_coreness_;
-  std::vector<std::uint32_t> max_core_per_label_;
-  std::mutex pair_cache_mutex_;
-  std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_;
+  friend class SnapshotAccess;  // reconstructs loaded indexes field by field
+
+  BcIndex() = default;  // snapshot loading only
+
+  const LabeledGraph* g_ = nullptr;
+  ArrayRef<std::uint32_t> label_coreness_;
+  ArrayRef<std::uint32_t> max_core_per_label_;
+  mutable std::mutex pair_cache_mutex_;
+  mutable std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_;
 };
 
 }  // namespace bccs

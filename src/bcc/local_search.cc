@@ -21,7 +21,7 @@ struct HeapEntry {
 
 }  // namespace
 
-std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
+std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, const BcIndex& index,
                                         const BccQuery& q, double gamma1, double gamma2,
                                         QueryWorkspace* ws) {
   const Label al = g.LabelOf(q.ql), ar = g.LabelOf(q.qr);
@@ -84,7 +84,7 @@ std::vector<VertexId> ButterflyCorePath(const LabeledGraph& g, BcIndex& index,
   return path;
 }
 
-double ButterflyCorePathWeight(const LabeledGraph& g, BcIndex& index,
+double ButterflyCorePathWeight(const LabeledGraph& g, const BcIndex& index,
                                const std::vector<VertexId>& path, double gamma1,
                                double gamma2) {
   if (path.size() < 2) return 0.0;
@@ -142,7 +142,7 @@ bool ExpandCandidate(const LabeledGraph& g, std::span<const VertexId> seeds, std
 
 }  // namespace
 
-Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
+Community L2pBcc(const LabeledGraph& g, const BcIndex& index, const BccQuery& q,
                  const BccParams& p, const L2pOptions& opts, SearchStats* stats,
                  QueryWorkspace* ws) {
   SearchStats local_stats;
@@ -210,7 +210,7 @@ Community L2pBcc(const LabeledGraph& g, BcIndex& index, const BccQuery& q,
   return out;
 }
 
-Community L2pMbcc(const LabeledGraph& g, BcIndex& index, const MbccQuery& q,
+Community L2pMbcc(const LabeledGraph& g, const BcIndex& index, const MbccQuery& q,
                   const MbccParams& p, const L2pOptions& opts, SearchStats* stats,
                   QueryWorkspace* ws) {
   SearchStats local_stats;

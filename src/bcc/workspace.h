@@ -107,12 +107,20 @@ class DistanceMap {
     }
     for (std::uint32_t d = 0; d < buckets_.size() && d <= max_level_; ++d) buckets_[d].clear();
     max_level_ = 0;
-    if (++epoch_ == 0) {  // stamp wrap-around: invalidate everything once
+    if (++epoch_ == 0) {
+      // Stamp wrap-around: without this bulk re-init, entries stamped in the
+      // old epoch 0 would read as fresh again. The O(n) fill is counted as a
+      // bulk init (it happens once per 2^32 resets).
+      ++bulk_inits_;
       std::fill(stamp_.begin(), stamp_.end(), 0);
       epoch_ = 1;
     }
     ++resets_;
   }
+
+  /// Test hook: jumps the epoch to its maximum so the next Reset() exercises
+  /// the uint32 wrap path.
+  void ForceEpochWrapForTest() { epoch_ = std::numeric_limits<std::uint32_t>::max(); }
 
   std::uint32_t Get(VertexId v) const { return stamp_[v] == epoch_ ? dist_[v] : kInfDistance; }
 
@@ -174,12 +182,17 @@ class PeelQueue {
     for (std::uint32_t d = 0; d < buckets_.size() && d <= max_level_; ++d) buckets_[d].clear();
     inf_.clear();
     max_level_ = 0;
-    if (++epoch_ == 0) {
+    if (++epoch_ == 0) {  // see DistanceMap::Reset — wrap forces a bulk re-init
+      ++bulk_inits_;
       std::fill(stamp_.begin(), stamp_.end(), 0);
       epoch_ = 1;
     }
     ++resets_;
   }
+
+  /// Test hook: jumps the epoch to its maximum so the next Reset() exercises
+  /// the uint32 wrap path.
+  void ForceEpochWrapForTest() { epoch_ = std::numeric_limits<std::uint32_t>::max(); }
 
   /// Records v's current query distance; queues v at its new level. No-op
   /// when the stored value is unchanged (so duplicate entries per level are

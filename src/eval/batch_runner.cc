@@ -128,7 +128,7 @@ BatchResult BatchRunner::RunBccBatch(const LabeledGraph& g, std::span<const BccQ
   });
 }
 
-BatchResult BatchRunner::RunL2pBatch(const LabeledGraph& g, BcIndex& index,
+BatchResult BatchRunner::RunL2pBatch(const LabeledGraph& g, const BcIndex& index,
                                      std::span<const BccQuery> queries,
                                      const BccParams& params, const L2pOptions& opts) {
   return RunCustomBatch(queries.size(), [&](std::size_t i, QueryWorkspace& ws, Community* c,

@@ -77,7 +77,7 @@ class BatchRunner {
                           const BccParams& params, const SearchOptions& opts);
 
   /// Batch L2P-BCC. The index's lazy pair cache is internally synchronized.
-  BatchResult RunL2pBatch(const LabeledGraph& g, BcIndex& index,
+  BatchResult RunL2pBatch(const LabeledGraph& g, const BcIndex& index,
                           std::span<const BccQuery> queries, const BccParams& params,
                           const L2pOptions& opts);
 

@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -8,46 +9,112 @@
 #include <vector>
 
 namespace bccs {
+namespace {
 
-std::optional<LabeledGraph> ReadLabeledGraph(std::istream& in) {
+std::nullopt_t Fail(std::string* error, std::size_t line_no, const std::string& msg) {
+  if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + msg;
+  return std::nullopt;
+}
+
+/// True when the stream has unconsumed non-whitespace — a malformed line like
+/// "e 1 2 junk" must be rejected, not silently half-read.
+bool HasTrailingGarbage(std::istringstream& ls) {
+  std::string extra;
+  return static_cast<bool>(ls >> extra);
+}
+
+}  // namespace
+
+std::optional<LabeledGraph> ReadLabeledGraph(std::istream& in, std::string* error) {
   std::size_t num_vertices = 0;
   bool saw_header = false;
   std::vector<Label> labels;
   std::vector<Edge> edges;
 
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank or whitespace-only
+    if (line[first] == '#') continue;          // comment
+
     std::istringstream ls(line);
-    char kind = 0;
+    std::string kind;
     ls >> kind;
-    if (kind == 'v') {
-      if (!(ls >> num_vertices)) return std::nullopt;
-      labels.assign(num_vertices, 0);
+    if (kind == "v") {
+      if (saw_header) return Fail(error, line_no, "duplicate 'v' header");
+      if (!(ls >> num_vertices)) {
+        return Fail(error, line_no, "expected 'v <num_vertices>'");
+      }
+      // Vertex ids are uint32 with the top value reserved as the no-vertex
+      // sentinel; a count past that (including 'v -1' wrapping to SIZE_MAX)
+      // must be a parse error, not a giant allocation or id wrap-around.
+      if (num_vertices >= static_cast<std::size_t>(kInvalidVertex)) {
+        return Fail(error, line_no,
+                    "vertex count " + std::to_string(num_vertices) + " exceeds the maximum " +
+                        std::to_string(kInvalidVertex - 1));
+      }
+      try {
+        labels.assign(num_vertices, 0);
+      } catch (const std::exception&) {
+        return Fail(error, line_no, "vertex count too large to allocate");
+      }
       saw_header = true;
-    } else if (kind == 'l') {
+    } else if (kind == "l") {
       VertexId v = 0;
       Label l = 0;
-      if (!saw_header || !(ls >> v >> l) || v >= num_vertices) return std::nullopt;
+      if (!saw_header) return Fail(error, line_no, "'l' record before the 'v' header");
+      if (!(ls >> v >> l)) return Fail(error, line_no, "expected 'l <vertex> <label>'");
+      if (v >= num_vertices) {
+        return Fail(error, line_no,
+                    "vertex id " + std::to_string(v) + " out of range (graph has " +
+                        std::to_string(num_vertices) + " vertices)");
+      }
+      // Labels index a dense table, so a stray huge value (e.g. 2^32-1)
+      // would drive a multi-GB allocation. Sparse label ids are fine as
+      // long as they stay under a generous cap.
+      const std::size_t label_cap = std::max<std::size_t>(num_vertices, 1u << 20);
+      if (l >= label_cap) {
+        return Fail(error, line_no,
+                    "label " + std::to_string(l) + " out of range (labels must be < " +
+                        std::to_string(label_cap) + ")");
+      }
       labels[v] = l;
-    } else if (kind == 'e') {
+    } else if (kind == "e") {
       Edge e;
-      if (!saw_header || !(ls >> e.u >> e.v) || e.u >= num_vertices || e.v >= num_vertices) {
-        return std::nullopt;
+      if (!saw_header) return Fail(error, line_no, "'e' record before the 'v' header");
+      if (!(ls >> e.u >> e.v)) return Fail(error, line_no, "expected 'e <u> <v>'");
+      if (e.u >= num_vertices || e.v >= num_vertices) {
+        return Fail(error, line_no,
+                    "edge endpoint out of range (graph has " + std::to_string(num_vertices) +
+                        " vertices)");
       }
       edges.push_back(e);
     } else {
-      return std::nullopt;
+      return Fail(error, line_no, "unknown record kind '" + kind + "'");
+    }
+    if (HasTrailingGarbage(ls)) {
+      return Fail(error, line_no, "trailing tokens after '" + kind + "' record");
     }
   }
-  if (!saw_header) return std::nullopt;
+  if (!saw_header) {
+    if (error != nullptr) *error = "missing 'v <num_vertices>' header";
+    return std::nullopt;
+  }
+  if (error != nullptr) error->clear();
   return LabeledGraph::FromEdges(num_vertices, std::move(edges), std::move(labels));
 }
 
-std::optional<LabeledGraph> ReadLabeledGraphFromFile(const std::string& path) {
+std::optional<LabeledGraph> ReadLabeledGraphFromFile(const std::string& path,
+                                                     std::string* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadLabeledGraph(in);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadLabeledGraph(in, error);
 }
 
 void WriteLabeledGraph(const LabeledGraph& g, std::ostream& out) {

@@ -13,9 +13,19 @@ namespace bccs {
 ///   - a line "v <num_vertices>" first,
 ///   - one line "l <vertex> <label>" per vertex (missing vertices get label 0),
 ///   - one line "e <u> <v>" per undirected edge.
-/// Lines starting with '#' are comments.
-std::optional<LabeledGraph> ReadLabeledGraph(std::istream& in);
-std::optional<LabeledGraph> ReadLabeledGraphFromFile(const std::string& path);
+/// Lines starting with '#' (after optional leading whitespace) are comments;
+/// blank lines and CRLF line endings are tolerated.
+///
+/// Malformed input is a hard error, not a silent truncation: the first bad
+/// line (unknown record kind, missing or trailing tokens, ids or labels out
+/// of range, records before the 'v' header, duplicate header) stops the
+/// parse, returns std::nullopt, and — when `error` is non-null — reports the
+/// 1-based line number and reason. Labels may be sparse but must stay under
+/// max(num_vertices, 2^20), which keeps a stray huge label from blowing up
+/// the dense label table.
+std::optional<LabeledGraph> ReadLabeledGraph(std::istream& in, std::string* error = nullptr);
+std::optional<LabeledGraph> ReadLabeledGraphFromFile(const std::string& path,
+                                                     std::string* error = nullptr);
 
 void WriteLabeledGraph(const LabeledGraph& g, std::ostream& out);
 bool WriteLabeledGraphToFile(const LabeledGraph& g, const std::string& path);

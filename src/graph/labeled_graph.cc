@@ -21,33 +21,49 @@ LabeledGraph LabeledGraph::FromEdges(std::size_t num_vertices, std::vector<Edge>
   });
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
-  LabeledGraph g;
-  g.labels_ = std::move(labels);
-  g.offsets_.assign(num_vertices + 1, 0);
+  std::vector<std::uint64_t> offsets(num_vertices + 1, 0);
   for (const Edge& e : edges) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
   }
-  for (std::size_t i = 0; i < num_vertices; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  for (std::size_t i = 0; i < num_vertices; ++i) offsets[i + 1] += offsets[i];
 
-  g.adjacency_.resize(2 * edges.size());
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const Edge& e : edges) {
-    g.adjacency_[cursor[e.u]++] = e.v;
-    g.adjacency_[cursor[e.v]++] = e.u;
+  std::vector<VertexId> adjacency(2 * edges.size());
+  std::size_t max_degree = 0;
+  {
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      adjacency[cursor[e.u]++] = e.v;
+      adjacency[cursor[e.v]++] = e.u;
+    }
   }
   for (std::size_t v = 0; v < num_vertices; ++v) {
-    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
-              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
-    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    max_degree = std::max<std::size_t>(max_degree, offsets[v + 1] - offsets[v]);
   }
 
   Label max_label = 0;
-  for (Label l : g.labels_) max_label = std::max(max_label, l);
-  g.label_members_.resize(num_vertices == 0 ? 0 : max_label + 1);
-  for (VertexId v = 0; v < num_vertices; ++v) {
-    g.label_members_[g.labels_[v]].push_back(v);
+  for (Label l : labels) max_label = std::max(max_label, l);
+  const std::size_t num_labels = num_vertices == 0 ? 0 : max_label + 1;
+  // Per-label member lists in CSR form; iterating vertices ascending keeps
+  // each label group sorted.
+  std::vector<std::uint64_t> label_offsets(num_labels + 1, 0);
+  for (Label l : labels) ++label_offsets[l + 1];
+  for (std::size_t i = 0; i < num_labels; ++i) label_offsets[i + 1] += label_offsets[i];
+  std::vector<VertexId> label_members(num_vertices);
+  {
+    std::vector<std::uint64_t> cursor(label_offsets.begin(), label_offsets.end() - 1);
+    for (VertexId v = 0; v < num_vertices; ++v) label_members[cursor[labels[v]]++] = v;
   }
+
+  LabeledGraph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  g.labels_ = std::move(labels);
+  g.label_offsets_ = std::move(label_offsets);
+  g.label_members_ = std::move(label_members);
+  g.max_degree_ = max_degree;
   return g;
 }
 

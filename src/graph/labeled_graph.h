@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,12 +27,54 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+/// An immutable array that either owns its storage (shared, so copies of the
+/// holder share one buffer) or views external memory — e.g. a section of an
+/// mmap'ed snapshot, kept alive by the holder's keepalive handle. This is
+/// what lets a snapshot load be zero-copy: the big CSR arrays stay in the
+/// mapped file and are paged in on demand.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+  /*implicit*/ ArrayRef(std::vector<T> v)
+      : owned_(std::make_shared<const std::vector<T>>(std::move(v))),
+        data_(owned_->data()),
+        size_(owned_->size()) {}
+
+  /// Non-owning view; the caller must keep `data` alive (snapshot loaders
+  /// pair views with a keepalive on the mapping).
+  static ArrayRef View(const T* data, std::size_t size) {
+    ArrayRef a;
+    a.data_ = data;
+    a.size_ = size;
+    return a;
+  }
+
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+ private:
+  std::shared_ptr<const std::vector<T>> owned_;  // null in view mode
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// Immutable undirected vertex-labeled graph G = (V, E, l) in CSR form.
 ///
 /// This is the substrate every algorithm in the library works on. Adjacency
 /// lists are sorted, which the butterfly and truss kernels rely on for
 /// linear-merge intersections. Self-loops and duplicate edges are dropped at
 /// construction. Labels are dense integers 0..NumLabels()-1.
+///
+/// All arrays (including the per-label member lists, stored in CSR form
+/// themselves) live in ArrayRef storage, so a graph is either built in
+/// memory or reconstructed as zero-copy views over a mapped snapshot (see
+/// graph/snapshot.h).
 class LabeledGraph {
  public:
   LabeledGraph() = default;
@@ -44,14 +87,18 @@ class LabeledGraph {
 
   std::size_t NumVertices() const { return labels_.size(); }
   std::size_t NumEdges() const { return adjacency_.size() / 2; }
-  std::size_t NumLabels() const { return label_members_.size(); }
+  std::size_t NumLabels() const {
+    return label_offsets_.empty() ? 0 : label_offsets_.size() - 1;
+  }
 
   /// Neighbors of `v`, sorted ascending.
   std::span<const VertexId> Neighbors(VertexId v) const {
     return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
   }
 
-  std::size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::size_t Degree(VertexId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
 
   Label LabelOf(VertexId v) const { return labels_[v]; }
 
@@ -63,7 +110,8 @@ class LabeledGraph {
 
   /// All vertices carrying label `l`, sorted ascending. Empty for unused labels.
   std::span<const VertexId> VerticesWithLabel(Label l) const {
-    return label_members_[l];
+    return {label_members_.data() + label_offsets_[l],
+            label_members_.data() + label_offsets_[l + 1]};
   }
 
   std::size_t MaxDegree() const { return max_degree_; }
@@ -72,11 +120,15 @@ class LabeledGraph {
   std::vector<Edge> AllEdges() const;
 
  private:
-  std::vector<std::size_t> offsets_;    // size NumVertices()+1
-  std::vector<VertexId> adjacency_;     // both directions, sorted per vertex
-  std::vector<Label> labels_;           // size NumVertices()
-  std::vector<std::vector<VertexId>> label_members_;
+  friend class SnapshotAccess;  // builds view-mode graphs from mapped files
+
+  ArrayRef<std::uint64_t> offsets_;        // size NumVertices()+1
+  ArrayRef<VertexId> adjacency_;           // both directions, sorted per vertex
+  ArrayRef<Label> labels_;                 // size NumVertices()
+  ArrayRef<std::uint64_t> label_offsets_;  // size NumLabels()+1
+  ArrayRef<VertexId> label_members_;       // label groups, ascending per label
   std::size_t max_degree_ = 0;
+  std::shared_ptr<const void> keepalive_;  // mapping backing view-mode arrays
 };
 
 /// Invokes `fn(w)` for every common neighbor w of u and v (linear merge over

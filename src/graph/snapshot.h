@@ -1,0 +1,87 @@
+#ifndef BCCS_GRAPH_SNAPSHOT_H_
+#define BCCS_GRAPH_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bcc/bc_index.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Persistent binary snapshots of a labeled graph plus its BcIndex.
+///
+/// A snapshot is one self-contained file:
+///
+///   [64-byte header]  magic, format version, endian tag, array sizes,
+///                     max degree, FNV-1a64 checksum of the payload
+///   [payload]         the graph's CSR arrays (offsets, adjacency, labels,
+///                     label-group CSR), the index's coreness arrays, and
+///                     one entry per materialized pair-butterfly cache line
+///                     (chi stored compactly over the two label groups).
+///
+/// Every section starts on a 64-byte boundary, so after mmap() each array is
+/// cache-line aligned and can be used in place: LoadSnapshot reconstructs
+/// the graph and index as zero-copy views over the mapping (the only copied
+/// data are the per-pair chi arrays, which are re-scattered into dense
+/// vectors). On platforms without mmap — or with allow_mmap = false — the
+/// loader falls back to one read() of the file into an owned buffer and
+/// builds the same views over it.
+///
+/// Rejected inputs (truncated file, bad magic, wrong version or endianness,
+/// checksum mismatch) return std::nullopt with a human-readable reason.
+
+/// Bump when the on-disk layout changes; loaders reject other versions.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// A loaded (or freshly built, for BcIndex::BuildOrLoad) graph + index. The
+/// graph shared_ptr owns the file mapping; the index points into the graph,
+/// so keep the bundle together (or at least the graph) while the index is
+/// in use.
+struct SnapshotBundle {
+  std::shared_ptr<const LabeledGraph> graph;
+  std::unique_ptr<BcIndex> index;
+  /// True when the bundle came from a snapshot file rather than a build.
+  bool loaded_from_snapshot = false;
+  /// True when the arrays are zero-copy views over an mmap'ed file (false
+  /// for the read() fallback and for built bundles).
+  bool mapped = false;
+  /// Snapshot file size in bytes (0 for built bundles that failed to save).
+  std::size_t snapshot_bytes = 0;
+};
+
+struct SnapshotLoadOptions {
+  /// Verify the payload checksum before trusting the file. One sequential
+  /// pass over the payload; disable only for trusted files where pure
+  /// page-fault cold start matters.
+  bool verify_checksum = true;
+  /// Use mmap when the platform has it; false forces the read() path.
+  bool allow_mmap = true;
+};
+
+/// Serializes `index.graph()` plus `index` (coreness arrays and the
+/// currently cached pair butterflies — run index.MaterializeAllPairs()
+/// first for a complete serving snapshot) to `path`. Returns false and sets
+/// `error` on I/O failure; a partially written file is removed.
+bool SaveSnapshot(const BcIndex& index, const std::string& path,
+                  std::string* error = nullptr);
+
+/// Loads a snapshot written by SaveSnapshot. On failure returns std::nullopt
+/// and sets `error` to the rejection reason.
+std::optional<SnapshotBundle> LoadSnapshot(const std::string& path,
+                                           std::string* error = nullptr,
+                                           const SnapshotLoadOptions& opts = {});
+
+/// Builds a fresh index from `g` (materializing every cross-label pair) and
+/// best-effort saves it to `path`; `error` reports a failed save. This is
+/// the build half of BcIndex::BuildOrLoad — call it directly when a load of
+/// `path` was already attempted and failed, to avoid re-reading the file.
+SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& path,
+                                   std::string* error = nullptr);
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_SNAPSHOT_H_

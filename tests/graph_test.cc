@@ -111,12 +111,78 @@ TEST(GraphIoTest, RejectsMalformed) {
 }
 
 TEST(GraphIoTest, CommentsIgnored) {
-  std::stringstream ss("# header comment\nv 2\n# middle\nl 0 3\nl 1 4\ne 0 1\n");
+  // Labels 3 and 4 on a 2-vertex graph: sparse label ids stay accepted.
+  std::stringstream ss("# header comment\nv 2\n  # indented comment\nl 0 3\nl 1 4\ne 0 1\n");
   auto g = ReadLabeledGraph(ss);
   ASSERT_TRUE(g.has_value());
   EXPECT_EQ(g->NumEdges(), 1u);
   EXPECT_EQ(g->LabelOf(0), 3u);
   EXPECT_EQ(g->LabelOf(1), 4u);
+}
+
+TEST(GraphIoTest, ToleratesCrlfAndBlankLines) {
+  std::stringstream ss("# made on windows\r\nv 3\r\n\r\n   \t \nl 0 1\r\ne 0 1\r\ne 1 2\r\n");
+  auto g = ReadLabeledGraph(ss);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  EXPECT_EQ(g->LabelOf(0), 1u);
+}
+
+TEST(GraphIoTest, ErrorsCarryLineNumbers) {
+  std::string error;
+  std::stringstream bad_token("v 4\ne 0 1\ne 2 x\n");
+  EXPECT_FALSE(ReadLabeledGraph(bad_token, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+
+  std::stringstream trailing("v 4\ne 0 1 7\n");
+  EXPECT_FALSE(ReadLabeledGraph(trailing, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+
+  std::stringstream out_of_range("v 2\n# fine so far\ne 0 5\n");
+  EXPECT_FALSE(ReadLabeledGraph(out_of_range, &error).has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+
+  std::stringstream before_header("# c\ne 0 1\nv 2\n");
+  EXPECT_FALSE(ReadLabeledGraph(before_header, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  std::stringstream duplicate_header("v 2\nv 2\n");
+  EXPECT_FALSE(ReadLabeledGraph(duplicate_header, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+
+  std::stringstream no_header("# only comments\n\n");
+  EXPECT_FALSE(ReadLabeledGraph(no_header, &error).has_value());
+  EXPECT_NE(error.find("missing 'v"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, RejectsHugeVertexCountInsteadOfAllocating) {
+  std::string error;
+  std::stringstream wrapped("v -1\n");  // unsigned extraction wraps to SIZE_MAX
+  EXPECT_FALSE(ReadLabeledGraph(wrapped, &error).has_value());
+  EXPECT_NE(error.find("vertex count"), std::string::npos) << error;
+
+  std::stringstream sentinel("v 4294967295\n");  // == kInvalidVertex
+  EXPECT_FALSE(ReadLabeledGraph(sentinel, &error).has_value());
+  EXPECT_NE(error.find("vertex count"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, RejectsHugeLabelInsteadOfAllocating) {
+  // A stray huge label used to drive the dense label table allocation.
+  std::string error;
+  std::stringstream ss("v 2\nl 0 4294967295\n");
+  EXPECT_FALSE(ReadLabeledGraph(ss, &error).has_value());
+  EXPECT_NE(error.find("label"), std::string::npos) << error;
+}
+
+TEST(GraphIoTest, HardErrorInsteadOfTruncation) {
+  // A bad line mid-file must fail the whole parse, not silently drop the
+  // remaining edges.
+  std::string error;
+  std::stringstream ss("v 4\ne 0 1\ne 1 oops\ne 2 3\n");
+  EXPECT_FALSE(ReadLabeledGraph(ss, &error).has_value());
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(GraphIoTest, FileRoundTrip) {

@@ -148,6 +148,60 @@ TEST(PeelQueueTest, PopsFarthestAndKeepsQueries) {
   EXPECT_FALSE(q.PopFarthest(alive, is_query, &batch, &level));
 }
 
+TEST(DistanceMapTest, EpochWrapDoesNotResurrectStaleEntries) {
+  DistanceMap dm;
+  dm.Reset(8);  // epoch 1
+  dm.Set(5, 3);
+  dm.SetUnreachable(6);
+  ASSERT_EQ(dm.Get(5), 3u);
+
+  // Drive the uint32 epoch counter to its maximum and wrap it. Without the
+  // wrap re-init, vertex 5's stamp (from the early epoch 1) would collide
+  // with the post-wrap epoch and its stale distance would read as fresh.
+  dm.ForceEpochWrapForTest();
+  dm.Set(2, 7);  // stamped at the maximum epoch value
+  const std::uint64_t inits_before = dm.bulk_inits();
+  dm.Reset(8);  // wraps: must bulk re-init the stamps
+  EXPECT_EQ(dm.bulk_inits(), inits_before + 1);
+  EXPECT_EQ(dm.Get(2), kInfDistance);
+  EXPECT_EQ(dm.Get(5), kInfDistance);
+  EXPECT_EQ(dm.Get(6), kInfDistance);
+
+  // The wrapped epoch works like any other.
+  dm.Set(5, 1);
+  EXPECT_EQ(dm.Get(5), 1u);
+  EXPECT_EQ(dm.Get(2), kInfDistance);
+  dm.Reset(8);
+  EXPECT_EQ(dm.Get(5), kInfDistance);
+}
+
+TEST(PeelQueueTest, EpochWrapDoesNotResurrectStaleEntries) {
+  PeelQueue q;
+  std::vector<char> alive(6, 1);
+  auto no_query = [](VertexId) { return false; };
+  std::vector<VertexId> batch;
+  std::uint32_t level = 0;
+
+  q.Reset(6);
+  q.Update(3, 4);
+  q.Update(1, kInfDistance);
+
+  q.ForceEpochWrapForTest();
+  q.Update(2, 9);
+  const std::uint64_t inits_before = q.bulk_inits();
+  q.Reset(6);  // wraps
+  EXPECT_EQ(q.bulk_inits(), inits_before + 1);
+  // Nothing queued this epoch: stale pre-wrap entries must not pop.
+  EXPECT_FALSE(q.PopFarthest(alive, no_query, &batch, &level));
+
+  // Fresh updates after the wrap behave normally.
+  q.Update(4, 2);
+  q.Update(5, 7);
+  ASSERT_TRUE(q.PopFarthest(alive, no_query, &batch, &level));
+  EXPECT_EQ(level, 7u);
+  EXPECT_EQ(batch, (std::vector<VertexId>{5}));
+}
+
 TEST(PeelQueueTest, RequeueAfterPartialDeletion) {
   PeelQueue q;
   q.Reset(4);

@@ -1,0 +1,107 @@
+// bccs_build: build the BcIndex for a graph file and persist graph + index
+// as a binary snapshot that bccs_query / BatchRunner map back in at serving
+// time (see graph/snapshot.h for the format).
+//
+//   bccs_build --graph g.txt --out g.snap [--pairs all|none] [--no-verify]
+//
+// --pairs all (default) materializes the butterfly counts of every
+// cross-label pair before saving, so a loaded index never computes
+// butterflies at query time; --pairs none saves only the coreness arrays
+// (pairs fault in lazily after load). Unless --no-verify is given, the tool
+// re-loads the snapshot and checks it against the in-memory index.
+
+#include <cstdio>
+#include <string>
+
+#include "eval/timer.h"
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
+#include "tools/arg_parser.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: bccs_build --graph FILE --out FILE [--pairs all|none] [--no-verify]\n");
+}
+
+bool VerifySnapshot(const bccs::BcIndex& built, const std::string& path) {
+  std::string error;
+  auto loaded = bccs::LoadSnapshot(path, &error);
+  if (!loaded) {
+    std::fprintf(stderr, "verify: reload failed: %s\n", error.c_str());
+    return false;
+  }
+  const bccs::LabeledGraph& g = built.graph();
+  const bccs::LabeledGraph& lg = *loaded->graph;
+  if (lg.NumVertices() != g.NumVertices() || lg.NumEdges() != g.NumEdges() ||
+      lg.NumLabels() != g.NumLabels()) {
+    std::fprintf(stderr, "verify: graph shape mismatch after reload\n");
+    return false;
+  }
+  for (bccs::VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (lg.LabelOf(v) != g.LabelOf(v) ||
+        loaded->index->Coreness(v) != built.Coreness(v)) {
+      std::fprintf(stderr, "verify: vertex %u disagrees after reload\n", v);
+      return false;
+    }
+  }
+  if (loaded->index->CachedPairCount() != built.CachedPairCount()) {
+    std::fprintf(stderr, "verify: cached pair count mismatch after reload\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
+  auto unknown = args.UnknownFlags({"graph", "out", "pairs", "no-verify", "help"});
+  if (!unknown.empty() || args.Has("help")) {
+    for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
+    PrintUsage();
+    return args.Has("help") ? 0 : 2;
+  }
+  auto graph_path = args.GetString("graph");
+  auto out_path = args.GetString("out");
+  const std::string pairs = args.GetStringOr("pairs", "all");
+  if (!graph_path || !out_path || (pairs != "all" && pairs != "none")) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string io_error;
+  bccs::Timer read_timer;
+  auto graph = bccs::ReadLabeledGraphFromFile(*graph_path, &io_error);
+  if (!graph) {
+    std::fprintf(stderr, "cannot read graph from %s: %s\n", graph_path->c_str(),
+                 io_error.c_str());
+    return 1;
+  }
+  std::printf("graph: %zu vertices, %zu edges, %zu labels (read in %.4fs)\n",
+              graph->NumVertices(), graph->NumEdges(), graph->NumLabels(),
+              read_timer.Seconds());
+
+  bccs::Timer build_timer;
+  bccs::BcIndex index(*graph);
+  if (pairs == "all") index.MaterializeAllPairs();
+  const double build_seconds = build_timer.Seconds();
+
+  bccs::Timer save_timer;
+  std::string save_error;
+  if (!bccs::SaveSnapshot(index, *out_path, &save_error)) {
+    std::fprintf(stderr, "cannot save snapshot: %s\n", save_error.c_str());
+    return 1;
+  }
+  std::printf("index: built in %.4fs (%zu pairs), saved to %s in %.4fs\n", build_seconds,
+              index.CachedPairCount(), out_path->c_str(), save_timer.Seconds());
+
+  if (!args.Has("no-verify")) {
+    bccs::Timer verify_timer;
+    if (!VerifySnapshot(index, *out_path)) return 1;
+    std::printf("verify: snapshot reload matches the built index (%.4fs)\n",
+                verify_timer.Seconds());
+  }
+  return 0;
+}

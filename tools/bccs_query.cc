@@ -4,17 +4,28 @@
 //              [--method online|lp|l2p] [--verify]
 //   bccs_query --graph g.txt --queries 3,17,42 --b 1      (multi-label mBCC)
 //
+// Index snapshots (see tools/bccs_build and graph/snapshot.h):
+//   bccs_query --index-file g.snap ...
+//     serves straight from the snapshot (mmap cold start; --graph not
+//     needed). With both --graph and --index-file, the snapshot is loaded
+//     when valid and otherwise rebuilt from the graph and saved to the
+//     snapshot path (BcIndex::BuildOrLoad).
+//
 // Batch mode (parallel engine with per-thread workspaces):
 //   bccs_query --graph g.txt --batch-file queries.txt [--threads 8]
-//              [--method online|lp|l2p] [--b 1]
-//     queries.txt: one "ql qr" pair per line ('#' comments allowed).
+//              [--method online|lp|l2p] [--b 1] [--repeat N]
+//     queries.txt: one "ql qr" pair per line ('#' comments allowed);
+//     --repeat tiles the batch N times.
 //   bccs_query --graph g.txt --ql 3 --qr 17 --repeat 1000 [--threads 8]
 //     repeats one query to measure steady-state QPS / latency.
+//   The BcIndex for --method l2p is built (or snapshot-loaded) exactly once,
+//   before the batch starts, so repeats measure query cost only.
 //
 // k = 0 means auto (query coreness). Prints the community and search stats.
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,7 +35,9 @@
 #include "bcc/online_search.h"
 #include "bcc/verify.h"
 #include "eval/batch_runner.h"
+#include "eval/timer.h"
 #include "graph/graph_io.h"
+#include "graph/snapshot.h"
 #include "tools/arg_parser.h"
 
 namespace {
@@ -45,12 +58,12 @@ std::vector<bccs::VertexId> ParseIdList(const std::string& csv) {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: bccs_query --graph FILE (--ql ID --qr ID | --queries ID,ID[,ID...])\n"
+               "usage: bccs_query (--graph FILE | --index-file FILE | both)\n"
+               "                  (--ql ID --qr ID | --queries ID,ID[,ID...])\n"
                "                  [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]\n"
                "                  [--verify]\n"
-               "       bccs_query --graph FILE --batch-file FILE [--threads N] [--b N]\n"
-               "                  [--k1 N] [--k2 N] [--method online|lp|l2p]\n"
-               "       bccs_query --graph FILE --ql ID --qr ID --repeat N [--threads N]\n");
+               "       bccs_query ... --batch-file FILE [--threads N] [--repeat N]\n"
+               "       bccs_query ... --ql ID --qr ID --repeat N [--threads N]\n");
 }
 
 std::vector<bccs::BccQuery> ReadBatchFile(const std::string& path, std::size_t num_vertices,
@@ -85,9 +98,11 @@ std::vector<bccs::BccQuery> ReadBatchFile(const std::string& path, std::size_t n
   return out;
 }
 
-int RunBatch(const bccs::LabeledGraph& graph, std::vector<bccs::BccQuery> queries,
-             const bccs::BccParams& params, const std::string& method,
-             std::size_t threads) {
+/// `index` must already be built/loaded for method "l2p" (never inside the
+/// timed batch), so repeated batches measure query cost only.
+int RunBatch(const bccs::LabeledGraph& graph, const bccs::BcIndex* index,
+             std::vector<bccs::BccQuery> queries, const bccs::BccParams& params,
+             const std::string& method, std::size_t threads) {
   bccs::BatchRunner runner(threads);
   bccs::BatchResult result;
   if (method == "online") {
@@ -95,8 +110,7 @@ int RunBatch(const bccs::LabeledGraph& graph, std::vector<bccs::BccQuery> querie
   } else if (method == "lp") {
     result = runner.RunBccBatch(graph, queries, params, bccs::LpBccOptions());
   } else if (method == "l2p") {
-    bccs::BcIndex index(graph);
-    result = runner.RunL2pBatch(graph, index, queries, params, {});
+    result = runner.RunL2pBatch(graph, *index, queries, params, {});
   } else {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
     return 2;
@@ -125,8 +139,9 @@ int RunBatch(const bccs::LabeledGraph& graph, std::vector<bccs::BccQuery> querie
 
 int main(int argc, char** argv) {
   bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
-  auto unknown = args.UnknownFlags({"graph", "ql", "qr", "queries", "k1", "k2", "b", "method",
-                                    "verify", "help", "batch-file", "threads", "repeat"});
+  auto unknown = args.UnknownFlags({"graph", "index-file", "ql", "qr", "queries", "k1", "k2",
+                                    "b", "method", "verify", "help", "batch-file", "threads",
+                                    "repeat"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -134,20 +149,86 @@ int main(int argc, char** argv) {
   }
 
   auto graph_path = args.GetString("graph");
-  if (!graph_path) {
+  auto index_path = args.GetString("index-file");
+  if (!graph_path && !index_path) {
     PrintUsage();
     return 2;
   }
-  auto graph = bccs::ReadLabeledGraphFromFile(*graph_path);
-  if (!graph) {
-    std::fprintf(stderr, "cannot read graph from %s\n", graph_path->c_str());
-    return 1;
+
+  // Resolve the graph (and, when snapshots are involved, the index) exactly
+  // once, before any query or repeat loop runs.
+  std::shared_ptr<const bccs::LabeledGraph> graph;
+  bccs::SnapshotBundle bundle;
+  if (index_path) {
+    // Warm path first: a valid snapshot serves on its own, so the text
+    // graph (potentially huge) is parsed only when the load fails and a
+    // rebuild fallback is actually needed.
+    bccs::Timer load_timer;
+    std::string load_error;
+    if (auto loaded = bccs::LoadSnapshot(*index_path, &load_error)) {
+      bundle = std::move(*loaded);
+    } else if (!graph_path) {
+      std::fprintf(stderr, "cannot load snapshot %s: %s\n", index_path->c_str(),
+                   load_error.c_str());
+      return 1;
+    } else {
+      std::string io_error;
+      auto text_graph = bccs::ReadLabeledGraphFromFile(*graph_path, &io_error);
+      if (!text_graph) {
+        std::fprintf(stderr, "snapshot %s failed (%s) and cannot read graph %s: %s\n",
+                     index_path->c_str(), load_error.c_str(), graph_path->c_str(),
+                     io_error.c_str());
+        return 1;
+      }
+      if (args.GetStringOr("method", "lp") == "l2p") {
+        // The load above already failed; build and save without re-reading
+        // the snapshot file.
+        std::fprintf(stderr, "note: snapshot %s: %s; rebuilding\n", index_path->c_str(),
+                     load_error.c_str());
+        bundle = bccs::BuildSnapshotBundle(*text_graph, *index_path, &io_error);
+        if (!io_error.empty()) {
+          std::fprintf(stderr, "note: snapshot %s: %s\n", index_path->c_str(),
+                       io_error.c_str());
+        }
+      } else {
+        // lp/online/mBCC never touch the index: don't pay the all-pairs
+        // butterfly build + snapshot write for them.
+        std::fprintf(stderr, "note: snapshot %s: %s; serving from the text graph\n",
+                     index_path->c_str(), load_error.c_str());
+        bundle.graph = std::make_shared<const bccs::LabeledGraph>(std::move(*text_graph));
+      }
+    }
+    graph = bundle.graph;
+    if (bundle.index != nullptr) {
+      std::printf("index: %s %s in %.6fs (%zu bytes, %zu cached pairs)\n",
+                  bundle.loaded_from_snapshot ? "loaded from" : "built and saved to",
+                  index_path->c_str(), load_timer.Seconds(), bundle.snapshot_bytes,
+                  bundle.index->CachedPairCount());
+    }
+  } else {
+    std::string io_error;
+    auto text_graph = bccs::ReadLabeledGraphFromFile(*graph_path, &io_error);
+    if (!text_graph) {
+      std::fprintf(stderr, "cannot read graph from %s: %s\n", graph_path->c_str(),
+                   io_error.c_str());
+      return 1;
+    }
+    graph = std::make_shared<const bccs::LabeledGraph>(std::move(*text_graph));
   }
   std::printf("graph: %zu vertices, %zu edges, %zu labels\n", graph->NumVertices(),
               graph->NumEdges(), graph->NumLabels());
 
   const auto b = static_cast<std::uint64_t>(args.GetIntOr("b", 1));
   const std::string method = args.GetStringOr("method", "lp");
+
+  // The l2p index is shared by every mode below; build it now (once) if the
+  // snapshot machinery did not already provide one.
+  std::unique_ptr<bccs::BcIndex> local_index;
+  const bccs::BcIndex* index = bundle.index.get();
+  if (method == "l2p" && index == nullptr) {
+    local_index = std::make_unique<bccs::BcIndex>(*graph);
+    index = local_index.get();
+  }
 
   // Batch modes run through the parallel engine and return early.
   const std::int64_t threads_arg = args.GetIntOr("threads", 0);
@@ -157,6 +238,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto threads = static_cast<std::size_t>(threads_arg);
+  const auto repeat = args.Has("repeat") ? static_cast<std::size_t>(repeat_arg) : 1;
   bccs::BccParams batch_params{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
                                static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
   if ((args.Has("batch-file") || args.Has("repeat")) && args.Has("verify")) {
@@ -174,19 +256,32 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no queries in batch file\n");
       return 2;
     }
-    return RunBatch(*graph, std::move(batch), batch_params, method, threads);
+    if (repeat > 1) {  // tile the batch; the index above is NOT rebuilt per repeat
+      const std::size_t base = batch.size();
+      batch.reserve(base * repeat);
+      for (std::size_t r = 1; r < repeat; ++r) {
+        for (std::size_t i = 0; i < base; ++i) batch.push_back(batch[i]);
+      }
+    }
+    return RunBatch(*graph, index, std::move(batch), batch_params, method, threads);
   }
   if (args.Has("repeat")) {
     auto ql = args.GetInt("ql");
     auto qr = args.GetInt("qr");
-    auto repeat = static_cast<std::size_t>(repeat_arg);
     if (!ql || !qr) {
       PrintUsage();
       return 2;
     }
+    if (*ql < 0 || *qr < 0 ||
+        static_cast<std::uint64_t>(*ql) >= graph->NumVertices() ||
+        static_cast<std::uint64_t>(*qr) >= graph->NumVertices()) {
+      std::fprintf(stderr, "query ids out of range (graph has %zu vertices)\n",
+                   graph->NumVertices());
+      return 2;
+    }
     std::vector<bccs::BccQuery> batch(
         repeat, {static_cast<bccs::VertexId>(*ql), static_cast<bccs::VertexId>(*qr)});
-    return RunBatch(*graph, std::move(batch), batch_params, method, threads);
+    return RunBatch(*graph, index, std::move(batch), batch_params, method, threads);
   }
 
   bccs::Community community;
@@ -198,6 +293,13 @@ int main(int argc, char** argv) {
     if (queries.size() < 2) {
       std::fprintf(stderr, "--queries needs at least two ids\n");
       return 2;
+    }
+    for (bccs::VertexId v : queries) {
+      if (v >= graph->NumVertices()) {
+        std::fprintf(stderr, "query ids out of range (graph has %zu vertices)\n",
+                     graph->NumVertices());
+        return 2;
+      }
     }
     bccs::MbccQuery q{queries};
     bccs::MbccParams p;
@@ -211,14 +313,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     bccs::BccQuery q{static_cast<bccs::VertexId>(*ql), static_cast<bccs::VertexId>(*qr)};
+    if (q.ql >= graph->NumVertices() || q.qr >= graph->NumVertices()) {
+      std::fprintf(stderr, "query ids out of range (graph has %zu vertices)\n",
+                   graph->NumVertices());
+      return 2;
+    }
     queries = {q.ql, q.qr};
     bccs::BccParams p{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
                       static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
     if (method == "online") {
       community = bccs::OnlineBcc(*graph, q, p, &stats);
     } else if (method == "l2p") {
-      bccs::BcIndex index(*graph);
-      community = bccs::L2pBcc(*graph, index, q, p, {}, &stats);
+      community = bccs::L2pBcc(*graph, *index, q, p, {}, &stats);
     } else if (method == "lp") {
       community = bccs::LpBcc(*graph, q, p, &stats);
     } else {

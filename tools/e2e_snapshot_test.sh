@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end ctest: generate a tiny graph, persist a BcIndex snapshot with
+# bccs_build, and check that bccs_query serves identical answers from the
+# text graph and from the snapshot (single-query and batch paths), and that
+# a corrupted snapshot is rejected.
+#
+# usage: tools/e2e_snapshot_test.sh BIN_DIR
+set -euo pipefail
+
+bin="${1:?usage: e2e_snapshot_test.sh BIN_DIR}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$bin/bccs_generate" --communities 4 --group-size 10 --labels 2 --seed 3 \
+  --out "$tmp/g.txt" >/dev/null
+
+"$bin/bccs_build" --graph "$tmp/g.txt" --out "$tmp/g.snap" >/dev/null \
+  || fail "bccs_build failed"
+[ -s "$tmp/g.snap" ] || fail "snapshot file missing or empty"
+
+# Two query vertices of different labels (the first of each label group).
+q1="$(awk '$1=="l" && $3==0 {print $2; exit}' "$tmp/g.txt")"
+q2="$(awk '$1=="l" && $3==1 {print $2; exit}' "$tmp/g.txt")"
+[ -n "$q1" ] && [ -n "$q2" ] || fail "could not pick query vertices"
+
+run_query() { # $1: --graph/--index-file source args...
+  "$bin/bccs_query" "$@" --ql "$q1" --qr "$q2" --method l2p \
+    | grep -E '^(community|no community)' || true
+}
+
+from_graph="$(run_query --graph "$tmp/g.txt")"
+from_snap="$(run_query --index-file "$tmp/g.snap")"
+[ -n "$from_graph" ] || fail "no query output from the text-graph path"
+[ "$from_graph" = "$from_snap" ] \
+  || fail "snapshot answers differ: '$from_graph' vs '$from_snap'"
+
+# Batch path: the snapshot-backed index is shared across worker threads.
+printf '%s %s\n%s %s\n' "$q1" "$q2" "$q2" "$q1" > "$tmp/batch.txt"
+batch_graph="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/batch.txt" \
+  --method l2p --threads 2 --repeat 3 | grep -E '^  \[')"
+batch_snap="$("$bin/bccs_query" --index-file "$tmp/g.snap" --batch-file "$tmp/batch.txt" \
+  --method l2p --threads 2 --repeat 3 | grep -E '^  \[')"
+[ -n "$batch_graph" ] || fail "no batch output"
+[ "$batch_graph" = "$batch_snap" ] || fail "batch answers differ"
+
+# A corrupted snapshot must be rejected, not served.
+cp "$tmp/g.snap" "$tmp/bad.snap"
+printf '\x5a' | dd of="$tmp/bad.snap" bs=1 seek=100 conv=notrunc 2>/dev/null
+if "$bin/bccs_query" --index-file "$tmp/bad.snap" --ql "$q1" --qr "$q2" \
+    --method l2p >/dev/null 2>&1; then
+  fail "corrupted snapshot was accepted"
+fi
+
+echo "e2e snapshot test passed"
