@@ -14,7 +14,8 @@
 
 namespace bccs {
 
-struct SnapshotBundle;  // graph/snapshot.h
+struct SnapshotBundle;    // graph/snapshot.h
+struct SourceGraphInfo;   // graph/snapshot.h
 
 /// The offline butterfly-core index of Section 6.3.
 ///
@@ -64,16 +65,23 @@ class BcIndex {
       const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const;
 
   /// Loads the snapshot at `path` (graph + index, see graph/snapshot.h); on
-  /// any load failure (absent, truncated, corrupt, version mismatch) builds
-  /// a fresh index from `g`, materializes all pairs, and best-effort saves a
-  /// new snapshot to `path`. `error`, when non-null, receives the load
-  /// failure reason (empty when the snapshot loaded cleanly).
+  /// any load failure (absent, truncated, corrupt, version mismatch, stale
+  /// source-graph stamp) builds a fresh index from `g`, materializes all
+  /// pairs, and best-effort saves a new snapshot to `path`. `error`, when
+  /// non-null, receives the load failure reason (empty when the snapshot
+  /// loaded cleanly).
+  ///
+  /// The overload taking `source` (the identity of the graph file `g` was
+  /// read from) rejects snapshots stamped with a different source graph and
+  /// stamps `source` into any snapshot it writes.
   ///
   /// When the snapshot loads, the returned bundle's graph is the snapshot's
   /// own (mapped) graph and `g` is ignored — callers must query through
   /// `bundle.graph`, not `g`.
   static SnapshotBundle BuildOrLoad(const LabeledGraph& g, const std::string& path,
                                     std::string* error = nullptr);
+  static SnapshotBundle BuildOrLoad(const LabeledGraph& g, const std::string& path,
+                                    std::string* error, const SourceGraphInfo& source);
 
   const LabeledGraph& graph() const { return *g_; }
 

@@ -1,6 +1,7 @@
 #include "graph/snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
@@ -92,9 +93,11 @@ struct SnapshotHeader {
   std::uint64_t adjacency_size;
   std::uint64_t num_pairs;
   std::uint64_t max_degree;
-  std::uint64_t payload_checksum;  // FNV-1a64 of bytes [64, file size)
+  std::uint64_t source_graph_size;      // source text graph identity;
+  std::uint64_t source_graph_mtime_ns;  // 0/0 = unknown (no staleness check)
+  std::uint64_t payload_checksum;       // FNV-1a64 of bytes [80, file size)
 };
-static_assert(sizeof(SnapshotHeader) == 64, "snapshot header must stay 64 bytes");
+static_assert(sizeof(SnapshotHeader) == 80, "snapshot header must stay 80 bytes");
 
 struct SnapshotPairEntry {
   std::uint32_t label_a;
@@ -329,7 +332,22 @@ std::span<const T> SectionView(const MappedFile& file, std::size_t offset, std::
 
 }  // namespace
 
-bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* error) {
+SourceGraphInfo StatSourceGraph(const std::string& path) {
+  SourceGraphInfo info;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return info;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return info;
+  info.size_bytes = static_cast<std::uint64_t>(size);
+  info.mtime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(mtime.time_since_epoch())
+          .count());
+  return info;
+}
+
+bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* error,
+                  const SourceGraphInfo& source) {
   const LabeledGraph& g = index.graph();
   const auto offsets = SnapshotAccess::Offsets(g);
   const auto adjacency = SnapshotAccess::Adjacency(g);
@@ -354,6 +372,8 @@ bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* er
   header.adjacency_size = adjacency.size();
   header.num_pairs = pairs.size();
   header.max_degree = g.MaxDegree();
+  header.source_graph_size = source.size_bytes;
+  header.source_graph_mtime_ns = source.mtime_ns;
   header.payload_checksum = 0;  // patched after the payload is written
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -422,7 +442,8 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   if (file == nullptr) return std::nullopt;
   if (file->size < sizeof(SnapshotHeader)) {
     return fail("truncated snapshot: " + std::to_string(file->size) +
-                " bytes is smaller than the 64-byte header");
+                " bytes is smaller than the " + std::to_string(sizeof(SnapshotHeader)) +
+                "-byte header");
   }
 
   SnapshotHeader header;
@@ -434,6 +455,15 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   if (header.version != kSnapshotFormatVersion) {
     return fail("unsupported snapshot version " + std::to_string(header.version) +
                 " (expected " + std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const SourceGraphInfo stamped{header.source_graph_size, header.source_graph_mtime_ns};
+  if (opts.expected_source.Known() && stamped.Known() &&
+      !(stamped == opts.expected_source)) {
+    return fail("stale snapshot: the stamped source graph (" +
+                std::to_string(stamped.size_bytes) + " bytes, mtime " +
+                std::to_string(stamped.mtime_ns) + "ns) does not match the graph file (" +
+                std::to_string(opts.expected_source.size_bytes) + " bytes, mtime " +
+                std::to_string(opts.expected_source.mtime_ns) + "ns)");
   }
 
   const std::uint64_t n = header.num_vertices;
@@ -453,8 +483,21 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
 
   const auto pair_entries =
       SectionView<SnapshotPairEntry>(*file, layout.pairs, header.num_pairs);
+  // Bound every chi_len BEFORE trusting the sum: the per-pair SectionViews
+  // below read chi_len*8 bytes each, so an attacker-chosen huge chi_len must
+  // not be able to wrap the 64-bit sum back onto the real file size and
+  // sneak past the expected-size check. Capping the running total at the
+  // words actually present after layout.chi keeps the sum (and the
+  // expected_size product) overflow-free and every per-pair view in bounds.
+  const std::uint64_t chi_capacity =
+      (file->size - layout.chi) / sizeof(std::uint64_t);
   std::uint64_t chi_total = 0;
-  for (const SnapshotPairEntry& e : pair_entries) chi_total += e.chi_len;
+  for (const SnapshotPairEntry& e : pair_entries) {
+    if (e.chi_len > chi_capacity - chi_total) {
+      return fail("truncated or corrupt snapshot: pair chi lengths exceed the file size");
+    }
+    chi_total += e.chi_len;
+  }
   const std::size_t expected_size = layout.chi + chi_total * sizeof(std::uint64_t);
   if (file->size != expected_size) {
     return fail((file->size < expected_size ? "truncated snapshot: expected "
@@ -574,13 +617,13 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
 }
 
 SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& path,
-                                   std::string* error) {
+                                   std::string* error, const SourceGraphInfo& source) {
   SnapshotBundle out;
   out.graph = std::make_shared<const LabeledGraph>(g);  // shares the CSR arrays
   out.index = std::make_unique<BcIndex>(*out.graph);
   out.index->MaterializeAllPairs();
   std::string save_err;
-  if (SaveSnapshot(*out.index, path, &save_err)) {
+  if (SaveSnapshot(*out.index, path, &save_err, source)) {
     if (error != nullptr) error->clear();
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
@@ -593,14 +636,21 @@ SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& pat
 
 SnapshotBundle BcIndex::BuildOrLoad(const LabeledGraph& g, const std::string& path,
                                     std::string* error) {
+  return BuildOrLoad(g, path, error, SourceGraphInfo{});
+}
+
+SnapshotBundle BcIndex::BuildOrLoad(const LabeledGraph& g, const std::string& path,
+                                    std::string* error, const SourceGraphInfo& source) {
   std::string load_err;
-  if (auto bundle = LoadSnapshot(path, &load_err)) {
+  SnapshotLoadOptions opts;
+  opts.expected_source = source;
+  if (auto bundle = LoadSnapshot(path, &load_err, opts)) {
     if (error != nullptr) error->clear();
     return std::move(*bundle);
   }
 
   std::string build_err;
-  SnapshotBundle out = BuildSnapshotBundle(g, path, &build_err);
+  SnapshotBundle out = BuildSnapshotBundle(g, path, &build_err, source);
   if (!build_err.empty()) {
     if (!load_err.empty()) load_err += "; ";
     load_err += build_err;

@@ -16,8 +16,9 @@ namespace bccs {
 ///
 /// A snapshot is one self-contained file:
 ///
-///   [64-byte header]  magic, format version, endian tag, array sizes,
-///                     max degree, FNV-1a64 checksum of the payload
+///   [80-byte header]  magic, format version, endian tag, array sizes,
+///                     max degree, size + mtime of the source graph file
+///                     (0 when unknown), FNV-1a64 checksum of the payload
 ///   [payload]         the graph's CSR arrays (offsets, adjacency, labels,
 ///                     label-group CSR), the index's coreness arrays, and
 ///                     one entry per materialized pair-butterfly cache line
@@ -32,10 +33,32 @@ namespace bccs {
 /// builds the same views over it.
 ///
 /// Rejected inputs (truncated file, bad magic, wrong version or endianness,
-/// checksum mismatch) return std::nullopt with a human-readable reason.
+/// checksum mismatch, stale source-graph stamp) return std::nullopt with a
+/// human-readable reason.
 
 /// Bump when the on-disk layout changes; loaders reject other versions.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
+/// Identity of the text graph file a snapshot was built from, stamped into
+/// the header so a loader given the graph path can detect a stale snapshot
+/// (graph edited after the snapshot was written). {0, 0} means unknown —
+/// e.g. a snapshot of an in-memory graph — and disables the check.
+///
+/// This is the size+mtime heuristic of make/rsync, chosen so the warm
+/// serving path never has to read the text graph: a same-size rewrite
+/// within one mtime tick of the filesystem goes undetected (run bccs_build
+/// again after such an edit).
+struct SourceGraphInfo {
+  std::uint64_t size_bytes = 0;
+  std::uint64_t mtime_ns = 0;
+
+  bool Known() const { return size_bytes != 0 || mtime_ns != 0; }
+  friend bool operator==(const SourceGraphInfo&, const SourceGraphInfo&) = default;
+};
+
+/// Stats `path` into a SourceGraphInfo; {0, 0} when the file is missing or
+/// unreadable.
+SourceGraphInfo StatSourceGraph(const std::string& path);
 
 /// A loaded (or freshly built, for BcIndex::BuildOrLoad) graph + index. The
 /// graph shared_ptr owns the file mapping; the index points into the graph,
@@ -60,14 +83,20 @@ struct SnapshotLoadOptions {
   bool verify_checksum = true;
   /// Use mmap when the platform has it; false forces the read() path.
   bool allow_mmap = true;
+  /// When Known(), reject snapshots whose stamped source-graph identity is
+  /// also known and differs ("stale snapshot"). Snapshots stamped as
+  /// unknown skip the check.
+  SourceGraphInfo expected_source;
 };
 
 /// Serializes `index.graph()` plus `index` (coreness arrays and the
 /// currently cached pair butterflies — run index.MaterializeAllPairs()
-/// first for a complete serving snapshot) to `path`. Returns false and sets
-/// `error` on I/O failure; a partially written file is removed.
+/// first for a complete serving snapshot) to `path`, stamping `source` (the
+/// identity of the graph file the index came from, when there is one) into
+/// the header. Returns false and sets `error` on I/O failure; a partially
+/// written file is removed.
 bool SaveSnapshot(const BcIndex& index, const std::string& path,
-                  std::string* error = nullptr);
+                  std::string* error = nullptr, const SourceGraphInfo& source = {});
 
 /// Loads a snapshot written by SaveSnapshot. On failure returns std::nullopt
 /// and sets `error` to the rejection reason.
@@ -76,11 +105,13 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path,
                                            const SnapshotLoadOptions& opts = {});
 
 /// Builds a fresh index from `g` (materializing every cross-label pair) and
-/// best-effort saves it to `path`; `error` reports a failed save. This is
-/// the build half of BcIndex::BuildOrLoad — call it directly when a load of
-/// `path` was already attempted and failed, to avoid re-reading the file.
+/// best-effort saves it to `path` stamped with `source`; `error` reports a
+/// failed save. This is the build half of BcIndex::BuildOrLoad — call it
+/// directly when a load of `path` was already attempted and failed, to
+/// avoid re-reading the file.
 SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& path,
-                                   std::string* error = nullptr);
+                                   std::string* error = nullptr,
+                                   const SourceGraphInfo& source = {});
 
 }  // namespace bccs
 

@@ -189,8 +189,54 @@ TEST(SnapshotTest, BuildOrLoadBuildsThenLoads) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotTest, BuildOrLoadRebuildsWhenSourceChanges) {
+  PlantedGraph pg = MakePlanted(4, 2);
+  const std::string path = TempPath("build_or_load_stale.snap");
+  std::remove(path.c_str());
+
+  std::string error;
+  const SourceGraphInfo v1{100, 200};
+  SnapshotBundle first = BcIndex::BuildOrLoad(pg.graph, path, &error, v1);
+  EXPECT_FALSE(first.loaded_from_snapshot);
+  SnapshotBundle again = BcIndex::BuildOrLoad(pg.graph, path, &error, v1);
+  EXPECT_TRUE(again.loaded_from_snapshot) << error;
+
+  // A changed source identity makes the snapshot stale: rebuilt and
+  // restamped, after which loads succeed again.
+  const SourceGraphInfo v2{101, 201};
+  SnapshotBundle rebuilt = BcIndex::BuildOrLoad(pg.graph, path, &error, v2);
+  EXPECT_FALSE(rebuilt.loaded_from_snapshot);
+  SnapshotBundle reloaded = BcIndex::BuildOrLoad(pg.graph, path, &error, v2);
+  EXPECT_TRUE(reloaded.loaded_from_snapshot) << error;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, StatSourceGraphTracksFileChanges) {
+  const std::string path = TempPath("stat_source.txt");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "v 0 0\n";
+  }
+  const SourceGraphInfo a = StatSourceGraph(path);
+  EXPECT_TRUE(a.Known());
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "v 1 0\n";
+  }
+  const SourceGraphInfo b = StatSourceGraph(path);
+  EXPECT_TRUE(b.Known());
+  EXPECT_FALSE(a == b);  // size changed
+  EXPECT_FALSE(StatSourceGraph(path + ".absent").Known());
+  std::remove(path.c_str());
+}
+
 class SnapshotRejectionTest : public ::testing::Test {
  protected:
+  // Mirrors the on-disk constants in snapshot.cc: the 80-byte header and the
+  // 64-byte section alignment (so the first section starts at 128).
+  static constexpr std::size_t kHeaderBytes = 80;
+  static std::size_t Align64(std::size_t o) { return (o + 63) / 64 * 64; }
+
   void SetUp() override {
     PlantedGraph pg = MakePlanted(3, 2);
     graph_ = std::make_unique<LabeledGraph>(pg.graph);
@@ -201,7 +247,7 @@ class SnapshotRejectionTest : public ::testing::Test {
     ASSERT_TRUE(SaveSnapshot(index, path_, &error)) << error;
     std::ifstream in(path_, std::ios::binary);
     bytes_.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-    ASSERT_GT(bytes_.size(), 64u);
+    ASSERT_GT(bytes_.size(), kHeaderBytes);
   }
 
   void TearDown() override { std::remove(path_.c_str()); }
@@ -222,6 +268,23 @@ class SnapshotRejectionTest : public ::testing::Test {
       EXPECT_NE(error.find(needle), std::string::npos)
           << "mmap=" << allow_mmap << ": " << error;
     }
+  }
+
+  /// Byte offset of the first SnapshotPairEntry (walks the 64-byte-aligned
+  /// section layout up to the pair table).
+  std::size_t FirstPairEntryOffset() const {
+    const std::size_t n = graph_->NumVertices();
+    const std::size_t m2 = 2 * graph_->NumEdges();
+    const std::size_t num_labels = graph_->NumLabels();
+    std::size_t off = kHeaderBytes;
+    off = Align64(off) + (n + 1) * 8;   // offsets
+    off = Align64(off) + m2 * 4;        // adjacency
+    off = Align64(off) + n * 4;         // labels
+    off = Align64(off) + (num_labels + 1) * 8;  // label_offsets
+    off = Align64(off) + n * 4;         // label_members
+    off = Align64(off) + n * 4;         // coreness
+    off = Align64(off) + num_labels * 4;  // max_core_per_label
+    return Align64(off);
   }
 
   std::unique_ptr<LabeledGraph> graph_;
@@ -275,8 +338,8 @@ TEST_F(SnapshotRejectionTest, StructuralChecksCatchOutOfRangeAdjacency) {
   // Even with checksum verification off, values used as indices must be
   // range-checked: plant an out-of-range vertex id in the adjacency section
   // (which starts 64-byte aligned after the (n+1)*8-byte offsets section).
-  const std::size_t offsets_end = 64 + (graph_->NumVertices() + 1) * 8;
-  const std::size_t adjacency_off = (offsets_end + 63) / 64 * 64;
+  const std::size_t offsets_end = Align64(kHeaderBytes) + (graph_->NumVertices() + 1) * 8;
+  const std::size_t adjacency_off = Align64(offsets_end);
   std::string corrupt = bytes_;
   ASSERT_LT(adjacency_off + 4, corrupt.size());
   for (std::size_t i = 0; i < 4; ++i) corrupt[adjacency_off + i] = '\xff';
@@ -300,21 +363,10 @@ TEST_F(SnapshotRejectionTest, MaxDegreeHeaderCorruptionRejected) {
 }
 
 TEST_F(SnapshotRejectionTest, OutOfGroupPairArgmaxRejected) {
-  // Walk the 64-byte-aligned section layout to the pair table and plant an
-  // argmax_left that is no group member (it indexes chi at query time).
-  const std::size_t n = graph_->NumVertices();
-  const std::size_t m2 = 2 * graph_->NumEdges();
-  const std::size_t num_labels = graph_->NumLabels();
-  auto align = [](std::size_t o) { return (o + 63) / 64 * 64; };
-  std::size_t off = 64;
-  off = align(off) + (n + 1) * 8;   // offsets
-  off = align(off) + m2 * 4;        // adjacency
-  off = align(off) + n * 4;         // labels
-  off = align(off) + (num_labels + 1) * 8;  // label_offsets
-  off = align(off) + n * 4;         // label_members
-  off = align(off) + n * 4;         // coreness
-  off = align(off) + num_labels * 4;  // max_core_per_label
-  const std::size_t argmax_left_off = align(off) + 40;  // first pair entry
+  // Plant an argmax_left that is no group member (it indexes chi at query
+  // time); pair-entry field offset: label_a 0, label_b 4, chi_len 8,
+  // total 16, max_left 24, max_right 32, argmax_left 40.
+  const std::size_t argmax_left_off = FirstPairEntryOffset() + 40;
 
   std::string corrupt = bytes_;
   ASSERT_LT(argmax_left_off + 4, corrupt.size());
@@ -328,6 +380,60 @@ TEST_F(SnapshotRejectionTest, OutOfGroupPairArgmaxRejected) {
   std::string error;
   EXPECT_FALSE(LoadSnapshot(path_, &error, opts).has_value());
   EXPECT_NE(error.find("argmax"), std::string::npos) << error;
+}
+
+TEST_F(SnapshotRejectionTest, ChiLenSumOverflowRejected) {
+  // Regression: add 2^61 to the first pair's chi_len. The chi_total sum then
+  // wraps 2^64 (2^61 * 8 == 0 mod 2^64), so the whole-file expected-size
+  // check still passes, but reading chi_len*8 bytes for that pair would run
+  // ~2^64 bytes past EOF — the loader must reject on the per-entry bound.
+  const std::size_t chi_len_off = FirstPairEntryOffset() + 8;
+  std::string corrupt = bytes_;
+  ASSERT_LT(chi_len_off + 8, corrupt.size());
+  corrupt[chi_len_off + 7] = '\x20';  // top byte of the little-endian uint64
+  WriteBytes(corrupt);
+  for (bool allow_mmap : {true, false}) {
+    SnapshotLoadOptions opts;
+    opts.allow_mmap = allow_mmap;
+    opts.verify_checksum = false;  // the size checks must catch it on their own
+    std::string error;
+    EXPECT_FALSE(LoadSnapshot(path_, &error, opts).has_value());
+    EXPECT_NE(error.find("chi lengths"), std::string::npos)
+        << "mmap=" << allow_mmap << ": " << error;
+  }
+}
+
+TEST_F(SnapshotRejectionTest, StaleSourceGraphRejected) {
+  const SourceGraphInfo source{1234, 5678};
+  std::string error;
+  {
+    BcIndex index(*graph_);
+    index.MaterializeAllPairs();
+    ASSERT_TRUE(SaveSnapshot(index, path_, &error, source)) << error;
+  }
+
+  SnapshotLoadOptions opts;
+  opts.expected_source = source;  // matching stamp loads
+  EXPECT_TRUE(LoadSnapshot(path_, &error, opts).has_value()) << error;
+
+  opts.expected_source = {source.size_bytes + 1, source.mtime_ns};  // graph grew
+  EXPECT_FALSE(LoadSnapshot(path_, &error, opts).has_value());
+  EXPECT_NE(error.find("stale"), std::string::npos) << error;
+  opts.expected_source = {source.size_bytes, source.mtime_ns + 1};  // graph touched
+  EXPECT_FALSE(LoadSnapshot(path_, &error, opts).has_value());
+  EXPECT_NE(error.find("stale"), std::string::npos) << error;
+
+  opts.expected_source = {};  // caller without a graph file: no check
+  EXPECT_TRUE(LoadSnapshot(path_, &error, opts).has_value()) << error;
+}
+
+TEST_F(SnapshotRejectionTest, UnstampedSnapshotSkipsStalenessCheck) {
+  // The fixture snapshot was saved without a source stamp (in-memory graph):
+  // an expected_source cannot prove it stale, so it still loads.
+  SnapshotLoadOptions opts;
+  opts.expected_source = {1234, 5678};
+  std::string error;
+  EXPECT_TRUE(LoadSnapshot(path_, &error, opts).has_value()) << error;
 }
 
 TEST_F(SnapshotRejectionTest, ChecksumCanBeSkipped) {

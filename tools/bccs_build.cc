@@ -71,6 +71,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Stamp the source graph's identity so a later load given the graph path
+  // can detect that the graph changed underneath the snapshot. Statted
+  // before the read: if the file is edited during the (long) build, the
+  // stale stamp forces a rebuild instead of silently matching content the
+  // index was not built from.
+  const bccs::SourceGraphInfo source = bccs::StatSourceGraph(*graph_path);
+
   std::string io_error;
   bccs::Timer read_timer;
   auto graph = bccs::ReadLabeledGraphFromFile(*graph_path, &io_error);
@@ -90,7 +97,7 @@ int main(int argc, char** argv) {
 
   bccs::Timer save_timer;
   std::string save_error;
-  if (!bccs::SaveSnapshot(index, *out_path, &save_error)) {
+  if (!bccs::SaveSnapshot(index, *out_path, &save_error, source)) {
     std::fprintf(stderr, "cannot save snapshot: %s\n", save_error.c_str());
     return 1;
   }

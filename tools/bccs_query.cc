@@ -8,8 +8,9 @@
 //   bccs_query --index-file g.snap ...
 //     serves straight from the snapshot (mmap cold start; --graph not
 //     needed). With both --graph and --index-file, the snapshot is loaded
-//     when valid and otherwise rebuilt from the graph and saved to the
-//     snapshot path (BcIndex::BuildOrLoad).
+//     when valid AND stamped with the graph file's current size/mtime;
+//     otherwise (corrupt, stale, absent) the index is rebuilt from the
+//     graph and saved to the snapshot path (BcIndex::BuildOrLoad).
 //
 // Batch mode (parallel engine with per-thread workspaces):
 //   bccs_query --graph g.txt --batch-file queries.txt [--threads 8]
@@ -162,10 +163,18 @@ int main(int argc, char** argv) {
   if (index_path) {
     // Warm path first: a valid snapshot serves on its own, so the text
     // graph (potentially huge) is parsed only when the load fails and a
-    // rebuild fallback is actually needed.
+    // rebuild fallback is actually needed. When --graph is also given, its
+    // stat() identity is checked against the snapshot's stamp, so a stale
+    // snapshot is rejected (and rebuilt below) instead of silently winning.
     bccs::Timer load_timer;
     std::string load_error;
-    if (auto loaded = bccs::LoadSnapshot(*index_path, &load_error)) {
+    bccs::SnapshotLoadOptions load_opts;
+    bccs::SourceGraphInfo source;
+    if (graph_path) {
+      source = bccs::StatSourceGraph(*graph_path);
+      load_opts.expected_source = source;
+    }
+    if (auto loaded = bccs::LoadSnapshot(*index_path, &load_error, load_opts)) {
       bundle = std::move(*loaded);
     } else if (!graph_path) {
       std::fprintf(stderr, "cannot load snapshot %s: %s\n", index_path->c_str(),
@@ -185,7 +194,7 @@ int main(int argc, char** argv) {
         // the snapshot file.
         std::fprintf(stderr, "note: snapshot %s: %s; rebuilding\n", index_path->c_str(),
                      load_error.c_str());
-        bundle = bccs::BuildSnapshotBundle(*text_graph, *index_path, &io_error);
+        bundle = bccs::BuildSnapshotBundle(*text_graph, *index_path, &io_error, source);
         if (!io_error.empty()) {
           std::fprintf(stderr, "note: snapshot %s: %s\n", index_path->c_str(),
                        io_error.c_str());

@@ -45,6 +45,27 @@ batch_snap="$("$bin/bccs_query" --index-file "$tmp/g.snap" --batch-file "$tmp/ba
 [ -n "$batch_graph" ] || fail "no batch output"
 [ "$batch_graph" = "$batch_snap" ] || fail "batch answers differ"
 
+# --repeat 0 must be rejected like negative values, not run a zero-query batch.
+if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" --repeat 0 \
+    >/dev/null 2>&1; then
+  fail "--repeat 0 was accepted"
+fi
+
+# A snapshot must not silently serve a graph that changed on disk: editing
+# the graph invalidates the source stamp, forcing a rebuild that restamps
+# the snapshot.
+printf '# edited after snapshot\n' >> "$tmp/g.txt"
+"$bin/bccs_query" --graph "$tmp/g.txt" --index-file "$tmp/g.snap" \
+  --ql "$q1" --qr "$q2" --method l2p >/dev/null 2>"$tmp/stale.err" \
+  || fail "query with a stale snapshot failed"
+grep -q "stale" "$tmp/stale.err" || fail "stale snapshot was not detected"
+"$bin/bccs_query" --graph "$tmp/g.txt" --index-file "$tmp/g.snap" \
+  --ql "$q1" --qr "$q2" --method l2p >/dev/null 2>"$tmp/restamp.err" \
+  || fail "query with the restamped snapshot failed"
+if grep -q "stale" "$tmp/restamp.err"; then
+  fail "restamped snapshot still reported stale"
+fi
+
 # A corrupted snapshot must be rejected, not served.
 cp "$tmp/g.snap" "$tmp/bad.snap"
 printf '\x5a' | dd of="$tmp/bad.snap" bs=1 seek=100 conv=notrunc 2>/dev/null
