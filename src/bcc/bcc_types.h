@@ -40,16 +40,24 @@ struct Community {
 };
 
 /// Per-query instrumentation. The Table-4 experiment reads the time splits
-/// and the butterfly-counting call counter.
+/// and the butterfly-counting call counter; the serving engine reads
+/// `timed_out` and `approx_checks`.
 struct SearchStats {
   std::size_t rounds = 0;
   /// Calls to the full butterfly-counting procedure (paper's Algorithm 3).
   std::size_t butterfly_counting_calls = 0;
+  /// Sampled validity checks that replaced a full per-round recount
+  /// (SearchOptions::approx fast path).
+  std::size_t approx_checks = 0;
   /// Leader re-identifications triggered by a leader dying or dropping
   /// below b.
   std::size_t leader_rebuilds = 0;
   std::size_t vertices_removed = 0;
   std::size_t g0_size = 0;
+  /// The query's deadline expired before peeling converged; the returned
+  /// community is the best valid intermediate state (possibly empty), never
+  /// an invalid one.
+  bool timed_out = false;
   double find_g0_seconds = 0;
   double query_distance_seconds = 0;
   double butterfly_seconds = 0;       // full counting
@@ -59,9 +67,11 @@ struct SearchStats {
   SearchStats& operator+=(const SearchStats& o) {
     rounds += o.rounds;
     butterfly_counting_calls += o.butterfly_counting_calls;
+    approx_checks += o.approx_checks;
     leader_rebuilds += o.leader_rebuilds;
     vertices_removed += o.vertices_removed;
     g0_size += o.g0_size;
+    timed_out = timed_out || o.timed_out;
     find_g0_seconds += o.find_g0_seconds;
     query_distance_seconds += o.query_distance_seconds;
     butterfly_seconds += o.butterfly_seconds;
@@ -69,6 +79,29 @@ struct SearchStats {
     total_seconds += o.total_seconds;
     return *this;
   }
+};
+
+/// Approximate-butterfly fast path for the per-round validity check (the
+/// Sanei-Mehri et al. KDD'18 sampling family, see butterfly/approx_counting).
+///
+/// When enabled and the alive candidate exceeds `threshold`, the per-round
+/// "does a side still reach chi >= b" check is replaced by the necessary
+/// condition "estimated total butterflies >= b" (every butterfly contributes
+/// to two vertices per side, so max chi >= b requires total >= b). Rounds
+/// validated this way are tracked, and the final answer is re-checked with
+/// an exact CountButterflies pass — falling back to the best exactly-
+/// validated round on failure — so returned communities are never
+/// approximate-only (see DESIGN.md).
+struct ApproxOptions {
+  bool enabled = false;
+  /// Sampled same-side vertex pairs per estimate.
+  std::size_t samples = 2048;
+  /// Alive-candidate size above which sampling replaces the exact recount.
+  std::size_t threshold = 4096;
+  /// Base RNG seed. The serving engine derives the effective per-query seed
+  /// as `seed ^ request_id`, so batch answers are bit-identical regardless
+  /// of which worker thread claims the query.
+  std::uint64_t seed = 1;
 };
 
 /// Strategy switches of Section 6. Online-BCC = defaults with both
@@ -83,6 +116,8 @@ struct SearchOptions {
   bool use_leader_pair = false;
   /// Leader search radius rho of Algorithm 6.
   std::uint32_t leader_rho = 2;
+  /// Sampled validity checks on huge candidates (off by default).
+  ApproxOptions approx;
 };
 
 inline SearchOptions OnlineBccOptions() { return SearchOptions{}; }

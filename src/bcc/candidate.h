@@ -61,8 +61,18 @@ class GroupedCandidate {
   /// removed too. `on_remove(v)` runs for each removed vertex immediately
   /// BEFORE v's masks are cleared, so incremental butterfly updates observe a
   /// consistent bipartite graph. Returns all removed vertices in order.
+  ///
+  /// A cascade can collapse the whole candidate, so a non-null `deadline` is
+  /// polled every few thousand steps: on expiry the cascade stops early,
+  /// `*expired` is set, and only the vertices processed so far are returned
+  /// (their masks cleared, bookkeeping consistent). The candidate is then in
+  /// a torn state — some survivors may violate their group core — so the
+  /// caller MUST abandon the peel immediately; the answer reconstructed from
+  /// earlier rounds remains a valid BCC.
   template <typename OnRemove>
-  std::vector<VertexId> RemoveAndMaintain(std::span<const VertexId> batch, OnRemove on_remove) {
+  std::vector<VertexId> RemoveAndMaintain(std::span<const VertexId> batch, OnRemove on_remove,
+                                          const Deadline* deadline = nullptr,
+                                          bool* expired = nullptr) {
     std::vector<VertexId> queue;
     for (VertexId v : batch) {
       if (IsAlive(v) && !queued_[v]) {
@@ -72,6 +82,12 @@ class GroupedCandidate {
     }
     std::size_t head = 0;
     while (head < queue.size()) {
+      if (deadline != nullptr && (head & 2047u) == 2047u && deadline->Expired()) {
+        if (expired != nullptr) *expired = true;
+        for (VertexId v : queue) queued_[v] = 0;
+        queue.resize(head);
+        return queue;
+      }
       VertexId v = queue[head++];
       on_remove(v);
       std::uint32_t gi = group_of_[v];

@@ -176,9 +176,16 @@ Community L2pBcc(const LabeledGraph& g, const BcIndex& index, const BccQuery& q,
   };
 
   // Lines 3-5 with an eta-doubling retry loop: expand, extract the local
-  // BCC, and peel with the LP strategies.
+  // BCC, and peel with the LP strategies. The retry loop polls the
+  // workspace deadline: an expired query neither starts another expansion
+  // nor doubles eta — it returns whatever (possibly empty, always valid)
+  // community the peel produced before timing out.
   std::size_t eta = opts.eta;
   for (std::size_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    if (ws != nullptr && ws->deadline().Expired()) {
+      stats->timed_out = true;
+      break;
+    }
     std::vector<char> in_gt = ws != nullptr ? ws->CharPool().Acquire(g.NumVertices())
                                             : std::vector<char>(g.NumVertices(), 0);
     std::vector<VertexId> owned_selected;
@@ -199,7 +206,7 @@ Community L2pBcc(const LabeledGraph& g, const BcIndex& index, const BccQuery& q,
       ws->CharPool().Release(std::move(in_gt), *selected_list);
       ws->ReleaseIdVec(selected_list);
     }
-    if (found) {
+    if (found || stats->timed_out) {
       stats->total_seconds += total.Seconds();
       return out;
     }
@@ -236,6 +243,10 @@ Community L2pMbcc(const LabeledGraph& g, const BcIndex& index, const MbccQuery& 
 
   std::size_t eta = opts.eta;
   for (std::size_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    if (ws != nullptr && ws->deadline().Expired()) {
+      stats->timed_out = true;
+      break;
+    }
     std::vector<char> in_gt = ws != nullptr ? ws->CharPool().Acquire(g.NumVertices())
                                             : std::vector<char>(g.NumVertices(), 0);
     std::vector<VertexId> owned_selected;
@@ -248,7 +259,7 @@ Community L2pMbcc(const LabeledGraph& g, const BcIndex& index, const MbccQuery& 
       ws->CharPool().Release(std::move(in_gt), *selected_list);
       ws->ReleaseIdVec(selected_list);
     }
-    if (!c.Empty()) return c;
+    if (!c.Empty() || stats->timed_out) return c;
     if (saturated) break;
     eta *= 2;
   }

@@ -7,6 +7,7 @@
 #include "bcc/candidate.h"
 #include "bcc/leader_pair.h"
 #include "bcc/query_distance.h"
+#include "butterfly/approx_counting.h"
 #include "butterfly/butterfly_counting.h"
 #include "butterfly/butterfly_update.h"
 #include "core/core_decomposition.h"
@@ -72,6 +73,8 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     ws = scoped_ws.get();
   }
   const std::size_t n = g.NumVertices();
+  const Deadline& deadline = ws->deadline();
+  const Deadline* cascade_deadline = deadline.unlimited() ? nullptr : &deadline;
 
   // --- Find G0 (Algorithm 9 line 1): per-group k_i-core components. ---
   std::vector<std::vector<VertexId>> groups(m);
@@ -111,6 +114,14 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     }
   }
 
+  // Phase-boundary deadline check: a query that already expired during
+  // Find-G0 skips the candidate build and pairwise counting entirely.
+  if (deadline.Expired()) {
+    stats->timed_out = true;
+    stats->total_seconds += total.Seconds();
+    return out;
+  }
+
   GroupedCandidate cand(g, groups, ks, ws);
   stats->g0_size += cand.NumAlive();
 
@@ -140,8 +151,20 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     return true;
   };
 
+  auto release_buffers = [&] {
+    ws->U64ZeroPool().Release(std::move(counts.chi), members);
+  };
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = i + 1; j < m; ++j) {
+      // Phase-boundary check: the initial O(m^2) pairwise counts are the
+      // most expensive pre-peel step, so an expiring query bails between
+      // pairs instead of finishing the whole matrix.
+      if (deadline.Expired()) {
+        stats->timed_out = true;
+        release_buffers();
+        stats->total_seconds += total.Seconds();
+        return out;
+      }
       PairState ps;
       ps.i = i;
       ps.j = j;
@@ -157,9 +180,6 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
       pairs.push_back(ps);
     }
   }
-  auto release_buffers = [&] {
-    ws->U64ZeroPool().Release(std::move(counts.chi), members);
-  };
   if (!meta_connected()) {
     release_buffers();
     stats->total_seconds += total.Seconds();
@@ -195,6 +215,14 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
   // removal_round defaults to 0xffffffff = "never removed" (the pool default).
   std::vector<std::uint32_t> removal_round = ws->U32InfPool().Acquire(n);
   std::vector<std::uint32_t> round_qd;
+  // round_exact[i]: round i's state was validated exactly (see PeelToBcc).
+  std::vector<char> round_exact;
+  bool next_round_exact = true;
+  bool used_approx = false;
+
+  const ApproxOptions& approx = opts.approx;
+  std::vector<VertexId>* estimate_scratch =
+      approx.enabled ? ws->AcquireIdVec() : nullptr;
 
   PeelQueue& queue = ws->peel_queue();
   queue.Reset(n);
@@ -207,9 +235,14 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
   std::vector<VertexId> changed;
 
   while (true) {
+    if (deadline.Expired()) {
+      stats->timed_out = true;
+      break;
+    }
     std::uint32_t qd = 0;
     if (!queue.PopFarthest(cand.alive(), is_query, &batch, &qd)) break;
     round_qd.push_back(qd);
+    round_exact.push_back(next_round_exact ? 1 : 0);
     ++stats->rounds;
     if (batch.empty()) break;
     if (!opts.bulk_delete) {
@@ -223,48 +256,90 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     }
 
     const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
+    bool cascade_expired = false;
     std::vector<VertexId> removed;
     if (opts.use_leader_pair) {
       ScopedAccumulator t(&stats->leader_update_seconds);
-      removed = cand.RemoveAndMaintain(batch, [&](VertexId v) {
-        std::uint32_t gv = cand.GroupOf(v);
-        for (PairState& ps : pairs) {
-          if (!ps.active || (ps.i != gv && ps.j != gv)) continue;
-          const auto& mask_i = cand.GroupMask(ps.i);
-          const auto& mask_j = cand.GroupMask(ps.j);
-          if (ps.leader_i.leader != kInvalidVertex && v != ps.leader_i.leader &&
-              cand.IsAlive(ps.leader_i.leader)) {
-            std::uint64_t loss = updater.LossOnDeletion(mask_i, mask_j, ps.leader_i.leader, v);
-            ps.leader_i.chi = loss > ps.leader_i.chi ? 0 : ps.leader_i.chi - loss;
-          }
-          if (ps.leader_j.leader != kInvalidVertex && v != ps.leader_j.leader &&
-              cand.IsAlive(ps.leader_j.leader)) {
-            std::uint64_t loss = updater.LossOnDeletion(mask_i, mask_j, ps.leader_j.leader, v);
-            ps.leader_j.chi = loss > ps.leader_j.chi ? 0 : ps.leader_j.chi - loss;
-          }
-        }
-      });
+      removed = cand.RemoveAndMaintain(
+          batch,
+          [&](VertexId v) {
+            std::uint32_t gv = cand.GroupOf(v);
+            for (PairState& ps : pairs) {
+              if (!ps.active || (ps.i != gv && ps.j != gv)) continue;
+              const auto& mask_i = cand.GroupMask(ps.i);
+              const auto& mask_j = cand.GroupMask(ps.j);
+              if (ps.leader_i.leader != kInvalidVertex && v != ps.leader_i.leader &&
+                  cand.IsAlive(ps.leader_i.leader)) {
+                std::uint64_t loss =
+                    updater.LossOnDeletion(mask_i, mask_j, ps.leader_i.leader, v);
+                ps.leader_i.chi = loss > ps.leader_i.chi ? 0 : ps.leader_i.chi - loss;
+              }
+              if (ps.leader_j.leader != kInvalidVertex && v != ps.leader_j.leader &&
+                  cand.IsAlive(ps.leader_j.leader)) {
+                std::uint64_t loss =
+                    updater.LossOnDeletion(mask_i, mask_j, ps.leader_j.leader, v);
+                ps.leader_j.chi = loss > ps.leader_j.chi ? 0 : ps.leader_j.chi - loss;
+              }
+            }
+          },
+          cascade_deadline, &cascade_expired);
     } else {
-      removed = cand.RemoveAndMaintain(batch);
+      removed = cand.RemoveAndMaintain(batch, [](VertexId) {}, cascade_deadline,
+                                       &cascade_expired);
     }
     for (VertexId v : removed) removal_round[v] = round_idx;
     stats->vertices_removed += removed.size();
+    if (cascade_expired) {
+      stats->timed_out = true;
+      break;
+    }
 
     bool query_dead = false;
     for (VertexId v : q.vertices) query_dead |= !cand.IsAlive(v);
     if (query_dead) break;
 
-    // Butterfly / cross-group-connectivity maintenance.
-    for (PairState& ps : pairs) {
+    // Butterfly / cross-group-connectivity maintenance. With the approx
+    // fast path and a still-huge candidate, a per-pair sampled estimate
+    // replaces the full recount (leaders left unset so the pair re-enters
+    // this path next round); see PeelToBcc for the validity contract.
+    next_round_exact = true;
+    const bool approx_this_round =
+        approx.enabled && cand.NumAlive() > approx.threshold;
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+      PairState& ps = pairs[pi];
       if (!ps.active) continue;
       bool need_recount = !opts.use_leader_pair;
       if (opts.use_leader_pair) {
-        bool i_ok = cand.IsAlive(ps.leader_i.leader) && ps.leader_i.chi >= p.b;
-        bool j_ok = cand.IsAlive(ps.leader_j.leader) && ps.leader_j.chi >= p.b;
+        // Leaders may be unset (kInvalidVertex) after an approx round.
+        bool i_ok = ps.leader_i.leader != kInvalidVertex &&
+                    cand.IsAlive(ps.leader_i.leader) && ps.leader_i.chi >= p.b;
+        bool j_ok = ps.leader_j.leader != kInvalidVertex &&
+                    cand.IsAlive(ps.leader_j.leader) && ps.leader_j.chi >= p.b;
         need_recount = !i_ok || !j_ok;
-        if (need_recount) ++stats->leader_rebuilds;
       }
       if (!need_recount) continue;
+      if (approx_this_round) {
+        double est = 0;
+        {
+          ScopedAccumulator t(&stats->butterfly_seconds);
+          ApproxButterflyOptions aopts;
+          aopts.samples = approx.samples;
+          aopts.seed = DeriveEstimateSeed(approx.seed, round_idx, pi);
+          est = EstimateTotalButterflies(g, groups[ps.i], groups[ps.j], cand.GroupMask(ps.i),
+                                         cand.GroupMask(ps.j), aopts, estimate_scratch);
+        }
+        ++stats->approx_checks;
+        used_approx = true;
+        next_round_exact = false;
+        if (est < static_cast<double>(p.b)) {
+          ps.active = false;
+        } else {
+          ps.leader_i = LeaderState{};
+          ps.leader_j = LeaderState{};
+        }
+        continue;
+      }
+      if (opts.use_leader_pair) ++stats->leader_rebuilds;
       count_pair(ps.i, ps.j);
       if (counts.max_left < p.b || counts.max_right < p.b) {
         ps.active = false;
@@ -306,6 +381,55 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     for (std::size_t i = 1; i < round_qd.size(); ++i) {
       if (round_qd[i] <= round_qd[best]) best = i;
     }
+    if (used_approx && !round_exact[best]) {
+      // Exact re-check of the chosen round: recount every label pair over
+      // exactly the round's members and require Definition 7 cross-group
+      // connectivity. On failure fall back to the best exactly-validated
+      // round (round 0 — G0 — always qualifies), so an approximate-only
+      // answer is never returned.
+      bool ok;
+      {
+        std::vector<std::vector<char>> masks(m);
+        std::vector<std::vector<VertexId>*> lists(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          masks[i] = ws->CharPool().Acquire(n);
+          lists[i] = ws->AcquireIdVec();
+          for (VertexId v : groups[i]) {
+            if (removal_round[v] < best) continue;
+            masks[i][v] = 1;
+            lists[i]->push_back(v);
+          }
+        }
+        UnionFind uf(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = i + 1; j < m; ++j) {
+            {
+              ScopedAccumulator t(&stats->butterfly_seconds);
+              CountButterfliesInto(g, *lists[i], *lists[j], masks[i], masks[j], ws, &counts);
+            }
+            ++stats->butterfly_counting_calls;
+            if (counts.max_left >= p.b && counts.max_right >= p.b) {
+              uf.Union(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+            }
+          }
+        }
+        ok = true;
+        for (std::size_t i = 1; i < m; ++i) {
+          ok = ok && uf.Connected(0, static_cast<std::uint32_t>(i));
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          ws->CharPool().Release(std::move(masks[i]), *lists[i]);
+          ws->ReleaseIdVec(lists[i]);
+        }
+      }
+      if (!ok) {
+        std::size_t fallback = 0;
+        for (std::size_t i = 1; i < round_qd.size(); ++i) {
+          if (round_exact[i] && round_qd[i] <= round_qd[fallback]) fallback = i;
+        }
+        best = fallback;
+      }
+    }
     for (VertexId v : members) {
       if (removal_round[v] >= best) out.vertices.push_back(v);
     }
@@ -315,6 +439,7 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
   release_buffers();
   ws->U32InfPool().Release(std::move(removal_round), members);
   for (std::size_t i = 0; i < m; ++i) ws->ReleaseDistance(dist[i]);
+  if (estimate_scratch != nullptr) ws->ReleaseIdVec(estimate_scratch);
   stats->total_seconds += total.Seconds();
   return out;
 }

@@ -7,6 +7,7 @@
 #include "bcc/candidate.h"
 #include "bcc/leader_pair.h"
 #include "bcc/query_distance.h"
+#include "butterfly/approx_counting.h"
 #include "butterfly/butterfly_counting.h"
 #include "butterfly/butterfly_update.h"
 #include "eval/timer.h"
@@ -38,6 +39,13 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
     ws = scoped_ws.get();
   }
   const std::size_t n = g.NumVertices();
+
+  // Phase-boundary deadline check: a query that already expired during
+  // Find-G0 skips the candidate build and initial BFS entirely.
+  if (ws->deadline().Expired()) {
+    stats->timed_out = true;
+    return out;
+  }
 
   GroupedCandidate cand(g, {g0.left, g0.right}, {g0.k1, g0.k2}, ws);
   stats->g0_size += cand.NumAlive();
@@ -71,6 +79,32 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
   // removal_round defaults to 0xffffffff = "never removed" (the pool default).
   std::vector<std::uint32_t> removal_round = ws->U32InfPool().Acquire(n);
   std::vector<std::uint32_t> round_qd;
+  // round_exact[i]: the check that validated round i's state was exact
+  // (Algorithm 3 or leader-chi maintenance), not a sampled estimate. Round 0
+  // is G0, exactly validated by Find-G0.
+  std::vector<char> round_exact;
+  bool next_round_exact = true;
+  bool used_approx = false;
+
+  const Deadline& deadline = ws->deadline();
+  const Deadline* cascade_deadline = deadline.unlimited() ? nullptr : &deadline;
+  const ApproxOptions& approx = opts.approx;
+  std::vector<VertexId>* estimate_scratch =
+      approx.enabled ? ws->AcquireIdVec() : nullptr;
+  // Sampled validity check (necessary condition: estimated total >= b; every
+  // butterfly gives two vertices per side, so max chi >= b needs total >= b).
+  auto estimate_valid = [&](std::uint32_t round_idx) {
+    ScopedAccumulator t(&stats->butterfly_seconds);
+    ApproxButterflyOptions aopts;
+    aopts.samples = approx.samples;
+    aopts.seed = DeriveEstimateSeed(approx.seed, round_idx);
+    double est = EstimateTotalButterflies(g, g0.left, g0.right, cand.GroupMask(0),
+                                          cand.GroupMask(1), aopts, estimate_scratch);
+    ++stats->approx_checks;
+    used_approx = true;
+    next_round_exact = false;
+    return est >= static_cast<double>(b);
+  };
 
   // Bucketed farthest-vertex selection: every alive member is queued at its
   // query distance; each round pops the maximum level.
@@ -85,9 +119,14 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
   std::vector<VertexId> changed_l, changed_r;
 
   while (true) {
+    if (deadline.Expired()) {
+      stats->timed_out = true;
+      break;
+    }
     std::uint32_t qd = 0;
     if (!queue.PopFarthest(cand.alive(), is_query, &batch, &qd)) break;
     round_qd.push_back(qd);
+    round_exact.push_back(next_round_exact ? 1 : 0);
     ++stats->rounds;
     if (batch.empty()) break;  // only the queries remain at max distance
     if (!opts.bulk_delete) {
@@ -106,37 +145,62 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
 
     // Delete + core maintenance (Algorithm 4); Algorithm 7 runs per removed
     // vertex while the bipartite graph is still consistent.
+    bool cascade_expired = false;
     std::vector<VertexId> removed;
     if (opts.use_leader_pair) {
       ScopedAccumulator t(&stats->leader_update_seconds);
-      removed = cand.RemoveAndMaintain(batch, [&](VertexId v) {
-        if (lead_l.leader != kInvalidVertex && v != lead_l.leader &&
-            cand.IsAlive(lead_l.leader)) {
-          std::uint64_t loss =
-              updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_l.leader, v);
-          lead_l.chi = loss > lead_l.chi ? 0 : lead_l.chi - loss;
-        }
-        if (lead_r.leader != kInvalidVertex && v != lead_r.leader &&
-            cand.IsAlive(lead_r.leader)) {
-          std::uint64_t loss =
-              updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_r.leader, v);
-          lead_r.chi = loss > lead_r.chi ? 0 : lead_r.chi - loss;
-        }
-      });
+      removed = cand.RemoveAndMaintain(
+          batch,
+          [&](VertexId v) {
+            if (lead_l.leader != kInvalidVertex && v != lead_l.leader &&
+                cand.IsAlive(lead_l.leader)) {
+              std::uint64_t loss =
+                  updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_l.leader, v);
+              lead_l.chi = loss > lead_l.chi ? 0 : lead_l.chi - loss;
+            }
+            if (lead_r.leader != kInvalidVertex && v != lead_r.leader &&
+                cand.IsAlive(lead_r.leader)) {
+              std::uint64_t loss =
+                  updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_r.leader, v);
+              lead_r.chi = loss > lead_r.chi ? 0 : lead_r.chi - loss;
+            }
+          },
+          cascade_deadline, &cascade_expired);
     } else {
-      removed = cand.RemoveAndMaintain(batch);
+      removed = cand.RemoveAndMaintain(batch, [](VertexId) {}, cascade_deadline,
+                                       &cascade_expired);
     }
     for (VertexId v : removed) removal_round[v] = round_idx;
     stats->vertices_removed += removed.size();
+    if (cascade_expired) {
+      // The cascade was cut short, so the surviving candidate may violate
+      // its cores; every earlier recorded round is still a valid state.
+      stats->timed_out = true;
+      break;
+    }
 
     if (!cand.IsAlive(q.ql) || !cand.IsAlive(q.qr)) break;
 
-    // Butterfly condition maintenance.
+    // Butterfly condition maintenance. With the approx fast path active and
+    // a still-huge candidate, a sampled estimate replaces the full recount;
+    // leaders are left unset so the next round re-enters this path until the
+    // candidate shrinks below the threshold (or the estimate fails).
+    const bool approx_this_round =
+        approx.enabled && cand.NumAlive() > approx.threshold;
     bool valid = true;
     if (opts.use_leader_pair) {
-      bool left_ok = cand.IsAlive(lead_l.leader) && lead_l.chi >= b;
-      bool right_ok = cand.IsAlive(lead_r.leader) && lead_r.chi >= b;
-      if (!left_ok || !right_ok) {
+      // Leaders may be unset (kInvalidVertex) after an approx round.
+      bool left_ok = lead_l.leader != kInvalidVertex && cand.IsAlive(lead_l.leader) &&
+                     lead_l.chi >= b;
+      bool right_ok = lead_r.leader != kInvalidVertex && cand.IsAlive(lead_r.leader) &&
+                      lead_r.chi >= b;
+      if (left_ok && right_ok) {
+        next_round_exact = true;  // leader chi is maintained exactly
+      } else if (approx_this_round) {
+        valid = estimate_valid(round_idx);
+        lead_l = LeaderState{};
+        lead_r = LeaderState{};
+      } else {
         {
           ScopedAccumulator t(&stats->butterfly_seconds);
           CountButterfliesInto(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws,
@@ -145,6 +209,7 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
         }
         ++stats->butterfly_counting_calls;
         ++stats->leader_rebuilds;
+        next_round_exact = true;
         if (counts->max_left < b || counts->max_right < b) {
           valid = false;
         } else {
@@ -155,6 +220,8 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
                                   counts->max_right, counts->argmax_right, ws);
         }
       }
+    } else if (approx_this_round) {
+      valid = estimate_valid(round_idx);
     } else {
       {
         ScopedAccumulator t(&stats->butterfly_seconds);
@@ -163,6 +230,7 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
         counts = &recount;
       }
       ++stats->butterfly_counting_calls;
+      next_round_exact = true;
       if (counts->max_left < b || counts->max_right < b) valid = false;
     }
     if (!valid) break;
@@ -198,6 +266,49 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
     for (std::size_t i = 1; i < round_qd.size(); ++i) {
       if (round_qd[i] <= round_qd[best]) best = i;
     }
+    if (used_approx && !round_exact[best]) {
+      // Exact re-check of the chosen answer (Algorithm 3 over exactly its
+      // members). A sampled round may have validated an invalid state, so an
+      // approximate-only answer is never returned: on failure, fall back to
+      // the best exactly-validated round (round 0 — G0 — always qualifies).
+      auto exact_round_valid = [&](std::size_t r) {
+        std::vector<char> ml = ws->CharPool().Acquire(n);
+        std::vector<char> mr = ws->CharPool().Acquire(n);
+        std::vector<VertexId>* ll = ws->AcquireIdVec();
+        std::vector<VertexId>* rl = ws->AcquireIdVec();
+        // `members` is g0.left followed by g0.right, so the position tells
+        // the side.
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          VertexId v = members[i];
+          if (removal_round[v] < r) continue;
+          if (i < g0.left.size()) {
+            ml[v] = 1;
+            ll->push_back(v);
+          } else {
+            mr[v] = 1;
+            rl->push_back(v);
+          }
+        }
+        {
+          ScopedAccumulator t(&stats->butterfly_seconds);
+          CountButterfliesInto(g, *ll, *rl, ml, mr, ws, &recount);
+        }
+        ++stats->butterfly_counting_calls;
+        bool ok = recount.max_left >= b && recount.max_right >= b;
+        ws->CharPool().Release(std::move(ml), *ll);
+        ws->CharPool().Release(std::move(mr), *rl);
+        ws->ReleaseIdVec(ll);
+        ws->ReleaseIdVec(rl);
+        return ok;
+      };
+      if (!exact_round_valid(best)) {
+        std::size_t fallback = 0;
+        for (std::size_t i = 1; i < round_qd.size(); ++i) {
+          if (round_exact[i] && round_qd[i] <= round_qd[fallback]) fallback = i;
+        }
+        best = fallback;
+      }
+    }
     for (VertexId v : members) {
       if (removal_round[v] >= best) out.vertices.push_back(v);  // alive = never removed
     }
@@ -208,6 +319,7 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
   ws->U64ZeroPool().Release(std::move(recount.chi), members);
   ws->ReleaseDistance(dist_l);
   ws->ReleaseDistance(dist_r);
+  if (estimate_scratch != nullptr) ws->ReleaseIdVec(estimate_scratch);
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -17,6 +18,36 @@ namespace bccs {
 /// Distance value for unreachable vertices. (Historically defined in
 /// query_distance.h, which now re-exports it from here.)
 inline constexpr std::uint32_t kInfDistance = static_cast<std::uint32_t>(-1);
+
+/// Cooperative per-query deadline. A default-constructed deadline never
+/// expires; Deadline::After(s) arms one `s` seconds from now.
+///
+/// The serving engine stamps the workspace with the request's deadline, and
+/// the search engines poll it at peel-round granularity (plus every few
+/// thousand cascade steps inside GroupedCandidate::RemoveAndMaintain). An
+/// expired query stops peeling and returns the best valid intermediate
+/// community found so far — possibly empty, never an invalid one — with
+/// SearchStats::timed_out set.
+class Deadline {
+ public:
+  Deadline() = default;  // unlimited
+
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool unlimited() const { return !armed_; }
+  bool Expired() const { return armed_ && std::chrono::steady_clock::now() >= at_; }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
 
 /// Aggregated workspace instrumentation. The batch engine and the
 /// allocation-regression tests read `bulk_inits`: the number of O(n)-sized
@@ -348,6 +379,12 @@ class QueryWorkspace {
   std::vector<VertexId>* AcquireIdVec();
   void ReleaseIdVec(std::vector<VertexId>* vec);
 
+  /// Per-query deadline, stamped by the serving engine before dispatch and
+  /// cleared (reset to unlimited) afterwards. Search engines poll it at
+  /// peel-round granularity.
+  void SetDeadline(Deadline d) { deadline_ = d; }
+  const Deadline& deadline() const { return deadline_; }
+
   WorkspaceStats Stats() const;
 
  private:
@@ -370,6 +407,7 @@ class QueryWorkspace {
   std::vector<std::unique_ptr<std::vector<VertexId>>> id_free_;
   std::vector<std::unique_ptr<std::vector<VertexId>>> id_used_;
 
+  Deadline deadline_;
   std::uint64_t local_bulk_inits_ = 0;
 };
 

@@ -21,9 +21,12 @@ double EstimateTotalButterflies(const LabeledGraph& g, std::span<const VertexId>
                                 std::span<const VertexId> right,
                                 const std::vector<char>& in_left,
                                 const std::vector<char>& in_right,
-                                const ApproxButterflyOptions& opts) {
+                                const ApproxButterflyOptions& opts,
+                                std::vector<VertexId>* alive_scratch) {
   (void)right;
-  std::vector<VertexId> alive;
+  std::vector<VertexId> local_alive;
+  std::vector<VertexId>& alive = alive_scratch != nullptr ? *alive_scratch : local_alive;
+  alive.clear();
   for (VertexId v : left) {
     if (in_left[v]) alive.push_back(v);
   }

@@ -11,11 +11,14 @@ BatchLatency SummarizeLatency(std::span<const double> seconds, double wall_secon
   BatchLatency out;
   out.wall_seconds = wall_seconds;
   if (seconds.empty()) return out;
-  out.qps = wall_seconds > 0 ? static_cast<double>(seconds.size()) / wall_seconds : 0;
   std::vector<double> sorted(seconds.begin(), seconds.end());
   std::sort(sorted.begin(), sorted.end());
   double sum = 0;
   for (double s : sorted) sum += s;
+  // A sub-microsecond batch can read a zero wall clock; fall back to the
+  // summed per-query seconds instead of silently reporting qps = 0.
+  const double denom = wall_seconds > 0 ? wall_seconds : sum;
+  out.qps = denom > 0 ? static_cast<double>(sorted.size()) / denom : 0;
   out.avg_seconds = sum / static_cast<double>(sorted.size());
   auto pct = [&](double p) {
     // Nearest-rank (rounded up) so p99 of a small batch reports the tail.
@@ -55,6 +58,7 @@ void BatchRunner::WorkerLoop(std::size_t tid) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t, QueryWorkspace&)>* job;
+    const std::uint32_t* order;
     std::size_t count;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -62,19 +66,23 @@ void BatchRunner::WorkerLoop(std::size_t tid) {
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
+      order = order_;
       count = job_count_;
     }
     QueryWorkspace& ws = *workspaces_[tid];
     for (;;) {
       // Generation-checked claim: a straggler from an older batch sees the
       // generation mismatch and backs off without consuming an index of the
-      // new batch.
+      // new batch. Claims are FIFO over *slots*; the optional order array
+      // maps a slot to its query index (the lane scheduler's policy).
       std::uint64_t cur = cursor_.load(std::memory_order_acquire);
       if ((cur >> 32) != (seen_generation & 0xffffffff)) break;
       std::uint64_t i = cur & 0xffffffff;
       if (i >= count) break;
       if (!cursor_.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel)) continue;
-      (*job)(static_cast<std::size_t>(i), ws);
+      const std::size_t index =
+          order != nullptr ? order[i] : static_cast<std::size_t>(i);
+      (*job)(index, ws);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(mutex_);
         done_cv_.notify_all();
@@ -88,6 +96,7 @@ void BatchRunner::Run(std::size_t count,
   if (count == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
+  order_ = nullptr;
   job_count_ = count;
   pending_.store(count, std::memory_order_relaxed);
   ++generation_;
@@ -95,6 +104,22 @@ void BatchRunner::Run(std::size_t count,
   work_cv_.notify_all();
   done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
   job_ = nullptr;
+}
+
+void BatchRunner::RunOrdered(std::span<const std::uint32_t> order,
+                             const std::function<void(std::size_t, QueryWorkspace&)>& fn) {
+  if (order.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  order_ = order.data();
+  job_count_ = order.size();
+  pending_.store(order.size(), std::memory_order_relaxed);
+  ++generation_;
+  cursor_.store((generation_ & 0xffffffff) << 32, std::memory_order_release);
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  job_ = nullptr;
+  order_ = nullptr;
 }
 
 WorkspaceStats BatchRunner::AggregateWorkspaceStats() const {
@@ -120,30 +145,31 @@ BatchResult BatchRunner::RunCustomBatch(std::size_t count, const RunTimedFn& que
   return out;
 }
 
-BatchResult BatchRunner::RunBccBatch(const LabeledGraph& g, std::span<const BccQuery> queries,
-                                     const BccParams& params, const SearchOptions& opts) {
-  return RunCustomBatch(queries.size(), [&](std::size_t i, QueryWorkspace& ws, Community* c,
-                                      SearchStats* stats) {
-    *c = BccSearch(g, queries[i], params, opts, stats, &ws);
-  });
-}
+// BatchRunner::RunBccBatch / RunL2pBatch / RunMbccBatch are compatibility
+// shims over ServeEngine and live in serve_engine.cc.
 
-BatchResult BatchRunner::RunL2pBatch(const LabeledGraph& g, const BcIndex& index,
-                                     std::span<const BccQuery> queries,
-                                     const BccParams& params, const L2pOptions& opts) {
-  return RunCustomBatch(queries.size(), [&](std::size_t i, QueryWorkspace& ws, Community* c,
-                                      SearchStats* stats) {
-    *c = L2pBcc(g, index, queries[i], params, opts, stats, &ws);
-  });
-}
-
-BatchResult BatchRunner::RunMbccBatch(const LabeledGraph& g,
-                                      std::span<const MbccQuery> queries,
-                                      const MbccParams& params, const SearchOptions& opts) {
-  return RunCustomBatch(queries.size(), [&](std::size_t i, QueryWorkspace& ws, Community* c,
-                                      SearchStats* stats) {
-    *c = MbccSearch(g, queries[i], params, opts, stats, nullptr, &ws);
-  });
+std::vector<std::uint32_t> BuildLaneOrder(std::span<const Lane> lanes,
+                                          std::size_t aging_period) {
+  std::vector<std::uint32_t> interactive, bulk;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    (lanes[i] == Lane::kInteractive ? interactive : bulk)
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(lanes.size());
+  std::size_t ii = 0, bi = 0, since_bulk = 0;
+  while (ii < interactive.size() || bi < bulk.size()) {
+    const bool bulk_left = bi < bulk.size();
+    const bool age_out = aging_period > 0 && since_bulk >= aging_period;
+    if (ii < interactive.size() && (!bulk_left || !age_out)) {
+      order.push_back(interactive[ii++]);
+      ++since_bulk;
+    } else {
+      order.push_back(bulk[bi++]);
+      since_bulk = 0;
+    }
+  }
+  return order;
 }
 
 }  // namespace bccs

@@ -20,6 +20,14 @@
 
 namespace bccs {
 
+/// Scheduling lane of a serving request. Interactive queries are claimed
+/// ahead of bulk ones (with anti-starvation aging, see BuildLaneOrder).
+enum class Lane : std::uint8_t { kInteractive = 0, kBulk = 1 };
+
+inline const char* Name(Lane lane) {
+  return lane == Lane::kInteractive ? "interactive" : "bulk";
+}
+
 /// Latency/throughput summary of one batch execution.
 struct BatchLatency {
   double wall_seconds = 0;
@@ -30,14 +38,28 @@ struct BatchLatency {
   double p99_seconds = 0;
 };
 
+/// Per-lane slice of a served batch: percentiles over *sojourn* time
+/// (submission of the batch to completion of the query, so queueing delay
+/// counts — the number an interactive caller actually experiences).
+struct LaneSummary {
+  Lane lane = Lane::kBulk;
+  std::size_t queries = 0;
+  BatchLatency latency;
+};
+
 /// Result of a batch: per-query outputs in input order plus the summary.
 struct BatchResult {
   std::vector<Community> communities;
   std::vector<SearchStats> stats;
-  std::vector<double> seconds;  // per-query latency
+  std::vector<double> seconds;  // per-query execution latency
   BatchLatency latency;
   std::size_t threads_used = 0;
   WorkspaceStats workspace_stats;  // aggregated over worker workspaces
+
+  // Filled by ServeEngine::Serve only (empty for the raw Run* paths):
+  std::vector<double> sojourn_seconds;  // batch submission -> query completion
+  std::vector<LaneSummary> lanes;       // per-lane percentiles over sojourn
+  std::size_t timed_out = 0;            // queries whose deadline expired
 };
 
 /// Thread-pool batch-query engine. Each worker owns a persistent
@@ -62,6 +84,15 @@ class BatchRunner {
   /// calling worker. Blocks until the batch drains.
   void Run(std::size_t count, const std::function<void(std::size_t, QueryWorkspace&)>& fn);
 
+  /// Scheduled fan-out: workers claim the *slots* of `order` FIFO and invoke
+  /// fn(order[slot], workspace). This is how the two-lane scheduler replaces
+  /// the plain FIFO claim: the claim loop stays a single atomic cursor, and
+  /// the policy (interactive-first with aging, see BuildLaneOrder) is
+  /// compiled into the order array. `order` must stay alive until the call
+  /// returns and hold each index at most once.
+  void RunOrdered(std::span<const std::uint32_t> order,
+                  const std::function<void(std::size_t, QueryWorkspace&)>& fn);
+
   /// Aggregated workspace stats over all workers (for allocation tests).
   WorkspaceStats AggregateWorkspaceStats() const;
 
@@ -71,6 +102,12 @@ class BatchRunner {
   /// Timed fan-out of an arbitrary per-query function (used for methods not
   /// covered by the convenience wrappers, e.g. the CTC/PSA baselines).
   BatchResult RunCustomBatch(std::size_t count, const RunTimedFn& fn);
+
+  // Compatibility shims over the unified serving engine. Each builds one
+  // QueryRequest per query (bulk lane, no deadline) and routes it through
+  // ServeEngine — the single dispatch path for all four methods. Defined in
+  // serve_engine.cc; prefer ServeEngine directly for new code (lanes,
+  // deadlines, approx, mixed-method batches).
 
   /// Batch Online-BCC / LP-BCC (per `opts`) over one graph.
   BatchResult RunBccBatch(const LabeledGraph& g, std::span<const BccQuery> queries,
@@ -95,6 +132,7 @@ class BatchRunner {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(std::size_t, QueryWorkspace&)>* job_ = nullptr;
+  const std::uint32_t* order_ = nullptr;  // slot -> index map; null = identity
   std::size_t job_count_ = 0;
   std::uint64_t generation_ = 0;
   // (generation & 0xffffffff) << 32 | next_index; see WorkerLoop.
@@ -104,7 +142,18 @@ class BatchRunner {
 };
 
 /// Computes the latency summary from per-query seconds (sorted copy inside).
+/// When the wall clock reads zero (sub-tick batches), qps falls back to the
+/// sum of per-query seconds instead of silently reporting 0.
 BatchLatency SummarizeLatency(std::span<const double> seconds, double wall_seconds);
+
+/// Compiles the two-lane policy into a claim order over [0, lanes.size()):
+/// interactive indices first (arrival order preserved within a lane), bulk
+/// after — except that every (aging_period + 1)-th claim slot is given to
+/// the oldest waiting bulk query, so a saturated interactive lane cannot
+/// starve bulk indefinitely. aging_period == 0 disables aging (bulk runs
+/// strictly after interactive).
+std::vector<std::uint32_t> BuildLaneOrder(std::span<const Lane> lanes,
+                                          std::size_t aging_period);
 
 }  // namespace bccs
 

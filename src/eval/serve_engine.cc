@@ -1,0 +1,175 @@
+#include "eval/serve_engine.h"
+
+#include <vector>
+
+#include "eval/timer.h"
+
+namespace bccs {
+
+const char* Name(QueryMethod m) {
+  switch (m) {
+    case QueryMethod::kOnlineBcc: return "online";
+    case QueryMethod::kLpBcc: return "lp";
+    case QueryMethod::kL2pBcc: return "l2p";
+    case QueryMethod::kMbcc: return "mbcc";
+  }
+  return "?";
+}
+
+ServeEngine::ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcIndex* index,
+                         ServeOptions opts)
+    : runner_(&runner), g_(&g), index_(index), opts_(std::move(opts)) {}
+
+namespace {
+
+// Per-query approx seed derivation: deterministic in the request id, so a
+// sampled query's whole schedule is independent of which worker claims it.
+SearchOptions SeededOptions(const SearchOptions& base, std::uint64_t request_id) {
+  SearchOptions o = base;
+  if (o.approx.enabled) o.approx.seed ^= request_id;
+  return o;
+}
+
+}  // namespace
+
+void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
+                           QueryWorkspace& ws, Community* community,
+                           SearchStats* stats) const {
+  if (req.method == QueryMethod::kMbcc) {
+    const auto* q = std::get_if<MbccQuery>(&req.query);
+    if (q == nullptr) return;  // variant/method mismatch: empty answer
+    *community = MbccSearch(*g_, *q, req.mbcc_params, SeededOptions(opts_.mbcc, request_id),
+                            stats, nullptr, &ws);
+    return;
+  }
+  const auto* q = std::get_if<BccQuery>(&req.query);
+  if (q == nullptr) return;
+  switch (req.method) {
+    case QueryMethod::kOnlineBcc:
+      *community = BccSearch(*g_, *q, req.params, SeededOptions(opts_.online, request_id),
+                             stats, &ws);
+      break;
+    case QueryMethod::kLpBcc:
+      *community =
+          BccSearch(*g_, *q, req.params, SeededOptions(opts_.lp, request_id), stats, &ws);
+      break;
+    case QueryMethod::kL2pBcc:
+      if (index_ != nullptr) {
+        L2pOptions o = opts_.l2p;
+        o.search = SeededOptions(o.search, request_id);
+        *community = L2pBcc(*g_, *index_, *q, req.params, o, stats, &ws);
+      } else {
+        // Planned degradation: no index in this process, serve via LP.
+        *community =
+            BccSearch(*g_, *q, req.params, SeededOptions(opts_.lp, request_id), stats, &ws);
+      }
+      break;
+    case QueryMethod::kMbcc:
+      break;  // handled above
+  }
+}
+
+BatchResult ServeEngine::Serve(std::span<const QueryRequest> requests) {
+  BatchResult out;
+  const std::size_t count = requests.size();
+  out.communities.resize(count);
+  out.stats.assign(count, SearchStats{});
+  out.seconds.assign(count, 0);
+  out.sojourn_seconds.assign(count, 0);
+  out.threads_used = runner_->NumThreads();
+  if (count == 0) return out;
+
+  std::vector<Lane> lanes(count);
+  std::vector<std::uint64_t> ids(count);
+  const std::uint64_t base = next_request_id_.fetch_add(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lanes[i] = requests[i].lane;
+    ids[i] = requests[i].request_id != 0 ? requests[i].request_id : base + i;
+  }
+  const std::vector<std::uint32_t> order = BuildLaneOrder(lanes, opts_.aging_period);
+
+  Timer wall;
+  runner_->RunOrdered(order, [&](std::size_t i, QueryWorkspace& ws) {
+    const QueryRequest& req = requests[i];
+    if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
+    Timer exec;
+    Dispatch(req, ids[i], ws, &out.communities[i], &out.stats[i]);
+    out.seconds[i] = exec.Seconds();
+    out.sojourn_seconds[i] = wall.Seconds();
+    ws.SetDeadline(Deadline{});
+  });
+  const double wall_seconds = wall.Seconds();
+
+  out.latency = SummarizeLatency(out.seconds, wall_seconds);
+  out.workspace_stats = runner_->AggregateWorkspaceStats();
+  for (const SearchStats& s : out.stats) out.timed_out += s.timed_out ? 1 : 0;
+
+  std::vector<double> lane_sojourn;
+  for (Lane lane : {Lane::kInteractive, Lane::kBulk}) {
+    lane_sojourn.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (lanes[i] == lane) lane_sojourn.push_back(out.sojourn_seconds[i]);
+    }
+    if (lane_sojourn.empty()) continue;
+    LaneSummary summary;
+    summary.lane = lane;
+    summary.queries = lane_sojourn.size();
+    summary.latency = SummarizeLatency(lane_sojourn, wall_seconds);
+    out.lanes.push_back(summary);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility shims: the historical per-method batch entry points, now
+// thin request builders over the unified engine (declared in batch_runner.h).
+// ---------------------------------------------------------------------------
+
+BatchResult BatchRunner::RunBccBatch(const LabeledGraph& g, std::span<const BccQuery> queries,
+                                     const BccParams& params, const SearchOptions& opts) {
+  ServeOptions so;
+  so.online = opts;
+  so.lp = opts;
+  const QueryMethod method =
+      opts.use_leader_pair ? QueryMethod::kLpBcc : QueryMethod::kOnlineBcc;
+  ServeEngine engine(*this, g, nullptr, so);
+  std::vector<QueryRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+    requests[i].method = method;
+    requests[i].params = params;
+  }
+  return engine.Serve(requests);
+}
+
+BatchResult BatchRunner::RunL2pBatch(const LabeledGraph& g, const BcIndex& index,
+                                     std::span<const BccQuery> queries,
+                                     const BccParams& params, const L2pOptions& opts) {
+  ServeOptions so;
+  so.l2p = opts;
+  ServeEngine engine(*this, g, &index, so);
+  std::vector<QueryRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+    requests[i].method = QueryMethod::kL2pBcc;
+    requests[i].params = params;
+  }
+  return engine.Serve(requests);
+}
+
+BatchResult BatchRunner::RunMbccBatch(const LabeledGraph& g,
+                                      std::span<const MbccQuery> queries,
+                                      const MbccParams& params, const SearchOptions& opts) {
+  ServeOptions so;
+  so.mbcc = opts;
+  ServeEngine engine(*this, g, nullptr, so);
+  std::vector<QueryRequest> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+    requests[i].method = QueryMethod::kMbcc;
+    requests[i].mbcc_params = params;
+  }
+  return engine.Serve(requests);
+}
+
+}  // namespace bccs

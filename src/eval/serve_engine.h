@@ -1,0 +1,100 @@
+#ifndef BCCS_EVAL_SERVE_ENGINE_H_
+#define BCCS_EVAL_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <variant>
+
+#include "bcc/local_search.h"
+#include "bcc/mbcc.h"
+#include "bcc/online_search.h"
+#include "eval/batch_runner.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// The paper's search variants as planner targets. kMbcc serves the
+/// Section 7 multi-labeled model; the other three serve two-label queries.
+enum class QueryMethod : std::uint8_t { kOnlineBcc, kLpBcc, kL2pBcc, kMbcc };
+
+const char* Name(QueryMethod m);
+
+/// A method-erased serving request: what to search for, which algorithm to
+/// plan it onto, how urgent it is, and how long it may run.
+struct QueryRequest {
+  /// BccQuery for the two-label methods, MbccQuery for kMbcc. A request
+  /// whose variant does not match its method is answered with an empty
+  /// community (never dispatched onto the wrong engine).
+  std::variant<BccQuery, MbccQuery> query;
+  QueryMethod method = QueryMethod::kLpBcc;
+  Lane lane = Lane::kBulk;
+  /// Cooperative per-query deadline; 0 = none. Checked at peel-round
+  /// granularity: an expired query returns its best valid intermediate
+  /// community (possibly empty) with SearchStats::timed_out set.
+  double deadline_seconds = 0;
+  /// 0 = assigned by the engine (stable per engine instance: the i-th
+  /// request of the first Serve call gets id 1 + i). Feeds the per-query
+  /// approx seed derivation `seed ^ request_id`, so sampled answers are
+  /// bit-identical across thread counts and claim orders.
+  std::uint64_t request_id = 0;
+  /// Two-label parameters (ignored by kMbcc).
+  BccParams params;
+  /// Multi-label parameters (kMbcc only).
+  MbccParams mbcc_params;
+};
+
+/// Engine-wide planning configuration: per-method search options plus the
+/// scheduler's anti-starvation aging period.
+struct ServeOptions {
+  SearchOptions online = OnlineBccOptions();
+  SearchOptions lp = LpBccOptions();
+  L2pOptions l2p;
+  SearchOptions mbcc = LpBccOptions();
+  /// Every (aging_period + 1)-th claim slot goes to the oldest waiting bulk
+  /// query even while interactive queries remain (0 disables aging).
+  std::size_t aging_period = 8;
+};
+
+/// The unified serving engine: plans method-erased QueryRequests onto the
+/// right search algorithm and executes them on a shared BatchRunner pool
+/// under the two-lane schedule (interactive ahead of bulk, with aging).
+///
+/// This is the single dispatch path for all four methods — the
+/// BatchRunner::Run*Batch entry points are thin shims over it.
+///
+/// Per-query deadlines are stamped into the worker's QueryWorkspace before
+/// dispatch; the approx fast path (SearchOptions::approx of the per-method
+/// options) has its seed derived per query as `seed ^ request_id`.
+///
+/// kL2pBcc requests require an index; when the engine was built without one
+/// they are planned onto LP-BCC instead (same model, no index) — the
+/// planned degradation for serving processes that skipped the index build.
+class ServeEngine {
+ public:
+  ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcIndex* index = nullptr,
+              ServeOptions opts = {});
+
+  /// Executes the batch and returns per-query outputs in request order.
+  /// BatchResult::seconds holds execution latency; sojourn_seconds holds
+  /// submission-to-completion latency, and `lanes` summarizes it per lane
+  /// (the interactive-vs-bulk p99 the scheduler exists for). `timed_out`
+  /// counts deadline-expired queries.
+  BatchResult Serve(std::span<const QueryRequest> requests);
+
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  void Dispatch(const QueryRequest& req, std::uint64_t request_id, QueryWorkspace& ws,
+                Community* community, SearchStats* stats) const;
+
+  BatchRunner* runner_;
+  const LabeledGraph* g_;
+  const BcIndex* index_;
+  ServeOptions opts_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_SERVE_ENGINE_H_

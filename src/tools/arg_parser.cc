@@ -68,6 +68,17 @@ double ArgParser::GetDoubleOr(const std::string& name, double fallback) const {
   return GetDouble(name).value_or(fallback);
 }
 
+std::int64_t ArgParser::GetPositiveIntOr(const std::string& name, std::int64_t fallback,
+                                         bool* valid) const {
+  if (!Has(name)) return fallback;
+  auto value = GetInt(name);
+  if (!value || *value <= 0) {
+    if (valid != nullptr) *valid = false;
+    return fallback;
+  }
+  return *value;
+}
+
 std::vector<std::string> ArgParser::UnknownFlags(const std::vector<std::string>& known) const {
   std::vector<std::string> unknown;
   for (const auto& [name, value] : flags_) {

@@ -31,6 +31,13 @@ class ArgParser {
   std::int64_t GetIntOr(const std::string& name, std::int64_t fallback) const;
   double GetDoubleOr(const std::string& name, double fallback) const;
 
+  /// Strict positive-integer flag: returns `fallback` when the flag is
+  /// absent, its value when present and a valid integer > 0, and otherwise
+  /// clears *valid (non-numeric, zero, negative, or missing value) so the
+  /// tool can reject the invocation with a usage message.
+  std::int64_t GetPositiveIntOr(const std::string& name, std::int64_t fallback,
+                                bool* valid) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Flags that were provided but are not in `known`; used for error

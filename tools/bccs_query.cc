@@ -4,6 +4,24 @@
 //              [--method online|lp|l2p] [--verify]
 //   bccs_query --graph g.txt --queries 3,17,42 --b 1      (multi-label mBCC)
 //
+// Every query — single, mBCC, or batch — enters through the unified
+// ServeEngine (eval/serve_engine.h): requests carry a method, a priority
+// lane, an optional deadline, and the approximate-counting knob.
+//
+// Serving flags:
+//   --lane interactive|bulk   priority lane (default: interactive for
+//                             single queries, bulk for batches). Interactive
+//                             drains ahead of bulk with anti-starvation
+//                             aging.
+//   --deadline-ms N           per-query deadline; an expired query returns
+//                             its best valid partial answer flagged timed_out.
+//   --approx-samples N        enable the sampled butterfly validity check
+//                             with N sampled pairs per estimate (exact
+//                             re-check on the final answer; answers are
+//                             deterministic in the seed and thread count).
+//   --approx-threshold N      candidate size above which sampling kicks in
+//                             (default 4096).
+//
 // Index snapshots (see tools/bccs_build and graph/snapshot.h):
 //   bccs_query --index-file g.snap ...
 //     serves straight from the snapshot (mmap cold start; --graph not
@@ -15,8 +33,9 @@
 // Batch mode (parallel engine with per-thread workspaces):
 //   bccs_query --graph g.txt --batch-file queries.txt [--threads 8]
 //              [--method online|lp|l2p] [--b 1] [--repeat N]
-//     queries.txt: one "ql qr" pair per line ('#' comments allowed);
-//     --repeat tiles the batch N times.
+//     queries.txt: one "ql qr [interactive|bulk]" per line ('#' comments
+//     allowed); the optional lane column overrides --lane; --repeat tiles
+//     the batch N times.
 //   bccs_query --graph g.txt --ql 3 --qr 17 --repeat 1000 [--threads 8]
 //     repeats one query to measure steady-state QPS / latency.
 //   The BcIndex for --method l2p is built (or snapshot-loaded) exactly once,
@@ -35,7 +54,7 @@
 #include "bcc/mbcc.h"
 #include "bcc/online_search.h"
 #include "bcc/verify.h"
-#include "eval/batch_runner.h"
+#include "eval/serve_engine.h"
 #include "eval/timer.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
@@ -62,14 +81,34 @@ void PrintUsage() {
                "usage: bccs_query (--graph FILE | --index-file FILE | both)\n"
                "                  (--ql ID --qr ID | --queries ID,ID[,ID...])\n"
                "                  [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]\n"
+               "                  [--lane interactive|bulk] [--deadline-ms N]\n"
+               "                  [--approx-samples N] [--approx-threshold N]\n"
                "                  [--verify]\n"
                "       bccs_query ... --batch-file FILE [--threads N] [--repeat N]\n"
                "       bccs_query ... --ql ID --qr ID --repeat N [--threads N]\n");
 }
 
-std::vector<bccs::BccQuery> ReadBatchFile(const std::string& path, std::size_t num_vertices,
-                                           bool* opened) {
-  std::vector<bccs::BccQuery> out;
+bool ParseLane(const std::string& s, bccs::Lane* lane) {
+  if (s == "interactive" || s == "i") {
+    *lane = bccs::Lane::kInteractive;
+    return true;
+  }
+  if (s == "bulk" || s == "b") {
+    *lane = bccs::Lane::kBulk;
+    return true;
+  }
+  return false;
+}
+
+struct BatchLine {
+  bccs::BccQuery query;
+  bool has_lane = false;
+  bccs::Lane lane = bccs::Lane::kBulk;
+};
+
+std::vector<BatchLine> ReadBatchFile(const std::string& path, std::size_t num_vertices,
+                                     bool* opened) {
+  std::vector<BatchLine> out;
   std::ifstream in(path);
   *opened = in.good();
   if (!*opened) return out;
@@ -94,46 +133,92 @@ std::vector<bccs::BccQuery> ReadBatchFile(const std::string& path, std::size_t n
                    path.c_str(), line_no, num_vertices);
       continue;
     }
-    out.push_back({static_cast<bccs::VertexId>(ql), static_cast<bccs::VertexId>(qr)});
+    BatchLine bl;
+    bl.query = {static_cast<bccs::VertexId>(ql), static_cast<bccs::VertexId>(qr)};
+    std::string lane_token;
+    if (ls >> lane_token) {
+      if (!ParseLane(lane_token, &bl.lane)) {
+        std::fprintf(stderr, "%s:%zu: unknown lane '%s' (interactive|bulk), skipped\n",
+                     path.c_str(), line_no, lane_token.c_str());
+        continue;
+      }
+      bl.has_lane = true;
+    }
+    out.push_back(bl);
   }
   return out;
+}
+
+/// Serving knobs shared by every mode, resolved once from the flags.
+struct ServeConfig {
+  bccs::QueryMethod method = bccs::QueryMethod::kLpBcc;
+  bccs::Lane lane = bccs::Lane::kBulk;
+  double deadline_seconds = 0;
+  bccs::ApproxOptions approx;
+};
+
+bccs::ServeOptions MakeServeOptions(const ServeConfig& cfg) {
+  bccs::ServeOptions so;
+  so.online.approx = cfg.approx;
+  so.lp.approx = cfg.approx;
+  so.mbcc.approx = cfg.approx;
+  so.l2p.search.approx = cfg.approx;
+  return so;
+}
+
+void PrintLaneSummaries(const bccs::BatchResult& result) {
+  for (const bccs::LaneSummary& lane : result.lanes) {
+    std::printf("lane %-11s %zu queries  sojourn p50=%.6fs p90=%.6fs p99=%.6fs\n",
+                bccs::Name(lane.lane), lane.queries, lane.latency.p50_seconds,
+                lane.latency.p90_seconds, lane.latency.p99_seconds);
+  }
 }
 
 /// `index` must already be built/loaded for method "l2p" (never inside the
 /// timed batch), so repeated batches measure query cost only.
 int RunBatch(const bccs::LabeledGraph& graph, const bccs::BcIndex* index,
-             std::vector<bccs::BccQuery> queries, const bccs::BccParams& params,
-             const std::string& method, std::size_t threads) {
-  bccs::BatchRunner runner(threads);
-  bccs::BatchResult result;
-  if (method == "online") {
-    result = runner.RunBccBatch(graph, queries, params, bccs::OnlineBccOptions());
-  } else if (method == "lp") {
-    result = runner.RunBccBatch(graph, queries, params, bccs::LpBccOptions());
-  } else if (method == "l2p") {
-    result = runner.RunL2pBatch(graph, *index, queries, params, {});
-  } else {
-    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
-    return 2;
+             const std::vector<BatchLine>& lines, const bccs::BccParams& params,
+             const ServeConfig& cfg, std::size_t threads) {
+  std::vector<bccs::QueryRequest> requests(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    requests[i].query = lines[i].query;
+    requests[i].method = cfg.method;
+    requests[i].lane = lines[i].has_lane ? lines[i].lane : cfg.lane;
+    requests[i].deadline_seconds = cfg.deadline_seconds;
+    requests[i].params = params;
   }
+  bccs::BatchRunner runner(threads);
+  bccs::ServeEngine engine(runner, graph, index, MakeServeOptions(cfg));
+  bccs::BatchResult result = engine.Serve(requests);
 
   std::size_t non_empty = 0;
   for (const auto& c : result.communities) non_empty += c.Empty() ? 0 : 1;
-  std::printf("batch: %zu queries, %zu threads, %zu non-empty\n", queries.size(),
-              result.threads_used, non_empty);
+  std::printf("batch: %zu queries, %zu threads, %zu non-empty, %zu timed out\n",
+              requests.size(), result.threads_used, non_empty, result.timed_out);
   std::printf("wall=%.4fs qps=%.1f avg=%.6fs p50=%.6fs p90=%.6fs p99=%.6fs\n",
               result.latency.wall_seconds, result.latency.qps, result.latency.avg_seconds,
               result.latency.p50_seconds, result.latency.p90_seconds,
               result.latency.p99_seconds);
+  PrintLaneSummaries(result);
   std::printf("workspace: bulk_inits=%llu buffer_acquires=%llu\n",
               static_cast<unsigned long long>(result.workspace_stats.bulk_inits),
               static_cast<unsigned long long>(result.workspace_stats.buffer_acquires));
-  for (std::size_t i = 0; i < queries.size() && i < 10; ++i) {
-    std::printf("  [%zu] (%u, %u) -> %zu members\n", i, queries[i].ql, queries[i].qr,
+  for (std::size_t i = 0; i < requests.size() && i < 10; ++i) {
+    std::printf("  [%zu] (%u, %u) -> %zu members\n", i, lines[i].query.ql, lines[i].query.qr,
                 result.communities[i].Size());
   }
-  if (queries.size() > 10) std::printf("  ... (%zu more)\n", queries.size() - 10);
+  if (requests.size() > 10) std::printf("  ... (%zu more)\n", requests.size() - 10);
   return 0;
+}
+
+/// Single-request serve (the --ql/--qr and --queries paths): one request,
+/// one worker — still the ServeEngine dispatch path.
+bccs::BatchResult ServeOne(const bccs::LabeledGraph& graph, const bccs::BcIndex* index,
+                           bccs::QueryRequest request, const ServeConfig& cfg) {
+  bccs::BatchRunner runner(1);
+  bccs::ServeEngine engine(runner, graph, index, MakeServeOptions(cfg));
+  std::vector<bccs::QueryRequest> requests{std::move(request)};
+  return engine.Serve(requests);
 }
 
 }  // namespace
@@ -142,11 +227,56 @@ int main(int argc, char** argv) {
   bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
   auto unknown = args.UnknownFlags({"graph", "index-file", "ql", "qr", "queries", "k1", "k2",
                                     "b", "method", "verify", "help", "batch-file", "threads",
-                                    "repeat"});
+                                    "repeat", "lane", "deadline-ms", "approx-samples",
+                                    "approx-threshold"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
     return args.Has("help") ? 0 : 2;
+  }
+
+  // Validate the serving flags before any graph is loaded.
+  const std::string method_name = args.GetStringOr("method", "lp");
+  ServeConfig cfg;
+  if (method_name == "online") {
+    cfg.method = bccs::QueryMethod::kOnlineBcc;
+  } else if (method_name == "lp") {
+    cfg.method = bccs::QueryMethod::kLpBcc;
+  } else if (method_name == "l2p") {
+    cfg.method = bccs::QueryMethod::kL2pBcc;
+  } else {
+    std::fprintf(stderr, "unknown method '%s' (valid methods: online, lp, l2p)\n",
+                 method_name.c_str());
+    PrintUsage();
+    return 2;
+  }
+  const bool batch_mode = args.Has("batch-file") || args.Has("repeat");
+  cfg.lane = batch_mode ? bccs::Lane::kBulk : bccs::Lane::kInteractive;
+  if (args.Has("lane") && !ParseLane(args.GetStringOr("lane", ""), &cfg.lane)) {
+    std::fprintf(stderr, "invalid --lane '%s' (valid lanes: interactive, bulk)\n",
+                 args.GetStringOr("lane", "").c_str());
+    return 2;
+  }
+  bool flags_valid = true;
+  const std::int64_t deadline_ms = args.GetPositiveIntOr("deadline-ms", 0, &flags_valid);
+  const std::int64_t approx_samples = args.GetPositiveIntOr("approx-samples", 0, &flags_valid);
+  const std::int64_t approx_threshold =
+      args.GetPositiveIntOr("approx-threshold", 4096, &flags_valid);
+  if (!flags_valid) {
+    std::fprintf(stderr,
+                 "--deadline-ms, --approx-samples and --approx-threshold must be "
+                 "positive integers\n");
+    return 2;
+  }
+  cfg.deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
+  if (approx_samples > 0) {
+    cfg.approx.enabled = true;
+    cfg.approx.samples = static_cast<std::size_t>(approx_samples);
+    cfg.approx.threshold = static_cast<std::size_t>(approx_threshold);
+  } else if (args.Has("approx-threshold")) {
+    std::fprintf(stderr,
+                 "warning: --approx-threshold has no effect without --approx-samples; "
+                 "approximate counting stays disabled\n");
   }
 
   auto graph_path = args.GetString("graph");
@@ -189,7 +319,7 @@ int main(int argc, char** argv) {
                      io_error.c_str());
         return 1;
       }
-      if (args.GetStringOr("method", "lp") == "l2p") {
+      if (cfg.method == bccs::QueryMethod::kL2pBcc) {
         // The load above already failed; build and save without re-reading
         // the snapshot file.
         std::fprintf(stderr, "note: snapshot %s: %s; rebuilding\n", index_path->c_str(),
@@ -228,13 +358,12 @@ int main(int argc, char** argv) {
               graph->NumEdges(), graph->NumLabels());
 
   const auto b = static_cast<std::uint64_t>(args.GetIntOr("b", 1));
-  const std::string method = args.GetStringOr("method", "lp");
 
   // The l2p index is shared by every mode below; build it now (once) if the
   // snapshot machinery did not already provide one.
   std::unique_ptr<bccs::BcIndex> local_index;
   const bccs::BcIndex* index = bundle.index.get();
-  if (method == "l2p" && index == nullptr) {
+  if (cfg.method == bccs::QueryMethod::kL2pBcc && index == nullptr) {
     local_index = std::make_unique<bccs::BcIndex>(*graph);
     index = local_index.get();
   }
@@ -250,7 +379,7 @@ int main(int argc, char** argv) {
   const auto repeat = args.Has("repeat") ? static_cast<std::size_t>(repeat_arg) : 1;
   bccs::BccParams batch_params{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
                                static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
-  if ((args.Has("batch-file") || args.Has("repeat")) && args.Has("verify")) {
+  if (batch_mode && args.Has("verify")) {
     std::fprintf(stderr, "warning: --verify is not supported in batch mode and is ignored\n");
   }
   if (args.Has("batch-file")) {
@@ -272,7 +401,7 @@ int main(int argc, char** argv) {
         for (std::size_t i = 0; i < base; ++i) batch.push_back(batch[i]);
       }
     }
-    return RunBatch(*graph, index, std::move(batch), batch_params, method, threads);
+    return RunBatch(*graph, index, batch, batch_params, cfg, threads);
   }
   if (args.Has("repeat")) {
     auto ql = args.GetInt("ql");
@@ -288,13 +417,13 @@ int main(int argc, char** argv) {
                    graph->NumVertices());
       return 2;
     }
-    std::vector<bccs::BccQuery> batch(
-        repeat, {static_cast<bccs::VertexId>(*ql), static_cast<bccs::VertexId>(*qr)});
-    return RunBatch(*graph, index, std::move(batch), batch_params, method, threads);
+    BatchLine bl;
+    bl.query = {static_cast<bccs::VertexId>(*ql), static_cast<bccs::VertexId>(*qr)};
+    std::vector<BatchLine> batch(repeat, bl);
+    return RunBatch(*graph, index, batch, batch_params, cfg, threads);
   }
 
-  bccs::Community community;
-  bccs::SearchStats stats;
+  bccs::BatchResult result;
   std::vector<bccs::VertexId> queries;
 
   if (args.Has("queries")) {
@@ -310,10 +439,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    bccs::MbccQuery q{queries};
-    bccs::MbccParams p;
-    p.b = b;
-    community = bccs::MbccSearch(*graph, q, p, bccs::LpBccOptions(), &stats);
+    bccs::QueryRequest request;
+    request.query = bccs::MbccQuery{queries};
+    request.method = bccs::QueryMethod::kMbcc;
+    request.lane = cfg.lane;
+    request.deadline_seconds = cfg.deadline_seconds;
+    request.mbcc_params.b = b;
+    result = ServeOne(*graph, index, std::move(request), cfg);
   } else {
     auto ql = args.GetInt("ql");
     auto qr = args.GetInt("qr");
@@ -328,28 +460,30 @@ int main(int argc, char** argv) {
       return 2;
     }
     queries = {q.ql, q.qr};
-    bccs::BccParams p{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
+    bccs::QueryRequest request;
+    request.query = q;
+    request.method = cfg.method;
+    request.lane = cfg.lane;
+    request.deadline_seconds = cfg.deadline_seconds;
+    request.params = {static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
                       static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
-    if (method == "online") {
-      community = bccs::OnlineBcc(*graph, q, p, &stats);
-    } else if (method == "l2p") {
-      community = bccs::L2pBcc(*graph, *index, q, p, {}, &stats);
-    } else if (method == "lp") {
-      community = bccs::LpBcc(*graph, q, p, &stats);
-    } else {
-      std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
-      return 2;
-    }
+    result = ServeOne(*graph, index, std::move(request), cfg);
   }
 
+  const bccs::Community& community = result.communities[0];
+  const bccs::SearchStats& stats = result.stats[0];
+  if (stats.timed_out) {
+    std::printf("deadline expired: returning best valid partial answer\n");
+  }
   if (community.Empty()) {
     std::printf("no community found\n");
     return 1;
   }
   std::printf("community (%zu members):", community.Size());
   for (bccs::VertexId v : community.vertices) std::printf(" %u", v);
-  std::printf("\nrounds=%zu butterfly_counting_calls=%zu time=%.6fs\n", stats.rounds,
-              stats.butterfly_counting_calls, stats.total_seconds);
+  std::printf("\nrounds=%zu butterfly_counting_calls=%zu approx_checks=%zu time=%.6fs\n",
+              stats.rounds, stats.butterfly_counting_calls, stats.approx_checks,
+              stats.total_seconds);
 
   if (args.Has("verify") && queries.size() == 2) {
     bccs::BccParams p{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # End-to-end ctest: generate a tiny graph, persist a BcIndex snapshot with
 # bccs_build, and check that bccs_query serves identical answers from the
-# text graph and from the snapshot (single-query and batch paths), and that
-# a corrupted snapshot is rejected.
+# text graph and from the snapshot (single-query and batch paths), that a
+# corrupted snapshot is rejected, and that the serving-engine flags
+# (--lane, --deadline-ms, --approx-samples) validate and behave: mixed-lane
+# batches report per-lane percentiles, approx batches are deterministic
+# across thread counts, and bad flag values are rejected.
+#
+# Registered under the ctest labels "e2e" and "sanitize" — the latter is the
+# suite exercised in the ASan+UBSan preset (cmake --preset asan-ubsan).
 #
 # usage: tools/e2e_snapshot_test.sh BIN_DIR
 set -euo pipefail
@@ -73,5 +79,46 @@ if "$bin/bccs_query" --index-file "$tmp/bad.snap" --ql "$q1" --qr "$q2" \
     --method l2p >/dev/null 2>&1; then
   fail "corrupted snapshot was accepted"
 fi
+
+# --- Serving engine flags ---------------------------------------------------
+
+# Unknown methods are rejected upfront with the list of valid ones.
+if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" \
+    --method bogus >/dev/null 2>"$tmp/method.err"; then
+  fail "unknown method was accepted"
+fi
+grep -q "valid methods" "$tmp/method.err" || fail "usage did not list valid methods"
+
+# --deadline-ms / --approx-samples must be positive integers.
+for bad in "--deadline-ms 0" "--deadline-ms -3" "--deadline-ms abc" \
+           "--approx-samples 0" "--approx-samples xyz"; do
+  # shellcheck disable=SC2086
+  if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" $bad \
+      >/dev/null 2>&1; then
+    fail "invalid flag value accepted: $bad"
+  fi
+done
+if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" \
+    --lane sideways >/dev/null 2>&1; then
+  fail "invalid lane was accepted"
+fi
+
+# Mixed-lane batch (per-line lane column) reports per-lane percentiles and
+# serves every query within a generous deadline.
+printf '%s %s interactive\n%s %s bulk\n%s %s\n' \
+  "$q1" "$q2" "$q2" "$q1" "$q1" "$q2" > "$tmp/lanes.txt"
+lanes_out="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 2 --deadline-ms 10000 --lane bulk)"
+echo "$lanes_out" | grep -q "lane interactive" || fail "no interactive lane summary"
+echo "$lanes_out" | grep -q "lane bulk" || fail "no bulk lane summary"
+echo "$lanes_out" | grep -q "0 timed out" || fail "generous deadline timed out"
+
+# Approx batches: same seed => identical answers across thread counts.
+approx_1="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 1 --approx-samples 64 --approx-threshold 1 | grep -E '^  \[')"
+approx_2="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 2 --approx-samples 64 --approx-threshold 1 | grep -E '^  \[')"
+[ -n "$approx_1" ] || fail "no approx batch output"
+[ "$approx_1" = "$approx_2" ] || fail "approx answers differ across thread counts"
 
 echo "e2e snapshot test passed"

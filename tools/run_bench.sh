@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
-# leaving BENCH_PR2.json next to this script's repo root. The JSON carries
-# the batch-query QPS rows plus the snapshot cold-start block
-# (index_build_seconds vs index_load_seconds). Future PRs append their own
-# BENCH_PR<N>.json and compare.
+# leaving BENCH_PR3.json next to this script's repo root. The JSON carries
+# the batch-query QPS rows, the snapshot cold-start block, the two-lane
+# serving block (per-lane sojourn p50/p99 for a mixed interactive/bulk
+# batch), and the approx block (sampled-vs-exact wall time on the large
+# generated graph, with determinism and exact-validity checks). Future PRs
+# append their own BENCH_PR<N>.json and compare.
 #
 # usage: tools/run_bench.sh [extra perf_smoke args...]
 set -euo pipefail
@@ -14,4 +16,4 @@ build_dir="${BUILD_DIR:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target perf_smoke -j >/dev/null
 
-"$build_dir/perf_smoke" --out "$repo_root/BENCH_PR2.json" "$@"
+"$build_dir/perf_smoke" --out "$repo_root/BENCH_PR3.json" "$@"
