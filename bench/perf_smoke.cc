@@ -7,14 +7,17 @@
 // identical-answers check for L2P on the loaded index), exercises the
 // unified serving engine (mixed interactive/bulk lanes with per-lane
 // percentiles, and the approximate-butterfly fast path vs the exact
-// recount on the large generated graph), and emits a JSON summary (default
-// BENCH_PR3.json) so future PRs can compare against this one.
+// recount on the large generated graph), measures dynamic edge-update
+// batches (incremental BcIndex::ApplyUpdates vs full rebuild seconds, with
+// a bit-identical check), and emits a JSON summary (default BENCH_PR4.json)
+// so future PRs can compare against this one.
 //
-//   perf_smoke [--out BENCH_PR3.json] [--queries 64] [--threads 0]
+//   perf_smoke [--out BENCH_PR4.json] [--queries 64] [--threads 0]
 //              [--communities 24] [--group-size 24] [--keep-snapshot]
 
 #include <algorithm>
 #include <cstdio>
+#include <random>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "eval/serve_engine.h"
 #include "eval/timer.h"
 #include "graph/generators.h"
+#include "graph/graph_delta.h"
 #include "graph/snapshot.h"
 #include "tools/arg_parser.h"
 
@@ -65,6 +69,17 @@ struct ServingRow {
   bool interactive_ahead = false;  // interactive p99 < bulk p99 (sojourn)
 };
 
+/// Incremental-repair-vs-rebuild measurements for one edge-update batch on
+/// the large generated graph.
+struct UpdateBatchRow {
+  std::size_t updates = 0;
+  double incremental_seconds = 0;
+  double rebuild_seconds = 0;  // fresh BcIndex + MaterializeAllPairs on g'
+  double speedup = 0;
+  UpdateRepairStats repair;
+  bool identical = false;  // repaired index == rebuilt index, bit for bit
+};
+
 /// Approx-vs-exact serving measurements on the large generated graph.
 struct ApproxRow {
   std::size_t queries = 0;
@@ -90,8 +105,9 @@ SearchStats SumStats(const BatchResult& r) {
 }
 
 void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow& index,
-               const ServingRow& serving, const ApproxRow& approx, std::size_t n,
-               std::size_t edges, std::size_t par_threads) {
+               const ServingRow& serving, const ApproxRow& approx,
+               const std::vector<UpdateBatchRow>& updates, std::size_t n, std::size_t edges,
+               std::size_t par_threads) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
   std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
@@ -120,6 +136,22 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
                approx.identical_across_threads ? "true" : "false");
   std::fprintf(f, "    \"exact_verified\": %s\n", approx.exact_verified ? "true" : "false");
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"updates\": [\n");
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const UpdateBatchRow& u = updates[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"updates\": %zu,\n", u.updates);
+    std::fprintf(f, "      \"incremental_seconds\": %.6f,\n", u.incremental_seconds);
+    std::fprintf(f, "      \"rebuild_seconds\": %.6f,\n", u.rebuild_seconds);
+    std::fprintf(f, "      \"speedup\": %.3f,\n", u.speedup);
+    std::fprintf(f, "      \"labels_incremental\": %zu,\n", u.repair.labels_incremental);
+    std::fprintf(f, "      \"labels_rebuilt\": %zu,\n", u.repair.labels_rebuilt);
+    std::fprintf(f, "      \"pairs_incremental\": %zu,\n", u.repair.pairs_incremental);
+    std::fprintf(f, "      \"pairs_recounted\": %zu,\n", u.repair.pairs_recounted);
+    std::fprintf(f, "      \"identical_to_rebuild\": %s\n", u.identical ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < updates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"index\": {\n");
   std::fprintf(f, "    \"index_build_seconds\": %.6f,\n", index.build_seconds);
   std::fprintf(f, "    \"index_save_seconds\": %.6f,\n", index.save_seconds);
@@ -231,6 +263,67 @@ IndexRow MeasureSnapshotColdStart(std::size_t index_communities, const std::stri
   return row;
 }
 
+/// Incremental repair vs full rebuild for one random mixed edge-update
+/// batch on the big index graph. The base index (all pairs materialized) is
+/// shared by reference; each call leaves it untouched.
+UpdateBatchRow MeasureUpdateBatch(const PlantedGraph& pg, const BcIndex& base,
+                                  std::size_t batch_size, std::uint64_t seed) {
+  UpdateBatchRow row;
+  const LabeledGraph& g = pg.graph;
+  std::mt19937_64 rng(seed);
+
+  // Half deletions of existing edges, half insertions of absent pairs.
+  std::vector<EdgeUpdate> updates;
+  std::vector<Edge> edges = g.AllEdges();
+  std::shuffle(edges.begin(), edges.end(), rng);
+  for (std::size_t i = 0; i < batch_size / 2 && i < edges.size(); ++i) {
+    updates.push_back({EdgeUpdateKind::kDelete, edges[i]});
+  }
+  std::uniform_int_distribution<VertexId> pick(0, static_cast<VertexId>(g.NumVertices() - 1));
+  while (updates.size() < batch_size) {
+    VertexId u = pick(rng), v = pick(rng);
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (std::any_of(updates.begin(), updates.end(), [&](const EdgeUpdate& x) {
+          return x.edge == Edge{std::min(u, v), std::max(u, v)};
+        })) {
+      continue;
+    }
+    updates.push_back({EdgeUpdateKind::kInsert, {std::min(u, v), std::max(u, v)}});
+  }
+  row.updates = updates.size();
+
+  const auto delta = BuildGraphDelta(g, updates);
+  if (!delta) {
+    std::fprintf(stderr, "update batch did not validate\n");
+    return row;
+  }
+  const LabeledGraph updated = ApplyGraphDelta(g, *delta);
+
+  Timer incremental_timer;
+  const auto repaired = base.ApplyUpdates(updated, *delta, {}, &row.repair);
+  row.incremental_seconds = incremental_timer.Seconds();
+
+  Timer rebuild_timer;
+  BcIndex rebuilt(updated);
+  rebuilt.MaterializeAllPairs();
+  row.rebuild_seconds = rebuild_timer.Seconds();
+  row.speedup =
+      row.incremental_seconds > 0 ? row.rebuild_seconds / row.incremental_seconds : 0;
+
+  row.identical = true;
+  for (VertexId v = 0; v < updated.NumVertices(); ++v) {
+    row.identical = row.identical && repaired->Coreness(v) == rebuilt.Coreness(v);
+  }
+  repaired->ForEachCachedPair([&](Label a, Label b, const ButterflyCounts& counts) {
+    const ButterflyCounts& want = rebuilt.PairButterflies(a, b);
+    row.identical = row.identical && counts.total == want.total &&
+                    counts.max_left == want.max_left && counts.max_right == want.max_right &&
+                    counts.argmax_left == want.argmax_left &&
+                    counts.argmax_right == want.argmax_right && counts.chi == want.chi;
+  });
+  return row;
+}
+
 /// Mixed interactive/bulk batch through the unified serving engine: the
 /// per-lane sojourn percentiles the two-lane scheduler exists for.
 ServingRow MeasureServing(const PlantedGraph& pg, std::span<const BccQuery> queries,
@@ -335,7 +428,7 @@ ApproxRow MeasureApprox(const PlantedGraph& pg, std::span<const BccQuery> querie
 
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR3.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR4.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -446,12 +539,29 @@ int main(int argc, char** argv) {
       approx.approx_checks, approx.identical_across_threads ? "yes" : "NO",
       approx.exact_verified ? "yes" : "NO");
 
+  // Dynamic edge-update batches: incremental ApplyUpdates vs full rebuild
+  // on the big index graph (one shared all-pairs base index).
+  BcIndex update_base(big_graph.graph);
+  update_base.MaterializeAllPairs();
+  std::vector<UpdateBatchRow> update_rows;
+  update_rows.push_back(MeasureUpdateBatch(big_graph, update_base, 8, 77));
+  update_rows.push_back(MeasureUpdateBatch(big_graph, update_base, 128, 78));
+  for (const UpdateBatchRow& u : update_rows) {
+    std::printf(
+        "updates     batch=%3zu  incremental=%.4fs rebuild=%.4fs speedup=%.1fx  "
+        "labels(inc/rebuilt)=%zu/%zu pairs(inc/recount)=%zu/%zu  identical=%s\n",
+        u.updates, u.incremental_seconds, u.rebuild_seconds, u.speedup,
+        u.repair.labels_incremental, u.repair.labels_rebuilt, u.repair.pairs_incremental,
+        u.repair.pairs_recounted, u.identical ? "yes" : "NO");
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  PrintJson(f, rows, index, serving, approx, n, pg.graph.NumEdges(), par.NumThreads());
+  PrintJson(f, rows, index, serving, approx, update_rows, n, pg.graph.NumEdges(),
+            par.NumThreads());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -464,5 +574,9 @@ int main(int argc, char** argv) {
   bool ok = index.identical && (serving.interactive_ahead || !gate_serving) &&
             approx.identical_across_threads && approx.exact_verified;
   for (const MethodRow& r : rows) ok = ok && r.identical && r.steady_bulk_inits == 0;
+  // Incremental repair must be exact for every batch and beat the full
+  // rebuild on the small one (the streaming-update serving case).
+  for (const UpdateBatchRow& u : update_rows) ok = ok && u.identical;
+  ok = ok && !update_rows.empty() && update_rows.front().speedup > 1.0;
   return ok ? 0 : 1;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "butterfly/butterfly_update.h"
 #include "core/core_decomposition.h"
+#include "core/core_maintenance.h"
+#include "graph/graph_delta.h"
 
 namespace bccs {
 
@@ -60,6 +63,90 @@ void BcIndex::ForEachCachedPair(
     const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const {
   std::lock_guard<std::mutex> lock(pair_cache_mutex_);
   for (const auto& [key, counts] : pair_cache_) fn(key.first, key.second, counts);
+}
+
+namespace {
+
+/// One label's (or one pair's) slice of the delta.
+struct EdgeBucket {
+  std::vector<Edge> inserts;
+  std::vector<Edge> deletes;
+};
+
+/// Splits the delta into per-label intra-label buckets (they repair
+/// coreness) and per-pair cross-label buckets (they repair cached
+/// butterflies) — the two effects are disjoint by construction: coreness is
+/// computed within a label group, pair butterflies over cross edges only.
+void BucketDelta(const LabeledGraph& g, const GraphDelta& delta,
+                 std::map<Label, EdgeBucket>* intra,
+                 std::map<std::pair<Label, Label>, EdgeBucket>* cross) {
+  auto route = [&](const Edge& e, bool insert) {
+    const Label a = g.LabelOf(e.u);
+    const Label b = g.LabelOf(e.v);
+    EdgeBucket& bucket =
+        a == b ? (*intra)[a] : (*cross)[std::minmax(a, b)];
+    (insert ? bucket.inserts : bucket.deletes).push_back(e);
+  };
+  for (const Edge& e : delta.inserts) route(e, true);
+  for (const Edge& e : delta.deletes) route(e, false);
+}
+
+}  // namespace
+
+std::unique_ptr<BcIndex> BcIndex::ApplyUpdates(const LabeledGraph& updated,
+                                               const GraphDelta& delta,
+                                               const UpdateRepairOptions& opts,
+                                               UpdateRepairStats* stats) const {
+  UpdateRepairStats local;
+  UpdateRepairStats& st = stats != nullptr ? *stats : local;
+  st = UpdateRepairStats{};
+
+  std::map<Label, EdgeBucket> intra;
+  std::map<std::pair<Label, Label>, EdgeBucket> cross;
+  BucketDelta(*g_, delta, &intra, &cross);
+
+  // Coreness: copy, then patch only the touched labels.
+  std::vector<std::uint32_t> coreness(label_coreness_.begin(), label_coreness_.end());
+  std::vector<std::uint32_t> max_core(max_core_per_label_.begin(),
+                                      max_core_per_label_.end());
+  for (const auto& [label, bucket] : intra) {
+    ++st.labels_touched;
+    const auto members = updated.VerticesWithLabel(label);
+    const LabelCorenessRepair repair =
+        RepairLabelCoreness(updated, members, bucket.inserts, bucket.deletes,
+                            opts.label_incremental_cap, &coreness);
+    repair.rebuilt ? ++st.labels_rebuilt : ++st.labels_incremental;
+    st.core_passes += repair.passes;
+    std::uint32_t best = 0;
+    for (VertexId v : members) best = std::max(best, coreness[v]);
+    max_core[label] = best;
+  }
+
+  // Pair cache: copy every entry, then patch only the touched cached pairs.
+  // Touched pairs that were never cached stay uncached — they fault in
+  // lazily against the updated graph on first use.
+  std::map<std::pair<Label, Label>, ButterflyCounts> pairs;
+  {
+    std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    pairs = pair_cache_;
+  }
+  for (const auto& [key, bucket] : cross) {
+    auto it = pairs.find(key);
+    if (it == pairs.end()) continue;
+    ++st.pairs_touched;
+    const PairButterflyRepair repair = RepairPairButterflies(
+        *g_, updated, key.first, key.second, bucket.inserts, bucket.deletes,
+        opts.pair_incremental_cap, &it->second);
+    repair.recounted ? ++st.pairs_recounted : ++st.pairs_incremental;
+    st.cross_edges_applied += repair.edges_applied;
+  }
+
+  std::unique_ptr<BcIndex> out(new BcIndex());
+  out->g_ = &updated;
+  out->label_coreness_ = std::move(coreness);
+  out->max_core_per_label_ = std::move(max_core);
+  out->pair_cache_ = std::move(pairs);
+  return out;
 }
 
 }  // namespace bccs

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -16,6 +17,32 @@ namespace bccs {
 
 struct SnapshotBundle;    // graph/snapshot.h
 struct SourceGraphInfo;   // graph/snapshot.h
+struct GraphDelta;        // graph/graph_delta.h
+
+/// Fallback thresholds of BcIndex::ApplyUpdates. A batch is repaired
+/// incrementally per affected label / label pair; a label or pair whose
+/// update count exceeds its cap takes the scoped rebuild instead (coreness:
+/// SubsetCoreness over the one label group; butterflies: CountButterflies
+/// over the one pair) — still far from the full-index rebuild.
+struct UpdateRepairOptions {
+  /// Max intra-label updates per label repaired by level passes; mixed
+  /// insert+delete labels always rebuild (see core/core_maintenance.h).
+  std::size_t label_incremental_cap = 8;
+  /// Max cross-label updates per pair repaired edge-by-edge.
+  std::size_t pair_incremental_cap = 8;
+};
+
+/// What BcIndex::ApplyUpdates did, for observability and tests.
+struct UpdateRepairStats {
+  std::size_t labels_touched = 0;      // labels with intra-label updates
+  std::size_t labels_incremental = 0;  // repaired by level passes
+  std::size_t labels_rebuilt = 0;      // scoped SubsetCoreness rebuild
+  std::size_t core_passes = 0;         // level passes across all labels
+  std::size_t pairs_touched = 0;       // cached pairs with cross updates
+  std::size_t pairs_incremental = 0;   // repaired edge-by-edge
+  std::size_t pairs_recounted = 0;     // scoped CountButterflies recount
+  std::size_t cross_edges_applied = 0;
+};
 
 /// The offline butterfly-core index of Section 6.3.
 ///
@@ -82,6 +109,24 @@ class BcIndex {
                                     std::string* error = nullptr);
   static SnapshotBundle BuildOrLoad(const LabeledGraph& g, const std::string& path,
                                     std::string* error, const SourceGraphInfo& source);
+
+  /// Incrementally repairs this index for an edge-update batch and returns
+  /// the repaired index over `updated`, which must be the result of
+  /// ApplyGraphDelta(graph(), delta) (or an equal graph that outlives the
+  /// returned index). This index is left untouched — epoch swaps keep the
+  /// old index serving in-flight queries while the new one is prepared.
+  ///
+  /// The repaired index answers every query bit-identically to a freshly
+  /// built BcIndex(updated): intra-label updates repair only their label's
+  /// coreness (core/core_maintenance.h level passes driving KCoreMaintainer,
+  /// scoped rebuild past the cap), cross-label updates repair only their
+  /// pair's cached butterfly entry (butterfly/butterfly_update.h per-edge
+  /// repair, scoped recount past the cap); untouched labels, pairs, and
+  /// pairs not yet cached (they fault in lazily against the new graph) cost
+  /// nothing beyond the copy.
+  std::unique_ptr<BcIndex> ApplyUpdates(const LabeledGraph& updated, const GraphDelta& delta,
+                                        const UpdateRepairOptions& opts = {},
+                                        UpdateRepairStats* stats = nullptr) const;
 
   const LabeledGraph& graph() const { return *g_; }
 

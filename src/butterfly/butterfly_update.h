@@ -2,11 +2,43 @@
 #define BCCS_BUTTERFLY_BUTTERFLY_UPDATE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "butterfly/butterfly_counting.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
+
+/// Outcome of RepairPairButterflies: which strategy ran.
+struct PairButterflyRepair {
+  /// True when the fallback full recount (CountButterflies over the pair)
+  /// ran instead of the per-edge incremental repair.
+  bool recounted = false;
+  /// Cross-edge updates applied by the incremental path.
+  std::size_t edges_applied = 0;
+};
+
+/// Repairs a cached pair-butterfly entry (BcIndex pair cache) after
+/// cross-label edge updates between label groups `a` and `b`, leaving
+/// `counts` exactly equal to CountButterflies over the two full groups on
+/// the updated graph.
+///
+/// `inserted` / `deleted` are the pair's net cross-label updates (one
+/// endpoint labeled `a`, the other `b`; each edge at most once, see
+/// BuildGraphDelta). The incremental path extends the Algorithm 7 idea from
+/// leader deltas to whole cached entries: for each updated cross edge it
+/// enumerates the butterflies containing that edge (wedges through the two
+/// endpoints, O(d(u) * d(v)) per edge) and patches every participant's chi,
+/// sequencing the batch against `base` with deletions first so each
+/// enumeration sees a consistent intermediate graph. Batches larger than
+/// `incremental_cap` fall back to the full recount on `updated`.
+PairButterflyRepair RepairPairButterflies(const LabeledGraph& base,
+                                          const LabeledGraph& updated, Label a, Label b,
+                                          std::span<const Edge> inserted,
+                                          std::span<const Edge> deleted,
+                                          std::size_t incremental_cap,
+                                          ButterflyCounts* counts);
 
 /// Paper's Algorithm 7: incremental butterfly-degree update for a leader
 /// vertex when one vertex is deleted from the bipartite graph B.

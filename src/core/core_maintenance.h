@@ -9,6 +9,38 @@
 
 namespace bccs {
 
+/// Outcome of RepairLabelCoreness: which strategy ran and how much work the
+/// incremental path performed. Read by BcIndex::ApplyUpdates for its repair
+/// stats and by the dynamic-graph tests to assert the intended path ran.
+struct LabelCorenessRepair {
+  /// True when the fallback scoped rebuild (SubsetCoreness over the label
+  /// group) ran instead of the incremental passes.
+  bool rebuilt = false;
+  /// Incremental peel passes executed (0 when rebuilt or nothing to do).
+  std::size_t passes = 0;
+};
+
+/// Repairs the coreness values of one label group after a batch of
+/// intra-label edge updates, writing the exact post-update coreness (equal
+/// to SubsetCoreness over the group on the updated graph) into `coreness`
+/// for every member. Entries outside `members` are untouched.
+///
+/// `updated` is the graph with the whole delta applied; `inserted`/`deleted`
+/// are the group's net intra-label updates (each edge at most once, see
+/// BuildGraphDelta). The incremental path runs level-by-level peel passes —
+/// descending for delete-only batches (each pass drives a KCoreMaintainer
+/// whose construction peels {coreness >= k} back to the new k-core),
+/// ascending for insert-only batches (each pass grows the (k+1)-core) — and
+/// skips levels no update can reach. Mixed batches, or batches larger than
+/// `incremental_cap`, fall back to the scoped rebuild (see DESIGN.md,
+/// serving contract 3).
+LabelCorenessRepair RepairLabelCoreness(const LabeledGraph& updated,
+                                        std::span<const VertexId> members,
+                                        std::span<const Edge> inserted,
+                                        std::span<const Edge> deleted,
+                                        std::size_t incremental_cap,
+                                        std::vector<std::uint32_t>* coreness);
+
 /// Maintains the k-core of an induced subgraph under vertex deletions.
 ///
 /// On construction the given member set is peeled to its maximal k-core.

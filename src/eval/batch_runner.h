@@ -47,7 +47,24 @@ struct LaneSummary {
   BatchLatency latency;
 };
 
-/// Result of a batch: per-query outputs in input order plus the summary.
+/// Outcome of one UpdateRequest served by ServeEngine (see
+/// eval/serve_engine.h): whether the edge-update batch applied, what the
+/// incremental index repair did, and the epoch it produced.
+struct UpdateOutcome {
+  std::size_t item_index = 0;  // position in the served item stream
+  bool applied = false;
+  std::string error;       // validation failure reason when !applied
+  std::uint64_t epoch = 0;  // engine epoch after this item
+  std::size_t inserts = 0;  // net edge toggles applied
+  std::size_t deletes = 0;
+  UpdateRepairStats repair;  // bc_index.h: incremental vs scoped-rebuild work
+  double seconds = 0;        // validation + graph rebuild + index repair
+};
+
+/// Result of a batch: per-item outputs in input order plus the summary.
+/// In a mixed query/update stream, `latency` (and the per-lane summaries)
+/// cover query items only; update slots report through `updates`, with
+/// their apply duration also mirrored into their `seconds` slot.
 struct BatchResult {
   std::vector<Community> communities;
   std::vector<SearchStats> stats;
@@ -60,6 +77,10 @@ struct BatchResult {
   std::vector<double> sojourn_seconds;  // batch submission -> query completion
   std::vector<LaneSummary> lanes;       // per-lane percentiles over sojourn
   std::size_t timed_out = 0;            // queries whose deadline expired
+
+  // Filled by the mixed-stream ServeEngine::Serve only:
+  std::vector<UpdateOutcome> updates;    // per UpdateRequest, in stream order
+  std::vector<std::uint64_t> epoch_of;   // epoch each item executed in
 };
 
 /// Thread-pool batch-query engine. Each worker owns a persistent

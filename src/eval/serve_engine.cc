@@ -1,8 +1,10 @@
 #include "eval/serve_engine.h"
 
+#include <utility>
 #include <vector>
 
 #include "eval/timer.h"
+#include "graph/graph_delta.h"
 
 namespace bccs {
 
@@ -16,11 +18,14 @@ const char* Name(QueryMethod m) {
   return "?";
 }
 
-ServeEngine::ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcIndex* index,
-                         ServeOptions opts)
-    : runner_(&runner), g_(&g), index_(index), opts_(std::move(opts)) {}
-
 namespace {
+
+/// Wraps a caller-owned object in a non-owning shared_ptr (the legacy
+/// constructor's lifetime contract: the caller keeps it alive).
+template <typename T>
+std::shared_ptr<const T> Unowned(const T* p) {
+  return std::shared_ptr<const T>(p, [](const T*) {});
+}
 
 // Per-query approx seed derivation: deterministic in the request id, so a
 // sampled query's whole schedule is independent of which worker claims it.
@@ -31,6 +36,17 @@ SearchOptions SeededOptions(const SearchOptions& base, std::uint64_t request_id)
 }
 
 }  // namespace
+
+ServeEngine::ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcIndex* index,
+                         ServeOptions opts)
+    : runner_(&runner),
+      g_(Unowned(&g)),
+      index_(index != nullptr ? Unowned(index) : nullptr),
+      opts_(std::move(opts)) {}
+
+ServeEngine::ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph> g,
+                         std::shared_ptr<const BcIndex> index, ServeOptions opts)
+    : runner_(&runner), g_(std::move(g)), index_(std::move(index)), opts_(std::move(opts)) {}
 
 void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
                            QueryWorkspace& ws, Community* community,
@@ -69,38 +85,104 @@ void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
   }
 }
 
-BatchResult ServeEngine::Serve(std::span<const QueryRequest> requests) {
+void ServeEngine::ApplyUpdateRequest(const UpdateRequest& req, UpdateOutcome* outcome) {
+  std::string error;
+  const auto delta = BuildGraphDelta(*g_, req.updates, &error);
+  if (!delta) {
+    outcome->error = error;  // epoch unchanged; later queries see the old graph
+    return;
+  }
+  auto updated = std::make_shared<const LabeledGraph>(ApplyGraphDelta(*g_, *delta));
+  outcome->inserts = delta->inserts.size();
+  outcome->deletes = delta->deletes.size();
+  if (index_ != nullptr) {
+    // Repair against the old graph/index (both still alive), then swap.
+    std::shared_ptr<const BcIndex> repaired =
+        index_->ApplyUpdates(*updated, *delta, req.repair, &outcome->repair);
+    index_ = std::move(repaired);
+  }
+  g_ = std::move(updated);
+  ++epoch_;
+  outcome->applied = true;
+}
+
+BatchResult ServeEngine::Serve(std::span<const ServeItem> items) {
   BatchResult out;
-  const std::size_t count = requests.size();
+  const std::size_t count = items.size();
   out.communities.resize(count);
   out.stats.assign(count, SearchStats{});
   out.seconds.assign(count, 0);
   out.sojourn_seconds.assign(count, 0);
+  out.epoch_of.assign(count, 0);
   out.threads_used = runner_->NumThreads();
   if (count == 0) return out;
 
-  std::vector<Lane> lanes(count);
-  std::vector<std::uint64_t> ids(count);
   const std::uint64_t base = next_request_id_.fetch_add(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    lanes[i] = requests[i].lane;
-    ids[i] = requests[i].request_id != 0 ? requests[i].request_id : base + i;
-  }
-  const std::vector<std::uint32_t> order = BuildLaneOrder(lanes, opts_.aging_period);
-
   Timer wall;
-  runner_->RunOrdered(order, [&](std::size_t i, QueryWorkspace& ws) {
-    const QueryRequest& req = requests[i];
-    if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
-    Timer exec;
-    Dispatch(req, ids[i], ws, &out.communities[i], &out.stats[i]);
-    out.seconds[i] = exec.Seconds();
+
+  // Query lanes, tracked per item for the per-lane summaries below (update
+  // slots stay kInvalid).
+  constexpr int kNoLane = -1;
+  std::vector<int> item_lane(count, kNoLane);
+
+  // One scheduling segment: the maximal run of queries since the last
+  // update. Updates apply single-threaded between segments, so a query
+  // never observes a half-applied batch and the epoch it runs against is
+  // the one current when it was admitted to its segment.
+  std::vector<std::uint32_t> segment;
+  std::vector<Lane> lanes;
+  auto flush_segment = [&] {
+    if (segment.empty()) return;
+    lanes.clear();
+    for (std::uint32_t item : segment) {
+      lanes.push_back(std::get<QueryRequest>(items[item]).lane);
+    }
+    const std::vector<std::uint32_t> order = BuildLaneOrder(lanes, opts_.aging_period);
+    runner_->RunOrdered(order, [&](std::size_t i, QueryWorkspace& ws) {
+      const std::uint32_t item = segment[i];
+      const QueryRequest& req = std::get<QueryRequest>(items[item]);
+      const std::uint64_t id = req.request_id != 0 ? req.request_id : base + item;
+      if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
+      Timer exec;
+      Dispatch(req, id, ws, &out.communities[item], &out.stats[item]);
+      out.seconds[item] = exec.Seconds();
+      out.sojourn_seconds[item] = wall.Seconds();
+      ws.SetDeadline(Deadline{});
+    });
+    segment.clear();
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (const auto* q = std::get_if<QueryRequest>(&items[i])) {
+      out.epoch_of[i] = epoch_;
+      item_lane[i] = static_cast<int>(q->lane);
+      segment.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    flush_segment();  // barrier: the update applies at a batch boundary
+    UpdateOutcome outcome;
+    outcome.item_index = i;
+    Timer apply;
+    ApplyUpdateRequest(std::get<UpdateRequest>(items[i]), &outcome);
+    outcome.seconds = apply.Seconds();
+    outcome.epoch = epoch_;
+    out.epoch_of[i] = epoch_;
+    out.seconds[i] = outcome.seconds;
     out.sojourn_seconds[i] = wall.Seconds();
-    ws.SetDeadline(Deadline{});
-  });
+    out.updates.push_back(std::move(outcome));
+  }
+  flush_segment();
   const double wall_seconds = wall.Seconds();
 
-  out.latency = SummarizeLatency(out.seconds, wall_seconds);
+  // The latency/qps summary describes query serving only — update slots
+  // (whose out.seconds holds the apply duration) would otherwise smear a
+  // slow repair into the query percentiles the lane summaries exclude.
+  std::vector<double> query_seconds;
+  query_seconds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (item_lane[i] != kNoLane) query_seconds.push_back(out.seconds[i]);
+  }
+  out.latency = SummarizeLatency(query_seconds, wall_seconds);
   out.workspace_stats = runner_->AggregateWorkspaceStats();
   for (const SearchStats& s : out.stats) out.timed_out += s.timed_out ? 1 : 0;
 
@@ -108,7 +190,9 @@ BatchResult ServeEngine::Serve(std::span<const QueryRequest> requests) {
   for (Lane lane : {Lane::kInteractive, Lane::kBulk}) {
     lane_sojourn.clear();
     for (std::size_t i = 0; i < count; ++i) {
-      if (lanes[i] == lane) lane_sojourn.push_back(out.sojourn_seconds[i]);
+      if (item_lane[i] == static_cast<int>(lane)) {
+        lane_sojourn.push_back(out.sojourn_seconds[i]);
+      }
     }
     if (lane_sojourn.empty()) continue;
     LaneSummary summary;
@@ -118,6 +202,11 @@ BatchResult ServeEngine::Serve(std::span<const QueryRequest> requests) {
     out.lanes.push_back(summary);
   }
   return out;
+}
+
+BatchResult ServeEngine::Serve(std::span<const QueryRequest> requests) {
+  std::vector<ServeItem> items(requests.begin(), requests.end());
+  return Serve(std::span<const ServeItem>(items));
 }
 
 // ---------------------------------------------------------------------------

@@ -3,16 +3,54 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <variant>
+#include <vector>
 
 #include "bcc/local_search.h"
 #include "bcc/mbcc.h"
 #include "bcc/online_search.h"
 #include "eval/batch_runner.h"
+#include "graph/graph_delta.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
+
+/// The unified serving engine: every request — query or edge-update — enters
+/// here. The life of a served item:
+///
+///   1. **Admission.** The caller hands Serve() a span of items. Each item
+///      is either a QueryRequest (what to search for, which algorithm, how
+///      urgent, how long it may run) or an UpdateRequest (an edge-update
+///      batch). Items without an explicit request id are assigned one
+///      (stable per engine: the i-th item of the first call gets 1 + i).
+///   2. **Segmentation.** The stream is split at UpdateRequests. Each
+///      maximal run of queries forms one scheduling segment served against
+///      the engine's current epoch; updates apply single-threaded at the
+///      segment boundaries, so no query ever observes a half-applied batch
+///      (DESIGN.md, serving contract 3).
+///   3. **Scheduling.** Within a segment, BuildLaneOrder compiles the
+///      two-lane policy (interactive ahead of bulk, anti-starvation aging)
+///      into a claim order; BatchRunner workers claim slots FIFO over it.
+///   4. **Planning.** Each claimed query is planned onto its method —
+///      online / lp / l2p / mbcc. kL2pBcc without an index degrades to
+///      LP-BCC (same model, no index). The per-query approx seed is derived
+///      as `seed ^ request_id`, so sampled answers are bit-identical across
+///      thread counts and claim orders.
+///   5. **Execution.** The worker stamps its QueryWorkspace with the
+///      request's deadline and runs the search; an expired deadline yields
+///      the best valid partial answer with SearchStats::timed_out set.
+///   6. **Update application.** An UpdateRequest is validated
+///      (BuildGraphDelta) against the current epoch's graph; on success the
+///      engine builds the updated graph (ApplyGraphDelta), incrementally
+///      repairs the index (BcIndex::ApplyUpdates), atomically swaps both in,
+///      and increments the epoch. A rejected batch leaves the epoch
+///      untouched and reports the reason in its UpdateOutcome.
+///   7. **Reporting.** BatchResult returns per-item outputs in stream
+///      order: communities/stats/latency for queries, UpdateOutcomes for
+///      updates, per-lane sojourn percentiles, and the epoch each item
+///      executed in (epoch_of).
 
 /// The paper's search variants as planner targets. kMbcc serves the
 /// Section 7 multi-labeled model; the other three serve two-label queries.
@@ -44,6 +82,22 @@ struct QueryRequest {
   MbccParams mbcc_params;
 };
 
+/// An edge-update batch as a serving request (the third request kind, next
+/// to two-label and multi-label queries): applied between query segments
+/// with epoch semantics — queries ahead of it in the stream observe the
+/// pre-update epoch, queries behind it the post-update epoch.
+struct UpdateRequest {
+  /// Applied in order with sequential semantics (see BuildGraphDelta); the
+  /// whole batch is one atomic epoch transition — it applies fully or, on a
+  /// validation error, not at all.
+  std::vector<EdgeUpdate> updates;
+  /// Incremental-repair fallback thresholds for BcIndex::ApplyUpdates.
+  UpdateRepairOptions repair;
+};
+
+/// One serving-stream item.
+using ServeItem = std::variant<QueryRequest, UpdateRequest>;
+
 /// Engine-wide planning configuration: per-method search options plus the
 /// scheduler's anti-starvation aging period.
 struct ServeOptions {
@@ -56,42 +110,56 @@ struct ServeOptions {
   std::size_t aging_period = 8;
 };
 
-/// The unified serving engine: plans method-erased QueryRequests onto the
-/// right search algorithm and executes them on a shared BatchRunner pool
-/// under the two-lane schedule (interactive ahead of bulk, with aging).
+/// Plans method-erased requests onto the right search algorithm and
+/// executes them on a shared BatchRunner pool under the two-lane schedule;
+/// owns the epoch state for dynamic graphs (see the lifecycle above).
 ///
 /// This is the single dispatch path for all four methods — the
 /// BatchRunner::Run*Batch entry points are thin shims over it.
-///
-/// Per-query deadlines are stamped into the worker's QueryWorkspace before
-/// dispatch; the approx fast path (SearchOptions::approx of the per-method
-/// options) has its seed derived per query as `seed ^ request_id`.
-///
-/// kL2pBcc requests require an index; when the engine was built without one
-/// they are planned onto LP-BCC instead (same model, no index) — the
-/// planned degradation for serving processes that skipped the index build.
 class ServeEngine {
  public:
+  /// Non-owning: `g` (and `index`, when given) must outlive the engine.
+  /// After an UpdateRequest the engine serves its own updated graph/index;
+  /// the originals are never modified.
   ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcIndex* index = nullptr,
               ServeOptions opts = {});
 
-  /// Executes the batch and returns per-query outputs in request order.
-  /// BatchResult::seconds holds execution latency; sojourn_seconds holds
-  /// submission-to-completion latency, and `lanes` summarizes it per lane
-  /// (the interactive-vs-bulk p99 the scheduler exists for). `timed_out`
-  /// counts deadline-expired queries.
+  /// Owning: shares the graph (and index) with the caller — the natural fit
+  /// for a SnapshotBundle. `index` may be null (kL2pBcc degrades to LP).
+  ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph> g,
+              std::shared_ptr<const BcIndex> index, ServeOptions opts = {});
+
+  /// Serves a mixed stream of queries and updates (the full lifecycle
+  /// above). Outputs come back in stream order: query slots carry their
+  /// community/stats, update slots carry an entry in BatchResult::updates.
+  BatchResult Serve(std::span<const ServeItem> items);
+
+  /// Query-only convenience: one segment against the current epoch.
   BatchResult Serve(std::span<const QueryRequest> requests);
+
+  /// Current epoch (starts at 1; each applied UpdateRequest increments it).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The current epoch's graph and index (index may be null). Valid until
+  /// the next applied update; callers holding across updates should copy
+  /// the shared_ptrs via graph_ptr()/index_ptr().
+  const LabeledGraph& graph() const { return *g_; }
+  const BcIndex* index() const { return index_.get(); }
+  std::shared_ptr<const LabeledGraph> graph_ptr() const { return g_; }
+  std::shared_ptr<const BcIndex> index_ptr() const { return index_; }
 
   const ServeOptions& options() const { return opts_; }
 
  private:
   void Dispatch(const QueryRequest& req, std::uint64_t request_id, QueryWorkspace& ws,
                 Community* community, SearchStats* stats) const;
+  void ApplyUpdateRequest(const UpdateRequest& req, UpdateOutcome* outcome);
 
   BatchRunner* runner_;
-  const LabeledGraph* g_;
-  const BcIndex* index_;
+  std::shared_ptr<const LabeledGraph> g_;
+  std::shared_ptr<const BcIndex> index_;
   ServeOptions opts_;
+  std::uint64_t epoch_ = 1;
   std::atomic<std::uint64_t> next_request_id_{1};
 };
 

@@ -120,7 +120,8 @@ class LabeledGraph {
   std::vector<Edge> AllEdges() const;
 
  private:
-  friend class SnapshotAccess;  // builds view-mode graphs from mapped files
+  friend class SnapshotAccess;    // builds view-mode graphs from mapped files
+  friend class GraphDeltaAccess;  // rebuilds adjacency, shares label arrays
 
   ArrayRef<std::uint64_t> offsets_;        // size NumVertices()+1
   ArrayRef<VertexId> adjacency_;           // both directions, sorted per vertex

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -110,6 +111,30 @@ struct SnapshotPairEntry {
   std::uint32_t argmax_right;
 };
 static_assert(sizeof(SnapshotPairEntry) == 48, "pair entry layout drifted");
+
+// --- Delta log (appended after the payload; see the header layout note in
+// snapshot.h). Blocks are 8-byte aligned: the payload ends on an 8-byte
+// boundary and both records are multiples of 8 bytes.
+
+constexpr char kDeltaMagicBytes[8] = {'B', 'C', 'C', 'S', 'D', 'L', 'T', '1'};
+
+struct DeltaBlockHeader {
+  char magic[8];
+  std::uint32_t count;     // entries in this block
+  std::uint32_t reserved;  // zero
+  std::uint64_t source_graph_size;      // effective source identity once this
+  std::uint64_t source_graph_mtime_ns;  // block is replayed; 0/0 = unknown
+  std::uint64_t entries_checksum;       // FNV-1a64 of the entry bytes
+};
+static_assert(sizeof(DeltaBlockHeader) == 40, "delta block header layout drifted");
+
+struct DeltaEntry {
+  std::uint32_t kind;  // 0 = insert, 1 = delete
+  std::uint32_t u;
+  std::uint32_t v;
+  std::uint32_t reserved;  // zero
+};
+static_assert(sizeof(DeltaEntry) == 16, "delta entry layout drifted");
 
 /// Streaming FNV-1a folding 8 input bytes per multiply (a word-wise variant
 /// of the classic byte-wise loop — ~8x faster, which keeps checksum
@@ -456,16 +481,6 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
     return fail("unsupported snapshot version " + std::to_string(header.version) +
                 " (expected " + std::to_string(kSnapshotFormatVersion) + ")");
   }
-  const SourceGraphInfo stamped{header.source_graph_size, header.source_graph_mtime_ns};
-  if (opts.expected_source.Known() && stamped.Known() &&
-      !(stamped == opts.expected_source)) {
-    return fail("stale snapshot: the stamped source graph (" +
-                std::to_string(stamped.size_bytes) + " bytes, mtime " +
-                std::to_string(stamped.mtime_ns) + "ns) does not match the graph file (" +
-                std::to_string(opts.expected_source.size_bytes) + " bytes, mtime " +
-                std::to_string(opts.expected_source.mtime_ns) + "ns)");
-  }
-
   const std::uint64_t n = header.num_vertices;
   const std::uint64_t num_labels = header.num_labels;
   // Every array element is at least one byte, so a header whose counts
@@ -499,16 +514,64 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
     chi_total += e.chi_len;
   }
   const std::size_t expected_size = layout.chi + chi_total * sizeof(std::uint64_t);
-  if (file->size != expected_size) {
-    return fail((file->size < expected_size ? "truncated snapshot: expected "
-                                            : "oversized snapshot: expected ") +
-                std::to_string(expected_size) + " bytes, file has " +
-                std::to_string(file->size));
+  if (file->size < expected_size) {
+    return fail("truncated snapshot: expected " + std::to_string(expected_size) +
+                " bytes, file has " + std::to_string(file->size));
+  }
+
+  // Bytes past the payload must form a valid delta-log chain (see
+  // snapshot.h); anything else is rejected like any other corruption. The
+  // chain is parsed before the payload work so the staleness check below
+  // can compare against the file's EFFECTIVE stamp (last block wins).
+  std::vector<EdgeUpdate> replay;
+  SourceGraphInfo effective{header.source_graph_size, header.source_graph_mtime_ns};
+  for (std::size_t off = expected_size; off < file->size;) {
+    const std::size_t remaining = file->size - off;
+    const bool has_magic =
+        remaining >= sizeof(kDeltaMagicBytes) &&
+        std::memcmp(file->data + off, kDeltaMagicBytes, sizeof(kDeltaMagicBytes)) == 0;
+    if (!has_magic) return fail("trailing bytes are not a snapshot delta log");
+    if (remaining < sizeof(DeltaBlockHeader)) {
+      return fail("truncated snapshot delta block header");
+    }
+    DeltaBlockHeader block;
+    std::memcpy(&block, file->data + off, sizeof(block));
+    off += sizeof(block);
+    if (block.count > (file->size - off) / sizeof(DeltaEntry)) {
+      return fail("truncated snapshot delta block: " + std::to_string(block.count) +
+                  " entries do not fit the file");
+    }
+    const auto entries = SectionView<DeltaEntry>(*file, off, block.count);
+    off += block.count * sizeof(DeltaEntry);
+    if (opts.verify_checksum) {
+      Fnv1a64 checksum;
+      checksum.Update(entries.data(), entries.size_bytes());
+      if (checksum.Digest() != block.entries_checksum) {
+        return fail("snapshot delta block checksum mismatch");
+      }
+    }
+    for (const DeltaEntry& e : entries) {
+      if (e.kind > 1) return fail("corrupt snapshot delta entry: unknown kind");
+      EdgeUpdate u;
+      u.kind = e.kind == 0 ? EdgeUpdateKind::kInsert : EdgeUpdateKind::kDelete;
+      u.edge = {e.u, e.v};
+      replay.push_back(u);
+    }
+    effective = SourceGraphInfo{block.source_graph_size, block.source_graph_mtime_ns};
+  }
+
+  if (opts.expected_source.Known() && effective.Known() &&
+      !(effective == opts.expected_source)) {
+    return fail("stale snapshot: the effective source graph (" +
+                std::to_string(effective.size_bytes) + " bytes, mtime " +
+                std::to_string(effective.mtime_ns) + "ns) does not match the graph file (" +
+                std::to_string(opts.expected_source.size_bytes) + " bytes, mtime " +
+                std::to_string(opts.expected_source.mtime_ns) + "ns)");
   }
 
   if (opts.verify_checksum) {
     Fnv1a64 checksum;
-    checksum.Update(file->data + sizeof(SnapshotHeader), file->size - sizeof(SnapshotHeader));
+    checksum.Update(file->data + sizeof(SnapshotHeader), expected_size - sizeof(SnapshotHeader));
     if (checksum.Digest() != header.payload_checksum) return fail("checksum mismatch");
   }
 
@@ -613,7 +676,81 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   bundle.index = SnapshotAccess::MakeIndex(
       bundle.graph.get(), SectionView<std::uint32_t>(*file, layout.coreness, n),
       SectionView<std::uint32_t>(*file, layout.max_core, num_labels), std::move(pairs));
+
+  // Replay the delta log onto the mapped state through the dynamic-graph
+  // layer. The updated graph shares the mapped label arrays (and keeps the
+  // mapping alive); the index repair touches only the affected labels and
+  // cached pairs.
+  if (!replay.empty()) {
+    std::string delta_err;
+    const auto delta = BuildGraphDelta(*bundle.graph, replay, &delta_err);
+    if (!delta) {
+      return fail("snapshot delta log does not apply to the stored graph: " + delta_err);
+    }
+    auto updated = std::make_shared<const LabeledGraph>(ApplyGraphDelta(*bundle.graph, *delta));
+    auto repaired = bundle.index->ApplyUpdates(*updated, *delta);
+    bundle.index = std::move(repaired);
+    bundle.graph = std::move(updated);
+    bundle.replayed_updates = replay.size();
+  }
   return bundle;
+}
+
+bool AppendDeltaBlock(const std::string& path, std::span<const EdgeUpdate> updates,
+                      const SourceGraphInfo& source, std::string* error) {
+  if (updates.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return IoFail(error, "delta block cannot hold more than 2^32-1 updates");
+  }
+  std::error_code ec;
+  const auto prior_size = std::filesystem::file_size(path, ec);
+  if (ec) return IoFail(error, "cannot stat " + path);
+  if (prior_size < sizeof(SnapshotHeader)) {
+    return IoFail(error, path + " is not a snapshot (smaller than the header)");
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    if (!in.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagicBytes, sizeof(magic)) != 0) {
+      return IoFail(error, path + " is not a bccs snapshot");
+    }
+  }
+
+  std::vector<DeltaEntry> entries;
+  entries.reserve(updates.size());
+  for (const EdgeUpdate& u : updates) {
+    DeltaEntry e = {};
+    e.kind = u.kind == EdgeUpdateKind::kInsert ? 0 : 1;
+    e.u = u.edge.u;
+    e.v = u.edge.v;
+    entries.push_back(e);
+  }
+  Fnv1a64 checksum;
+  checksum.Update(entries.data(), entries.size() * sizeof(DeltaEntry));
+
+  DeltaBlockHeader block = {};
+  std::memcpy(block.magic, kDeltaMagicBytes, sizeof(block.magic));
+  block.count = static_cast<std::uint32_t>(entries.size());
+  block.source_graph_size = source.size_bytes;
+  block.source_graph_mtime_ns = source.mtime_ns;
+  block.entries_checksum = checksum.Digest();
+
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return IoFail(error, "cannot open " + path + " for appending");
+  out.write(reinterpret_cast<const char*>(&block), sizeof(block));
+  if (!entries.empty()) {
+    out.write(reinterpret_cast<const char*>(entries.data()),
+              static_cast<std::streamsize>(entries.size() * sizeof(DeltaEntry)));
+  }
+  out.flush();
+  if (!out) {
+    out.close();
+    // Roll back the partial block so the base snapshot stays loadable.
+    std::filesystem::resize_file(path, prior_size, ec);
+    return IoFail(error, "append failed for " + path +
+                             (ec ? " (and rollback failed: the file is now corrupt)" : ""));
+  }
+  return true;
 }
 
 SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& path,

@@ -5,36 +5,64 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "bcc/bc_index.h"
+#include "graph/graph_delta.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
 
-/// Persistent binary snapshots of a labeled graph plus its BcIndex.
+/// Persistent binary snapshots of a labeled graph plus its BcIndex, with an
+/// appendable edge-update delta log for dynamic graphs.
 ///
-/// A snapshot is one self-contained file:
+/// A snapshot file is the version-2 payload followed by zero or more
+/// appended delta blocks:
 ///
-///   [80-byte header]  magic, format version, endian tag, array sizes,
-///                     max degree, size + mtime of the source graph file
-///                     (0 when unknown), FNV-1a64 checksum of the payload
-///   [payload]         the graph's CSR arrays (offsets, adjacency, labels,
-///                     label-group CSR), the index's coreness arrays, and
-///                     one entry per materialized pair-butterfly cache line
-///                     (chi stored compactly over the two label groups).
+///   [80-byte header]  magic "BCCSNAP1", format version (2), endian tag,
+///                     array sizes, number of materialized pairs, max
+///                     degree, size + mtime of the source graph file (0/0
+///                     when unknown), FNV-1a64 checksum of the payload
+///   [payload]         64-byte-aligned sections in order: the graph's CSR
+///                     arrays (offsets, adjacency, labels, label-group
+///                     offsets, label-group members), the index's coreness
+///                     arrays (per-vertex, per-label max), the pair table
+///                     (one 48-byte entry per materialized butterfly pair),
+///                     then each pair's chi values back to back, compacted
+///                     over the two label groups
+///   [delta blocks]*   appended by AppendDeltaBlock (tools/bccs_update),
+///                     each: a 40-byte block header — magic "BCCSDLT1",
+///                     entry count, the source graph identity the snapshot
+///                     REPRESENTS once the block is replayed (the
+///                     "re-stamp"; the last block's stamp wins), FNV-1a64
+///                     checksum of the entries — followed by count 16-byte
+///                     entries {kind (0 insert / 1 delete), u, v, reserved}
 ///
-/// Every section starts on a 64-byte boundary, so after mmap() each array is
-/// cache-line aligned and can be used in place: LoadSnapshot reconstructs
-/// the graph and index as zero-copy views over the mapping (the only copied
-/// data are the per-pair chi arrays, which are re-scattered into dense
-/// vectors). On platforms without mmap — or with allow_mmap = false — the
-/// loader falls back to one read() of the file into an owned buffer and
-/// builds the same views over it.
+/// Every payload section starts on a 64-byte boundary, so after mmap() each
+/// array is cache-line aligned and can be used in place: LoadSnapshot
+/// reconstructs the graph and index as zero-copy views over the mapping
+/// (the only copied data are the per-pair chi arrays, which are
+/// re-scattered into dense vectors). On platforms without mmap — or with
+/// allow_mmap = false — the loader falls back to one read() of the file
+/// into an owned buffer and builds the same views over it. Delta blocks are
+/// 8-byte aligned (the payload ends on an 8-byte boundary and both delta
+/// records are multiples of 8), so the chain is parsed in place too.
 ///
-/// Rejected inputs (truncated file, bad magic, wrong version or endianness,
-/// checksum mismatch, stale source-graph stamp) return std::nullopt with a
-/// human-readable reason.
+/// When delta blocks are present the loader replays them onto the mapped
+/// state through the dynamic-graph layer (BuildGraphDelta → ApplyGraphDelta
+/// → BcIndex::ApplyUpdates), so the bundle it returns is the *updated*
+/// graph and index: the label arrays stay zero-copy views over the mapping,
+/// the adjacency and the repaired index arrays are rebuilt in memory. The
+/// staleness check compares `expected_source` against the file's EFFECTIVE
+/// stamp — the last delta block's stamp when any block exists, the header's
+/// otherwise — which is what lets a snapshot whose base payload is stale
+/// keep serving after bccs_update appended the matching deltas.
+///
+/// Rejected inputs (truncated file or delta block, bad magic, wrong version
+/// or endianness, checksum mismatch in payload or any block, stale
+/// effective source stamp, a delta log that does not apply to the stored
+/// graph) return std::nullopt with a human-readable reason.
 
 /// Bump when the on-disk layout changes; loaders reject other versions.
 inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
@@ -70,10 +98,15 @@ struct SnapshotBundle {
   /// True when the bundle came from a snapshot file rather than a build.
   bool loaded_from_snapshot = false;
   /// True when the arrays are zero-copy views over an mmap'ed file (false
-  /// for the read() fallback and for built bundles).
+  /// for the read() fallback and for built bundles). With a replayed delta
+  /// log, the label arrays remain mapped views; adjacency and index arrays
+  /// are rebuilt in memory.
   bool mapped = false;
   /// Snapshot file size in bytes (0 for built bundles that failed to save).
   std::size_t snapshot_bytes = 0;
+  /// Delta-log updates replayed onto the loaded state (0 for a bare
+  /// snapshot or a built bundle).
+  std::size_t replayed_updates = 0;
 };
 
 struct SnapshotLoadOptions {
@@ -98,11 +131,23 @@ struct SnapshotLoadOptions {
 bool SaveSnapshot(const BcIndex& index, const std::string& path,
                   std::string* error = nullptr, const SourceGraphInfo& source = {});
 
-/// Loads a snapshot written by SaveSnapshot. On failure returns std::nullopt
-/// and sets `error` to the rejection reason.
+/// Loads a snapshot written by SaveSnapshot, replaying any appended delta
+/// blocks (see the format above). On failure returns std::nullopt and sets
+/// `error` to the rejection reason.
 std::optional<SnapshotBundle> LoadSnapshot(const std::string& path,
                                            std::string* error = nullptr,
                                            const SnapshotLoadOptions& opts = {});
+
+/// Appends one delta block holding `updates` (in order) to the snapshot at
+/// `path` and stamps it with `source` — the identity of the graph file the
+/// snapshot corresponds to once the block is replayed ({0, 0} = unknown,
+/// disabling the staleness check). The base payload is not rewritten; a
+/// failed append truncates the file back to its prior size so the snapshot
+/// stays loadable. The updates are NOT validated here — validate against
+/// the loaded (replayed) graph first (BuildGraphDelta), as tools/bccs_update
+/// does, or the next load will reject the file.
+bool AppendDeltaBlock(const std::string& path, std::span<const EdgeUpdate> updates,
+                      const SourceGraphInfo& source, std::string* error = nullptr);
 
 /// Builds a fresh index from `g` (materializing every cross-label pair) and
 /// best-effort saves it to `path` stamped with `source`; `error` reports a

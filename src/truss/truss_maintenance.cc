@@ -85,6 +85,15 @@ std::vector<VertexId> KTrussMaintainer::RemoveVertices(std::span<const VertexId>
   return died;
 }
 
+std::vector<VertexId> KTrussMaintainer::RemoveEdge(VertexId u, VertexId v) {
+  std::vector<VertexId> died;
+  const std::uint32_t e = td_->EdgeId(u, v);
+  if (e == kInvalidEdge || !ealive_[e] || equeued_[e]) return died;
+  equeued_[e] = 1;
+  CascadeEdges({e}, &died);
+  return died;
+}
+
 void KTrussMaintainer::BfsOverAlive(VertexId source, std::vector<std::uint32_t>* dist) const {
   dist->assign(g_->NumVertices(), kInfDistance);
   if (!valive_[source]) return;

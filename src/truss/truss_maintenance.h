@@ -37,6 +37,13 @@ class KTrussMaintainer {
   /// Returns every vertex that died, in death order (batch first).
   std::vector<VertexId> RemoveVertices(std::span<const VertexId> batch);
 
+  /// Removes one alive edge {u, v} (an edge-level update, the dynamic-graph
+  /// delta case) and cascades the support drops; vertices die with their
+  /// last edge. The surviving edge set is exactly the k-truss edge set of
+  /// the maintained subgraph minus the edge. Returns the vertices that
+  /// died; no-op (empty) when the edge is absent or already dead.
+  std::vector<VertexId> RemoveEdge(VertexId u, VertexId v);
+
   /// BFS distances from `source` over alive vertices and alive edges.
   void BfsOverAlive(VertexId source, std::vector<std::uint32_t>* dist) const;
 

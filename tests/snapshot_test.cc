@@ -309,8 +309,10 @@ TEST_F(SnapshotRejectionTest, TruncatedPayload) {
 }
 
 TEST_F(SnapshotRejectionTest, TrailingGarbage) {
+  // Bytes past the payload must be a valid delta log (PR 4); arbitrary
+  // trailing garbage is rejected as neither.
   WriteBytes(bytes_ + "extra");
-  ExpectRejected("oversized");
+  ExpectRejected("delta log");
 }
 
 TEST_F(SnapshotRejectionTest, BadMagic) {

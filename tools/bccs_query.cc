@@ -25,10 +25,20 @@
 // Index snapshots (see tools/bccs_build and graph/snapshot.h):
 //   bccs_query --index-file g.snap ...
 //     serves straight from the snapshot (mmap cold start; --graph not
-//     needed). With both --graph and --index-file, the snapshot is loaded
-//     when valid AND stamped with the graph file's current size/mtime;
-//     otherwise (corrupt, stale, absent) the index is rebuilt from the
-//     graph and saved to the snapshot path (BcIndex::BuildOrLoad).
+//     needed); a snapshot with an appended delta log (tools/bccs_update) is
+//     replayed on load. With both --graph and --index-file, the snapshot is
+//     loaded when valid AND its effective source stamp matches the graph
+//     file's current size/mtime; otherwise (corrupt, stale, absent) the
+//     index is rebuilt from the graph and saved to the snapshot path
+//     (BcIndex::BuildOrLoad).
+//
+// Dynamic graphs:
+//   bccs_query ... --updates-file u.txt
+//     applies an edge-update batch ("+ u v" / "- u v" lines, see
+//     graph/graph_delta.h) through the serving engine's update path before
+//     any query runs: the batch is validated, the graph rebuilt, the index
+//     incrementally repaired (BcIndex::ApplyUpdates), and every query below
+//     observes the post-update epoch.
 //
 // Batch mode (parallel engine with per-thread workspaces):
 //   bccs_query --graph g.txt --batch-file queries.txt [--threads 8]
@@ -83,7 +93,7 @@ void PrintUsage() {
                "                  [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]\n"
                "                  [--lane interactive|bulk] [--deadline-ms N]\n"
                "                  [--approx-samples N] [--approx-threshold N]\n"
-               "                  [--verify]\n"
+               "                  [--updates-file FILE] [--verify]\n"
                "       bccs_query ... --batch-file FILE [--threads N] [--repeat N]\n"
                "       bccs_query ... --ql ID --qr ID --repeat N [--threads N]\n");
 }
@@ -228,7 +238,7 @@ int main(int argc, char** argv) {
   auto unknown = args.UnknownFlags({"graph", "index-file", "ql", "qr", "queries", "k1", "k2",
                                     "b", "method", "verify", "help", "batch-file", "threads",
                                     "repeat", "lane", "deadline-ms", "approx-samples",
-                                    "approx-threshold"});
+                                    "approx-threshold", "updates-file"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -339,10 +349,11 @@ int main(int argc, char** argv) {
     }
     graph = bundle.graph;
     if (bundle.index != nullptr) {
-      std::printf("index: %s %s in %.6fs (%zu bytes, %zu cached pairs)\n",
+      std::printf("index: %s %s in %.6fs (%zu bytes, %zu cached pairs, "
+                  "%zu replayed updates)\n",
                   bundle.loaded_from_snapshot ? "loaded from" : "built and saved to",
                   index_path->c_str(), load_timer.Seconds(), bundle.snapshot_bytes,
-                  bundle.index->CachedPairCount());
+                  bundle.index->CachedPairCount(), bundle.replayed_updates);
     }
   } else {
     std::string io_error;
@@ -357,12 +368,47 @@ int main(int argc, char** argv) {
   std::printf("graph: %zu vertices, %zu edges, %zu labels\n", graph->NumVertices(),
               graph->NumEdges(), graph->NumLabels());
 
+  // --updates-file: one UpdateRequest through the serving engine's update
+  // path before any query runs, so everything below — single queries,
+  // batches, repeats — observes the post-update epoch.
+  std::shared_ptr<const bccs::BcIndex> updated_index;
+  if (auto updates_path = args.GetString("updates-file")) {
+    std::string up_error;
+    auto updates = bccs::ReadEdgeUpdatesFromFile(*updates_path, &up_error);
+    if (!updates) {
+      std::fprintf(stderr, "cannot read updates from %s: %s\n", updates_path->c_str(),
+                   up_error.c_str());
+      return 1;
+    }
+    const std::size_t raw_count = updates->size();
+    bccs::BatchRunner update_runner(1);
+    bccs::ServeEngine update_engine(update_runner, *graph, bundle.index.get());
+    bccs::UpdateRequest update_request;
+    update_request.updates = std::move(*updates);
+    std::vector<bccs::ServeItem> items;
+    items.emplace_back(std::move(update_request));
+    const bccs::BatchResult update_result = update_engine.Serve(items);
+    const bccs::UpdateOutcome& outcome = update_result.updates[0];
+    if (!outcome.applied) {
+      std::fprintf(stderr, "cannot apply %s: %s\n", updates_path->c_str(),
+                   outcome.error.c_str());
+      return 1;
+    }
+    graph = update_engine.graph_ptr();
+    if (bundle.index != nullptr) updated_index = update_engine.index_ptr();
+    std::printf("updates: %zu applied (%zu inserts, %zu deletes net) in %.4fs; "
+                "now %zu edges, serving epoch %llu\n",
+                raw_count, outcome.inserts, outcome.deletes, outcome.seconds,
+                graph->NumEdges(), static_cast<unsigned long long>(outcome.epoch));
+  }
+
   const auto b = static_cast<std::uint64_t>(args.GetIntOr("b", 1));
 
   // The l2p index is shared by every mode below; build it now (once) if the
-  // snapshot machinery did not already provide one.
+  // snapshot machinery (or the update replay) did not already provide one.
   std::unique_ptr<bccs::BcIndex> local_index;
-  const bccs::BcIndex* index = bundle.index.get();
+  const bccs::BcIndex* index =
+      updated_index != nullptr ? updated_index.get() : bundle.index.get();
   if (cfg.method == bccs::QueryMethod::kL2pBcc && index == nullptr) {
     local_index = std::make_unique<bccs::BcIndex>(*graph);
     index = local_index.get();

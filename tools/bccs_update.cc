@@ -1,0 +1,189 @@
+// bccs_update: apply an edge-update batch to a persisted snapshot.
+//
+//   bccs_update --snapshot g.snap --updates u.txt [--graph g.txt]
+//               [--compact] [--write-graph out.txt] [--no-verify]
+//
+// Loads the snapshot (replaying any delta log already appended), validates
+// the update batch against that state, and persists the batch:
+//
+//   default     appends one delta block to the snapshot file — the base
+//               payload is not rewritten; the next load replays the log
+//               through the dynamic-graph layer (graph/graph_delta.h,
+//               BcIndex::ApplyUpdates).
+//   --compact   rewrites the whole snapshot from the updated in-memory
+//               state instead, collapsing the delta log.
+//
+// Re-stamping: --graph names the text graph file that reflects the
+// POST-update graph; its size/mtime is stamped so bccs_query --graph
+// accepts the snapshot as fresh. --write-graph FILE writes the updated
+// graph there as text (and stamps it when --graph is absent). Without
+// either, the snapshot is stamped "unknown source" (staleness checking
+// disabled).
+//
+// Unless --no-verify is given, the tool re-loads the snapshot and checks
+// the replayed state against the in-memory updated index.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bcc/bc_index.h"
+#include "eval/timer.h"
+#include "graph/graph_delta.h"
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
+#include "tools/arg_parser.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: bccs_update --snapshot FILE --updates FILE [--graph FILE]\n"
+               "                   [--compact] [--write-graph FILE] [--no-verify]\n");
+}
+
+bool VerifyReload(const bccs::LabeledGraph& updated, const bccs::BcIndex& repaired,
+                  const std::string& path) {
+  std::string error;
+  auto reloaded = bccs::LoadSnapshot(path, &error);
+  if (!reloaded) {
+    std::fprintf(stderr, "verify: reload failed: %s\n", error.c_str());
+    return false;
+  }
+  const bccs::LabeledGraph& rg = *reloaded->graph;
+  if (rg.NumVertices() != updated.NumVertices() || rg.NumEdges() != updated.NumEdges() ||
+      rg.NumLabels() != updated.NumLabels()) {
+    std::fprintf(stderr, "verify: graph shape mismatch after reload\n");
+    return false;
+  }
+  for (bccs::VertexId v = 0; v < updated.NumVertices(); ++v) {
+    if (rg.LabelOf(v) != updated.LabelOf(v) ||
+        reloaded->index->Coreness(v) != repaired.Coreness(v)) {
+      std::fprintf(stderr, "verify: vertex %u disagrees after reload\n", v);
+      return false;
+    }
+    const auto a = updated.Neighbors(v);
+    const auto b = rg.Neighbors(v);
+    if (a.size() != b.size() || !std::equal(a.begin(), a.end(), b.begin())) {
+      std::fprintf(stderr, "verify: adjacency of vertex %u disagrees after reload\n", v);
+      return false;
+    }
+  }
+  if (reloaded->index->CachedPairCount() != repaired.CachedPairCount()) {
+    std::fprintf(stderr, "verify: cached pair count mismatch after reload\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
+  auto unknown = args.UnknownFlags(
+      {"snapshot", "updates", "graph", "compact", "write-graph", "no-verify", "help"});
+  if (!unknown.empty() || args.Has("help")) {
+    for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
+    PrintUsage();
+    return args.Has("help") ? 0 : 2;
+  }
+  auto snapshot_path = args.GetString("snapshot");
+  auto updates_path = args.GetString("updates");
+  if (!snapshot_path || !updates_path) {
+    PrintUsage();
+    return 2;
+  }
+
+  bccs::Timer load_timer;
+  std::string error;
+  auto bundle = bccs::LoadSnapshot(*snapshot_path, &error);
+  if (!bundle) {
+    std::fprintf(stderr, "cannot load snapshot %s: %s\n", snapshot_path->c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("snapshot: %zu vertices, %zu edges, %zu cached pairs, %zu replayed updates "
+              "(loaded in %.4fs)\n",
+              bundle->graph->NumVertices(), bundle->graph->NumEdges(),
+              bundle->index->CachedPairCount(), bundle->replayed_updates,
+              load_timer.Seconds());
+
+  auto updates = bccs::ReadEdgeUpdatesFromFile(*updates_path, &error);
+  if (!updates) {
+    std::fprintf(stderr, "cannot read updates from %s: %s\n", updates_path->c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const auto delta = bccs::BuildGraphDelta(*bundle->graph, *updates, &error);
+  if (!delta) {
+    std::fprintf(stderr, "invalid update batch: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Apply in memory: needed for --compact / --write-graph / verify, and it
+  // reports what the incremental repair did.
+  bccs::Timer apply_timer;
+  const bccs::LabeledGraph updated = bccs::ApplyGraphDelta(*bundle->graph, *delta);
+  bccs::UpdateRepairStats repair;
+  const auto repaired = bundle->index->ApplyUpdates(updated, *delta, {}, &repair);
+  std::printf("updates: %zu (%zu inserts, %zu deletes net) applied in %.4fs\n",
+              updates->size(), delta->inserts.size(), delta->deletes.size(),
+              apply_timer.Seconds());
+  std::printf("repair: labels %zu incremental / %zu rebuilt (%zu passes), "
+              "pairs %zu incremental / %zu recounted (%zu cross edges)\n",
+              repair.labels_incremental, repair.labels_rebuilt, repair.core_passes,
+              repair.pairs_incremental, repair.pairs_recounted, repair.cross_edges_applied);
+
+  // The re-stamp source: the text graph reflecting the post-update state.
+  auto write_graph = args.GetString("write-graph");
+  if (write_graph) {
+    if (!bccs::WriteLabeledGraphToFile(updated, *write_graph)) {
+      std::fprintf(stderr, "cannot write updated graph to %s\n", write_graph->c_str());
+      return 1;
+    }
+    std::printf("wrote updated graph to %s\n", write_graph->c_str());
+  }
+  bccs::SourceGraphInfo source;  // unknown unless a post-update graph file exists
+  if (auto graph_path = args.GetString("graph")) {
+    source = bccs::StatSourceGraph(*graph_path);
+  } else if (write_graph) {
+    source = bccs::StatSourceGraph(*write_graph);
+  }
+
+  if (args.Has("compact")) {
+    bccs::Timer save_timer;
+    // Write-then-rename: the loaded bundle's arrays may be zero-copy views
+    // over the snapshot file itself (mmap), so rewriting it in place would
+    // overwrite the data being serialized. The rename also keeps a reader
+    // that races the compaction on a consistent file.
+    const std::string tmp_path = *snapshot_path + ".compact.tmp";
+    if (!bccs::SaveSnapshot(*repaired, tmp_path, &error, source)) {
+      std::fprintf(stderr, "cannot rewrite snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    if (std::rename(tmp_path.c_str(), snapshot_path->c_str()) != 0) {
+      std::fprintf(stderr, "cannot replace %s with the compacted snapshot\n",
+                   snapshot_path->c_str());
+      std::remove(tmp_path.c_str());
+      return 1;
+    }
+    std::printf("compacted snapshot rewritten to %s in %.4fs\n", snapshot_path->c_str(),
+                save_timer.Seconds());
+  } else {
+    bccs::Timer append_timer;
+    if (!bccs::AppendDeltaBlock(*snapshot_path, *updates, source, &error)) {
+      std::fprintf(stderr, "cannot append delta block: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("delta block (%zu updates) appended to %s in %.4fs\n", updates->size(),
+                snapshot_path->c_str(), append_timer.Seconds());
+  }
+
+  if (!args.Has("no-verify")) {
+    bccs::Timer verify_timer;
+    if (!VerifyReload(updated, *repaired, *snapshot_path)) return 1;
+    std::printf("verify: snapshot reload matches the updated index (%.4fs)\n",
+                verify_timer.Seconds());
+  }
+  return 0;
+}

@@ -2,10 +2,14 @@
 # End-to-end ctest: generate a tiny graph, persist a BcIndex snapshot with
 # bccs_build, and check that bccs_query serves identical answers from the
 # text graph and from the snapshot (single-query and batch paths), that a
-# corrupted snapshot is rejected, and that the serving-engine flags
-# (--lane, --deadline-ms, --approx-samples) validate and behave: mixed-lane
+# corrupted snapshot is rejected, that the serving-engine flags
+# (--lane, --deadline-ms, --approx-samples) validate and behave (mixed-lane
 # batches report per-lane percentiles, approx batches are deterministic
-# across thread counts, and bad flag values are rejected.
+# across thread counts, bad flag values are rejected), and that the dynamic
+# update flow works: bccs_update appends a delta log that bccs_query
+# replays (build -> update -> query-from-replayed-snapshot ==
+# query-from-updated-text-graph), --updates-file applies a batch in-process,
+# and invalid update batches are rejected.
 #
 # Registered under the ctest labels "e2e" and "sanitize" — the latter is the
 # suite exercised in the ASan+UBSan preset (cmake --preset asan-ubsan).
@@ -120,5 +124,71 @@ approx_2="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt"
   --threads 2 --approx-samples 64 --approx-threshold 1 | grep -E '^  \[')"
 [ -n "$approx_1" ] || fail "no approx batch output"
 [ "$approx_1" = "$approx_2" ] || fail "approx answers differ across thread counts"
+
+# --- Dynamic graphs: delta log + --updates-file -----------------------------
+
+# Delete one existing edge through bccs_update: the delta block is appended
+# to the snapshot (no payload rewrite) and the updated graph written as text.
+eu="$(awk '$1=="e" {print $2; exit}' "$tmp/g.txt")"
+ev="$(awk '$1=="e" {print $3; exit}' "$tmp/g.txt")"
+[ -n "$eu" ] && [ -n "$ev" ] || fail "could not pick an edge to delete"
+printf -- '- %s %s\n' "$eu" "$ev" > "$tmp/updates.txt"
+"$bin/bccs_update" --snapshot "$tmp/g.snap" --updates "$tmp/updates.txt" \
+  --write-graph "$tmp/g2.txt" >/dev/null || fail "bccs_update failed"
+
+# build -> update -> query-from-replayed-snapshot: the replayed snapshot
+# must answer exactly like the updated text graph.
+upd_snap="$(run_query --index-file "$tmp/g.snap")"
+upd_graph="$(run_query --graph "$tmp/g2.txt")"
+[ -n "$upd_graph" ] || fail "no output from the updated text graph"
+[ "$upd_snap" = "$upd_graph" ] \
+  || fail "replayed snapshot answers differ: '$upd_snap' vs '$upd_graph'"
+
+# The delta block re-stamped the snapshot with g2.txt's identity, so the
+# combined path accepts it without a rebuild.
+"$bin/bccs_query" --graph "$tmp/g2.txt" --index-file "$tmp/g.snap" \
+  --ql "$q1" --qr "$q2" --method l2p >/dev/null 2>"$tmp/upd_stamp.err" \
+  || fail "query with the re-stamped updated snapshot failed"
+if grep -qE "stale|rebuild" "$tmp/upd_stamp.err"; then
+  fail "re-stamped updated snapshot was not accepted"
+fi
+
+# --updates-file: applying the batch in-process over the original graph
+# must answer exactly like the updated text graph.
+upd_flag="$("$bin/bccs_query" --graph "$tmp/g.txt" --updates-file "$tmp/updates.txt" \
+  --ql "$q1" --qr "$q2" --method lp | grep -E '^(community|no community)')" || true
+upd_graph_lp="$("$bin/bccs_query" --graph "$tmp/g2.txt" --ql "$q1" --qr "$q2" \
+  --method lp | grep -E '^(community|no community)')" || true
+[ -n "$upd_flag" ] || fail "no output from --updates-file"
+[ "$upd_flag" = "$upd_graph_lp" ] \
+  || fail "--updates-file answers differ: '$upd_flag' vs '$upd_graph_lp'"
+
+# Re-inserting the deleted edge chains a second delta block; the replayed
+# state is back to the original graph and answers match the very first run.
+printf -- '+ %s %s\n' "$eu" "$ev" > "$tmp/updates2.txt"
+"$bin/bccs_update" --snapshot "$tmp/g.snap" --updates "$tmp/updates2.txt" \
+  >/dev/null || fail "second bccs_update failed"
+roundtrip="$(run_query --index-file "$tmp/g.snap")"
+[ "$roundtrip" = "$from_graph" ] \
+  || fail "delete+insert round trip changed answers: '$roundtrip' vs '$from_graph'"
+
+# Invalid update batches are rejected with the offending update named.
+printf -- '- 0 0\n' > "$tmp/bad_updates.txt"
+if "$bin/bccs_update" --snapshot "$tmp/g.snap" --updates "$tmp/bad_updates.txt" \
+    >/dev/null 2>"$tmp/bad_upd.err"; then
+  fail "invalid update batch was accepted by bccs_update"
+fi
+grep -q "update #0" "$tmp/bad_upd.err" || fail "invalid update not named"
+if "$bin/bccs_query" --graph "$tmp/g.txt" --updates-file "$tmp/bad_updates.txt" \
+    --ql "$q1" --qr "$q2" >/dev/null 2>&1; then
+  fail "invalid update batch was accepted by bccs_query"
+fi
+
+# --compact collapses the delta log into a rewritten payload; answers hold.
+"$bin/bccs_update" --snapshot "$tmp/g.snap" --updates "$tmp/updates.txt" \
+  --compact >/dev/null || fail "bccs_update --compact failed"
+compacted="$(run_query --index-file "$tmp/g.snap")"
+[ "$compacted" = "$upd_graph" ] \
+  || fail "compacted snapshot answers differ: '$compacted' vs '$upd_graph'"
 
 echo "e2e snapshot test passed"
