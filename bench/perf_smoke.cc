@@ -6,13 +6,15 @@
 // snapshot cold-start (index_build_seconds vs index_load_seconds, with an
 // identical-answers check for L2P on the loaded index), exercises the
 // unified serving engine (mixed interactive/bulk lanes with per-lane
-// percentiles, and the approximate-butterfly fast path vs the exact
-// recount on the large generated graph), measures dynamic edge-update
-// batches (incremental BcIndex::ApplyUpdates vs full rebuild seconds, with
-// a bit-identical check), and emits a JSON summary (default BENCH_PR4.json)
-// so future PRs can compare against this one.
+// percentiles, the streaming serve loop under a saturating mixed stream —
+// interactive p95 with/without the bulk in-flight cap and update publish
+// latency vs the old barrier flush — and the approximate-butterfly fast
+// path vs the exact recount on the large generated graph), measures
+// dynamic edge-update batches (incremental BcIndex::ApplyUpdates vs full
+// rebuild seconds, with a bit-identical check), and emits a JSON summary
+// (default BENCH_PR5.json) so future PRs can compare against this one.
 //
-//   perf_smoke [--out BENCH_PR4.json] [--queries 64] [--threads 0]
+//   perf_smoke [--out BENCH_PR5.json] [--queries 64] [--threads 0]
 //              [--communities 24] [--group-size 24] [--keep-snapshot]
 
 #include <algorithm>
@@ -57,6 +59,24 @@ struct IndexRow {
   std::size_t pairs = 0;
   bool mapped = false;
   bool identical = false;     // L2P answers: built index vs loaded index
+};
+
+/// Streaming serve loop measurements: interactive p95 under a saturating
+/// bulk backlog with and without the bulk in-flight cap, and update publish
+/// latency (admission -> epoch publish) for the streaming loop vs the PR 4
+/// barrier emulation (flush every query ahead of the update first).
+struct StreamingRow {
+  std::size_t interactive_queries = 0, bulk_queries = 0;
+  std::size_t bulk_cap = 0;
+  double uncapped_interactive_p95 = 0, capped_interactive_p95 = 0;
+  std::size_t uncapped_max_bulk_inflight = 0, capped_max_bulk_inflight = 0;
+  double stream_update_sojourn = 0;   // admission -> publish, streaming loop
+  double barrier_update_sojourn = 0;  // admission -> publish, barrier emulation
+  double stream_wall_seconds = 0;
+  double barrier_wall_seconds = 0;
+  bool identical = false;          // capped == uncapped == barrier answers
+  bool capped_p95_bounded = false; // capped p95 within noise of uncapped
+  bool update_publish_faster = false;  // stream sojourn <= barrier sojourn
 };
 
 /// Mixed interactive/bulk serving measurements (two-lane scheduler).
@@ -105,13 +125,38 @@ SearchStats SumStats(const BatchResult& r) {
 }
 
 void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow& index,
-               const ServingRow& serving, const ApproxRow& approx,
-               const std::vector<UpdateBatchRow>& updates, std::size_t n, std::size_t edges,
-               std::size_t par_threads) {
+               const ServingRow& serving, const StreamingRow& streaming,
+               const ApproxRow& approx, const std::vector<UpdateBatchRow>& updates,
+               std::size_t n, std::size_t edges, std::size_t par_threads) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
   std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
   std::fprintf(f, "  \"parallel_threads\": %zu,\n", par_threads);
+  std::fprintf(f, "  \"streaming\": {\n");
+  std::fprintf(f, "    \"interactive_queries\": %zu,\n", streaming.interactive_queries);
+  std::fprintf(f, "    \"bulk_queries\": %zu,\n", streaming.bulk_queries);
+  std::fprintf(f, "    \"bulk_cap\": %zu,\n", streaming.bulk_cap);
+  std::fprintf(f, "    \"uncapped_interactive_p95_seconds\": %.6f,\n",
+               streaming.uncapped_interactive_p95);
+  std::fprintf(f, "    \"capped_interactive_p95_seconds\": %.6f,\n",
+               streaming.capped_interactive_p95);
+  std::fprintf(f, "    \"uncapped_max_bulk_inflight\": %zu,\n",
+               streaming.uncapped_max_bulk_inflight);
+  std::fprintf(f, "    \"capped_max_bulk_inflight\": %zu,\n",
+               streaming.capped_max_bulk_inflight);
+  std::fprintf(f, "    \"stream_update_publish_seconds\": %.6f,\n",
+               streaming.stream_update_sojourn);
+  std::fprintf(f, "    \"barrier_update_publish_seconds\": %.6f,\n",
+               streaming.barrier_update_sojourn);
+  std::fprintf(f, "    \"stream_wall_seconds\": %.6f,\n", streaming.stream_wall_seconds);
+  std::fprintf(f, "    \"barrier_wall_seconds\": %.6f,\n", streaming.barrier_wall_seconds);
+  std::fprintf(f, "    \"identical_across_modes\": %s,\n",
+               streaming.identical ? "true" : "false");
+  std::fprintf(f, "    \"capped_p95_bounded\": %s,\n",
+               streaming.capped_p95_bounded ? "true" : "false");
+  std::fprintf(f, "    \"update_publish_faster_than_barrier\": %s\n",
+               streaming.update_publish_faster ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"serving\": {\n");
   std::fprintf(f, "    \"aging_period\": %zu,\n", serving.aging_period);
   std::fprintf(f, "    \"timed_out\": %zu,\n", serving.timed_out);
@@ -324,6 +369,113 @@ UpdateBatchRow MeasureUpdateBatch(const PlantedGraph& pg, const BcIndex& base,
   return row;
 }
 
+/// The streaming serve loop under a saturating mixed stream: a deep bulk
+/// backlog, interleaved interactive queries, and one edge-update batch in
+/// the middle. Measures interactive sojourn p95 with and without the bulk
+/// in-flight cap, and the update's admission->publish latency against a
+/// PR 4-style barrier emulation (every query ahead of the update flushed
+/// before it applies, every query behind it held back).
+StreamingRow MeasureStreaming(const PlantedGraph& pg, std::span<const BccQuery> queries,
+                              std::size_t threads) {
+  StreamingRow row;
+  std::vector<Edge> edges = pg.graph.AllEdges();
+
+  // The stream: 6x bulk tiling saturates the pool; every 4th item is
+  // interactive; one deletion+reinsert update batch lands mid-stream.
+  std::vector<ServeItem> items;
+  std::vector<int> lane_of;  // mirrors items: 0 interactive, 1 bulk, -1 update
+  for (std::size_t rep = 0; rep < 6; ++rep) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      QueryRequest req;
+      req.query = queries[i];
+      req.method = QueryMethod::kLpBcc;
+      req.lane = items.size() % 4 == 0 ? Lane::kInteractive : Lane::kBulk;
+      req.request_id = items.size() + 1;
+      lane_of.push_back(req.lane == Lane::kInteractive ? 0 : 1);
+      items.emplace_back(req);
+    }
+  }
+  UpdateRequest update;
+  update.updates.push_back({EdgeUpdateKind::kDelete, edges[0]});
+  update.updates.push_back({EdgeUpdateKind::kInsert, edges[0]});
+  const std::size_t update_index = items.size() / 2;
+  items.insert(items.begin() + static_cast<std::ptrdiff_t>(update_index), ServeItem(update));
+  lane_of.insert(lane_of.begin() + static_cast<std::ptrdiff_t>(update_index), -1);
+  row.interactive_queries = static_cast<std::size_t>(
+      std::count(lane_of.begin(), lane_of.end(), 0));
+  row.bulk_queries = static_cast<std::size_t>(std::count(lane_of.begin(), lane_of.end(), 1));
+  row.bulk_cap = std::max<std::size_t>(1, threads / 2);
+
+  // Same nearest-rank rule as every other percentile in the report.
+  auto interactive_p95 = [&](const BatchResult& r) {
+    std::vector<double> sojourn;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (lane_of[i] == 0) sojourn.push_back(r.sojourn_seconds[i]);
+    }
+    return SummarizeLatency(sojourn, 0).p95_seconds;
+  };
+
+  BatchRunner runner(threads);
+
+  ServeEngine uncapped_engine(runner, pg.graph);
+  uncapped_engine.RunStream(items);  // warm-up
+  Timer uncapped_timer;
+  BatchResult uncapped = uncapped_engine.RunStream(items);
+  row.stream_wall_seconds = uncapped_timer.Seconds();
+  row.uncapped_interactive_p95 = interactive_p95(uncapped);
+  row.stream_update_sojourn = uncapped.sojourn_seconds[update_index];
+  for (const LaneSummary& lane : uncapped.lanes) {
+    if (lane.lane == Lane::kBulk) row.uncapped_max_bulk_inflight = lane.max_inflight;
+  }
+
+  ServeOptions capped_opts;
+  capped_opts.caps.bulk = row.bulk_cap;
+  ServeEngine capped_engine(runner, pg.graph, nullptr, capped_opts);
+  capped_engine.RunStream(items);  // warm-up
+  BatchResult capped = capped_engine.RunStream(items);
+  row.capped_interactive_p95 = interactive_p95(capped);
+  for (const LaneSummary& lane : capped.lanes) {
+    if (lane.lane == Lane::kBulk) row.capped_max_bulk_inflight = lane.max_inflight;
+  }
+
+  // Barrier emulation (the PR 4 behavior): flush every query ahead of the
+  // update, apply it alone, then run the tail — the update's sojourn pays
+  // the whole leading segment.
+  ServeEngine barrier_engine(runner, pg.graph);
+  std::vector<ServeItem> head(items.begin(),
+                              items.begin() + static_cast<std::ptrdiff_t>(update_index));
+  std::vector<ServeItem> mid(items.begin() + static_cast<std::ptrdiff_t>(update_index),
+                             items.begin() + static_cast<std::ptrdiff_t>(update_index) + 1);
+  std::vector<ServeItem> tail(items.begin() + static_cast<std::ptrdiff_t>(update_index) + 1,
+                              items.end());
+  barrier_engine.RunStream(head);  // warm-up on the same state
+  ServeEngine barrier_run(runner, pg.graph);
+  Timer barrier_timer;
+  BatchResult b_head = barrier_run.RunStream(head);
+  BatchResult b_mid = barrier_run.RunStream(mid);
+  BatchResult b_tail = barrier_run.RunStream(tail);
+  row.barrier_wall_seconds = barrier_timer.Seconds();
+  // The barrier update could not start before the whole head segment
+  // flushed: its admission->publish latency is that flush plus its own
+  // preparation.
+  row.barrier_update_sojourn = b_head.latency.wall_seconds + b_mid.sojourn_seconds[0];
+
+  // Answers must agree across capped/uncapped/barrier execution.
+  row.identical = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (lane_of[i] == -1) continue;
+    const Community& u = uncapped.communities[i];
+    row.identical = row.identical && u.vertices == capped.communities[i].vertices;
+    const Community& b = i < update_index ? b_head.communities[i]
+                                          : b_tail.communities[i - update_index - 1];
+    row.identical = row.identical && u.vertices == b.vertices;
+  }
+  row.capped_p95_bounded =
+      row.capped_interactive_p95 <= row.uncapped_interactive_p95 * 1.5 + 0.005;
+  row.update_publish_faster = row.stream_update_sojourn <= row.barrier_update_sojourn;
+  return row;
+}
+
 /// Mixed interactive/bulk batch through the unified serving engine: the
 /// per-lane sojourn percentiles the two-lane scheduler exists for.
 ServingRow MeasureServing(const PlantedGraph& pg, std::span<const BccQuery> queries,
@@ -428,7 +580,7 @@ ApproxRow MeasureApprox(const PlantedGraph& pg, std::span<const BccQuery> querie
 
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR4.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR5.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -519,6 +671,15 @@ int main(int argc, char** argv) {
       serving.interactive_p50, serving.interactive_p99, serving.bulk_p50, serving.bulk_p99,
       serving.aging_period, serving.interactive_ahead ? "yes" : "NO");
 
+  StreamingRow streaming = MeasureStreaming(pg, queries, par.NumThreads());
+  std::printf(
+      "streaming   interactive p95 uncapped=%.4fs capped=%.4fs (bulk cap %zu, "
+      "max inflight %zu->%zu)  update publish stream=%.4fs barrier=%.4fs  identical=%s\n",
+      streaming.uncapped_interactive_p95, streaming.capped_interactive_p95,
+      streaming.bulk_cap, streaming.uncapped_max_bulk_inflight,
+      streaming.capped_max_bulk_inflight, streaming.stream_update_sojourn,
+      streaming.barrier_update_sojourn, streaming.identical ? "yes" : "NO");
+
   PlantedGraph big_graph;
   std::vector<BccQuery> big_queries;
   IndexRow index = MeasureSnapshotColdStart(
@@ -560,7 +721,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  PrintJson(f, rows, index, serving, approx, update_rows, n, pg.graph.NumEdges(),
+  PrintJson(f, rows, index, serving, streaming, approx, update_rows, n, pg.graph.NumEdges(),
             par.NumThreads());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
@@ -573,6 +734,12 @@ int main(int argc, char** argv) {
   const bool gate_serving = par.NumThreads() <= 8;
   bool ok = index.identical && (serving.interactive_ahead || !gate_serving) &&
             approx.identical_across_threads && approx.exact_verified;
+  // Streaming: answers must be execution-mode independent; the p95 and
+  // publish-latency claims are scheduling properties, gated with the same
+  // noise tolerance as interactive_ahead.
+  ok = ok && streaming.identical;
+  ok = ok && (!gate_serving ||
+              (streaming.capped_p95_bounded && streaming.update_publish_faster));
   for (const MethodRow& r : rows) ok = ok && r.identical && r.steady_bulk_inits == 0;
   // Incremental repair must be exact for every batch and beat the full
   // rebuild on the small one (the streaming-update serving case).

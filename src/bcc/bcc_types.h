@@ -94,7 +94,8 @@ struct SearchStats {
 /// approximate-only (see DESIGN.md).
 struct ApproxOptions {
   bool enabled = false;
-  /// Sampled same-side vertex pairs per estimate.
+  /// Sampled same-side vertex pairs per estimate. With `adaptive` set this
+  /// is the ceiling, not the fixed count.
   std::size_t samples = 2048;
   /// Alive-candidate size above which sampling replaces the exact recount.
   std::size_t threshold = 4096;
@@ -102,7 +103,28 @@ struct ApproxOptions {
   /// as `seed ^ request_id`, so batch answers are bit-identical regardless
   /// of which worker thread claims the query.
   std::uint64_t seed = 1;
+  /// Adaptive sampling: scale each estimate's sample count with the alive
+  /// candidate size (see EffectiveSampleCount) instead of spending the full
+  /// `samples` budget on every round. The count is a pure function of the
+  /// candidate size — itself deterministic per query — so the
+  /// `seed ^ request_id` reproducibility guarantee is unchanged.
+  bool adaptive = false;
+  /// Adaptive floor: estimates never use fewer samples than this (capped by
+  /// `samples` when the ceiling is smaller).
+  std::size_t min_samples = 64;
 };
+
+/// Per-estimate sample count: the fixed `samples` budget, or — with
+/// `adaptive` — one sampled pair per four alive candidate vertices, clamped
+/// to [min_samples, samples]. Late peeling rounds on a shrinking candidate
+/// therefore stop paying the full budget while large early rounds keep it.
+/// Deterministic in (options, alive): the sampling schedule of a query never
+/// depends on thread count or claim order.
+inline std::size_t EffectiveSampleCount(const ApproxOptions& o, std::size_t alive) {
+  if (!o.adaptive) return o.samples;
+  const std::size_t floor_samples = std::min(o.min_samples, o.samples);
+  return std::clamp(alive / 4, floor_samples, o.samples);
+}
 
 /// Strategy switches of Section 6. Online-BCC = defaults with both
 /// accelerations off; LP-BCC = both on.

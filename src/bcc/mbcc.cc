@@ -323,7 +323,7 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
         {
           ScopedAccumulator t(&stats->butterfly_seconds);
           ApproxButterflyOptions aopts;
-          aopts.samples = approx.samples;
+          aopts.samples = EffectiveSampleCount(approx, cand.NumAlive());
           aopts.seed = DeriveEstimateSeed(approx.seed, round_idx, pi);
           est = EstimateTotalButterflies(g, groups[ps.i], groups[ps.j], cand.GroupMask(ps.i),
                                          cand.GroupMask(ps.j), aopts, estimate_scratch);

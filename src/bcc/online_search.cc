@@ -96,7 +96,7 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
   auto estimate_valid = [&](std::uint32_t round_idx) {
     ScopedAccumulator t(&stats->butterfly_seconds);
     ApproxButterflyOptions aopts;
-    aopts.samples = approx.samples;
+    aopts.samples = EffectiveSampleCount(approx, cand.NumAlive());
     aopts.seed = DeriveEstimateSeed(approx.seed, round_idx);
     double est = EstimateTotalButterflies(g, g0.left, g0.right, cand.GroupMask(0),
                                           cand.GroupMask(1), aopts, estimate_scratch);

@@ -1,0 +1,155 @@
+#include "eval/admission_queue.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bccs {
+
+namespace {
+
+// Admission after Close would enqueue a ticket no worker will ever drain —
+// the caller would get a valid-looking index for an item that silently
+// never executes — so the contract violation fails loudly in every build.
+void AbortClosedAdmission(const char* what) {
+  std::fprintf(stderr, "AdmissionQueue: %s after Close\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(std::size_t aging_period, AdmissionCaps caps)
+    : aging_period_(aging_period), caps_(caps) {}
+
+std::size_t AdmissionQueue::AdmitQuery(Lane lane) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) AbortClosedAdmission("AdmitQuery");
+    index = admitted_++;
+    PendingQuery pq{index, updates_admitted_};
+    (lane == Lane::kInteractive ? interactive_ : bulk_).push_back(pq);
+  }
+  cv_.notify_one();
+  return index;
+}
+
+std::size_t AdmissionQueue::AdmitUpdate() {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) AbortClosedAdmission("AdmitUpdate");
+    index = admitted_++;
+    updates_.push_back(index);
+    ++updates_admitted_;
+  }
+  cv_.notify_one();
+  return index;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::LaneRunnable(const std::deque<PendingQuery>& q, std::size_t inflight,
+                                  std::size_t cap) const {
+  // Admission order makes epoch_slot monotone within a lane, so a blocked
+  // front implies a blocked tail: checking the front suffices.
+  return !q.empty() && q.front().epoch_slot <= resolved_updates_ &&
+         (cap == 0 || inflight < cap);
+}
+
+bool AdmissionQueue::Pop(Ticket* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Updates first: they gate the epoch progress of everything behind
+    // them, and epoch transitions are ordered, so the oldest update is
+    // handed out as soon as the previous one has been published.
+    if (!updates_.empty() && claimed_updates_ == resolved_updates_) {
+      out->kind = Ticket::Kind::kUpdate;
+      out->index = updates_.front();
+      out->update_ordinal = claimed_updates_;
+      updates_.pop_front();
+      ++claimed_updates_;
+      return true;
+    }
+
+    const bool i_ok =
+        LaneRunnable(interactive_, inflight_[0], caps_.interactive);
+    const bool b_ok = LaneRunnable(bulk_, inflight_[1], caps_.bulk);
+    const bool age_out = aging_period_ > 0 && since_bulk_ >= aging_period_;
+    if (i_ok || b_ok) {
+      const bool take_bulk = b_ok && (!i_ok || age_out);
+      std::deque<PendingQuery>& q = take_bulk ? bulk_ : interactive_;
+      const Lane lane = take_bulk ? Lane::kBulk : Lane::kInteractive;
+      out->kind = Ticket::Kind::kQuery;
+      out->index = q.front().index;
+      out->epoch_slot = q.front().epoch_slot;
+      out->lane = lane;
+      q.pop_front();
+      const auto li = static_cast<std::size_t>(lane);
+      ++inflight_[li];
+      if (inflight_[li] > max_inflight_[li]) max_inflight_[li] = inflight_[li];
+      since_bulk_ = take_bulk ? 0 : since_bulk_ + 1;
+      return true;
+    }
+
+    // Nothing runnable. Exit only when no ticket remains unclaimed: a query
+    // gated on an in-flight update stays queued, so the non-empty deques
+    // keep every waiting worker here until PublishUpdate unblocks it.
+    if (closed_ && interactive_.empty() && bulk_.empty() && updates_.empty()) {
+      return false;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void AdmissionQueue::CompleteQuery(Lane lane) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto li = static_cast<std::size_t>(lane);
+    assert(inflight_[li] > 0 && "CompleteQuery without a matching Pop");
+    --inflight_[li];
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::PublishUpdate() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(resolved_updates_ < claimed_updates_ && "PublishUpdate without an in-flight update");
+    ++resolved_updates_;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+std::size_t AdmissionQueue::updates_admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return updates_admitted_;
+}
+
+std::size_t AdmissionQueue::resolved_updates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resolved_updates_;
+}
+
+std::size_t AdmissionQueue::max_inflight(Lane lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_inflight_[static_cast<std::size_t>(lane)];
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace bccs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "eval/timer.h"
 
@@ -27,6 +29,7 @@ BatchLatency SummarizeLatency(std::span<const double> seconds, double wall_secon
   };
   out.p50_seconds = pct(0.50);
   out.p90_seconds = pct(0.90);
+  out.p95_seconds = pct(0.95);
   out.p99_seconds = pct(0.99);
   return out;
 }
@@ -91,9 +94,23 @@ void BatchRunner::WorkerLoop(std::size_t tid) {
   }
 }
 
+void BatchRunner::AcquireBusy() {
+  if (busy_.exchange(true, std::memory_order_acquire)) {
+    // The pool runs one job at a time: a second Run would clobber
+    // job_/generation_/pending_ while workers still drain the first (the
+    // waiter releases mutex_ inside done_cv_.wait), silently corrupting
+    // both batches — a ServeEngine stream on this runner counts as a
+    // running job for its whole lifetime.
+    std::fprintf(stderr, "BatchRunner: concurrent Run on one worker pool\n");
+    std::abort();
+  }
+}
+
 void BatchRunner::Run(std::size_t count,
-                      const std::function<void(std::size_t, QueryWorkspace&)>& fn) {
+                      const std::function<void(std::size_t, QueryWorkspace&)>& fn,
+                      WorkspaceStats* stats_after) {
   if (count == 0) return;
+  AcquireBusy();
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   order_ = nullptr;
@@ -104,11 +121,16 @@ void BatchRunner::Run(std::size_t count,
   work_cv_.notify_all();
   done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
   job_ = nullptr;
+  // Workers are parked and the pool is still ours: the one point where the
+  // workspace stats are safe to read on a shared runner.
+  if (stats_after != nullptr) *stats_after = AggregateWorkspaceStats();
+  busy_.store(false, std::memory_order_release);
 }
 
 void BatchRunner::RunOrdered(std::span<const std::uint32_t> order,
                              const std::function<void(std::size_t, QueryWorkspace&)>& fn) {
   if (order.empty()) return;
+  AcquireBusy();
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   order_ = order.data();
@@ -120,6 +142,7 @@ void BatchRunner::RunOrdered(std::span<const std::uint32_t> order,
   done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
   job_ = nullptr;
   order_ = nullptr;
+  busy_.store(false, std::memory_order_release);
 }
 
 WorkspaceStats BatchRunner::AggregateWorkspaceStats() const {
@@ -135,13 +158,15 @@ BatchResult BatchRunner::RunCustomBatch(std::size_t count, const RunTimedFn& que
   out.seconds.resize(count, 0);
   out.threads_used = NumThreads();
   Timer wall;
-  Run(count, [&](std::size_t i, QueryWorkspace& ws) {
-    Timer t;
-    query_fn(i, ws, &out.communities[i], &out.stats[i]);
-    out.seconds[i] = t.Seconds();
-  });
+  Run(
+      count,
+      [&](std::size_t i, QueryWorkspace& ws) {
+        Timer t;
+        query_fn(i, ws, &out.communities[i], &out.stats[i]);
+        out.seconds[i] = t.Seconds();
+      },
+      &out.workspace_stats);
   out.latency = SummarizeLatency(out.seconds, wall.Seconds());
-  out.workspace_stats = AggregateWorkspaceStats();
   return out;
 }
 

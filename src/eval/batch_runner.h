@@ -35,6 +35,7 @@ struct BatchLatency {
   double avg_seconds = 0;
   double p50_seconds = 0;
   double p90_seconds = 0;
+  double p95_seconds = 0;
   double p99_seconds = 0;
 };
 
@@ -45,6 +46,9 @@ struct LaneSummary {
   Lane lane = Lane::kBulk;
   std::size_t queries = 0;
   BatchLatency latency;
+  /// High-water mark of concurrently executing queries of this lane
+  /// (streaming serve loop only; bounded by ServeOptions::caps).
+  std::size_t max_inflight = 0;
 };
 
 /// Outcome of one UpdateRequest served by ServeEngine (see
@@ -102,15 +106,22 @@ class BatchRunner {
   /// Generic fan-out: invokes fn(index, workspace) for every index in
   /// [0, count), distributing indices over the pool. fn must only touch
   /// shared state in a thread-safe way; the workspace is exclusive to the
-  /// calling worker. Blocks until the batch drains.
-  void Run(std::size_t count, const std::function<void(std::size_t, QueryWorkspace&)>& fn);
+  /// calling worker. Blocks until the batch drains. A non-null
+  /// `stats_after` receives AggregateWorkspaceStats() captured *before*
+  /// the pool is released to the next job — the only race-free point when
+  /// the runner is shared between engines (a post-Run aggregation could
+  /// interleave with the next job's workspace writes).
+  void Run(std::size_t count, const std::function<void(std::size_t, QueryWorkspace&)>& fn,
+           WorkspaceStats* stats_after = nullptr);
 
   /// Scheduled fan-out: workers claim the *slots* of `order` FIFO and invoke
-  /// fn(order[slot], workspace). This is how the two-lane scheduler replaces
-  /// the plain FIFO claim: the claim loop stays a single atomic cursor, and
-  /// the policy (interactive-first with aging, see BuildLaneOrder) is
-  /// compiled into the order array. `order` must stay alive until the call
-  /// returns and hold each index at most once.
+  /// fn(order[slot], workspace) — the claim loop stays a single atomic
+  /// cursor with the policy compiled into the order array. This was the
+  /// serving engine's scheduler through PR 4; serving now dequeues
+  /// dynamically from an AdmissionQueue (eval/admission_queue.h), so this
+  /// entry point remains for callers that want a precomputed order (e.g. a
+  /// BuildLaneOrder oracle in tests). `order` must stay alive until the
+  /// call returns and hold each index at most once.
   void RunOrdered(std::span<const std::uint32_t> order,
                   const std::function<void(std::size_t, QueryWorkspace&)>& fn);
 
@@ -145,9 +156,14 @@ class BatchRunner {
 
  private:
   void WorkerLoop(std::size_t tid);
+  /// One job at a time: aborts (with a message) on a concurrent Run — the
+  /// shared job state cannot hold two batches, and the failure mode would
+  /// otherwise be silent corruption or a deadlock.
+  void AcquireBusy();
 
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<QueryWorkspace>> workspaces_;
+  std::atomic<bool> busy_{false};
 
   std::mutex mutex_;
   std::condition_variable work_cv_;

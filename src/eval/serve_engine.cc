@@ -1,5 +1,11 @@
 #include "eval/serve_engine.h"
 
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -37,24 +43,117 @@ SearchOptions SeededOptions(const SearchOptions& base, std::uint64_t request_id)
 
 }  // namespace
 
+/// All mutable state of one stream. The producer (Stream::Submit) grows the
+/// per-item containers under `mutex`; workers take stable pointers to their
+/// exclusive slots under the same mutex and then execute unlocked (std::deque
+/// growth never moves existing elements). The admission queue provides the
+/// cross-thread ordering: a worker only learns an index from Pop(), which
+/// happens-after the producer's bookkeeping for that index.
+struct StreamState {
+  StreamState(ServeEngine* e, std::size_t aging_period, AdmissionCaps caps)
+      : engine(e), queue(aging_period, caps) {}
+
+  ServeEngine* engine;
+  AdmissionQueue queue;
+  Timer wall;           // stream-open reference clock (admit/sojourn times)
+  std::thread pump;     // blocks in BatchRunner::Run while workers drain
+
+  std::mutex mutex;  // guards every container below
+  struct Slot {
+    std::uint64_t request_id = 0;
+    double admit_seconds = 0;
+    int lane = -1;  // -1 = update slot (excluded from query latency)
+  };
+  std::deque<ServeItem> items;
+  std::deque<Slot> slots;
+  std::deque<Community> communities;
+  std::deque<SearchStats> stats;
+  std::deque<double> seconds;
+  std::deque<double> sojourn;
+  std::deque<std::uint64_t> epoch_of;
+  std::deque<UpdateOutcome> update_outcomes;  // one per update, by ordinal
+
+  /// Copy-on-write epoch history: history[s] is the state observed by
+  /// queries admitted after s updates. Slot 0 is published at open; slot
+  /// u+1 is published when the u-th update resolves. `pending` counts
+  /// admitted-but-not-completed queries pinned to the slot; a drained slot
+  /// older than the newest published one releases its shared_ptrs (the
+  /// copy-on-write garbage collection).
+  struct HistorySlot {
+    ServeEngine::EpochState state;
+    std::size_t pending = 0;
+  };
+  std::deque<HistorySlot> history;
+  std::size_t published = 1;       // number of published history slots
+  std::size_t release_cursor = 0;  // first slot that may still hold state
+  std::size_t updates_admitted = 0;
+  bool finished = false;
+  /// Captured by BatchRunner::Run before the pool is released — reading
+  /// the workspaces after Run returns would race the next job on a shared
+  /// runner.
+  WorkspaceStats drain_stats;
+
+  /// Releases drained old epochs. Slots gain pending queries only while
+  /// they are the newest admitted slot, so a drained slot behind the
+  /// published head can never be pinned again. Caller holds `mutex`.
+  void ReleaseDrainedHistory() {
+    while (release_cursor + 1 < published && history[release_cursor].pending == 0) {
+      history[release_cursor].state = ServeEngine::EpochState{};
+      ++release_cursor;
+    }
+  }
+};
+
 ServeEngine::ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcIndex* index,
                          ServeOptions opts)
-    : runner_(&runner),
-      g_(Unowned(&g)),
-      index_(index != nullptr ? Unowned(index) : nullptr),
-      opts_(std::move(opts)) {}
+    : runner_(&runner), opts_(std::move(opts)) {
+  current_.graph = Unowned(&g);
+  current_.index = index != nullptr ? Unowned(index) : nullptr;
+  current_.epoch = 1;
+}
 
 ServeEngine::ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph> g,
                          std::shared_ptr<const BcIndex> index, ServeOptions opts)
-    : runner_(&runner), g_(std::move(g)), index_(std::move(index)), opts_(std::move(opts)) {}
+    : runner_(&runner), opts_(std::move(opts)) {
+  current_.graph = std::move(g);
+  current_.index = std::move(index);
+  current_.epoch = 1;
+}
+
+ServeEngine::~ServeEngine() = default;
+
+std::uint64_t ServeEngine::epoch() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return current_.epoch;
+}
+
+const LabeledGraph& ServeEngine::graph() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return *current_.graph;
+}
+
+const BcIndex* ServeEngine::index() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return current_.index.get();
+}
+
+std::shared_ptr<const LabeledGraph> ServeEngine::graph_ptr() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return current_.graph;
+}
+
+std::shared_ptr<const BcIndex> ServeEngine::index_ptr() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return current_.index;
+}
 
 void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
-                           QueryWorkspace& ws, Community* community,
-                           SearchStats* stats) const {
+                           const LabeledGraph& g, const BcIndex* index, QueryWorkspace& ws,
+                           Community* community, SearchStats* stats) const {
   if (req.method == QueryMethod::kMbcc) {
     const auto* q = std::get_if<MbccQuery>(&req.query);
     if (q == nullptr) return;  // variant/method mismatch: empty answer
-    *community = MbccSearch(*g_, *q, req.mbcc_params, SeededOptions(opts_.mbcc, request_id),
+    *community = MbccSearch(g, *q, req.mbcc_params, SeededOptions(opts_.mbcc, request_id),
                             stats, nullptr, &ws);
     return;
   }
@@ -62,22 +161,22 @@ void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
   if (q == nullptr) return;
   switch (req.method) {
     case QueryMethod::kOnlineBcc:
-      *community = BccSearch(*g_, *q, req.params, SeededOptions(opts_.online, request_id),
-                             stats, &ws);
+      *community =
+          BccSearch(g, *q, req.params, SeededOptions(opts_.online, request_id), stats, &ws);
       break;
     case QueryMethod::kLpBcc:
       *community =
-          BccSearch(*g_, *q, req.params, SeededOptions(opts_.lp, request_id), stats, &ws);
+          BccSearch(g, *q, req.params, SeededOptions(opts_.lp, request_id), stats, &ws);
       break;
     case QueryMethod::kL2pBcc:
-      if (index_ != nullptr) {
+      if (index != nullptr) {
         L2pOptions o = opts_.l2p;
         o.search = SeededOptions(o.search, request_id);
-        *community = L2pBcc(*g_, *index_, *q, req.params, o, stats, &ws);
+        *community = L2pBcc(g, *index, *q, req.params, o, stats, &ws);
       } else {
         // Planned degradation: no index in this process, serve via LP.
         *community =
-            BccSearch(*g_, *q, req.params, SeededOptions(opts_.lp, request_id), stats, &ws);
+            BccSearch(g, *q, req.params, SeededOptions(opts_.lp, request_id), stats, &ws);
       }
       break;
     case QueryMethod::kMbcc:
@@ -85,112 +184,220 @@ void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
   }
 }
 
-void ServeEngine::ApplyUpdateRequest(const UpdateRequest& req, UpdateOutcome* outcome) {
+ServeEngine::EpochState ServeEngine::PrepareUpdate(const EpochState& base,
+                                                   const UpdateRequest& req,
+                                                   UpdateOutcome* outcome) const {
   std::string error;
-  const auto delta = BuildGraphDelta(*g_, req.updates, &error);
+  const auto delta = BuildGraphDelta(*base.graph, req.updates, &error);
   if (!delta) {
-    outcome->error = error;  // epoch unchanged; later queries see the old graph
-    return;
+    // Rejected: the successor epoch is the base itself — queries admitted
+    // after this update observe the unchanged graph.
+    outcome->error = error;
+    return base;
   }
-  auto updated = std::make_shared<const LabeledGraph>(ApplyGraphDelta(*g_, *delta));
+  EpochState next;
+  next.graph = std::make_shared<const LabeledGraph>(ApplyGraphDelta(*base.graph, *delta));
+  next.epoch = base.epoch + 1;
   outcome->inserts = delta->inserts.size();
   outcome->deletes = delta->deletes.size();
-  if (index_ != nullptr) {
-    // Repair against the old graph/index (both still alive), then swap.
-    std::shared_ptr<const BcIndex> repaired =
-        index_->ApplyUpdates(*updated, *delta, req.repair, &outcome->repair);
-    index_ = std::move(repaired);
+  if (base.index != nullptr) {
+    // Repair against the pinned base graph/index (both kept alive by the
+    // epoch history while old-epoch queries drain).
+    next.index = base.index->ApplyUpdates(*next.graph, *delta, req.repair, &outcome->repair);
   }
-  g_ = std::move(updated);
-  ++epoch_;
   outcome->applied = true;
+  return next;
 }
 
-BatchResult ServeEngine::Serve(std::span<const ServeItem> items) {
-  BatchResult out;
-  const std::size_t count = items.size();
-  out.communities.resize(count);
-  out.stats.assign(count, SearchStats{});
-  out.seconds.assign(count, 0);
-  out.sojourn_seconds.assign(count, 0);
-  out.epoch_of.assign(count, 0);
-  out.threads_used = runner_->NumThreads();
-  if (count == 0) return out;
-
-  const std::uint64_t base = next_request_id_.fetch_add(count);
-  Timer wall;
-
-  // Query lanes, tracked per item for the per-lane summaries below (update
-  // slots stay kInvalid).
-  constexpr int kNoLane = -1;
-  std::vector<int> item_lane(count, kNoLane);
-
-  // One scheduling segment: the maximal run of queries since the last
-  // update. Updates apply single-threaded between segments, so a query
-  // never observes a half-applied batch and the epoch it runs against is
-  // the one current when it was admitted to its segment.
-  std::vector<std::uint32_t> segment;
-  std::vector<Lane> lanes;
-  auto flush_segment = [&] {
-    if (segment.empty()) return;
-    lanes.clear();
-    for (std::uint32_t item : segment) {
-      lanes.push_back(std::get<QueryRequest>(items[item]).lane);
-    }
-    const std::vector<std::uint32_t> order = BuildLaneOrder(lanes, opts_.aging_period);
-    runner_->RunOrdered(order, [&](std::size_t i, QueryWorkspace& ws) {
-      const std::uint32_t item = segment[i];
-      const QueryRequest& req = std::get<QueryRequest>(items[item]);
-      const std::uint64_t id = req.request_id != 0 ? req.request_id : base + item;
-      if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
-      Timer exec;
-      Dispatch(req, id, ws, &out.communities[item], &out.stats[item]);
-      out.seconds[item] = exec.Seconds();
-      out.sojourn_seconds[item] = wall.Seconds();
-      ws.SetDeadline(Deadline{});
-    });
-    segment.clear();
-  };
-
-  for (std::size_t i = 0; i < count; ++i) {
-    if (const auto* q = std::get_if<QueryRequest>(&items[i])) {
-      out.epoch_of[i] = epoch_;
-      item_lane[i] = static_cast<int>(q->lane);
-      segment.push_back(static_cast<std::uint32_t>(i));
+void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
+  AdmissionQueue::Ticket t;
+  while (state.queue.Pop(&t)) {
+    if (t.kind == AdmissionQueue::Ticket::Kind::kUpdate) {
+      const std::size_t u = t.update_ordinal;
+      EpochState base;
+      const ServeItem* item;
+      double admit_seconds;
+      UpdateOutcome* outcome;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        base = state.history[u].state;
+        item = &state.items[t.index];
+        admit_seconds = state.slots[t.index].admit_seconds;
+        outcome = &state.update_outcomes[u];
+      }
+      outcome->item_index = t.index;
+      Timer apply;
+      EpochState next = PrepareUpdate(base, std::get<UpdateRequest>(*item), outcome);
+      outcome->seconds = apply.Seconds();
+      outcome->epoch = next.epoch;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.history[u + 1].state = next;
+        state.published = u + 2;
+        state.ReleaseDrainedHistory();
+        state.seconds[t.index] = outcome->seconds;
+        state.sojourn[t.index] = state.wall.Seconds() - admit_seconds;
+        state.epoch_of[t.index] = next.epoch;
+      }
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        current_ = next;
+      }
+      // Publish AFTER the history write: Pop()'s mutex acquisition gives
+      // any worker that observes the resolution a happens-before edge to
+      // the new state.
+      state.queue.PublishUpdate();
       continue;
     }
-    flush_segment();  // barrier: the update applies at a batch boundary
-    UpdateOutcome outcome;
-    outcome.item_index = i;
-    Timer apply;
-    ApplyUpdateRequest(std::get<UpdateRequest>(items[i]), &outcome);
-    outcome.seconds = apply.Seconds();
-    outcome.epoch = epoch_;
-    out.epoch_of[i] = epoch_;
-    out.seconds[i] = outcome.seconds;
-    out.sojourn_seconds[i] = wall.Seconds();
-    out.updates.push_back(std::move(outcome));
+
+    // Query: pin the admission-time epoch (the queue guarantees it is
+    // published by now), then execute against it unlocked — a concurrent
+    // update publish cannot invalidate the pinned shared_ptrs.
+    EpochState pinned;
+    const ServeItem* item;
+    std::uint64_t request_id;
+    double admit_seconds;
+    Community* community;
+    SearchStats* stats;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      pinned = state.history[t.epoch_slot].state;
+      item = &state.items[t.index];
+      request_id = state.slots[t.index].request_id;
+      admit_seconds = state.slots[t.index].admit_seconds;
+      community = &state.communities[t.index];
+      stats = &state.stats[t.index];
+    }
+    const QueryRequest& req = std::get<QueryRequest>(*item);
+    if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
+    Timer exec;
+    Dispatch(req, request_id, *pinned.graph, pinned.index.get(), ws, community, stats);
+    const double exec_seconds = exec.Seconds();
+    ws.SetDeadline(Deadline{});
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.seconds[t.index] = exec_seconds;
+      state.sojourn[t.index] = state.wall.Seconds() - admit_seconds;
+      state.epoch_of[t.index] = pinned.epoch;
+      if (--state.history[t.epoch_slot].pending == 0) state.ReleaseDrainedHistory();
+    }
+    pinned = EpochState{};  // drop the pin before (not while) holding queue locks
+    state.queue.CompleteQuery(t.lane);
   }
-  flush_segment();
-  const double wall_seconds = wall.Seconds();
+}
+
+// ---------------------------------------------------------------------------
+// Stream: the streaming session handle.
+// ---------------------------------------------------------------------------
+
+ServeEngine::Stream::Stream(std::unique_ptr<StreamState> state) : state_(std::move(state)) {}
+
+ServeEngine::Stream::Stream(Stream&&) noexcept = default;
+
+ServeEngine::Stream& ServeEngine::Stream::operator=(Stream&& other) noexcept {
+  if (this != &other) {
+    // Finish an unfinished target first — destroying its state outright
+    // would run std::thread's destructor on the joinable pump
+    // (std::terminate) and leak the engine's stream_open_ flag.
+    if (state_ != nullptr && !state_->finished) Finish();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+ServeEngine::Stream::~Stream() {
+  if (state_ != nullptr && !state_->finished) Finish();
+}
+
+std::uint64_t ServeEngine::Stream::Submit(ServeItem item) {
+  StreamState& s = *state_;
+  if (s.finished) {
+    // The worker pool has already been released; enqueueing would silently
+    // drop the item while handing back a valid-looking request id.
+    std::fprintf(stderr, "ServeEngine::Stream: Submit after Finish\n");
+    std::abort();
+  }
+  const bool is_update = std::holds_alternative<UpdateRequest>(item);
+  // Every item consumes one request id (updates too), so a query's id —
+  // and with it its approx seed — depends only on its admission position,
+  // exactly as in a serialized replay.
+  const std::uint64_t fresh_id = s.engine->next_request_id_.fetch_add(1);
+  std::uint64_t id = fresh_id;
+  Lane lane = Lane::kBulk;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.items.push_back(std::move(item));
+    StreamState::Slot slot;
+    slot.admit_seconds = s.wall.Seconds();
+    if (const auto* q = std::get_if<QueryRequest>(&s.items.back())) {
+      if (q->request_id != 0) id = q->request_id;
+      lane = q->lane;
+      slot.lane = static_cast<int>(q->lane);
+      ++s.history[s.updates_admitted].pending;
+    } else {
+      s.update_outcomes.emplace_back();
+      s.history.emplace_back();  // the slot this update will publish
+      ++s.updates_admitted;
+    }
+    slot.request_id = id;
+    s.slots.push_back(slot);
+    s.communities.emplace_back();
+    s.stats.emplace_back();
+    s.seconds.push_back(0);
+    s.sojourn.push_back(0);
+    s.epoch_of.push_back(0);
+  }
+  // Admit only after the bookkeeping above: Pop() hands the index to a
+  // worker, which reads the slot under s.mutex.
+  if (is_update) {
+    s.queue.AdmitUpdate();
+  } else {
+    s.queue.AdmitQuery(lane);
+  }
+  return id;
+}
+
+std::size_t ServeEngine::Stream::Submitted() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->slots.size();
+}
+
+BatchResult ServeEngine::Stream::Finish() {
+  StreamState& s = *state_;
+  BatchResult out;
+  if (s.finished) return out;
+  s.queue.Close();
+  if (s.pump.joinable()) s.pump.join();
+  s.finished = true;
+  const double wall_seconds = s.wall.Seconds();
+
+  // Workers are gone: no further synchronization needed.
+  const std::size_t count = s.slots.size();
+  out.communities.assign(s.communities.begin(), s.communities.end());
+  out.stats.assign(s.stats.begin(), s.stats.end());
+  out.seconds.assign(s.seconds.begin(), s.seconds.end());
+  out.sojourn_seconds.assign(s.sojourn.begin(), s.sojourn.end());
+  out.epoch_of.assign(s.epoch_of.begin(), s.epoch_of.end());
+  out.updates.assign(s.update_outcomes.begin(), s.update_outcomes.end());
+  out.threads_used = s.engine->runner_->NumThreads();
 
   // The latency/qps summary describes query serving only — update slots
-  // (whose out.seconds holds the apply duration) would otherwise smear a
+  // (whose seconds hold the preparation duration) would otherwise smear a
   // slow repair into the query percentiles the lane summaries exclude.
   std::vector<double> query_seconds;
   query_seconds.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    if (item_lane[i] != kNoLane) query_seconds.push_back(out.seconds[i]);
+    if (s.slots[i].lane >= 0) query_seconds.push_back(out.seconds[i]);
   }
   out.latency = SummarizeLatency(query_seconds, wall_seconds);
-  out.workspace_stats = runner_->AggregateWorkspaceStats();
-  for (const SearchStats& s : out.stats) out.timed_out += s.timed_out ? 1 : 0;
+  out.workspace_stats = s.drain_stats;
+  for (const SearchStats& st : out.stats) out.timed_out += st.timed_out ? 1 : 0;
 
   std::vector<double> lane_sojourn;
   for (Lane lane : {Lane::kInteractive, Lane::kBulk}) {
     lane_sojourn.clear();
     for (std::size_t i = 0; i < count; ++i) {
-      if (item_lane[i] == static_cast<int>(lane)) {
+      if (s.slots[i].lane == static_cast<int>(lane)) {
         lane_sojourn.push_back(out.sojourn_seconds[i]);
       }
     }
@@ -199,14 +406,65 @@ BatchResult ServeEngine::Serve(std::span<const ServeItem> items) {
     summary.lane = lane;
     summary.queries = lane_sojourn.size();
     summary.latency = SummarizeLatency(lane_sojourn, wall_seconds);
+    summary.max_inflight = s.queue.max_inflight(lane);
     out.lanes.push_back(summary);
   }
+  // Release the engine only after every read of shared state above — a
+  // stream opened the instant this clears must not race the aggregation.
+  s.engine->stream_open_.store(false);
   return out;
 }
 
+std::unique_ptr<StreamState> ServeEngine::MakeStreamState() {
+  if (stream_open_.exchange(true)) {
+    // The alternative is a silent deadlock: two drains would clobber the
+    // shared worker pool's job state and neither would ever complete.
+    std::fprintf(stderr,
+                 "ServeEngine: a stream is already open on this engine/runner "
+                 "(one drain at a time)\n");
+    std::abort();
+  }
+  auto state = std::make_unique<StreamState>(this, opts_.aging_period, opts_.caps);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  StreamState::HistorySlot slot0;
+  slot0.state = current_;
+  state->history.push_back(std::move(slot0));
+  return state;
+}
+
+ServeEngine::Stream ServeEngine::OpenStream() {
+  auto state = MakeStreamState();
+  // The pump thread parks the pool in the drain loop so the caller's thread
+  // stays free to Submit while workers serve.
+  StreamState* raw = state.get();
+  state->pump = std::thread([this, raw] {
+    runner_->Run(
+        runner_->NumThreads(),
+        [this, raw](std::size_t, QueryWorkspace& ws) { RunWorker(*raw, ws); },
+        &raw->drain_stats);
+  });
+  return Stream(std::move(state));
+}
+
+BatchResult ServeEngine::RunStream(std::span<const ServeItem> items) {
+  // All items are known up front: no pump thread — admit, close, and drain
+  // on the calling thread, sparing the batch shims (and single-query tools)
+  // a thread spawn+join per call.
+  Stream stream(MakeStreamState());
+  for (const ServeItem& item : items) stream.Submit(item);
+  StreamState& s = *stream.state_;
+  s.queue.Close();
+  runner_->Run(
+      runner_->NumThreads(),
+      [this, &s](std::size_t, QueryWorkspace& ws) { RunWorker(s, ws); }, &s.drain_stats);
+  return stream.Finish();
+}
+
+BatchResult ServeEngine::Serve(std::span<const ServeItem> items) { return RunStream(items); }
+
 BatchResult ServeEngine::Serve(std::span<const QueryRequest> requests) {
   std::vector<ServeItem> items(requests.begin(), requests.end());
-  return Serve(std::span<const ServeItem>(items));
+  return RunStream(std::span<const ServeItem>(items));
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <variant>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "bcc/local_search.h"
 #include "bcc/mbcc.h"
 #include "bcc/online_search.h"
+#include "eval/admission_queue.h"
 #include "eval/batch_runner.h"
 #include "graph/graph_delta.h"
 #include "graph/labeled_graph.h"
@@ -18,39 +20,52 @@
 namespace bccs {
 
 /// The unified serving engine: every request — query or edge-update — enters
-/// here. The life of a served item:
+/// here, through the streaming serve loop. The life of a served item:
 ///
-///   1. **Admission.** The caller hands Serve() a span of items. Each item
-///      is either a QueryRequest (what to search for, which algorithm, how
-///      urgent, how long it may run) or an UpdateRequest (an edge-update
-///      batch). Items without an explicit request id are assigned one
-///      (stable per engine: the i-th item of the first call gets 1 + i).
-///   2. **Segmentation.** The stream is split at UpdateRequests. Each
-///      maximal run of queries forms one scheduling segment served against
-///      the engine's current epoch; updates apply single-threaded at the
-///      segment boundaries, so no query ever observes a half-applied batch
-///      (DESIGN.md, serving contract 3).
-///   3. **Scheduling.** Within a segment, BuildLaneOrder compiles the
-///      two-lane policy (interactive ahead of bulk, anti-starvation aging)
-///      into a claim order; BatchRunner workers claim slots FIFO over it.
+///   1. **Admission.** OpenStream() starts the persistent worker pool
+///      draining an AdmissionQueue; Stream::Submit admits items — each a
+///      QueryRequest (what to search for, which algorithm, how urgent, how
+///      long it may run) or an UpdateRequest (an edge-update batch) — while
+///      workers are already serving earlier ones. Items without an explicit
+///      request id are assigned one (stable per engine: the i-th item of
+///      the first stream gets 1 + i). RunStream()/Serve() are the
+///      submit-everything-then-drain conveniences over the same loop.
+///   2. **Epoch tagging.** Each admitted query is stamped with its *epoch
+///      slot*: the number of updates admitted before it. The query will
+///      execute against exactly that slot's published (graph, index) state,
+///      so answers are bit-identical to a serialized replay of the
+///      admission order no matter how execution interleaves.
+///   3. **Scheduling.** Workers dequeue under the two-lane policy
+///      (interactive ahead of bulk, anti-starvation aging every
+///      (aging_period + 1)-th slot) with per-lane in-flight caps
+///      (ServeOptions::caps): a saturating bulk backlog can occupy at most
+///      caps.bulk workers, so interactive tail latency stays bounded.
 ///   4. **Planning.** Each claimed query is planned onto its method —
 ///      online / lp / l2p / mbcc. kL2pBcc without an index degrades to
 ///      LP-BCC (same model, no index). The per-query approx seed is derived
 ///      as `seed ^ request_id`, so sampled answers are bit-identical across
 ///      thread counts and claim orders.
-///   5. **Execution.** The worker stamps its QueryWorkspace with the
-///      request's deadline and runs the search; an expired deadline yields
-///      the best valid partial answer with SearchStats::timed_out set.
-///   6. **Update application.** An UpdateRequest is validated
-///      (BuildGraphDelta) against the current epoch's graph; on success the
-///      engine builds the updated graph (ApplyGraphDelta), incrementally
-///      repairs the index (BcIndex::ApplyUpdates), atomically swaps both in,
-///      and increments the epoch. A rejected batch leaves the epoch
-///      untouched and reports the reason in its UpdateOutcome.
-///   7. **Reporting.** BatchResult returns per-item outputs in stream
-///      order: communities/stats/latency for queries, UpdateOutcomes for
-///      updates, per-lane sojourn percentiles, and the epoch each item
-///      executed in (epoch_of).
+///   5. **Execution.** The worker pins its epoch slot's state (a shared_ptr
+///      copy — the state outlives any concurrent update publish), stamps
+///      its QueryWorkspace with the request's deadline and runs the search;
+///      an expired deadline yields the best valid partial answer with
+///      SearchStats::timed_out set.
+///   6. **Update preparation (copy-on-write epochs).** An UpdateRequest is
+///      claimed by a worker as soon as the previous update has resolved and
+///      *prepared off-thread* against its pinned base epoch — validation
+///      (BuildGraphDelta), graph rebuild (ApplyGraphDelta), incremental
+///      index repair (BcIndex::ApplyUpdates) — while queries of older
+///      epochs keep draining on the other workers. The new state is then
+///      published with a single swap; queries admitted after the update
+///      become runnable and observe it. A rejected batch publishes the
+///      unchanged state (epoch not incremented) and reports the reason in
+///      its UpdateOutcome. Old epoch states are released as soon as their
+///      last pinned query completes.
+///   7. **Reporting.** Stream::Finish() (and the RunStream/Serve shims)
+///      returns a BatchResult with per-item outputs in admission order:
+///      communities/stats/latency for queries, UpdateOutcomes for updates,
+///      per-lane sojourn percentiles, and the epoch each item executed in
+///      (epoch_of).
 
 /// The paper's search variants as planner targets. kMbcc serves the
 /// Section 7 multi-labeled model; the other three serve two-label queries.
@@ -72,7 +87,7 @@ struct QueryRequest {
   /// community (possibly empty) with SearchStats::timed_out set.
   double deadline_seconds = 0;
   /// 0 = assigned by the engine (stable per engine instance: the i-th
-  /// request of the first Serve call gets id 1 + i). Feeds the per-query
+  /// request of the first stream gets id 1 + i). Feeds the per-query
   /// approx seed derivation `seed ^ request_id`, so sampled answers are
   /// bit-identical across thread counts and claim orders.
   std::uint64_t request_id = 0;
@@ -83,9 +98,10 @@ struct QueryRequest {
 };
 
 /// An edge-update batch as a serving request (the third request kind, next
-/// to two-label and multi-label queries): applied between query segments
-/// with epoch semantics — queries ahead of it in the stream observe the
-/// pre-update epoch, queries behind it the post-update epoch.
+/// to two-label and multi-label queries): prepared off-thread against the
+/// epoch current at its admission point and published as a new epoch —
+/// queries ahead of it in the stream observe the pre-update epoch, queries
+/// behind it the post-update epoch (DESIGN.md, serving contract 3).
 struct UpdateRequest {
   /// Applied in order with sequential semantics (see BuildGraphDelta); the
   /// whole batch is one atomic epoch transition — it applies fully or, on a
@@ -99,23 +115,32 @@ struct UpdateRequest {
 using ServeItem = std::variant<QueryRequest, UpdateRequest>;
 
 /// Engine-wide planning configuration: per-method search options plus the
-/// scheduler's anti-starvation aging period.
+/// streaming scheduler's knobs.
 struct ServeOptions {
   SearchOptions online = OnlineBccOptions();
   SearchOptions lp = LpBccOptions();
   L2pOptions l2p;
   SearchOptions mbcc = LpBccOptions();
-  /// Every (aging_period + 1)-th claim slot goes to the oldest waiting bulk
-  /// query even while interactive queries remain (0 disables aging).
+  /// Every (aging_period + 1)-th query dequeue goes to the oldest waiting
+  /// bulk query even while interactive queries remain (0 disables aging).
   std::size_t aging_period = 8;
+  /// Per-lane in-flight concurrency caps (0 = unlimited). caps.bulk = K
+  /// bounds interactive tail latency under a saturating bulk backlog: bulk
+  /// occupies at most K workers no matter how deep its queue grows.
+  AdmissionCaps caps;
 };
 
 /// Plans method-erased requests onto the right search algorithm and
-/// executes them on a shared BatchRunner pool under the two-lane schedule;
-/// owns the epoch state for dynamic graphs (see the lifecycle above).
+/// executes them on a shared BatchRunner pool through the streaming
+/// admission queue; owns the copy-on-write epoch state for dynamic graphs
+/// (see the lifecycle above).
 ///
 /// This is the single dispatch path for all four methods — the
-/// BatchRunner::Run*Batch entry points are thin shims over it.
+/// BatchRunner::Run*Batch entry points and Serve() are thin shims over
+/// OpenStream/RunStream.
+///
+/// One stream (or Serve call) at a time per engine: the stream occupies the
+/// runner's worker pool until finished.
 class ServeEngine {
  public:
   /// Non-owning: `g` (and `index`, when given) must outlive the engine.
@@ -129,38 +154,99 @@ class ServeEngine {
   ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph> g,
               std::shared_ptr<const BcIndex> index, ServeOptions opts = {});
 
-  /// Serves a mixed stream of queries and updates (the full lifecycle
-  /// above). Outputs come back in stream order: query slots carry their
-  /// community/stats, update slots carry an entry in BatchResult::updates.
+  ~ServeEngine();
+
+  /// A live serving session: Submit admits items while the worker pool is
+  /// already draining earlier ones; Finish closes admission, drains
+  /// gracefully, and returns the per-item results in admission order.
+  /// Submit is single-producer (call it from one thread at a time); the
+  /// destructor finishes (and discards the results of) an unfinished
+  /// stream. The engine (and its BatchRunner) must outlive the Stream —
+  /// a Stream moved past its engine's lifetime dangles.
+  class Stream {
+   public:
+    Stream(Stream&&) noexcept;
+    Stream& operator=(Stream&&) noexcept;
+    ~Stream();
+
+    /// Admits one item; returns the request id it will execute under.
+    std::uint64_t Submit(ServeItem item);
+    /// Items admitted so far.
+    std::size_t Submitted() const;
+    /// Closes admission, waits for the drain, and collects the results.
+    BatchResult Finish();
+
+   private:
+    friend class ServeEngine;
+    explicit Stream(std::unique_ptr<struct StreamState> state);
+    std::unique_ptr<struct StreamState> state_;
+  };
+
+  /// Opens a stream: the runner's workers start draining immediately
+  /// (behind a pump thread, so this caller stays free to Submit) and block
+  /// on the admission queue until items arrive. Opening a second stream —
+  /// or calling RunStream/Serve — while one is open aborts with a message
+  /// (the shared worker pool cannot run two drains; the failure mode would
+  /// otherwise be a silent deadlock). The same guard lives on BatchRunner
+  /// itself, so a *different* engine sharing this runner aborts too.
+  Stream OpenStream();
+
+  /// Submit-everything-then-finish convenience: admits all items, then
+  /// drains on the calling thread (no pump thread — the items are known up
+  /// front, so there is nothing to overlap admission with). Update
+  /// preparation still interleaves with old-epoch queries on the pool.
+  BatchResult RunStream(std::span<const ServeItem> items);
+
+  /// Compatibility shim over RunStream (the historical batch entry point).
   BatchResult Serve(std::span<const ServeItem> items);
 
-  /// Query-only convenience: one segment against the current epoch.
+  /// Query-only convenience shim.
   BatchResult Serve(std::span<const QueryRequest> requests);
 
   /// Current epoch (starts at 1; each applied UpdateRequest increments it).
-  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t epoch() const;
 
-  /// The current epoch's graph and index (index may be null). Valid until
-  /// the next applied update; callers holding across updates should copy
-  /// the shared_ptrs via graph_ptr()/index_ptr().
-  const LabeledGraph& graph() const { return *g_; }
-  const BcIndex* index() const { return index_.get(); }
-  std::shared_ptr<const LabeledGraph> graph_ptr() const { return g_; }
-  std::shared_ptr<const BcIndex> index_ptr() const { return index_; }
+  /// The newest published epoch's graph and index (index may be null).
+  /// graph()/index() are valid until the next applied update; callers
+  /// holding across updates should copy the shared_ptrs via
+  /// graph_ptr()/index_ptr().
+  const LabeledGraph& graph() const;
+  const BcIndex* index() const;
+  std::shared_ptr<const LabeledGraph> graph_ptr() const;
+  std::shared_ptr<const BcIndex> index_ptr() const;
 
   const ServeOptions& options() const { return opts_; }
 
  private:
-  void Dispatch(const QueryRequest& req, std::uint64_t request_id, QueryWorkspace& ws,
-                Community* community, SearchStats* stats) const;
-  void ApplyUpdateRequest(const UpdateRequest& req, UpdateOutcome* outcome);
+  friend struct StreamState;
+
+  /// One published epoch: an immutable (graph, index) pair. Queries pin the
+  /// state of their admission-time slot; updates build slot u+1 from slot u.
+  struct EpochState {
+    std::shared_ptr<const LabeledGraph> graph;
+    std::shared_ptr<const BcIndex> index;
+    std::uint64_t epoch = 0;
+  };
+
+  std::unique_ptr<struct StreamState> MakeStreamState();
+  void Dispatch(const QueryRequest& req, std::uint64_t request_id, const LabeledGraph& g,
+                const BcIndex* index, QueryWorkspace& ws, Community* community,
+                SearchStats* stats) const;
+  /// Validates and prepares `req` against `base` (off-thread safe: touches
+  /// no engine state) and returns the successor state — `base` itself when
+  /// the batch is rejected.
+  EpochState PrepareUpdate(const EpochState& base, const UpdateRequest& req,
+                           UpdateOutcome* outcome) const;
+  void RunWorker(StreamState& state, QueryWorkspace& ws);
 
   BatchRunner* runner_;
-  std::shared_ptr<const LabeledGraph> g_;
-  std::shared_ptr<const BcIndex> index_;
   ServeOptions opts_;
-  std::uint64_t epoch_ = 1;
+  mutable std::mutex state_mutex_;  // guards current_ (the published head)
+  EpochState current_;
   std::atomic<std::uint64_t> next_request_id_{1};
+  /// One stream at a time: the worker pool cannot run two drains. Set by
+  /// MakeStreamState, cleared by Stream::Finish.
+  std::atomic<bool> stream_open_{false};
 };
 
 }  // namespace bccs

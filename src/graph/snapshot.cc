@@ -524,6 +524,7 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   // chain is parsed before the payload work so the staleness check below
   // can compare against the file's EFFECTIVE stamp (last block wins).
   std::vector<EdgeUpdate> replay;
+  std::size_t delta_blocks = 0;
   SourceGraphInfo effective{header.source_graph_size, header.source_graph_mtime_ns};
   for (std::size_t off = expected_size; off < file->size;) {
     const std::size_t remaining = file->size - off;
@@ -558,6 +559,7 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
       replay.push_back(u);
     }
     effective = SourceGraphInfo{block.source_graph_size, block.source_graph_mtime_ns};
+    ++delta_blocks;
   }
 
   if (opts.expected_source.Known() && effective.Known() &&
@@ -634,6 +636,7 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   bundle.loaded_from_snapshot = true;
   bundle.mapped = file->mapped;
   bundle.snapshot_bytes = file->size;
+  bundle.delta_blocks = delta_blocks;
   bundle.graph = SnapshotAccess::MakeGraph(offsets, adjacency, labels, label_offsets,
                                            label_members, header.max_degree, file);
 

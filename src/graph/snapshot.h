@@ -107,6 +107,9 @@ struct SnapshotBundle {
   /// Delta-log updates replayed onto the loaded state (0 for a bare
   /// snapshot or a built bundle).
   std::size_t replayed_updates = 0;
+  /// Delta blocks in the file's log chain (what bccs_update --auto-compact
+  /// compares against its threshold).
+  std::size_t delta_blocks = 0;
 };
 
 struct SnapshotLoadOptions {

@@ -1,8 +1,25 @@
 #include "tools/arg_parser.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace bccs {
+
+std::size_t ArgParser::ClampThreadCount(std::int64_t requested, bool* clamped) {
+  if (clamped != nullptr) *clamped = false;
+  if (requested <= 0) return 0;  // auto
+  const auto hw = static_cast<std::int64_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  // Moderate oversubscription is a legitimate ask (determinism checks run
+  // 2 workers on 1 core); only a count past 4x the machine — a typo or a
+  // copy-paste from bigger hardware — is clamped down.
+  if (requested > 4 * hw) {
+    if (clamped != nullptr) *clamped = true;
+    return static_cast<std::size_t>(hw);
+  }
+  return static_cast<std::size_t>(requested);
+}
 
 ArgParser ArgParser::Parse(const std::vector<std::string>& args) {
   ArgParser out;
@@ -73,6 +90,17 @@ std::int64_t ArgParser::GetPositiveIntOr(const std::string& name, std::int64_t f
   if (!Has(name)) return fallback;
   auto value = GetInt(name);
   if (!value || *value <= 0) {
+    if (valid != nullptr) *valid = false;
+    return fallback;
+  }
+  return *value;
+}
+
+std::int64_t ArgParser::GetNonNegativeIntOr(const std::string& name, std::int64_t fallback,
+                                            bool* valid) const {
+  if (!Has(name)) return fallback;
+  auto value = GetInt(name);
+  if (!value || *value < 0) {
     if (valid != nullptr) *valid = false;
     return fallback;
   }

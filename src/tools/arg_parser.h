@@ -38,7 +38,21 @@ class ArgParser {
   std::int64_t GetPositiveIntOr(const std::string& name, std::int64_t fallback,
                                 bool* valid) const;
 
+  /// Strict non-negative-integer flag: like GetPositiveIntOr but 0 is a
+  /// valid value (e.g. --threads 0 = auto, --k1 0 = auto). Clears *valid on
+  /// a negative, non-numeric, or missing value.
+  std::int64_t GetNonNegativeIntOr(const std::string& name, std::int64_t fallback,
+                                   bool* valid) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Resolves a validated --threads value: 0 stays 0 (auto = hardware
+  /// concurrency), and counts above 4x the machine's hardware concurrency
+  /// are clamped down to it — a typo'd huge count must not spawn thousands
+  /// of threads, while moderate oversubscription (thread-determinism
+  /// checks) stays allowed. Sets *clamped when clamping happened so the
+  /// tool can warn.
+  static std::size_t ClampThreadCount(std::int64_t requested, bool* clamped = nullptr);
 
   /// Flags that were provided but are not in `known`; used for error
   /// reporting.

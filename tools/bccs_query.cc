@@ -21,6 +21,10 @@
 //                             deterministic in the seed and thread count).
 //   --approx-threshold N      candidate size above which sampling kicks in
 //                             (default 4096).
+//   --approx-adaptive         scale each estimate's sample count with the
+//                             alive candidate size (--approx-samples becomes
+//                             the ceiling); answers stay deterministic in
+//                             the seed and thread count.
 //
 // Index snapshots (see tools/bccs_build and graph/snapshot.h):
 //   bccs_query --index-file g.snap ...
@@ -93,7 +97,7 @@ void PrintUsage() {
                "                  [--k1 N] [--k2 N] [--b N] [--method online|lp|l2p]\n"
                "                  [--lane interactive|bulk] [--deadline-ms N]\n"
                "                  [--approx-samples N] [--approx-threshold N]\n"
-               "                  [--updates-file FILE] [--verify]\n"
+               "                  [--approx-adaptive] [--updates-file FILE] [--verify]\n"
                "       bccs_query ... --batch-file FILE [--threads N] [--repeat N]\n"
                "       bccs_query ... --ql ID --qr ID --repeat N [--threads N]\n");
 }
@@ -238,7 +242,7 @@ int main(int argc, char** argv) {
   auto unknown = args.UnknownFlags({"graph", "index-file", "ql", "qr", "queries", "k1", "k2",
                                     "b", "method", "verify", "help", "batch-file", "threads",
                                     "repeat", "lane", "deadline-ms", "approx-samples",
-                                    "approx-threshold", "updates-file"});
+                                    "approx-threshold", "approx-adaptive", "updates-file"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -278,15 +282,37 @@ int main(int argc, char** argv) {
                  "positive integers\n");
     return 2;
   }
+  // The count/parameter flags share one strict numeric contract: a value
+  // that is not a clean integer in range is an invocation error, never a
+  // silent fallback.
+  bool counts_valid = true;
+  const std::int64_t threads_raw = args.GetNonNegativeIntOr("threads", 0, &counts_valid);
+  const std::int64_t k1_arg = args.GetNonNegativeIntOr("k1", 0, &counts_valid);
+  const std::int64_t k2_arg = args.GetNonNegativeIntOr("k2", 0, &counts_valid);
+  const std::int64_t b_arg = args.GetPositiveIntOr("b", 1, &counts_valid);
+  if (!counts_valid) {
+    std::fprintf(stderr,
+                 "--threads, --k1 and --k2 must be integers >= 0; --b must be an "
+                 "integer > 0\n");
+    PrintUsage();
+    return 2;
+  }
+  bool threads_clamped = false;
+  const std::size_t threads = bccs::ArgParser::ClampThreadCount(threads_raw, &threads_clamped);
+  if (threads_clamped) {
+    std::fprintf(stderr, "note: --threads %lld clamped to hardware concurrency (%zu)\n",
+                 static_cast<long long>(threads_raw), threads);
+  }
   cfg.deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
   if (approx_samples > 0) {
     cfg.approx.enabled = true;
     cfg.approx.samples = static_cast<std::size_t>(approx_samples);
     cfg.approx.threshold = static_cast<std::size_t>(approx_threshold);
-  } else if (args.Has("approx-threshold")) {
+    cfg.approx.adaptive = args.Has("approx-adaptive");
+  } else if (args.Has("approx-threshold") || args.Has("approx-adaptive")) {
     std::fprintf(stderr,
-                 "warning: --approx-threshold has no effect without --approx-samples; "
-                 "approximate counting stays disabled\n");
+                 "warning: --approx-threshold/--approx-adaptive have no effect without "
+                 "--approx-samples; approximate counting stays disabled\n");
   }
 
   auto graph_path = args.GetString("graph");
@@ -402,7 +428,7 @@ int main(int argc, char** argv) {
                 graph->NumEdges(), static_cast<unsigned long long>(outcome.epoch));
   }
 
-  const auto b = static_cast<std::uint64_t>(args.GetIntOr("b", 1));
+  const auto b = static_cast<std::uint64_t>(b_arg);
 
   // The l2p index is shared by every mode below; build it now (once) if the
   // snapshot machinery (or the update replay) did not already provide one.
@@ -415,16 +441,14 @@ int main(int argc, char** argv) {
   }
 
   // Batch modes run through the parallel engine and return early.
-  const std::int64_t threads_arg = args.GetIntOr("threads", 0);
   const std::int64_t repeat_arg = args.GetIntOr("repeat", 0);
-  if (threads_arg < 0 || (args.Has("repeat") && repeat_arg <= 0)) {
-    std::fprintf(stderr, "--threads must be >= 0 and --repeat must be > 0\n");
+  if (args.Has("repeat") && repeat_arg <= 0) {
+    std::fprintf(stderr, "--repeat must be an integer > 0\n");
     return 2;
   }
-  const auto threads = static_cast<std::size_t>(threads_arg);
   const auto repeat = args.Has("repeat") ? static_cast<std::size_t>(repeat_arg) : 1;
-  bccs::BccParams batch_params{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
-                               static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
+  bccs::BccParams batch_params{static_cast<std::uint32_t>(k1_arg),
+                               static_cast<std::uint32_t>(k2_arg), b};
   if (batch_mode && args.Has("verify")) {
     std::fprintf(stderr, "warning: --verify is not supported in batch mode and is ignored\n");
   }
@@ -511,8 +535,8 @@ int main(int argc, char** argv) {
     request.method = cfg.method;
     request.lane = cfg.lane;
     request.deadline_seconds = cfg.deadline_seconds;
-    request.params = {static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
-                      static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
+    request.params = {static_cast<std::uint32_t>(k1_arg),
+                      static_cast<std::uint32_t>(k2_arg), b};
     result = ServeOne(*graph, index, std::move(request), cfg);
   }
 
@@ -532,8 +556,8 @@ int main(int argc, char** argv) {
               stats.total_seconds);
 
   if (args.Has("verify") && queries.size() == 2) {
-    bccs::BccParams p{static_cast<std::uint32_t>(args.GetIntOr("k1", 0)),
-                      static_cast<std::uint32_t>(args.GetIntOr("k2", 0)), b};
+    bccs::BccParams p{static_cast<std::uint32_t>(k1_arg),
+                      static_cast<std::uint32_t>(k2_arg), b};
     // Resolve auto parameters the way the search did.
     bccs::SearchStats tmp;
     bccs::G0Result g0 =

@@ -1,0 +1,333 @@
+// bccs_serve: streaming front-end over a finite mixed query/update stream.
+//
+//   bccs_serve (--graph g.txt | --index-file g.snap | both)
+//              [--stream FILE | -]      mixed stream (default: stdin)
+//              [--threads N] [--bulk-cap K] [--interactive-cap K]
+//              [--aging N] [--method online|lp|l2p] [--k1 N] [--k2 N] [--b N]
+//              [--deadline-ms N] [--approx-samples N] [--approx-threshold N]
+//              [--approx-adaptive] [--quiet]
+//
+// This is the ServeEngine streaming loop end to end: each line is parsed
+// and admitted into the engine's AdmissionQueue while the worker pool is
+// already draining earlier items — a producer on a pipe is *served* while
+// it is still writing — with updates prepared off-thread against a pinned
+// copy-on-write epoch and published with a single swap; queries admitted
+// after an update observe the post-update epoch (DESIGN.md, serving
+// contract 3). --bulk-cap K keeps at most K bulk queries in flight so
+// interactive tail latency stays bounded under a saturating bulk backlog.
+//
+// Reporting is batch-style: per-item results are printed in admission
+// order after the stream ends (EOF) and the pool drains, and memory is
+// proportional to the stream length — so feed this tool finite streams. A
+// socket front-end replying per item as it completes is the intended next
+// layer on Stream::Submit (see ROADMAP.md), not this CLI.
+//
+// Stream format, one item per line ('#' comments and blank lines allowed):
+//   q <ql> <qr> [interactive|bulk]   two-label query (lane default: bulk)
+//   u <+|-> <a> <b>                  one-edge update batch (insert/delete)
+//
+// Output: one line per item, in admission order, tagged with the epoch the
+// item executed in:
+//   [i] epoch=E query (ql, qr) -> N members  (T s)
+//   [i] epoch=E update +(a, b) applied       (T s)
+// followed by the per-lane sojourn summaries and totals.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <istream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/serve_engine.h"
+#include "eval/timer.h"
+#include "graph/graph_io.h"
+#include "graph/snapshot.h"
+#include "tools/arg_parser.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: bccs_serve (--graph FILE | --index-file FILE | both)\n"
+               "                  [--stream FILE|-] [--threads N] [--bulk-cap K]\n"
+               "                  [--interactive-cap K] [--aging N]\n"
+               "                  [--method online|lp|l2p] [--k1 N] [--k2 N] [--b N]\n"
+               "                  [--deadline-ms N] [--approx-samples N]\n"
+               "                  [--approx-threshold N] [--approx-adaptive] [--quiet]\n");
+}
+
+bool ParseLane(const std::string& s, bccs::Lane* lane) {
+  if (s == "interactive" || s == "i") {
+    *lane = bccs::Lane::kInteractive;
+    return true;
+  }
+  if (s == "bulk" || s == "b") {
+    *lane = bccs::Lane::kBulk;
+    return true;
+  }
+  return false;
+}
+
+struct StreamLine {
+  bccs::ServeItem item;
+  std::string text;  // echoed back next to the result
+};
+
+enum class LineStatus { kItem, kBlank, kError };
+
+/// Parses ONE stream line (so the main loop can Submit each item as it
+/// arrives instead of slurping the input to EOF — a live producer on a
+/// pipe is served while it is still writing). Malformed lines are a hard
+/// error with the line number: a serving stream with a typo'd update must
+/// not half-apply.
+LineStatus ParseStreamLine(std::string line, std::size_t line_no, std::size_t num_vertices,
+                           const bccs::QueryRequest& proto, StreamLine* out) {
+  std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.resize(hash);
+  std::istringstream ls(line);
+  std::string kind;
+  if (!(ls >> kind)) return LineStatus::kBlank;
+  if (kind == "q") {
+    std::uint64_t ql = 0, qr = 0;
+    if (!(ls >> ql >> qr) || ql >= num_vertices || qr >= num_vertices) {
+      std::fprintf(stderr, "stream:%zu: expected 'q <ql> <qr> [lane]' with ids below %zu\n",
+                   line_no, num_vertices);
+      return LineStatus::kError;
+    }
+    bccs::QueryRequest req = proto;
+    req.query = bccs::BccQuery{static_cast<bccs::VertexId>(ql),
+                               static_cast<bccs::VertexId>(qr)};
+    std::string lane_token;
+    if (ls >> lane_token && !ParseLane(lane_token, &req.lane)) {
+      std::fprintf(stderr, "stream:%zu: unknown lane '%s' (interactive|bulk)\n", line_no,
+                   lane_token.c_str());
+      return LineStatus::kError;
+    }
+    out->text = "query (" + std::to_string(ql) + ", " + std::to_string(qr) + ")";
+    out->item = std::move(req);
+    return LineStatus::kItem;
+  }
+  if (kind == "u") {
+    std::string sign;
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> sign >> a >> b) || (sign != "+" && sign != "-") || a >= num_vertices ||
+        b >= num_vertices) {
+      std::fprintf(stderr, "stream:%zu: expected 'u <+|-> <a> <b>' with ids below %zu\n",
+                   line_no, num_vertices);
+      return LineStatus::kError;
+    }
+    bccs::UpdateRequest req;
+    bccs::EdgeUpdate u;
+    u.kind = sign == "+" ? bccs::EdgeUpdateKind::kInsert : bccs::EdgeUpdateKind::kDelete;
+    u.edge = {static_cast<bccs::VertexId>(std::min(a, b)),
+              static_cast<bccs::VertexId>(std::max(a, b))};
+    req.updates.push_back(u);
+    out->text = "update " + sign + "(" + std::to_string(a) + ", " + std::to_string(b) + ")";
+    out->item = std::move(req);
+    return LineStatus::kItem;
+  }
+  std::fprintf(stderr, "stream:%zu: unknown item kind '%s' (q|u)\n", line_no, kind.c_str());
+  return LineStatus::kError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
+  auto unknown = args.UnknownFlags({"graph", "index-file", "stream", "threads", "bulk-cap",
+                                    "interactive-cap", "aging", "method", "k1", "k2", "b",
+                                    "deadline-ms", "approx-samples", "approx-threshold",
+                                    "approx-adaptive", "quiet", "help"});
+  if (!unknown.empty() || args.Has("help")) {
+    for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
+    PrintUsage();
+    return args.Has("help") ? 0 : 2;
+  }
+
+  // Strict numeric-flag validation, shared contract with bccs_query.
+  bool counts_valid = true;
+  const std::int64_t threads_raw = args.GetNonNegativeIntOr("threads", 0, &counts_valid);
+  const std::int64_t bulk_cap = args.GetNonNegativeIntOr("bulk-cap", 0, &counts_valid);
+  const std::int64_t interactive_cap =
+      args.GetNonNegativeIntOr("interactive-cap", 0, &counts_valid);
+  const std::int64_t aging = args.GetNonNegativeIntOr("aging", 8, &counts_valid);
+  const std::int64_t k1 = args.GetNonNegativeIntOr("k1", 0, &counts_valid);
+  const std::int64_t k2 = args.GetNonNegativeIntOr("k2", 0, &counts_valid);
+  const std::int64_t b = args.GetPositiveIntOr("b", 1, &counts_valid);
+  const std::int64_t deadline_ms = args.GetPositiveIntOr("deadline-ms", 0, &counts_valid);
+  const std::int64_t approx_samples =
+      args.GetPositiveIntOr("approx-samples", 0, &counts_valid);
+  const std::int64_t approx_threshold =
+      args.GetPositiveIntOr("approx-threshold", 4096, &counts_valid);
+  if (!counts_valid) {
+    std::fprintf(stderr, "invalid numeric flag value\n");
+    PrintUsage();
+    return 2;
+  }
+  bool threads_clamped = false;
+  const std::size_t threads = bccs::ArgParser::ClampThreadCount(threads_raw, &threads_clamped);
+  if (threads_clamped) {
+    std::fprintf(stderr, "note: --threads %lld clamped to hardware concurrency (%zu)\n",
+                 static_cast<long long>(threads_raw), threads);
+  }
+
+  const std::string method_name = args.GetStringOr("method", "lp");
+  bccs::QueryMethod method;
+  if (method_name == "online") {
+    method = bccs::QueryMethod::kOnlineBcc;
+  } else if (method_name == "lp") {
+    method = bccs::QueryMethod::kLpBcc;
+  } else if (method_name == "l2p") {
+    method = bccs::QueryMethod::kL2pBcc;
+  } else {
+    std::fprintf(stderr, "unknown method '%s' (valid methods: online, lp, l2p)\n",
+                 method_name.c_str());
+    return 2;
+  }
+
+  auto graph_path = args.GetString("graph");
+  auto index_path = args.GetString("index-file");
+  if (!graph_path && !index_path) {
+    PrintUsage();
+    return 2;
+  }
+
+  // Resolve the serving state: snapshot when given (shared ownership fits
+  // the engine's epoch layer), else the text graph.
+  std::shared_ptr<const bccs::LabeledGraph> graph;
+  std::shared_ptr<const bccs::BcIndex> index;
+  if (index_path) {
+    std::string error;
+    bccs::SnapshotLoadOptions load_opts;
+    if (graph_path) load_opts.expected_source = bccs::StatSourceGraph(*graph_path);
+    auto bundle = bccs::LoadSnapshot(*index_path, &error, load_opts);
+    if (!bundle) {
+      std::fprintf(stderr, "cannot load snapshot %s: %s\n", index_path->c_str(),
+                   error.c_str());
+      return 1;
+    }
+    graph = bundle->graph;
+    index = std::shared_ptr<const bccs::BcIndex>(std::move(bundle->index));
+  } else {
+    std::string error;
+    auto g = bccs::ReadLabeledGraphFromFile(*graph_path, &error);
+    if (!g) {
+      std::fprintf(stderr, "cannot read graph from %s: %s\n", graph_path->c_str(),
+                   error.c_str());
+      return 1;
+    }
+    graph = std::make_shared<const bccs::LabeledGraph>(std::move(*g));
+  }
+  if (method == bccs::QueryMethod::kL2pBcc && index == nullptr) {
+    auto built = std::make_shared<bccs::BcIndex>(*graph);
+    index = built;
+  }
+
+  // The per-item prototype every 'q' line starts from.
+  bccs::QueryRequest proto;
+  proto.method = method;
+  proto.deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
+  proto.params = {static_cast<std::uint32_t>(k1), static_cast<std::uint32_t>(k2),
+                  static_cast<std::uint64_t>(b)};
+
+  bccs::ServeOptions so;
+  so.aging_period = static_cast<std::size_t>(aging);
+  so.caps.bulk = static_cast<std::size_t>(bulk_cap);
+  so.caps.interactive = static_cast<std::size_t>(interactive_cap);
+  if (approx_samples > 0) {
+    bccs::ApproxOptions approx;
+    approx.enabled = true;
+    approx.samples = static_cast<std::size_t>(approx_samples);
+    approx.threshold = static_cast<std::size_t>(approx_threshold);
+    approx.adaptive = args.Has("approx-adaptive");
+    so.online.approx = approx;
+    so.lp.approx = approx;
+    so.mbcc.approx = approx;
+    so.l2p.search.approx = approx;
+  }
+
+  const std::string stream_arg = args.GetStringOr("stream", "-");
+  std::ifstream stream_file;
+  std::istream* stream_in = &std::cin;
+  if (stream_arg != "-") {
+    stream_file.open(stream_arg);
+    if (!stream_file.good()) {
+      std::fprintf(stderr, "cannot read stream from %s\n", stream_arg.c_str());
+      return 2;
+    }
+    stream_in = &stream_file;
+  }
+  std::printf("graph: %zu vertices, %zu edges, %zu labels%s\n", graph->NumVertices(),
+              graph->NumEdges(), graph->NumLabels(), index != nullptr ? " (indexed)" : "");
+
+  bccs::BatchRunner runner(threads);
+  bccs::ServeEngine engine(runner, graph, index, so);
+  // Stream serving proper: each line is parsed and admitted as it arrives
+  // while the pool drains earlier items — a live producer on a pipe is
+  // served before it closes its end, exactly what a socket front-end would
+  // do per connection. A malformed line stops admission; what was already
+  // admitted drains and the tool exits nonzero.
+  bccs::ServeEngine::Stream stream = engine.OpenStream();
+  std::vector<StreamLine> lines;
+  bool parse_ok = true;
+  {
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(*stream_in, line)) {
+      ++line_no;
+      StreamLine sl;
+      const LineStatus status =
+          ParseStreamLine(std::move(line), line_no, graph->NumVertices(), proto, &sl);
+      if (status == LineStatus::kBlank) continue;
+      if (status == LineStatus::kError) {
+        parse_ok = false;
+        break;
+      }
+      stream.Submit(sl.item);
+      lines.push_back(std::move(sl));
+    }
+  }
+  bccs::BatchResult result = stream.Finish();
+  if (!parse_ok && lines.empty()) return 2;
+
+  if (!args.Has("quiet")) {
+    std::size_t next_update = 0;  // result.updates is in admission order
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (std::holds_alternative<bccs::QueryRequest>(lines[i].item)) {
+        std::printf("[%zu] epoch=%llu %s -> %zu members%s  (%.6f s)\n", i,
+                    static_cast<unsigned long long>(result.epoch_of[i]),
+                    lines[i].text.c_str(), result.communities[i].Size(),
+                    result.stats[i].timed_out ? " (timed out)" : "", result.seconds[i]);
+      } else {
+        const bccs::UpdateOutcome* outcome =
+            next_update < result.updates.size() ? &result.updates[next_update++] : nullptr;
+        if (outcome == nullptr || outcome->item_index != i) continue;
+        std::printf("[%zu] epoch=%llu %s %s%s%s  (%.6f s)\n", i,
+                    static_cast<unsigned long long>(result.epoch_of[i]),
+                    lines[i].text.c_str(), outcome->applied ? "applied" : "rejected: ",
+                    outcome->applied ? "" : outcome->error.c_str(),
+                    outcome->applied ? "" : " (epoch unchanged)", result.seconds[i]);
+      }
+    }
+  }
+
+  std::size_t applied = 0;
+  for (const auto& u : result.updates) applied += u.applied ? 1 : 0;
+  std::printf("served %zu items (%zu updates, %zu applied) on %zu workers in %.4fs; "
+              "final epoch %llu; %zu timed out\n",
+              lines.size(), result.updates.size(), applied, result.threads_used,
+              result.latency.wall_seconds, static_cast<unsigned long long>(engine.epoch()),
+              result.timed_out);
+  for (const bccs::LaneSummary& lane : result.lanes) {
+    std::printf("lane %-11s %zu queries  max_inflight=%zu  sojourn p50=%.6fs p90=%.6fs "
+                "p99=%.6fs\n",
+                bccs::Name(lane.lane), lane.queries, lane.max_inflight,
+                lane.latency.p50_seconds, lane.latency.p90_seconds,
+                lane.latency.p99_seconds);
+  }
+  return parse_ok ? 0 : 2;
+}

@@ -1,17 +1,23 @@
 // bccs_update: apply an edge-update batch to a persisted snapshot.
 //
 //   bccs_update --snapshot g.snap --updates u.txt [--graph g.txt]
-//               [--compact] [--write-graph out.txt] [--no-verify]
+//               [--compact] [--auto-compact N] [--write-graph out.txt]
+//               [--no-verify]
 //
 // Loads the snapshot (replaying any delta log already appended), validates
 // the update batch against that state, and persists the batch:
 //
-//   default     appends one delta block to the snapshot file — the base
-//               payload is not rewritten; the next load replays the log
-//               through the dynamic-graph layer (graph/graph_delta.h,
-//               BcIndex::ApplyUpdates).
-//   --compact   rewrites the whole snapshot from the updated in-memory
-//               state instead, collapsing the delta log.
+//   default          appends one delta block to the snapshot file — the
+//                    base payload is not rewritten; the next load replays
+//                    the log through the dynamic-graph layer
+//                    (graph/graph_delta.h, BcIndex::ApplyUpdates).
+//   --compact        rewrites the whole snapshot from the updated in-memory
+//                    state instead, collapsing the delta log.
+//   --auto-compact N background compaction policy: append as usual, but
+//                    once the log chain exceeds N blocks fold it into the
+//                    base payload (the same tmp+rename rewrite as
+//                    --compact), so replay cost stays bounded without an
+//                    operator-driven compaction step.
 //
 // Re-stamping: --graph names the text graph file that reflects the
 // POST-update graph; its size/mtime is stamped so bccs_query --graph
@@ -39,7 +45,8 @@ namespace {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: bccs_update --snapshot FILE --updates FILE [--graph FILE]\n"
-               "                   [--compact] [--write-graph FILE] [--no-verify]\n");
+               "                   [--compact] [--auto-compact N] [--write-graph FILE]\n"
+               "                   [--no-verify]\n");
 }
 
 bool VerifyReload(const bccs::LabeledGraph& updated, const bccs::BcIndex& repaired,
@@ -80,8 +87,8 @@ bool VerifyReload(const bccs::LabeledGraph& updated, const bccs::BcIndex& repair
 
 int main(int argc, char** argv) {
   bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
-  auto unknown = args.UnknownFlags(
-      {"snapshot", "updates", "graph", "compact", "write-graph", "no-verify", "help"});
+  auto unknown = args.UnknownFlags({"snapshot", "updates", "graph", "compact", "auto-compact",
+                                    "write-graph", "no-verify", "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -90,6 +97,18 @@ int main(int argc, char** argv) {
   auto snapshot_path = args.GetString("snapshot");
   auto updates_path = args.GetString("updates");
   if (!snapshot_path || !updates_path) {
+    PrintUsage();
+    return 2;
+  }
+  bool flags_valid = true;
+  const std::int64_t auto_compact = args.GetPositiveIntOr("auto-compact", 0, &flags_valid);
+  if (!flags_valid) {
+    std::fprintf(stderr, "--auto-compact must be a positive integer (block count)\n");
+    PrintUsage();
+    return 2;
+  }
+  if (args.Has("compact") && args.Has("auto-compact")) {
+    std::fprintf(stderr, "--compact and --auto-compact are mutually exclusive\n");
     PrintUsage();
     return 2;
   }
@@ -103,10 +122,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("snapshot: %zu vertices, %zu edges, %zu cached pairs, %zu replayed updates "
-              "(loaded in %.4fs)\n",
+              "in %zu delta blocks (loaded in %.4fs)\n",
               bundle->graph->NumVertices(), bundle->graph->NumEdges(),
               bundle->index->CachedPairCount(), bundle->replayed_updates,
-              load_timer.Seconds());
+              bundle->delta_blocks, load_timer.Seconds());
 
   auto updates = bccs::ReadEdgeUpdatesFromFile(*updates_path, &error);
   if (!updates) {
@@ -150,25 +169,30 @@ int main(int argc, char** argv) {
     source = bccs::StatSourceGraph(*write_graph);
   }
 
-  if (args.Has("compact")) {
+  // Write-then-rename: the loaded bundle's arrays may be zero-copy views
+  // over the snapshot file itself (mmap), so rewriting it in place would
+  // overwrite the data being serialized. The rename also keeps a reader
+  // that races the compaction on a consistent file.
+  auto compact_now = [&](const char* why) -> bool {
     bccs::Timer save_timer;
-    // Write-then-rename: the loaded bundle's arrays may be zero-copy views
-    // over the snapshot file itself (mmap), so rewriting it in place would
-    // overwrite the data being serialized. The rename also keeps a reader
-    // that races the compaction on a consistent file.
     const std::string tmp_path = *snapshot_path + ".compact.tmp";
     if (!bccs::SaveSnapshot(*repaired, tmp_path, &error, source)) {
       std::fprintf(stderr, "cannot rewrite snapshot: %s\n", error.c_str());
-      return 1;
+      return false;
     }
     if (std::rename(tmp_path.c_str(), snapshot_path->c_str()) != 0) {
       std::fprintf(stderr, "cannot replace %s with the compacted snapshot\n",
                    snapshot_path->c_str());
       std::remove(tmp_path.c_str());
-      return 1;
+      return false;
     }
-    std::printf("compacted snapshot rewritten to %s in %.4fs\n", snapshot_path->c_str(),
-                save_timer.Seconds());
+    std::printf("compacted snapshot (%s) rewritten to %s in %.4fs\n", why,
+                snapshot_path->c_str(), save_timer.Seconds());
+    return true;
+  };
+
+  if (args.Has("compact")) {
+    if (!compact_now("requested")) return 1;
   } else {
     bccs::Timer append_timer;
     if (!bccs::AppendDeltaBlock(*snapshot_path, *updates, source, &error)) {
@@ -177,6 +201,15 @@ int main(int argc, char** argv) {
     }
     std::printf("delta block (%zu updates) appended to %s in %.4fs\n", updates->size(),
                 snapshot_path->c_str(), append_timer.Seconds());
+    // Background compaction policy: once the log chain exceeds the
+    // threshold, fold it into the base payload — the repaired in-memory
+    // state is exactly the replayed state the next loader would build.
+    const std::size_t blocks_now = bundle->delta_blocks + 1;
+    if (auto_compact > 0 && blocks_now > static_cast<std::size_t>(auto_compact)) {
+      std::printf("delta log at %zu blocks exceeds --auto-compact %lld\n", blocks_now,
+                  static_cast<long long>(auto_compact));
+      if (!compact_now("auto")) return 1;
+    }
   }
 
   if (!args.Has("no-verify")) {

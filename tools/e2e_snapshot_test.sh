@@ -93,15 +93,25 @@ if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" \
 fi
 grep -q "valid methods" "$tmp/method.err" || fail "usage did not list valid methods"
 
-# --deadline-ms / --approx-samples must be positive integers.
+# --deadline-ms / --approx-samples must be positive integers; the count and
+# parameter flags (--threads, --k1/--k2, --b) share the same strict numeric
+# contract instead of silently falling back on garbage.
 for bad in "--deadline-ms 0" "--deadline-ms -3" "--deadline-ms abc" \
-           "--approx-samples 0" "--approx-samples xyz"; do
+           "--approx-samples 0" "--approx-samples xyz" \
+           "--threads -1" "--threads abc" "--threads 1.5" \
+           "--k1 -2" "--k2 xyz" "--b 0" "--b -1" "--b abc"; do
   # shellcheck disable=SC2086
   if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" $bad \
       >/dev/null 2>&1; then
     fail "invalid flag value accepted: $bad"
   fi
 done
+
+# A typo'd huge --threads is clamped to the hardware, not spawned.
+"$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" --repeat 2 \
+  --threads 99999 >/dev/null 2>"$tmp/clamp.err" || fail "clamped thread count failed"
+grep -q "clamped to hardware concurrency" "$tmp/clamp.err" \
+  || fail "huge --threads was not clamped"
 if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" \
     --lane sideways >/dev/null 2>&1; then
   fail "invalid lane was accepted"
@@ -124,6 +134,17 @@ approx_2="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt"
   --threads 2 --approx-samples 64 --approx-threshold 1 | grep -E '^  \[')"
 [ -n "$approx_1" ] || fail "no approx batch output"
 [ "$approx_1" = "$approx_2" ] || fail "approx answers differ across thread counts"
+
+# Adaptive sampling keeps the same determinism guarantee: the per-round
+# sample count is a pure function of the candidate size.
+adaptive_1="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 1 --approx-samples 64 --approx-threshold 1 --approx-adaptive \
+  | grep -E '^  \[')"
+adaptive_2="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 2 --approx-samples 64 --approx-threshold 1 --approx-adaptive \
+  | grep -E '^  \[')"
+[ -n "$adaptive_1" ] || fail "no adaptive approx batch output"
+[ "$adaptive_1" = "$adaptive_2" ] || fail "adaptive approx answers differ across threads"
 
 # --- Dynamic graphs: delta log + --updates-file -----------------------------
 
@@ -190,5 +211,75 @@ fi
 compacted="$(run_query --index-file "$tmp/g.snap")"
 [ "$compacted" = "$upd_graph" ] \
   || fail "compacted snapshot answers differ: '$compacted' vs '$upd_graph'"
+
+# --- Background compaction: --auto-compact ----------------------------------
+
+# A fresh snapshot of the updated graph; two appends with --auto-compact 1:
+# the first leaves one block, the second (now over the threshold) folds the
+# log automatically via the same tmp+rename rewrite as --compact.
+"$bin/bccs_build" --graph "$tmp/g2.txt" --out "$tmp/g3.snap" >/dev/null \
+  || fail "bccs_build for auto-compact failed"
+e2u="$(awk '$1=="e" {print $2}' "$tmp/g2.txt" | sed -n 2p)"
+e2v="$(awk '$1=="e" {print $3}' "$tmp/g2.txt" | sed -n 2p)"
+[ -n "$e2u" ] && [ -n "$e2v" ] || fail "could not pick a second edge"
+printf -- '- %s %s\n' "$e2u" "$e2v" > "$tmp/ac1.txt"
+printf -- '+ %s %s\n' "$e2u" "$e2v" > "$tmp/ac2.txt"
+
+if "$bin/bccs_update" --snapshot "$tmp/g3.snap" --updates "$tmp/ac1.txt" \
+    --auto-compact 0 >/dev/null 2>&1; then
+  fail "--auto-compact 0 was accepted"
+fi
+if "$bin/bccs_update" --snapshot "$tmp/g3.snap" --updates "$tmp/ac1.txt" \
+    --compact --auto-compact 2 >/dev/null 2>&1; then
+  fail "--compact with --auto-compact was accepted"
+fi
+
+ac1_out="$("$bin/bccs_update" --snapshot "$tmp/g3.snap" --updates "$tmp/ac1.txt" \
+  --auto-compact 1)" || fail "first --auto-compact update failed"
+echo "$ac1_out" | grep -q "compacted" && fail "auto-compact fired below the threshold"
+ac2_out="$("$bin/bccs_update" --snapshot "$tmp/g3.snap" --updates "$tmp/ac2.txt" \
+  --auto-compact 1)" || fail "second --auto-compact update failed"
+echo "$ac2_out" | grep -q "compacted snapshot (auto)" \
+  || fail "auto-compact did not fire above the threshold"
+# The folded snapshot has an empty log chain and serves the delete+insert
+# round trip (== g2) correctly.
+ac3_out="$("$bin/bccs_update" --snapshot "$tmp/g3.snap" --updates "$tmp/ac1.txt" \
+  --auto-compact 8)" || fail "post-compaction update failed"
+echo "$ac3_out" | grep -q "0 delta blocks" \
+  || fail "auto-compacted snapshot still reports delta blocks"
+
+# --- Streaming serve loop: bccs_serve ---------------------------------------
+
+# A mixed stream over the original graph: the pre-update query runs in
+# epoch 1, the update publishes epoch 2 (prepared off-thread against a
+# pinned copy-on-write epoch), and the post-update queries observe it.
+printf 'q %s %s interactive\nu - %s %s\nq %s %s bulk\nq %s %s\n' \
+  "$q1" "$q2" "$eu" "$ev" "$q1" "$q2" "$q2" "$q1" > "$tmp/stream.txt"
+serve_out="$("$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" \
+  --threads 2 --bulk-cap 1)" || fail "bccs_serve failed"
+echo "$serve_out" | grep -q '^\[0\] epoch=1 query' || fail "pre-update query not in epoch 1"
+echo "$serve_out" | grep -q '^\[1\] epoch=2 update -' || fail "update did not publish epoch 2"
+echo "$serve_out" | grep -q '^\[2\] epoch=2 query' || fail "post-update query not in epoch 2"
+echo "$serve_out" | grep -q 'final epoch 2' || fail "final epoch wrong"
+echo "$serve_out" | grep -q 'lane interactive' || fail "no interactive lane summary"
+
+# The post-update answer equals serving the updated text graph directly.
+serve_members="$(echo "$serve_out" | sed -n 's/^\[2\].*-> \([0-9]*\) members.*/\1/p')"
+graph_members="$("$bin/bccs_query" --graph "$tmp/g2.txt" --ql "$q1" --qr "$q2" \
+  --method lp | sed -n 's/^community (\([0-9]*\) members.*/\1/p')"
+[ -n "$serve_members" ] || fail "no member count in bccs_serve output"
+[ "$serve_members" = "$graph_members" ] \
+  || fail "streamed post-update answer differs: $serve_members vs $graph_members"
+
+# Malformed stream lines and invalid numeric flags are rejected upfront.
+printf 'x nonsense\n' > "$tmp/bad_stream.txt"
+if "$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/bad_stream.txt" \
+    >/dev/null 2>&1; then
+  fail "malformed stream line was accepted"
+fi
+if "$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" \
+    --bulk-cap -1 >/dev/null 2>&1; then
+  fail "negative --bulk-cap was accepted"
+fi
 
 echo "e2e snapshot test passed"
