@@ -11,14 +11,18 @@
 // latency vs the old barrier flush — and the approximate-butterfly fast
 // path vs the exact recount on the large generated graph), measures
 // dynamic edge-update batches (incremental BcIndex::ApplyUpdates vs full
-// rebuild seconds, with a bit-identical check), and emits a JSON summary
-// (default BENCH_PR5.json) so future PRs can compare against this one.
+// rebuild seconds, with a bit-identical check), measures crash-recovery
+// cost (bare base load vs a rotated-changelog replay vs the load after a
+// compaction fold, with an identical-answers check), and emits a JSON
+// summary (default BENCH_PR6.json) so future PRs can compare against this
+// one.
 //
-//   perf_smoke [--out BENCH_PR5.json] [--queries 64] [--threads 0]
+//   perf_smoke [--out BENCH_PR6.json] [--queries 64] [--threads 0]
 //              [--communities 24] [--group-size 24] [--keep-snapshot]
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <span>
 #include <string>
@@ -29,6 +33,8 @@
 #include "bench_common.h"
 #include "eval/serve_engine.h"
 #include "eval/timer.h"
+#include "graph/changelog.h"
+#include "graph/compactor.h"
 #include "graph/generators.h"
 #include "graph/graph_delta.h"
 #include "graph/snapshot.h"
@@ -110,6 +116,45 @@ struct ApproxRow {
   bool exact_verified = false;            // sampled answers pass VerifyBcc
 };
 
+/// Crash-recovery cost on the big index graph: load of the bare base
+/// snapshot vs recovery with a rotated-changelog replay vs the same load
+/// after the compactor folded the segments into a fresh base.
+struct RecoveryRow {
+  std::size_t batches = 0;             // changelog records appended
+  std::size_t appended_updates = 0;    // edge updates across those records
+  std::size_t live_segments = 0;       // sealed segments before the fold
+  double base_load_seconds = 0;        // replay_changelog = false
+  double replay_load_seconds = 0;      // base + segment replay (uncompacted)
+  double fold_seconds = 0;             // Compactor::RunOnce(force)
+  double compacted_load_seconds = 0;   // after the fold: no segments left
+  double replay_over_base = 0;         // replay_load / base_load
+  bool identical = false;              // replayed answers == folded answers
+};
+
+/// Half deletions of existing edges, half insertions of absent pairs — a
+/// mixed batch that validates against `g`.
+std::vector<EdgeUpdate> MakeMixedBatch(const LabeledGraph& g, std::size_t batch_size,
+                                       std::mt19937_64& rng) {
+  std::vector<EdgeUpdate> updates;
+  std::vector<Edge> edges = g.AllEdges();
+  std::shuffle(edges.begin(), edges.end(), rng);
+  for (std::size_t i = 0; i < batch_size / 2 && i < edges.size(); ++i) {
+    updates.push_back({EdgeUpdateKind::kDelete, edges[i]});
+  }
+  std::uniform_int_distribution<VertexId> pick(0, static_cast<VertexId>(g.NumVertices() - 1));
+  while (updates.size() < batch_size) {
+    VertexId u = pick(rng), v = pick(rng);
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (std::any_of(updates.begin(), updates.end(), [&](const EdgeUpdate& x) {
+          return x.edge == Edge{std::min(u, v), std::max(u, v)};
+        })) {
+      continue;
+    }
+    updates.push_back({EdgeUpdateKind::kInsert, {std::min(u, v), std::max(u, v)}});
+  }
+  return updates;
+}
+
 bool SameCommunities(const BatchResult& a, const BatchResult& b) {
   if (a.communities.size() != b.communities.size()) return false;
   for (std::size_t i = 0; i < a.communities.size(); ++i) {
@@ -127,7 +172,8 @@ SearchStats SumStats(const BatchResult& r) {
 void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow& index,
                const ServingRow& serving, const StreamingRow& streaming,
                const ApproxRow& approx, const std::vector<UpdateBatchRow>& updates,
-               std::size_t n, std::size_t edges, std::size_t par_threads) {
+               const RecoveryRow& recovery, std::size_t n, std::size_t edges,
+               std::size_t par_threads) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
   std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
@@ -197,6 +243,17 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
     std::fprintf(f, "    }%s\n", i + 1 < updates.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"recovery\": {\n");
+  std::fprintf(f, "    \"batches\": %zu,\n", recovery.batches);
+  std::fprintf(f, "    \"appended_updates\": %zu,\n", recovery.appended_updates);
+  std::fprintf(f, "    \"live_segments\": %zu,\n", recovery.live_segments);
+  std::fprintf(f, "    \"base_load_seconds\": %.6f,\n", recovery.base_load_seconds);
+  std::fprintf(f, "    \"replay_load_seconds\": %.6f,\n", recovery.replay_load_seconds);
+  std::fprintf(f, "    \"fold_seconds\": %.6f,\n", recovery.fold_seconds);
+  std::fprintf(f, "    \"compacted_load_seconds\": %.6f,\n", recovery.compacted_load_seconds);
+  std::fprintf(f, "    \"replay_over_base\": %.3f,\n", recovery.replay_over_base);
+  std::fprintf(f, "    \"identical_replay_vs_fold\": %s\n", recovery.identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"index\": {\n");
   std::fprintf(f, "    \"index_build_seconds\": %.6f,\n", index.build_seconds);
   std::fprintf(f, "    \"index_save_seconds\": %.6f,\n", index.save_seconds);
@@ -316,25 +373,7 @@ UpdateBatchRow MeasureUpdateBatch(const PlantedGraph& pg, const BcIndex& base,
   UpdateBatchRow row;
   const LabeledGraph& g = pg.graph;
   std::mt19937_64 rng(seed);
-
-  // Half deletions of existing edges, half insertions of absent pairs.
-  std::vector<EdgeUpdate> updates;
-  std::vector<Edge> edges = g.AllEdges();
-  std::shuffle(edges.begin(), edges.end(), rng);
-  for (std::size_t i = 0; i < batch_size / 2 && i < edges.size(); ++i) {
-    updates.push_back({EdgeUpdateKind::kDelete, edges[i]});
-  }
-  std::uniform_int_distribution<VertexId> pick(0, static_cast<VertexId>(g.NumVertices() - 1));
-  while (updates.size() < batch_size) {
-    VertexId u = pick(rng), v = pick(rng);
-    if (u == v || g.HasEdge(u, v)) continue;
-    if (std::any_of(updates.begin(), updates.end(), [&](const EdgeUpdate& x) {
-          return x.edge == Edge{std::min(u, v), std::max(u, v)};
-        })) {
-      continue;
-    }
-    updates.push_back({EdgeUpdateKind::kInsert, {std::min(u, v), std::max(u, v)}});
-  }
+  std::vector<EdgeUpdate> updates = MakeMixedBatch(g, batch_size, rng);
   row.updates = updates.size();
 
   const auto delta = BuildGraphDelta(g, updates);
@@ -366,6 +405,114 @@ UpdateBatchRow MeasureUpdateBatch(const PlantedGraph& pg, const BcIndex& base,
                     counts.argmax_left == want.argmax_left &&
                     counts.argmax_right == want.argmax_right && counts.chi == want.chi;
   });
+  return row;
+}
+
+/// Recovery-time story for the durability layer: saves the base index to a
+/// scratch snapshot, appends `batches` mixed update batches to a rotated
+/// changelog (segment_blocks = 1, so every batch lands in its own sealed
+/// segment — the worst case for replay), then times (i) the bare base load,
+/// (ii) the full recovery load that replays every segment, and (iii) the
+/// load after a forced compaction fold collapsed the segments into a new
+/// base. Answers from the replayed and the folded state must be identical.
+RecoveryRow MeasureRecovery(const PlantedGraph& pg, const BcIndex& base,
+                            std::span<const BccQuery> queries, const std::string& out_path,
+                            std::size_t batches, std::size_t batch_size,
+                            std::uint64_t seed) {
+  RecoveryRow row;
+  const std::string snap_path = out_path + ".recovery.snapshot";
+  std::string error;
+  std::remove(snap_path.c_str());
+  RemoveChangelogSegments(snap_path);
+  if (!SaveSnapshot(base, snap_path, &error)) {
+    std::fprintf(stderr, "recovery bench: snapshot save failed: %s\n", error.c_str());
+    return row;
+  }
+
+  ChangelogOptions copts;
+  copts.fsync = FsyncPolicy::kOnRotation;
+  copts.segment_blocks = 1;
+  std::unique_ptr<Changelog> log = Changelog::Open(snap_path, 0, copts, nullptr, &error);
+  if (log == nullptr) {
+    std::fprintf(stderr, "recovery bench: changelog open failed: %s\n", error.c_str());
+    return row;
+  }
+
+  std::mt19937_64 rng(seed);
+  auto cur = std::make_shared<LabeledGraph>(pg.graph);
+  for (std::size_t i = 0; i < batches; ++i) {
+    std::vector<EdgeUpdate> updates = MakeMixedBatch(*cur, batch_size, rng);
+    const auto delta = BuildGraphDelta(*cur, updates);
+    if (!delta) {
+      std::fprintf(stderr, "recovery bench: batch %zu did not validate\n", i);
+      return row;
+    }
+    if (!log->Append(updates, {}, &error)) {
+      std::fprintf(stderr, "recovery bench: append failed: %s\n", error.c_str());
+      return row;
+    }
+    cur = std::make_shared<LabeledGraph>(ApplyGraphDelta(*cur, *delta));
+    row.batches++;
+    row.appended_updates += updates.size();
+  }
+  row.live_segments = log->sealed_segments();
+
+  Timer base_timer;
+  SnapshotLoadOptions bare;
+  bare.replay_changelog = false;
+  auto base_bundle = LoadSnapshot(snap_path, &error, bare);
+  row.base_load_seconds = base_timer.Seconds();
+  if (!base_bundle) {
+    std::fprintf(stderr, "recovery bench: bare load failed: %s\n", error.c_str());
+    return row;
+  }
+
+  Timer replay_timer;
+  auto replayed = LoadSnapshot(snap_path, &error);
+  row.replay_load_seconds = replay_timer.Seconds();
+  if (!replayed || replayed->replayed_updates != row.appended_updates) {
+    std::fprintf(stderr, "recovery bench: replay load failed (%s, replayed %zu of %zu)\n",
+                 error.c_str(), replayed ? replayed->replayed_updates : 0,
+                 row.appended_updates);
+    return row;
+  }
+  row.replay_over_base =
+      row.base_load_seconds > 0 ? row.replay_load_seconds / row.base_load_seconds : 0;
+
+  // The fold serializes an already-materialized serving state (in the serve
+  // engine the index is repaired incrementally), so build it outside the
+  // fold timer.
+  auto folded_index = std::make_shared<BcIndex>(*cur);
+  folded_index->MaterializeAllPairs();
+  Compactor compactor(*log, [&] {
+    return Compactor::State{cur, folded_index, SourceGraphInfo{}};
+  });
+  Timer fold_timer;
+  if (!compactor.RunOnce(/*force=*/true, &error)) {
+    std::fprintf(stderr, "recovery bench: fold failed: %s\n", error.c_str());
+    return row;
+  }
+  row.fold_seconds = fold_timer.Seconds();
+
+  Timer compacted_timer;
+  auto compacted = LoadSnapshot(snap_path, &error);
+  row.compacted_load_seconds = compacted_timer.Seconds();
+  if (!compacted || compacted->replayed_updates != 0 || compacted->changelog_segments != 0) {
+    std::fprintf(stderr, "recovery bench: compacted load failed: %s\n", error.c_str());
+    return row;
+  }
+
+  const BccParams params;
+  BatchRunner seq(1);
+  BatchResult from_replay =
+      seq.RunL2pBatch(*replayed->graph, *replayed->index, queries, params, {});
+  BatchResult from_fold =
+      seq.RunL2pBatch(*compacted->graph, *compacted->index, queries, params, {});
+  row.identical = SameCommunities(from_replay, from_fold);
+
+  log.reset();
+  std::remove(snap_path.c_str());
+  RemoveChangelogSegments(snap_path);
   return row;
 }
 
@@ -580,7 +727,7 @@ ApproxRow MeasureApprox(const PlantedGraph& pg, std::span<const BccQuery> querie
 
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR5.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR6.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -716,13 +863,24 @@ int main(int argc, char** argv) {
         u.repair.pairs_recounted, u.identical ? "yes" : "NO");
   }
 
+  // Crash-recovery cost: replaying a rotated changelog vs loading the base
+  // the compactor folded those segments into.
+  RecoveryRow recovery = MeasureRecovery(big_graph, update_base, big_queries, out_path,
+                                         /*batches=*/32, /*batch_size=*/8, 79);
+  std::printf(
+      "recovery    base=%.4fs replay(%zu segs, %zu updates)=%.4fs (%.1fx base)  "
+      "fold=%.4fs compacted=%.4fs  identical=%s\n",
+      recovery.base_load_seconds, recovery.live_segments, recovery.appended_updates,
+      recovery.replay_load_seconds, recovery.replay_over_base, recovery.fold_seconds,
+      recovery.compacted_load_seconds, recovery.identical ? "yes" : "NO");
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  PrintJson(f, rows, index, serving, streaming, approx, update_rows, n, pg.graph.NumEdges(),
-            par.NumThreads());
+  PrintJson(f, rows, index, serving, streaming, approx, update_rows, recovery, n,
+            pg.graph.NumEdges(), par.NumThreads());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -745,5 +903,8 @@ int main(int argc, char** argv) {
   // rebuild on the small one (the streaming-update serving case).
   for (const UpdateBatchRow& u : update_rows) ok = ok && u.identical;
   ok = ok && !update_rows.empty() && update_rows.front().speedup > 1.0;
+  // Recovery must be exact: the changelog replay and the compacted base
+  // must answer identically.
+  ok = ok && recovery.identical;
   return ok ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "eval/timer.h"
+#include "graph/changelog.h"
 #include "graph/graph_delta.h"
 
 namespace bccs {
@@ -122,6 +123,11 @@ ServeEngine::ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph
 
 ServeEngine::~ServeEngine() = default;
 
+void ServeEngine::AttachDurability(Changelog* log, const SourceGraphInfo& stamp) {
+  durability_log_ = log;
+  durability_stamp_ = stamp;
+}
+
 std::uint64_t ServeEngine::epoch() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return current_.epoch;
@@ -228,6 +234,31 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       outcome->item_index = t.index;
       Timer apply;
       EpochState next = PrepareUpdate(base, std::get<UpdateRequest>(*item), outcome);
+      if (durability_log_ != nullptr && outcome->applied) {
+        // The durable commit: changelog append and epoch publish happen
+        // together under the log's commit lock, so the log and the
+        // published head never disagree — and a compactor capturing state
+        // under the same lock sees exactly the appended records. A failed
+        // append rejects the batch; the un-durable state never publishes.
+        const auto& update_req = std::get<UpdateRequest>(*item);
+        std::lock_guard<std::mutex> commit(durability_log_->commit_mutex());
+        std::string err;
+        if (!durability_log_->Append(
+                std::span<const EdgeUpdate>(update_req.updates), durability_stamp_,
+                &err)) {
+          outcome->applied = false;
+          outcome->error = "durability append failed: " + err;
+          outcome->inserts = 0;
+          outcome->deletes = 0;
+          next = base;
+        } else {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          current_ = next;
+        }
+      } else {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        current_ = next;
+      }
       outcome->seconds = apply.Seconds();
       outcome->epoch = next.epoch;
       {
@@ -239,13 +270,9 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
         state.sojourn[t.index] = state.wall.Seconds() - admit_seconds;
         state.epoch_of[t.index] = next.epoch;
       }
-      {
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        current_ = next;
-      }
-      // Publish AFTER the history write: Pop()'s mutex acquisition gives
-      // any worker that observes the resolution a happens-before edge to
-      // the new state.
+      // Resolve on the queue AFTER the history write: Pop()'s mutex
+      // acquisition gives any worker that observes the resolution a
+      // happens-before edge to the new state.
       state.queue.PublishUpdate();
       continue;
     }

@@ -16,8 +16,11 @@
 #include "eval/batch_runner.h"
 #include "graph/graph_delta.h"
 #include "graph/labeled_graph.h"
+#include "graph/snapshot.h"
 
 namespace bccs {
+
+class Changelog;
 
 /// The unified serving engine: every request — query or edge-update — enters
 /// here, through the streaming serve loop. The life of a served item:
@@ -217,6 +220,19 @@ class ServeEngine {
 
   const ServeOptions& options() const { return opts_; }
 
+  /// Durable serving: every applied UpdateRequest is appended to `log`
+  /// before its new epoch publishes — append and publish happen together
+  /// under the log's commit lock, so an UpdateOutcome with applied=true IS
+  /// the durable acknowledgment (durable per the log's fsync policy), and a
+  /// compactor capturing state under the same lock sees exactly the
+  /// appended records. An append failure rejects the batch: the epoch does
+  /// not advance and the outcome reports the error. `stamp` is the
+  /// source-graph identity written with each record (what the snapshot
+  /// represents after replay). `log` must outlive the engine; pass nullptr
+  /// to detach. Call while no stream is open.
+  void AttachDurability(Changelog* log, const SourceGraphInfo& stamp = {});
+  Changelog* durability_log() const { return durability_log_; }
+
  private:
   friend struct StreamState;
 
@@ -241,6 +257,8 @@ class ServeEngine {
 
   BatchRunner* runner_;
   ServeOptions opts_;
+  Changelog* durability_log_ = nullptr;  // non-owning; see AttachDurability
+  SourceGraphInfo durability_stamp_;
   mutable std::mutex state_mutex_;  // guards current_ (the published head)
   EpochState current_;
   std::atomic<std::uint64_t> next_request_id_{1};

@@ -1,0 +1,117 @@
+#include "graph/compactor.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace bccs {
+
+Compactor::Compactor(Changelog& log, StateFn state_fn, CompactorOptions opts)
+    : log_(&log), state_fn_(std::move(state_fn)), opts_(opts) {}
+
+Compactor::~Compactor() { Stop(); }
+
+bool Compactor::Fail(std::string* error, const std::string& msg) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    last_error_ = msg;
+  }
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+std::string Compactor::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+bool Compactor::RunOnce(bool force, std::string* error, bool* folded) {
+  if (folded != nullptr) *folded = false;
+  std::lock_guard<std::mutex> run(run_mutex_);
+
+  // Seal + capture under the commit lock: the captured state then contains
+  // exactly the records in segments <= `through`, which is the invariant
+  // that lets the new base claim them folded. Appends resume the moment the
+  // lock drops — they go to segments > `through` and stay live.
+  std::uint64_t through = 0;
+  State state;
+  {
+    std::lock_guard<std::mutex> commit(log_->commit_mutex());
+    if (!force && log_->sealed_segments() < opts_.threshold_segments) return true;
+    std::string seal_err;
+    if (!log_->SealTail(&seal_err)) return Fail(error, "compaction seal: " + seal_err);
+    through = log_->sealed_seq();
+    if (through <= log_->base_seq()) return true;  // nothing to fold
+    state = state_fn_();
+  }
+  if (state.graph == nullptr || state.index == nullptr) {
+    return Fail(error, "compaction requires a served graph and index");
+  }
+
+  // Publish via fsync'd tmp + rename + directory fsync: the snapshot path
+  // always names either the complete old base or the complete new one.
+  const std::string& path = log_->snapshot_path();
+  const std::string tmp = CompactionTempPath(path);
+  std::string err;
+  auto discard_tmp = [&tmp] {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  };
+  if (!SaveSnapshot(*state.index, tmp, &err, state.stamp, through)) {
+    discard_tmp();
+    return Fail(error, "compaction save: " + err);
+  }
+  if (!FsyncFile(tmp, &err)) {
+    discard_tmp();
+    return Fail(error, "compaction fsync: " + err);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    discard_tmp();
+    return Fail(error, "compaction rename to " + path + " failed: " + ec.message());
+  }
+  if (!FsyncParentDir(path, &err)) return Fail(error, "compaction dir fsync: " + err);
+
+  {
+    std::lock_guard<std::mutex> commit(log_->commit_mutex());
+    if (!log_->DropSegmentsThrough(through, &err)) {
+      // The fold itself is published; the stale segments will be deleted by
+      // the next recovery. Still a failure worth reporting.
+      return Fail(error, "compaction segment drop: " + err);
+    }
+  }
+  folds_.fetch_add(1, std::memory_order_relaxed);
+  if (folded != nullptr) *folded = true;
+  return true;
+}
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Compactor::Loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, opts_.poll_interval, [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    RunOnce(/*force=*/false);
+    lock.lock();
+  }
+}
+
+}  // namespace bccs

@@ -1,0 +1,105 @@
+#ifndef BCCS_GRAPH_COMPACTOR_H_
+#define BCCS_GRAPH_COMPACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "bcc/bc_index.h"
+#include "graph/changelog.h"
+#include "graph/labeled_graph.h"
+#include "graph/snapshot.h"
+
+namespace bccs {
+
+/// Folds sealed changelog segments into a new base snapshot so recovery
+/// stays bounded: replaying an ever-growing log would make restart time
+/// proportional to total update history instead of the window since the
+/// last fold.
+///
+/// A fold is: seal the tail (under the log's commit lock, together with a
+/// capture of the serving state, so the state and the sealed sequence
+/// number agree exactly), serialize the captured state to the compaction
+/// temp path with base_changelog_seq = the sealed watermark, fsync the
+/// temp file, rename it over the snapshot, fsync the parent directory,
+/// then drop the folded segments. Readers never block: the capture is a
+/// pair of shared_ptr copies out of the copy-on-write epoch machinery, and
+/// the slow serialization runs outside every lock.
+///
+/// Crash safety at every point, by construction:
+///   - before the rename: the old base + the full segment chain recover
+///     (the temp file is deleted by OpenSnapshotWithChangelog);
+///   - after the rename, before the drop: the new base's watermark makes
+///     the folded segments stale, and Changelog::Open deletes them — the
+///     fold is idempotent.
+struct CompactorOptions {
+  /// RunOnce(false) folds only once this many sealed segments exist.
+  std::size_t threshold_segments = 4;
+  /// Background poll cadence (Start()'s thread).
+  std::chrono::milliseconds poll_interval{100};
+};
+
+class Compactor {
+ public:
+  /// A consistent serving state to fold. `stamp` is the source-graph
+  /// identity the new base should carry (the effective stamp).
+  struct State {
+    std::shared_ptr<const LabeledGraph> graph;
+    std::shared_ptr<const BcIndex> index;
+    SourceGraphInfo stamp;
+  };
+  /// Called WHILE THE COMPACTOR HOLDS THE LOG'S COMMIT LOCK, so the
+  /// returned state contains exactly the updates appended so far (the
+  /// serve engine publishes the epoch under the same lock as the append).
+  using StateFn = std::function<State()>;
+
+  /// `log` and whatever `state_fn` captures must outlive the compactor.
+  Compactor(Changelog& log, StateFn state_fn, CompactorOptions opts = {});
+  ~Compactor();  // Stop()
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// One fold, synchronously, on the calling thread. force=true folds
+  /// whatever is in the log regardless of the threshold (a final fold at
+  /// shutdown); force=false applies the threshold. Returns true with
+  /// *folded=false when there was nothing to do. Failures also land in
+  /// last_error() (the background thread has nowhere else to report).
+  bool RunOnce(bool force, std::string* error = nullptr, bool* folded = nullptr);
+
+  /// Starts the background thread (idempotent). It polls the sealed-segment
+  /// count and folds past the threshold.
+  void Start();
+  /// Stops and joins the background thread (idempotent; the destructor
+  /// calls it). In-progress folds complete.
+  void Stop();
+
+  std::size_t folds() const { return folds_.load(std::memory_order_relaxed); }
+  std::string last_error() const;
+
+ private:
+  void Loop();
+  bool Fail(std::string* error, const std::string& msg);
+
+  Changelog* log_;
+  StateFn state_fn_;
+  CompactorOptions opts_;
+  std::mutex run_mutex_;  // one fold at a time (manual vs background)
+  std::atomic<std::size_t> folds_{0};
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_COMPACTOR_H_

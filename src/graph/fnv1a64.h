@@ -1,0 +1,59 @@
+#ifndef BCCS_GRAPH_FNV1A64_H_
+#define BCCS_GRAPH_FNV1A64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace bccs {
+
+/// Streaming FNV-1a folding 8 input bytes per multiply (a word-wise variant
+/// of the classic byte-wise loop — ~8x faster, which keeps checksum
+/// verification a small fraction of snapshot load time). The internal
+/// 8-byte carry buffer makes the digest independent of how the input is
+/// chunked across Update() calls, so a writer hashing per-section and a
+/// loader hashing the whole payload in one call agree. Shared by the
+/// snapshot payload/delta-block checksums (graph/snapshot.cc) and the
+/// changelog record/segment checksums (graph/changelog.cc).
+class Fnv1a64 {
+ public:
+  void Update(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    while (len > 0) {
+      if (pending_len_ == 0 && len >= 8) {
+        do {
+          std::uint64_t word;
+          std::memcpy(&word, p, 8);
+          hash_ = (hash_ ^ word) * kPrime;
+          p += 8;
+          len -= 8;
+        } while (len >= 8);
+        continue;
+      }
+      pending_[pending_len_++] = *p++;
+      --len;
+      if (pending_len_ == 8) {
+        std::uint64_t word;
+        std::memcpy(&word, pending_, 8);
+        hash_ = (hash_ ^ word) * kPrime;
+        pending_len_ = 0;
+      }
+    }
+  }
+
+  std::uint64_t Digest() const {
+    std::uint64_t h = hash_;
+    for (std::size_t i = 0; i < pending_len_; ++i) h = (h ^ pending_[i]) * kPrime;
+    return h;
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash_ = 14695981039346656037ull;
+  unsigned char pending_[8] = {};
+  std::size_t pending_len_ = 0;
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_GRAPH_FNV1A64_H_

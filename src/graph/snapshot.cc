@@ -12,12 +12,13 @@
 #include <utility>
 #include <vector>
 
+#include "graph/changelog.h"
+#include "graph/fnv1a64.h"
+#include "graph/posix_io.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define BCCS_HAVE_MMAP 1
-#include <fcntl.h>
 #include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
 #endif
 
 namespace bccs {
@@ -96,9 +97,10 @@ struct SnapshotHeader {
   std::uint64_t max_degree;
   std::uint64_t source_graph_size;      // source text graph identity;
   std::uint64_t source_graph_mtime_ns;  // 0/0 = unknown (no staleness check)
-  std::uint64_t payload_checksum;       // FNV-1a64 of bytes [80, file size)
+  std::uint64_t base_changelog_seq;     // changelog segments <= this are folded in
+  std::uint64_t payload_checksum;       // FNV-1a64 of the payload bytes
 };
-static_assert(sizeof(SnapshotHeader) == 80, "snapshot header must stay 80 bytes");
+static_assert(sizeof(SnapshotHeader) == 88, "snapshot header must stay 88 bytes");
 
 struct SnapshotPairEntry {
   std::uint32_t label_a;
@@ -135,51 +137,6 @@ struct DeltaEntry {
   std::uint32_t reserved;  // zero
 };
 static_assert(sizeof(DeltaEntry) == 16, "delta entry layout drifted");
-
-/// Streaming FNV-1a folding 8 input bytes per multiply (a word-wise variant
-/// of the classic byte-wise loop — ~8x faster, which keeps checksum
-/// verification a small fraction of snapshot load time). The internal
-/// 8-byte carry buffer makes the digest independent of how the input is
-/// chunked across Update() calls, so the writer (per-section updates) and
-/// the loader (one update over the whole payload) agree.
-class Fnv1a64 {
- public:
-  void Update(const void* data, std::size_t len) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    while (len > 0) {
-      if (pending_len_ == 0 && len >= 8) {
-        do {
-          std::uint64_t word;
-          std::memcpy(&word, p, 8);
-          hash_ = (hash_ ^ word) * kPrime;
-          p += 8;
-          len -= 8;
-        } while (len >= 8);
-        continue;
-      }
-      pending_[pending_len_++] = *p++;
-      --len;
-      if (pending_len_ == 8) {
-        std::uint64_t word;
-        std::memcpy(&word, pending_, 8);
-        hash_ = (hash_ ^ word) * kPrime;
-        pending_len_ = 0;
-      }
-    }
-  }
-
-  std::uint64_t Digest() const {
-    std::uint64_t h = hash_;
-    for (std::size_t i = 0; i < pending_len_; ++i) h = (h ^ pending_[i]) * kPrime;
-    return h;
-  }
-
- private:
-  static constexpr std::uint64_t kPrime = 1099511628211ull;
-  std::uint64_t hash_ = 14695981039346656037ull;
-  unsigned char pending_[8] = {};
-  std::size_t pending_len_ = 0;
-};
 
 constexpr std::size_t Align(std::size_t offset) {
   return (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
@@ -219,16 +176,81 @@ bool IoFail(std::string* error, const std::string& msg) {
 }
 
 // ---------------------------------------------------------------------------
-// Writer.
+// Writer. Raw POSIX fds where available: fdatasync needs the fd, and the
+// fault-injection harness interposes the libc write symbol — which
+// buffered iostreams bypass internally (glibc stdio calls hidden aliases).
 // ---------------------------------------------------------------------------
+
+class FileSink {
+ public:
+  FileSink() = default;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+  ~FileSink() {
+#if BCCS_HAVE_POSIX_IO
+    if (fd_ >= 0) ::close(fd_);
+#endif
+  }
+
+  bool Open(const std::string& path) {
+#if BCCS_HAVE_POSIX_IO
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    return fd_ >= 0;
+#else
+    out_.open(path, std::ios::binary | std::ios::trunc);
+    return static_cast<bool>(out_);
+#endif
+  }
+
+  bool Write(const void* data, std::size_t len) {
+#if BCCS_HAVE_POSIX_IO
+    return internal::FullWrite(fd_, data, len);
+#else
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+    return static_cast<bool>(out_);
+#endif
+  }
+
+  /// Patches previously written bytes (the checksum back-fill).
+  bool WriteAt(std::size_t offset, const void* data, std::size_t len) {
+#if BCCS_HAVE_POSIX_IO
+    return internal::FullWriteAt(fd_, offset, data, len);
+#else
+    out_.seekp(static_cast<std::streamoff>(offset), std::ios::beg);
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+    return static_cast<bool>(out_);
+#endif
+  }
+
+  bool Close() {
+#if BCCS_HAVE_POSIX_IO
+    if (fd_ < 0) return false;
+    const bool ok = ::close(fd_) == 0;
+    fd_ = -1;
+    return ok;
+#else
+    out_.flush();
+    const bool ok = static_cast<bool>(out_);
+    out_.close();
+    return ok;
+#endif
+  }
+
+ private:
+#if BCCS_HAVE_POSIX_IO
+  int fd_ = -1;
+#else
+  std::ofstream out_;
+#endif
+};
 
 class SnapshotWriter {
  public:
-  explicit SnapshotWriter(std::ofstream& out) : out_(&out) {}
+  explicit SnapshotWriter(FileSink& out) : out_(&out) {}
 
   void WriteRaw(const void* data, std::size_t len) {
     if (len == 0) return;
-    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+    ok_ = ok_ && out_->Write(data, len);
     offset_ += len;
   }
 
@@ -260,10 +282,12 @@ class SnapshotWriter {
 
   std::size_t offset() const { return offset_; }
   std::uint64_t Checksum() const { return checksum_.Digest(); }
+  bool ok() const { return ok_; }
 
  private:
-  std::ofstream* out_;
+  FileSink* out_;
   std::size_t offset_ = 0;
+  bool ok_ = true;
   Fnv1a64 checksum_;
 };
 
@@ -372,7 +396,7 @@ SourceGraphInfo StatSourceGraph(const std::string& path) {
 }
 
 bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* error,
-                  const SourceGraphInfo& source) {
+                  const SourceGraphInfo& source, std::uint64_t base_changelog_seq) {
   const LabeledGraph& g = index.graph();
   const auto offsets = SnapshotAccess::Offsets(g);
   const auto adjacency = SnapshotAccess::Adjacency(g);
@@ -399,10 +423,11 @@ bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* er
   header.max_degree = g.MaxDegree();
   header.source_graph_size = source.size_bytes;
   header.source_graph_mtime_ns = source.mtime_ns;
+  header.base_changelog_seq = base_changelog_seq;
   header.payload_checksum = 0;  // patched after the payload is written
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return IoFail(error, "cannot open " + path + " for writing");
+  FileSink out;
+  if (!out.Open(path)) return IoFail(error, "cannot open " + path + " for writing");
 
   SnapshotWriter writer(out);
   writer.WriteRaw(&header, sizeof(header));
@@ -444,12 +469,10 @@ bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* er
   }
 
   header.payload_checksum = writer.Checksum();
-  out.seekp(offsetof(SnapshotHeader, payload_checksum), std::ios::beg);
-  out.write(reinterpret_cast<const char*>(&header.payload_checksum),
-            sizeof(header.payload_checksum));
-  out.flush();
-  if (!out) {
-    out.close();
+  const bool patched = out.WriteAt(offsetof(SnapshotHeader, payload_checksum),
+                                   &header.payload_checksum,
+                                   sizeof(header.payload_checksum));
+  if (!writer.ok() || !patched || !out.Close()) {
     std::remove(path.c_str());
     return IoFail(error, "write failed for " + path);
   }
@@ -520,34 +543,40 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   }
 
   // Bytes past the payload must form a valid delta-log chain (see
-  // snapshot.h); anything else is rejected like any other corruption. The
-  // chain is parsed before the payload work so the staleness check below
-  // can compare against the file's EFFECTIVE stamp (last block wins).
+  // snapshot.h). A torn TAIL — a crash mid-append left a prefix of a block
+  // at end-of-file — is tolerated: the complete blocks before it replay,
+  // and the torn byte count is reported in the bundle. Trailing bytes that
+  // are not even a prefix of a block (wrong magic, a checksum mismatch on a
+  // block that is NOT the last) are foreign corruption and still rejected.
+  // The chain is parsed before the payload work so the staleness check
+  // below can compare against the file's EFFECTIVE stamp (last block wins).
   std::vector<EdgeUpdate> replay;
   std::size_t delta_blocks = 0;
   SourceGraphInfo effective{header.source_graph_size, header.source_graph_mtime_ns};
+  std::size_t valid_end = expected_size;
   for (std::size_t off = expected_size; off < file->size;) {
     const std::size_t remaining = file->size - off;
-    const bool has_magic =
-        remaining >= sizeof(kDeltaMagicBytes) &&
-        std::memcmp(file->data + off, kDeltaMagicBytes, sizeof(kDeltaMagicBytes)) == 0;
-    if (!has_magic) return fail("trailing bytes are not a snapshot delta log");
-    if (remaining < sizeof(DeltaBlockHeader)) {
-      return fail("truncated snapshot delta block header");
+    const std::size_t magic_prefix = std::min(remaining, sizeof(kDeltaMagicBytes));
+    if (std::memcmp(file->data + off, kDeltaMagicBytes, magic_prefix) != 0) {
+      return fail("trailing bytes are not a snapshot delta log");
     }
+    if (remaining < sizeof(DeltaBlockHeader)) break;  // torn mid-header
     DeltaBlockHeader block;
     std::memcpy(&block, file->data + off, sizeof(block));
-    off += sizeof(block);
-    if (block.count > (file->size - off) / sizeof(DeltaEntry)) {
-      return fail("truncated snapshot delta block: " + std::to_string(block.count) +
-                  " entries do not fit the file");
+    const std::size_t body_off = off + sizeof(block);
+    if (block.count > (file->size - body_off) / sizeof(DeltaEntry)) {
+      break;  // torn mid-entries
     }
-    const auto entries = SectionView<DeltaEntry>(*file, off, block.count);
-    off += block.count * sizeof(DeltaEntry);
+    const auto entries = SectionView<DeltaEntry>(*file, body_off, block.count);
+    const std::size_t block_end = body_off + block.count * sizeof(DeltaEntry);
     if (opts.verify_checksum) {
       Fnv1a64 checksum;
       checksum.Update(entries.data(), entries.size_bytes());
       if (checksum.Digest() != block.entries_checksum) {
+        // A corrupt LAST block is indistinguishable from a torn append that
+        // stopped inside the entries of a block whose header claimed more:
+        // recoverable. Anywhere else it is corruption of settled data.
+        if (block_end >= file->size) break;
         return fail("snapshot delta block checksum mismatch");
       }
     }
@@ -560,6 +589,22 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
     }
     effective = SourceGraphInfo{block.source_graph_size, block.source_graph_mtime_ns};
     ++delta_blocks;
+    off = block_end;
+    valid_end = off;
+  }
+  const std::size_t delta_log_valid_bytes = valid_end;
+  const std::uint64_t delta_log_torn_bytes = file->size - valid_end;
+
+  // Rotated changelog segments replay after the in-file chain (they are
+  // strictly newer: an append path never mixes the two forms — bccs_update
+  // switches to the changelog once segments exist).
+  ChangelogReplay clog;
+  if (opts.replay_changelog) {
+    if (!ScanChangelog(path, header.base_changelog_seq, &clog, error)) {
+      return std::nullopt;
+    }
+    replay.insert(replay.end(), clog.updates.begin(), clog.updates.end());
+    if (clog.has_stamp) effective = clog.effective;
   }
 
   if (opts.expected_source.Known() && effective.Known() &&
@@ -637,6 +682,12 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   bundle.mapped = file->mapped;
   bundle.snapshot_bytes = file->size;
   bundle.delta_blocks = delta_blocks;
+  bundle.base_changelog_seq = header.base_changelog_seq;
+  bundle.delta_log_valid_bytes = delta_log_valid_bytes;
+  bundle.delta_log_torn_bytes = delta_log_torn_bytes;
+  bundle.changelog_segments = clog.segments;
+  bundle.changelog_updates = clog.updates.size();
+  bundle.changelog_torn_bytes = clog.torn_tail_bytes;
   bundle.graph = SnapshotAccess::MakeGraph(offsets, adjacency, labels, label_offsets,
                                            label_members, header.max_degree, file);
 
@@ -699,8 +750,12 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path, std::string*
   return bundle;
 }
 
+namespace internal {
+std::size_t g_append_fail_after_bytes_for_test = std::numeric_limits<std::size_t>::max();
+}  // namespace internal
+
 bool AppendDeltaBlock(const std::string& path, std::span<const EdgeUpdate> updates,
-                      const SourceGraphInfo& source, std::string* error) {
+                      const SourceGraphInfo& source, std::string* error, bool durable) {
   if (updates.size() > std::numeric_limits<std::uint32_t>::max()) {
     return IoFail(error, "delta block cannot hold more than 2^32-1 updates");
   }
@@ -738,21 +793,57 @@ bool AppendDeltaBlock(const std::string& path, std::span<const EdgeUpdate> updat
   block.source_graph_mtime_ns = source.mtime_ns;
   block.entries_checksum = checksum.Digest();
 
+  // One contiguous buffer so the write is a single (interposable,
+  // injectable) syscall on the happy path.
+  std::vector<unsigned char> buf(sizeof(block) + entries.size() * sizeof(DeltaEntry));
+  std::memcpy(buf.data(), &block, sizeof(block));
+  if (!entries.empty()) {
+    std::memcpy(buf.data() + sizeof(block), entries.data(),
+                entries.size() * sizeof(DeltaEntry));
+  }
+
+  auto rollback = [&](const char* what) {
+    std::error_code rb_ec;
+    std::filesystem::resize_file(path, prior_size, rb_ec);
+    return IoFail(error, std::string(what) + " for " + path +
+                             (rb_ec ? " (and rollback failed: the file is now corrupt)"
+                                    : " (rolled back to the prior size)"));
+  };
+
+#if BCCS_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return IoFail(error, "cannot open " + path + " for appending");
+  const std::size_t inject = internal::g_append_fail_after_bytes_for_test;
+  if (inject < buf.size()) {
+    // Test seam: emulate a crash/ENOSPC after `inject` bytes of the block.
+    internal::FullWrite(fd, buf.data(), inject);
+    ::close(fd);
+    return rollback("append failed (injected write failure)");
+  }
+  bool ok = internal::FullWrite(fd, buf.data(), buf.size());
+  if (ok && durable) ok = ::fdatasync(fd) == 0;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) return rollback("append failed");
+#else
   std::ofstream out(path, std::ios::binary | std::ios::app);
   if (!out) return IoFail(error, "cannot open " + path + " for appending");
-  out.write(reinterpret_cast<const char*>(&block), sizeof(block));
-  if (!entries.empty()) {
-    out.write(reinterpret_cast<const char*>(entries.data()),
-              static_cast<std::streamsize>(entries.size() * sizeof(DeltaEntry)));
+  const std::size_t inject = internal::g_append_fail_after_bytes_for_test;
+  if (inject < buf.size()) {
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(inject));
+    out.flush();
+    out.close();
+    return rollback("append failed (injected write failure)");
   }
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
   out.flush();
   if (!out) {
     out.close();
-    // Roll back the partial block so the base snapshot stays loadable.
-    std::filesystem::resize_file(path, prior_size, ec);
-    return IoFail(error, "append failed for " + path +
-                             (ec ? " (and rollback failed: the file is now corrupt)" : ""));
+    return rollback("append failed");
   }
+  (void)durable;  // no fd to sync through on this fallback
+#endif
   return true;
 }
 
@@ -765,6 +856,10 @@ SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& pat
   std::string save_err;
   if (SaveSnapshot(*out.index, path, &save_err, source)) {
     if (error != nullptr) error->clear();
+    // A fresh base makes any leftover changelog segments stale garbage: the
+    // text graph is authoritative here, and replaying old segments onto the
+    // new payload would corrupt it.
+    RemoveChangelogSegments(path);
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
     if (!ec) out.snapshot_bytes = static_cast<std::size_t>(size);

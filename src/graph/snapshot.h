@@ -17,13 +17,17 @@ namespace bccs {
 /// Persistent binary snapshots of a labeled graph plus its BcIndex, with an
 /// appendable edge-update delta log for dynamic graphs.
 ///
-/// A snapshot file is the version-2 payload followed by zero or more
+/// A snapshot file is the version-3 payload followed by zero or more
 /// appended delta blocks:
 ///
-///   [80-byte header]  magic "BCCSNAP1", format version (2), endian tag,
+///   [88-byte header]  magic "BCCSNAP1", format version (3), endian tag,
 ///                     array sizes, number of materialized pairs, max
 ///                     degree, size + mtime of the source graph file (0/0
-///                     when unknown), FNV-1a64 checksum of the payload
+///                     when unknown), the base changelog sequence number
+///                     (the highest rotated-changelog segment already
+///                     folded into this payload — see graph/changelog.h;
+///                     0 when the snapshot has never been compacted from
+///                     a changelog), FNV-1a64 checksum of the payload
 ///   [payload]         64-byte-aligned sections in order: the graph's CSR
 ///                     arrays (offsets, adjacency, labels, label-group
 ///                     offsets, label-group members), the index's coreness
@@ -59,13 +63,28 @@ namespace bccs {
 /// otherwise — which is what lets a snapshot whose base payload is stale
 /// keep serving after bccs_update appended the matching deltas.
 ///
-/// Rejected inputs (truncated file or delta block, bad magic, wrong version
-/// or endianness, checksum mismatch in payload or any block, stale
+/// Next to the in-file delta chain, a snapshot may be accompanied by
+/// rotated changelog segment files (`<path>.log.NNNNNN`, graph/changelog.h)
+/// — the crash-safe durability layer. LoadSnapshot replays them (read-only,
+/// after the in-file chain) with the same torn-tail tolerance recovery
+/// uses, so every consumer of a snapshot observes the durable state.
+///
+/// Torn tails are RECOVERED, not rejected: a crash mid-append leaves a
+/// prefix of a valid delta block at the end of the file, and the loader
+/// replays the complete blocks before it, reporting the torn byte count in
+/// the bundle (write-mode recovery — OpenSnapshotWithChangelog — truncates
+/// them physically). Trailing bytes that are NOT a prefix of a delta block
+/// are foreign garbage and still rejected.
+///
+/// Rejected inputs (truncated file, bad magic, wrong version or
+/// endianness, checksum mismatch in the payload or a non-tail block, stale
 /// effective source stamp, a delta log that does not apply to the stored
 /// graph) return std::nullopt with a human-readable reason.
 
 /// Bump when the on-disk layout changes; loaders reject other versions.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+/// v3 added the base-changelog-sequence watermark to the header (88 bytes,
+/// up from v2's 80).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 
 /// Identity of the text graph file a snapshot was built from, stamped into
 /// the header so a loader given the graph path can detect a stale snapshot
@@ -110,6 +129,21 @@ struct SnapshotBundle {
   /// Delta blocks in the file's log chain (what bccs_update --auto-compact
   /// compares against its threshold).
   std::size_t delta_blocks = 0;
+  /// The header's changelog watermark: rotated segments with seq <= this
+  /// are already folded into the payload (graph/changelog.h).
+  std::uint64_t base_changelog_seq = 0;
+  /// Where the valid in-file delta chain ends, and how many torn bytes
+  /// follow it (0 = clean tail). The loader never mutates the file; a tool
+  /// that will append must truncate to delta_log_valid_bytes first (what
+  /// OpenSnapshotWithChangelog does).
+  std::size_t delta_log_valid_bytes = 0;
+  std::uint64_t delta_log_torn_bytes = 0;
+  /// Rotated-changelog replay: live segments scanned / updates replayed
+  /// from them (already included in replayed_updates), and tail bytes a
+  /// crash tore off (tolerated, not replayed).
+  std::size_t changelog_segments = 0;
+  std::size_t changelog_updates = 0;
+  std::uint64_t changelog_torn_bytes = 0;
 };
 
 struct SnapshotLoadOptions {
@@ -121,18 +155,25 @@ struct SnapshotLoadOptions {
   bool allow_mmap = true;
   /// When Known(), reject snapshots whose stamped source-graph identity is
   /// also known and differs ("stale snapshot"). Snapshots stamped as
-  /// unknown skip the check.
+  /// unknown skip the check. The comparison uses the file's EFFECTIVE
+  /// stamp: the last replayed delta block / changelog record wins.
   SourceGraphInfo expected_source;
+  /// Replay rotated changelog segments (`<path>.log.NNNNNN`) on top of the
+  /// payload + in-file chain. Disable only to inspect the bare base state
+  /// (the recovery-time bench does, to separate base load from replay).
+  bool replay_changelog = true;
 };
 
 /// Serializes `index.graph()` plus `index` (coreness arrays and the
 /// currently cached pair butterflies — run index.MaterializeAllPairs()
 /// first for a complete serving snapshot) to `path`, stamping `source` (the
-/// identity of the graph file the index came from, when there is one) into
-/// the header. Returns false and sets `error` on I/O failure; a partially
-/// written file is removed.
+/// identity of the graph file the index came from, when there is one) and
+/// `base_changelog_seq` (the changelog watermark this payload folds in; 0
+/// for a fresh build) into the header. Returns false and sets `error` on
+/// I/O failure; a partially written file is removed.
 bool SaveSnapshot(const BcIndex& index, const std::string& path,
-                  std::string* error = nullptr, const SourceGraphInfo& source = {});
+                  std::string* error = nullptr, const SourceGraphInfo& source = {},
+                  std::uint64_t base_changelog_seq = 0);
 
 /// Loads a snapshot written by SaveSnapshot, replaying any appended delta
 /// blocks (see the format above). On failure returns std::nullopt and sets
@@ -148,9 +189,20 @@ std::optional<SnapshotBundle> LoadSnapshot(const std::string& path,
 /// failed append truncates the file back to its prior size so the snapshot
 /// stays loadable. The updates are NOT validated here — validate against
 /// the loaded (replayed) graph first (BuildGraphDelta), as tools/bccs_update
-/// does, or the next load will reject the file.
+/// does, or the next load will reject the file. With `durable` the block is
+/// fdatasync'd before the call returns (the in-file analogue of the
+/// changelog's every-append policy).
 bool AppendDeltaBlock(const std::string& path, std::span<const EdgeUpdate> updates,
-                      const SourceGraphInfo& source, std::string* error = nullptr);
+                      const SourceGraphInfo& source, std::string* error = nullptr,
+                      bool durable = false);
+
+namespace internal {
+/// Test seam: force AppendDeltaBlock to fail after writing this many bytes
+/// of the block (simulating a crash / full disk mid-append), so the
+/// partial-append rollback path is testable without fault injection.
+/// SIZE_MAX (the default) disables the seam.
+extern std::size_t g_append_fail_after_bytes_for_test;
+}  // namespace internal
 
 /// Builds a fresh index from `g` (materializing every cross-label pair) and
 /// best-effort saves it to `path` stamped with `source`; `error` reports a

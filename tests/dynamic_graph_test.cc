@@ -623,22 +623,52 @@ TEST_F(SnapshotDeltaTest, CorruptDeltaLogRejected) {
   EXPECT_FALSE(LoadSnapshot(path_, &error));
   EXPECT_NE(error.find("delta"), std::string::npos) << error;
 
-  // A truncated block header.
+  // A truncated block header is a torn tail: RECOVERED, not rejected — the
+  // loader replays the (empty) valid prefix and reports the torn bytes.
   WriteFile(with_block.substr(0, base.size() + 16));
-  EXPECT_FALSE(LoadSnapshot(path_, &error));
-  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  {
+    auto torn = LoadSnapshot(path_, &error);
+    ASSERT_TRUE(torn.has_value()) << error;
+    EXPECT_EQ(torn->replayed_updates, 0u);
+    EXPECT_EQ(torn->delta_log_valid_bytes, base.size());
+    EXPECT_EQ(torn->delta_log_torn_bytes, 16u);
+  }
 
-  // Entries cut short.
+  // Entries cut short: same recovery.
   WriteFile(with_block.substr(0, with_block.size() - 8));
-  EXPECT_FALSE(LoadSnapshot(path_, &error));
-  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  {
+    auto torn = LoadSnapshot(path_, &error);
+    ASSERT_TRUE(torn.has_value()) << error;
+    EXPECT_EQ(torn->replayed_updates, 0u);
+    EXPECT_EQ(torn->delta_log_torn_bytes, with_block.size() - 8 - base.size());
+  }
 
-  // A flipped entry byte fails the block checksum.
+  // A flipped entry byte fails the block checksum. As the LAST block it is
+  // indistinguishable from a torn append and recovers to the prefix...
   std::string corrupt = with_block;
   corrupt[base.size() + 44] ^= 0x5a;  // inside the first entry
   WriteFile(corrupt);
-  EXPECT_FALSE(LoadSnapshot(path_, &error));
-  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  {
+    auto torn = LoadSnapshot(path_, &error);
+    ASSERT_TRUE(torn.has_value()) << error;
+    EXPECT_EQ(torn->replayed_updates, 0u);
+    EXPECT_GT(torn->delta_log_torn_bytes, 0u);
+  }
+  // ...but with a valid block AFTER it, the flipped byte is settled-data
+  // corruption and the load is rejected.
+  {
+    std::mt19937_64 rng2(73);
+    WriteFile(with_block);
+    auto clean = LoadSnapshot(path_, &error);
+    ASSERT_TRUE(clean.has_value()) << error;
+    const std::vector<EdgeUpdate> more = RandomDelta(*clean->graph, rng2, 1, 1);
+    ASSERT_TRUE(AppendDeltaBlock(path_, more, {}));
+    std::string two_blocks = ReadFile();
+    two_blocks[base.size() + 44] ^= 0x5a;  // first block's entries again
+    WriteFile(two_blocks);
+    EXPECT_FALSE(LoadSnapshot(path_, &error));
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  }
 
   // Updates that do not apply to the stored graph are rejected on replay:
   // append a block deleting an absent edge.
@@ -652,6 +682,75 @@ TEST_F(SnapshotDeltaTest, CorruptDeltaLogRejected) {
   // The intact block still loads.
   WriteFile(with_block);
   EXPECT_TRUE(LoadSnapshot(path_, &error)) << error;
+}
+
+// A crash (or full disk) partway through AppendDeltaBlock must leave the
+// file exactly as it was: the injected failure trips after every possible
+// byte count of the block, and each time the rollback restores the prior
+// size and the snapshot replays the prior state.
+TEST_F(SnapshotDeltaTest, PartialAppendRollsBackAtEverySeamByte) {
+  LabeledGraph g = MakeRandomGraph(24, 0.2, 2, 910);
+  BcIndex index(g);
+  index.MaterializeAllPairs();
+  ASSERT_TRUE(SaveSnapshot(index, path_));
+  const std::string base = ReadFile();
+
+  std::mt19937_64 rng(75);
+  const std::vector<EdgeUpdate> first = RandomDelta(g, rng, 2, 2);
+  ASSERT_TRUE(AppendDeltaBlock(path_, first, {}));
+  const std::size_t block_bytes = ReadFile().size() - base.size();
+  WriteFile(base);
+
+  std::string error;
+  for (std::size_t inject = 0; inject < block_bytes; ++inject) {
+    internal::g_append_fail_after_bytes_for_test = inject;
+    EXPECT_FALSE(AppendDeltaBlock(path_, first, {}, &error)) << "inject " << inject;
+    internal::g_append_fail_after_bytes_for_test = SIZE_MAX;
+    EXPECT_NE(error.find("rolled back"), std::string::npos) << error;
+    EXPECT_EQ(ReadFile(), base) << "inject " << inject;
+    auto loaded = LoadSnapshot(path_, &error);
+    ASSERT_TRUE(loaded.has_value()) << "inject " << inject << ": " << error;
+    EXPECT_EQ(loaded->replayed_updates, 0u);
+  }
+
+  // The seam disabled, the very same append succeeds and replays.
+  ASSERT_TRUE(AppendDeltaBlock(path_, first, {}, &error)) << error;
+  auto loaded = LoadSnapshot(path_, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->replayed_updates, first.size());
+}
+
+// Torn-tail recovery of the in-file delta chain at EVERY byte offset of the
+// last block: one complete block followed by a cut anywhere inside the
+// second block always recovers the first block exactly.
+TEST_F(SnapshotDeltaTest, TornTailRecoversAtEveryByteOfTheLastBlock) {
+  LabeledGraph g = MakeRandomGraph(24, 0.2, 2, 911);
+  BcIndex index(g);
+  index.MaterializeAllPairs();
+  ASSERT_TRUE(SaveSnapshot(index, path_));
+  const std::string base = ReadFile();
+
+  std::mt19937_64 rng(77);
+  const std::vector<EdgeUpdate> first = RandomDelta(g, rng, 2, 2);
+  ASSERT_TRUE(AppendDeltaBlock(path_, first, {}));
+  const std::string one_block = ReadFile();
+
+  std::string error;
+  auto replayed = LoadSnapshot(path_, &error);
+  ASSERT_TRUE(replayed.has_value()) << error;
+  const std::vector<EdgeUpdate> second = RandomDelta(*replayed->graph, rng, 2, 2);
+  ASSERT_TRUE(AppendDeltaBlock(path_, second, {}));
+  const std::string two_blocks = ReadFile();
+
+  for (std::size_t cut = one_block.size(); cut < two_blocks.size(); ++cut) {
+    WriteFile(two_blocks.substr(0, cut));
+    auto torn = LoadSnapshot(path_, &error);
+    ASSERT_TRUE(torn.has_value()) << "cut at " << cut << ": " << error;
+    EXPECT_EQ(torn->replayed_updates, first.size()) << "cut at " << cut;
+    EXPECT_EQ(torn->delta_log_valid_bytes, one_block.size()) << "cut at " << cut;
+    EXPECT_EQ(torn->delta_log_torn_bytes, cut - one_block.size()) << "cut at " << cut;
+    ExpectSameGraph(*torn->graph, *replayed->graph, "torn tail");
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,213 @@
+// LD_PRELOAD write-interposer for crash-point enumeration.
+//
+// The durability code (changelog appends, snapshot saves, compaction folds)
+// does all of its writing through raw POSIX fds, so every byte that reaches
+// a durable file passes through the symbols interposed here. The harness
+// (crash_matrix.sh) uses two modes:
+//
+//   probe:  FAULT_FS_MATCH=<substr> FAULT_FS_COUNT_FILE=<file>
+//           Runs the workload to completion, counting every durability
+//           operation (write/pwrite/fsync/fdatasync/rename/unlink) that
+//           touches a file whose path contains the substring. The total is
+//           written to the count file at process exit — that is the number
+//           of crash points the workload exposes.
+//
+//   crash:  FAULT_FS_MATCH=<substr> FAULT_FS_CRASH_AT=<n>
+//           At the n-th (1-based) matched operation the process dies with
+//           _exit(86). A write/pwrite crash point first writes HALF of the
+//           requested bytes — a torn write, the worst case a real crash can
+//           leave behind. fsync/rename/unlink crash points die before the
+//           operation takes effect, modelling a crash while it was pending.
+//
+// Files whose paths do not contain FAULT_FS_MATCH (ack files, count files,
+// stdout) are never crash points, so the harness can keep ground truth
+// outside the blast radius.
+//
+// Built only on UNIX (dlsym(RTLD_NEXT)); see tests/fault_fs/CMake wiring.
+
+#include <dlfcn.h>
+#include <fcntl.h>
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace {
+
+using OpenFn = int (*)(const char*, int, ...);
+using OpenAtFn = int (*)(int, const char*, int, ...);
+using CloseFn = int (*)(int);
+using WriteFn = ssize_t (*)(int, const void*, size_t);
+using PWriteFn = ssize_t (*)(int, const void*, size_t, off_t);
+using FsyncFn = int (*)(int);
+using RenameFn = int (*)(const char*, const char*);
+using UnlinkFn = int (*)(const char*);
+
+template <typename Fn>
+Fn Resolve(const char* name) {
+  return reinterpret_cast<Fn>(dlsym(RTLD_NEXT, name));
+}
+
+const char* g_match = nullptr;       // substring filter; unset => inactive
+long g_crash_at = 0;                 // 1-based op index to die at; 0 => never
+const char* g_count_file = nullptr;  // probe mode: write the op total here
+std::atomic<long> g_ops{0};
+
+constexpr int kMaxFd = 65536;
+bool g_tracked[kMaxFd];  // fd -> path matched the filter at open time
+
+__attribute__((constructor)) void Init() {
+  g_match = std::getenv("FAULT_FS_MATCH");
+  const char* at = std::getenv("FAULT_FS_CRASH_AT");
+  g_crash_at = at != nullptr ? std::atol(at) : 0;
+  g_count_file = std::getenv("FAULT_FS_COUNT_FILE");
+}
+
+__attribute__((destructor)) void Fini() {
+  if (g_count_file == nullptr) return;
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%ld\n", g_ops.load());
+  static OpenFn real_open = Resolve<OpenFn>("open");
+  static WriteFn real_write = Resolve<WriteFn>("write");
+  static CloseFn real_close = Resolve<CloseFn>("close");
+  const int fd = real_open(g_count_file, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    real_write(fd, buf, static_cast<size_t>(n));
+    real_close(fd);
+  }
+}
+
+bool Matches(const char* path) {
+  return g_match != nullptr && path != nullptr && std::strstr(path, g_match) != nullptr;
+}
+
+void Track(int fd, const char* path) {
+  if (fd >= 0 && fd < kMaxFd) g_tracked[fd] = Matches(path);
+}
+
+bool Tracked(int fd) { return fd >= 0 && fd < kMaxFd && g_tracked[fd]; }
+
+// Counts one matched durability op; true when it is the crash point.
+bool Hit() {
+  const long n = g_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  return g_crash_at > 0 && n == g_crash_at;
+}
+
+}  // namespace
+
+extern "C" {
+
+int open(const char* path, int flags, ...) {
+  va_list ap;
+  va_start(ap, flags);
+  const mode_t mode = va_arg(ap, mode_t);
+  va_end(ap);
+  static OpenFn real = Resolve<OpenFn>("open");
+  const int fd = real(path, flags, mode);
+  Track(fd, path);
+  return fd;
+}
+
+int open64(const char* path, int flags, ...) {
+  va_list ap;
+  va_start(ap, flags);
+  const mode_t mode = va_arg(ap, mode_t);
+  va_end(ap);
+  static OpenFn real = Resolve<OpenFn>("open64");
+  const int fd = real(path, flags, mode);
+  Track(fd, path);
+  return fd;
+}
+
+int openat(int dirfd, const char* path, int flags, ...) {
+  va_list ap;
+  va_start(ap, flags);
+  const mode_t mode = va_arg(ap, mode_t);
+  va_end(ap);
+  static OpenAtFn real = Resolve<OpenAtFn>("openat");
+  const int fd = real(dirfd, path, flags, mode);
+  Track(fd, path);
+  return fd;
+}
+
+int openat64(int dirfd, const char* path, int flags, ...) {
+  va_list ap;
+  va_start(ap, flags);
+  const mode_t mode = va_arg(ap, mode_t);
+  va_end(ap);
+  static OpenAtFn real = Resolve<OpenAtFn>("openat64");
+  const int fd = real(dirfd, path, flags, mode);
+  Track(fd, path);
+  return fd;
+}
+
+int creat(const char* path, mode_t mode) {
+  static OpenFn real = Resolve<OpenFn>("open");
+  const int fd = real(path, O_WRONLY | O_CREAT | O_TRUNC, mode);
+  Track(fd, path);
+  return fd;
+}
+
+int close(int fd) {
+  static CloseFn real = Resolve<CloseFn>("close");
+  if (fd >= 0 && fd < kMaxFd) g_tracked[fd] = false;
+  return real(fd);
+}
+
+ssize_t write(int fd, const void* buf, size_t count) {
+  static WriteFn real = Resolve<WriteFn>("write");
+  if (Tracked(fd) && Hit()) {
+    real(fd, buf, count / 2);  // torn write: half the bytes reach the file
+    _exit(86);
+  }
+  return real(fd, buf, count);
+}
+
+ssize_t pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  static PWriteFn real = Resolve<PWriteFn>("pwrite");
+  if (Tracked(fd) && Hit()) {
+    real(fd, buf, count / 2, offset);
+    _exit(86);
+  }
+  return real(fd, buf, count, offset);
+}
+
+ssize_t pwrite64(int fd, const void* buf, size_t count, off_t offset) {
+  static PWriteFn real = Resolve<PWriteFn>("pwrite64");
+  if (Tracked(fd) && Hit()) {
+    real(fd, buf, count / 2, offset);
+    _exit(86);
+  }
+  return real(fd, buf, count, offset);
+}
+
+int fsync(int fd) {
+  static FsyncFn real = Resolve<FsyncFn>("fsync");
+  if (Tracked(fd) && Hit()) _exit(86);
+  return real(fd);
+}
+
+int fdatasync(int fd) {
+  static FsyncFn real = Resolve<FsyncFn>("fdatasync");
+  if (Tracked(fd) && Hit()) _exit(86);
+  return real(fd);
+}
+
+int rename(const char* old_path, const char* new_path) {
+  static RenameFn real = Resolve<RenameFn>("rename");
+  if ((Matches(old_path) || Matches(new_path)) && Hit()) _exit(86);
+  return real(old_path, new_path);
+}
+
+int unlink(const char* path) {
+  static UnlinkFn real = Resolve<UnlinkFn>("unlink");
+  if (Matches(path) && Hit()) _exit(86);
+  return real(path);
+}
+
+}  // extern "C"

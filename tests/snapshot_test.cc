@@ -232,9 +232,9 @@ TEST(SnapshotTest, StatSourceGraphTracksFileChanges) {
 
 class SnapshotRejectionTest : public ::testing::Test {
  protected:
-  // Mirrors the on-disk constants in snapshot.cc: the 80-byte header and the
-  // 64-byte section alignment (so the first section starts at 128).
-  static constexpr std::size_t kHeaderBytes = 80;
+  // Mirrors the on-disk constants in snapshot.cc: the 88-byte v3 header and
+  // the 64-byte section alignment (so the first section starts at 128).
+  static constexpr std::size_t kHeaderBytes = 88;
   static std::size_t Align64(std::size_t o) { return (o + 63) / 64 * 64; }
 
   void SetUp() override {

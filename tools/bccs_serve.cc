@@ -6,6 +6,8 @@
 //              [--aging N] [--method online|lp|l2p] [--k1 N] [--k2 N] [--b N]
 //              [--deadline-ms N] [--approx-samples N] [--approx-threshold N]
 //              [--approx-adaptive] [--quiet]
+//              [--fsync none|on-rotation|every-append] [--segment-blocks N]
+//              [--compact-threshold N]
 //
 // This is the ServeEngine streaming loop end to end: each line is parsed
 // and admitted into the engine's AdmissionQueue while the worker pool is
@@ -31,8 +33,24 @@
 //   [i] epoch=E query (ql, qr) -> N members  (T s)
 //   [i] epoch=E update +(a, b) applied       (T s)
 // followed by the per-lane sojourn summaries and totals.
+//
+// Durability (requires --index-file): with any of --fsync /
+// --segment-blocks / --compact-threshold — or when changelog segments
+// already exist next to the snapshot — the engine serves DURABLY: startup
+// recovers the snapshot (truncating torn tails, deleting stale segments)
+// and replays the changelog, and every applied update is appended to the
+// rotated changelog before its epoch publishes, so "applied" in the output
+// means durable per the --fsync policy (graph/changelog.h). A nonzero
+// --compact-threshold starts the background compactor, folding that many
+// sealed segments into a fresh base so recovery time stays bounded.
+//
+// SIGINT/SIGTERM stop admission: the loop stops reading the stream, the
+// already-admitted items drain, and the normal summary is printed — a
+// durable serve killed softly loses nothing, and killed hard (the fault
+// harness's mode) loses at most unacknowledged updates.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -44,6 +62,8 @@
 
 #include "eval/serve_engine.h"
 #include "eval/timer.h"
+#include "graph/changelog.h"
+#include "graph/compactor.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
 #include "tools/arg_parser.h"
@@ -57,7 +77,30 @@ void PrintUsage() {
                "                  [--interactive-cap K] [--aging N]\n"
                "                  [--method online|lp|l2p] [--k1 N] [--k2 N] [--b N]\n"
                "                  [--deadline-ms N] [--approx-samples N]\n"
-               "                  [--approx-threshold N] [--approx-adaptive] [--quiet]\n");
+               "                  [--approx-threshold N] [--approx-adaptive] [--quiet]\n"
+               "                  [--fsync none|on-rotation|every-append]\n"
+               "                  [--segment-blocks N] [--compact-threshold N]\n");
+}
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void HandleStopSignal(int sig) { g_stop_signal = sig; }
+
+/// SIGINT/SIGTERM → stop admission and drain. Installed WITHOUT SA_RESTART
+/// where sigaction exists, so a blocking stdin read returns early instead
+/// of riding out a slow producer.
+void InstallStopHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt the getline read
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+#endif
 }
 
 bool ParseLane(const std::string& s, bccs::Lane* lane) {
@@ -141,7 +184,8 @@ int main(int argc, char** argv) {
   auto unknown = args.UnknownFlags({"graph", "index-file", "stream", "threads", "bulk-cap",
                                     "interactive-cap", "aging", "method", "k1", "k2", "b",
                                     "deadline-ms", "approx-samples", "approx-threshold",
-                                    "approx-adaptive", "quiet", "help"});
+                                    "approx-adaptive", "quiet", "fsync", "segment-blocks",
+                                    "compact-threshold", "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -163,11 +207,25 @@ int main(int argc, char** argv) {
       args.GetPositiveIntOr("approx-samples", 0, &counts_valid);
   const std::int64_t approx_threshold =
       args.GetPositiveIntOr("approx-threshold", 4096, &counts_valid);
+  const std::int64_t segment_blocks =
+      args.GetPositiveIntOr("segment-blocks", 0, &counts_valid);
+  const std::int64_t compact_threshold =
+      args.GetPositiveIntOr("compact-threshold", 0, &counts_valid);
   if (!counts_valid) {
     std::fprintf(stderr, "invalid numeric flag value\n");
     PrintUsage();
     return 2;
   }
+  bccs::ChangelogOptions copts;
+  if (auto fsync_text = args.GetString("fsync")) {
+    if (!bccs::ParseFsyncPolicy(*fsync_text, &copts.fsync)) {
+      std::fprintf(stderr, "--fsync must be none, on-rotation, or every-append\n");
+      return 2;
+    }
+  }
+  if (segment_blocks > 0) copts.segment_blocks = static_cast<std::size_t>(segment_blocks);
+  const bool durability_flags = args.Has("fsync") || args.Has("segment-blocks") ||
+                                args.Has("compact-threshold");
   bool threads_clamped = false;
   const std::size_t threads = bccs::ArgParser::ClampThreadCount(threads_raw, &threads_clamped);
   if (threads_clamped) {
@@ -195,23 +253,52 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (durability_flags && !index_path) {
+    std::fprintf(stderr, "durability (--fsync/--segment-blocks/--compact-threshold) "
+                         "requires --index-file (the changelog lives next to it)\n");
+    return 2;
+  }
 
   // Resolve the serving state: snapshot when given (shared ownership fits
   // the engine's epoch layer), else the text graph.
   std::shared_ptr<const bccs::LabeledGraph> graph;
   std::shared_ptr<const bccs::BcIndex> index;
+  std::unique_ptr<bccs::Changelog> changelog;  // durable mode; outlives the engine
+  bccs::SourceGraphInfo stamp;
   if (index_path) {
     std::string error;
     bccs::SnapshotLoadOptions load_opts;
     if (graph_path) load_opts.expected_source = bccs::StatSourceGraph(*graph_path);
-    auto bundle = bccs::LoadSnapshot(*index_path, &error, load_opts);
-    if (!bundle) {
+    stamp = load_opts.expected_source;
+    // Recovery-grade open even when durability is off: it removes a
+    // leftover compaction temp file and repairs torn tails, and tells us
+    // whether segments exist (which forces durable mode — serving on top
+    // of a replayed changelog without appending to it would un-persist
+    // every further ack on the next restart).
+    auto recovered = bccs::OpenSnapshotWithChangelog(*index_path, copts, load_opts, &error);
+    if (!recovered) {
       std::fprintf(stderr, "cannot load snapshot %s: %s\n", index_path->c_str(),
                    error.c_str());
       return 1;
     }
-    graph = bundle->graph;
-    index = std::shared_ptr<const bccs::BcIndex>(std::move(bundle->index));
+    const bccs::SnapshotBundle& bundle = recovered->bundle;
+    const bccs::ChangelogStatus& st = recovered->status;
+    if (bundle.replayed_updates > 0 || st.segments > 0 || st.stale_segments_removed > 0 ||
+        st.truncated_bytes > 0 || bundle.delta_log_torn_bytes > 0) {
+      std::printf("recovery: %zu updates replayed (%zu delta blocks + %zu changelog "
+                  "records in %zu segments), %zu stale segments removed, %llu torn "
+                  "changelog bytes truncated%s, %llu torn delta-tail bytes truncated\n",
+                  bundle.replayed_updates, bundle.delta_blocks, st.records, st.segments,
+                  st.stale_segments_removed,
+                  static_cast<unsigned long long>(st.truncated_bytes),
+                  st.dropped_tail_segment ? " (tail segment dropped)" : "",
+                  static_cast<unsigned long long>(bundle.delta_log_torn_bytes));
+    }
+    graph = bundle.graph;
+    index = std::shared_ptr<const bccs::BcIndex>(std::move(recovered->bundle.index));
+    if (durability_flags || st.segments > 0 || recovered->log->base_seq() > 0) {
+      changelog = std::move(recovered->log);
+    }
   } else {
     std::string error;
     auto g = bccs::ReadLabeledGraphFromFile(*graph_path, &error);
@@ -266,18 +353,43 @@ int main(int argc, char** argv) {
 
   bccs::BatchRunner runner(threads);
   bccs::ServeEngine engine(runner, graph, index, so);
+  std::unique_ptr<bccs::Compactor> compactor;
+  if (changelog != nullptr) {
+    engine.AttachDurability(changelog.get(), stamp);
+    std::printf("durability: changelog at %s.log.NNNNNN, fsync %s, rotate every %zu "
+                "records, compact threshold %lld\n",
+                index_path->c_str(), Name(copts.fsync), copts.segment_blocks,
+                static_cast<long long>(compact_threshold));
+    if (compact_threshold > 0) {
+      bccs::CompactorOptions fold_opts;
+      fold_opts.threshold_segments = static_cast<std::size_t>(compact_threshold);
+      // The capture runs under the changelog's commit lock (Compactor's
+      // contract); the engine publishes epochs under the same lock, so the
+      // captured pair is exactly the appended history.
+      compactor = std::make_unique<bccs::Compactor>(
+          *changelog,
+          [&engine, stamp] {
+            return bccs::Compactor::State{engine.graph_ptr(), engine.index_ptr(), stamp};
+          },
+          fold_opts);
+      compactor->Start();
+    }
+  }
+
+  InstallStopHandlers();
   // Stream serving proper: each line is parsed and admitted as it arrives
   // while the pool drains earlier items — a live producer on a pipe is
   // served before it closes its end, exactly what a socket front-end would
   // do per connection. A malformed line stops admission; what was already
-  // admitted drains and the tool exits nonzero.
+  // admitted drains and the tool exits nonzero. SIGINT/SIGTERM also stop
+  // admission, but drain and exit cleanly.
   bccs::ServeEngine::Stream stream = engine.OpenStream();
   std::vector<StreamLine> lines;
   bool parse_ok = true;
   {
     std::string line;
     std::size_t line_no = 0;
-    while (std::getline(*stream_in, line)) {
+    while (g_stop_signal == 0 && std::getline(*stream_in, line)) {
       ++line_no;
       StreamLine sl;
       const LineStatus status =
@@ -291,7 +403,20 @@ int main(int argc, char** argv) {
       lines.push_back(std::move(sl));
     }
   }
+  if (g_stop_signal != 0) {
+    std::printf("signal %d: admission stopped, draining %zu admitted items\n",
+                static_cast<int>(g_stop_signal), lines.size());
+  }
   bccs::BatchResult result = stream.Finish();
+  if (compactor != nullptr) {
+    // One last threshold check on this thread: a short-lived stream can end
+    // before the background poll ever fires.
+    compactor->Stop();
+    std::string fold_err;
+    if (!compactor->RunOnce(/*force=*/false, &fold_err)) {
+      std::fprintf(stderr, "compaction: %s\n", fold_err.c_str());
+    }
+  }
   if (!parse_ok && lines.empty()) return 2;
 
   if (!args.Has("quiet")) {
@@ -328,6 +453,14 @@ int main(int argc, char** argv) {
                 bccs::Name(lane.lane), lane.queries, lane.max_inflight,
                 lane.latency.p50_seconds, lane.latency.p90_seconds,
                 lane.latency.p99_seconds);
+  }
+  if (changelog != nullptr) {
+    std::printf("durable: %zu updates appended (last seq %llu, %zu sealed segments), "
+                "%zu compaction folds\n",
+                changelog->updates_appended(),
+                static_cast<unsigned long long>(changelog->last_seq()),
+                changelog->sealed_segments(),
+                compactor != nullptr ? compactor->folds() : std::size_t{0});
   }
   return parse_ok ? 0 : 2;
 }

@@ -3,21 +3,45 @@
 //   bccs_update --snapshot g.snap --updates u.txt [--graph g.txt]
 //               [--compact] [--auto-compact N] [--write-graph out.txt]
 //               [--no-verify]
+//               [--changelog] [--fsync none|on-rotation|every-append]
+//               [--segment-blocks N] [--compact-threshold N]
+//               [--recover-only] [--ack-file FILE]
 //
-// Loads the snapshot (replaying any delta log already appended), validates
-// the update batch against that state, and persists the batch:
+// Loads the snapshot — recovering it first: a leftover compaction temp file
+// is removed, a torn in-file delta tail is truncated to the last complete
+// block, stale (already-folded) changelog segments are deleted, and a torn
+// changelog tail is truncated to the last complete record — replays the
+// delta log AND the rotated changelog segments, validates the update batch
+// against that state, and persists the batch:
 //
 //   default          appends one delta block to the snapshot file — the
 //                    base payload is not rewritten; the next load replays
 //                    the log through the dynamic-graph layer
 //                    (graph/graph_delta.h, BcIndex::ApplyUpdates).
-//   --compact        rewrites the whole snapshot from the updated in-memory
-//                    state instead, collapsing the delta log.
-//   --auto-compact N background compaction policy: append as usual, but
-//                    once the log chain exceeds N blocks fold it into the
-//                    base payload (the same tmp+rename rewrite as
-//                    --compact), so replay cost stays bounded without an
-//                    operator-driven compaction step.
+//   --changelog      appends one record to the rotated changelog next to
+//                    the snapshot (graph/changelog.h) instead: crash-safe
+//                    per --fsync, rotated into sealed segments every
+//                    --segment-blocks records. A zero exit IS the durable
+//                    acknowledgment (durable per the policy). This mode is
+//                    also selected automatically once segments exist —
+//                    mixing in-file appends after segments would replay
+//                    out of order.
+//   --compact        folds everything into a new base payload via fsync'd
+//                    tmp + rename + directory fsync (in changelog mode:
+//                    seal + fold + drop segments, advancing the watermark;
+//                    idempotent across crashes).
+//   --auto-compact N legacy-chain compaction policy: append as usual, but
+//                    once the in-file chain exceeds N blocks fold it.
+//                    (Changelog mode: use --compact-threshold instead.)
+//   --compact-threshold N
+//                    changelog compaction policy: fold once N sealed
+//                    segments have accumulated.
+//
+// --recover-only performs the recovery + replay and exits without reading
+// updates (what bccs_serve does at startup, as a standalone step). After a
+// durable changelog append, --ack-file FILE appends one fsync'd
+// "acked <count>" line there — the fault-injection harness reads it back
+// to know how many updates were acknowledged before a crash.
 //
 // Re-stamping: --graph names the text graph file that reflects the
 // POST-update graph; its size/mtime is stamped so bccs_query --graph
@@ -31,12 +55,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bcc/bc_index.h"
 #include "eval/timer.h"
+#include "graph/changelog.h"
+#include "graph/compactor.h"
 #include "graph/graph_delta.h"
 #include "graph/graph_io.h"
+#include "graph/posix_io.h"
 #include "graph/snapshot.h"
 #include "tools/arg_parser.h"
 
@@ -46,7 +74,10 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: bccs_update --snapshot FILE --updates FILE [--graph FILE]\n"
                "                   [--compact] [--auto-compact N] [--write-graph FILE]\n"
-               "                   [--no-verify]\n");
+               "                   [--no-verify] [--changelog]\n"
+               "                   [--fsync none|on-rotation|every-append]\n"
+               "                   [--segment-blocks N] [--compact-threshold N]\n"
+               "                   [--recover-only] [--ack-file FILE]\n");
 }
 
 bool VerifyReload(const bccs::LabeledGraph& updated, const bccs::BcIndex& repaired,
@@ -83,12 +114,57 @@ bool VerifyReload(const bccs::LabeledGraph& updated, const bccs::BcIndex& repair
   return true;
 }
 
+/// Appends one fsync'd "acked <count>" line — the harness's ground truth
+/// for how many updates were acknowledged durable before a crash.
+bool AppendAckLine(const std::string& path, std::size_t count) {
+  char line[64];
+  const int len = std::snprintf(line, sizeof(line), "acked %zu\n", count);
+  if (len <= 0) return false;
+#if BCCS_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  bool ok = bccs::internal::FullWrite(fd, line, static_cast<std::size_t>(len));
+  if (::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(line, 1, static_cast<std::size_t>(len), f) ==
+                  static_cast<std::size_t>(len);
+  return ok && std::fclose(f) == 0;
+#endif
+}
+
+void PrintRecovery(const bccs::SnapshotBundle& bundle, const bccs::ChangelogStatus& st,
+                   double seconds) {
+  std::printf("snapshot: %zu vertices, %zu edges, %zu cached pairs, %zu replayed updates "
+              "(%zu delta blocks + %zu changelog records) in %.4fs\n",
+              bundle.graph->NumVertices(), bundle.graph->NumEdges(),
+              bundle.index->CachedPairCount(), bundle.replayed_updates,
+              bundle.delta_blocks, st.records, seconds);
+  if (st.segments > 0 || st.stale_segments_removed > 0 || st.truncated_bytes > 0 ||
+      bundle.delta_log_torn_bytes > 0) {
+    std::printf("recovery: %zu live segments (%zu sealed, watermark %llu), "
+                "%zu stale removed, %llu torn changelog bytes truncated%s, "
+                "%llu torn delta-tail bytes truncated\n",
+                st.segments, st.sealed_segments,
+                static_cast<unsigned long long>(bundle.base_changelog_seq),
+                st.stale_segments_removed,
+                static_cast<unsigned long long>(st.truncated_bytes),
+                st.dropped_tail_segment ? " (tail segment dropped)" : "",
+                static_cast<unsigned long long>(bundle.delta_log_torn_bytes));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
   auto unknown = args.UnknownFlags({"snapshot", "updates", "graph", "compact", "auto-compact",
-                                    "write-graph", "no-verify", "help"});
+                                    "write-graph", "no-verify", "changelog", "fsync",
+                                    "segment-blocks", "compact-threshold", "recover-only",
+                                    "ack-file", "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -96,7 +172,7 @@ int main(int argc, char** argv) {
   }
   auto snapshot_path = args.GetString("snapshot");
   auto updates_path = args.GetString("updates");
-  if (!snapshot_path || !updates_path) {
+  if (!snapshot_path || (!updates_path && !args.Has("recover-only"))) {
     PrintUsage();
     return 2;
   }
@@ -113,19 +189,54 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  bccs::ChangelogOptions copts;
+  if (auto fsync_text = args.GetString("fsync")) {
+    if (!bccs::ParseFsyncPolicy(*fsync_text, &copts.fsync)) {
+      std::fprintf(stderr, "--fsync must be none, on-rotation, or every-append\n");
+      return 2;
+    }
+  }
+  const std::int64_t segment_blocks =
+      args.GetPositiveIntOr("segment-blocks", 0, &flags_valid);
+  const std::int64_t compact_threshold =
+      args.GetPositiveIntOr("compact-threshold", 0, &flags_valid);
+  if (!flags_valid) {
+    std::fprintf(stderr,
+                 "--segment-blocks and --compact-threshold must be positive integers\n");
+    return 2;
+  }
+  if (segment_blocks > 0) copts.segment_blocks = static_cast<std::size_t>(segment_blocks);
+
   bccs::Timer load_timer;
   std::string error;
-  auto bundle = bccs::LoadSnapshot(*snapshot_path, &error);
-  if (!bundle) {
+  auto recovered = bccs::OpenSnapshotWithChangelog(*snapshot_path, copts, {}, &error);
+  if (!recovered) {
     std::fprintf(stderr, "cannot load snapshot %s: %s\n", snapshot_path->c_str(),
                  error.c_str());
     return 1;
   }
-  std::printf("snapshot: %zu vertices, %zu edges, %zu cached pairs, %zu replayed updates "
-              "in %zu delta blocks (loaded in %.4fs)\n",
-              bundle->graph->NumVertices(), bundle->graph->NumEdges(),
-              bundle->index->CachedPairCount(), bundle->replayed_updates,
-              bundle->delta_blocks, load_timer.Seconds());
+  bccs::SnapshotBundle& bundle = recovered->bundle;
+  PrintRecovery(bundle, recovered->status, load_timer.Seconds());
+
+  // Once segments exist the changelog is the only valid append path: an
+  // in-file delta block would replay BEFORE the segments on the next load,
+  // reordering history.
+  const bool changelog_mode = args.Has("changelog") || args.Has("fsync") ||
+                              args.Has("segment-blocks") ||
+                              args.Has("compact-threshold") ||
+                              recovered->status.segments > 0 ||
+                              recovered->log->base_seq() > 0;
+  if (changelog_mode && args.Has("auto-compact")) {
+    std::fprintf(stderr, "--auto-compact is the legacy-chain policy; use "
+                         "--compact-threshold with the changelog\n");
+    return 2;
+  }
+
+  if (args.Has("recover-only")) {
+    std::printf("recover-only: snapshot is consistent (mode: %s, fsync %s)\n",
+                changelog_mode ? "changelog" : "delta-chain", Name(copts.fsync));
+    return 0;
+  }
 
   auto updates = bccs::ReadEdgeUpdatesFromFile(*updates_path, &error);
   if (!updates) {
@@ -133,7 +244,7 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
-  const auto delta = bccs::BuildGraphDelta(*bundle->graph, *updates, &error);
+  const auto delta = bccs::BuildGraphDelta(*bundle.graph, *updates, &error);
   if (!delta) {
     std::fprintf(stderr, "invalid update batch: %s\n", error.c_str());
     return 1;
@@ -142,9 +253,11 @@ int main(int argc, char** argv) {
   // Apply in memory: needed for --compact / --write-graph / verify, and it
   // reports what the incremental repair did.
   bccs::Timer apply_timer;
-  const bccs::LabeledGraph updated = bccs::ApplyGraphDelta(*bundle->graph, *delta);
+  auto updated = std::make_shared<const bccs::LabeledGraph>(
+      bccs::ApplyGraphDelta(*bundle.graph, *delta));
   bccs::UpdateRepairStats repair;
-  const auto repaired = bundle->index->ApplyUpdates(updated, *delta, {}, &repair);
+  std::shared_ptr<const bccs::BcIndex> repaired =
+      bundle.index->ApplyUpdates(*updated, *delta, {}, &repair);
   std::printf("updates: %zu (%zu inserts, %zu deletes net) applied in %.4fs\n",
               updates->size(), delta->inserts.size(), delta->deletes.size(),
               apply_timer.Seconds());
@@ -156,7 +269,7 @@ int main(int argc, char** argv) {
   // The re-stamp source: the text graph reflecting the post-update state.
   auto write_graph = args.GetString("write-graph");
   if (write_graph) {
-    if (!bccs::WriteLabeledGraphToFile(updated, *write_graph)) {
+    if (!bccs::WriteLabeledGraphToFile(*updated, *write_graph)) {
       std::fprintf(stderr, "cannot write updated graph to %s\n", write_graph->c_str());
       return 1;
     }
@@ -169,30 +282,74 @@ int main(int argc, char** argv) {
     source = bccs::StatSourceGraph(*write_graph);
   }
 
-  // Write-then-rename: the loaded bundle's arrays may be zero-copy views
-  // over the snapshot file itself (mmap), so rewriting it in place would
-  // overwrite the data being serialized. The rename also keeps a reader
-  // that races the compaction on a consistent file.
-  auto compact_now = [&](const char* why) -> bool {
+  if (changelog_mode) {
+    // The durable append: Changelog::Append returning true IS the
+    // acknowledgment, durable per --fsync.
+    bccs::Timer append_timer;
+    if (!recovered->log->Append(*updates, source, &error)) {
+      std::fprintf(stderr, "cannot append to changelog: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("changelog: %zu updates acknowledged (policy %s) into segment %llu "
+                "in %.4fs\n",
+                updates->size(), Name(copts.fsync),
+                static_cast<unsigned long long>(recovered->log->last_seq()),
+                append_timer.Seconds());
+    if (auto ack_file = args.GetString("ack-file")) {
+      if (!AppendAckLine(*ack_file, updates->size())) {
+        std::fprintf(stderr, "cannot record ack in %s\n", ack_file->c_str());
+        return 1;
+      }
+    }
+
+    if (args.Has("compact") || compact_threshold > 0) {
+      bccs::CompactorOptions copt;
+      if (compact_threshold > 0) {
+        copt.threshold_segments = static_cast<std::size_t>(compact_threshold);
+      }
+      bccs::Compactor::State cstate{updated, repaired, source};
+      bccs::Compactor compactor(*recovered->log, [&cstate] { return cstate; }, copt);
+      bccs::Timer fold_timer;
+      bool folded = false;
+      if (!compactor.RunOnce(args.Has("compact"), &error, &folded)) {
+        std::fprintf(stderr, "compaction failed: %s\n", error.c_str());
+        return 1;
+      }
+      if (folded) {
+        std::printf("compacted: folded segments through %llu into %s in %.4fs\n",
+                    static_cast<unsigned long long>(recovered->log->sealed_seq()),
+                    snapshot_path->c_str(), fold_timer.Seconds());
+      }
+    }
+  } else if (args.Has("compact")) {
+    // Write-then-rename: the loaded bundle's arrays may be zero-copy views
+    // over the snapshot file itself (mmap), so rewriting it in place would
+    // overwrite the data being serialized. fsync file + rename + fsync dir
+    // makes the publication atomic AND durable — without the syncs a crash
+    // shortly after could surface a zero-length or half-written base.
     bccs::Timer save_timer;
-    const std::string tmp_path = *snapshot_path + ".compact.tmp";
+    const std::string tmp_path = bccs::CompactionTempPath(*snapshot_path);
     if (!bccs::SaveSnapshot(*repaired, tmp_path, &error, source)) {
       std::fprintf(stderr, "cannot rewrite snapshot: %s\n", error.c_str());
-      return false;
+      return 1;
+    }
+    if (!bccs::FsyncFile(tmp_path, &error)) {
+      std::fprintf(stderr, "cannot fsync compacted snapshot: %s\n", error.c_str());
+      std::remove(tmp_path.c_str());
+      return 1;
     }
     if (std::rename(tmp_path.c_str(), snapshot_path->c_str()) != 0) {
       std::fprintf(stderr, "cannot replace %s with the compacted snapshot\n",
                    snapshot_path->c_str());
       std::remove(tmp_path.c_str());
-      return false;
+      return 1;
     }
-    std::printf("compacted snapshot (%s) rewritten to %s in %.4fs\n", why,
-                snapshot_path->c_str(), save_timer.Seconds());
-    return true;
-  };
-
-  if (args.Has("compact")) {
-    if (!compact_now("requested")) return 1;
+    if (!bccs::FsyncParentDir(*snapshot_path, &error)) {
+      std::fprintf(stderr, "cannot fsync snapshot directory: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("compacted snapshot rewritten to %s in %.4fs\n", snapshot_path->c_str(),
+                save_timer.Seconds());
   } else {
     bccs::Timer append_timer;
     if (!bccs::AppendDeltaBlock(*snapshot_path, *updates, source, &error)) {
@@ -201,20 +358,39 @@ int main(int argc, char** argv) {
     }
     std::printf("delta block (%zu updates) appended to %s in %.4fs\n", updates->size(),
                 snapshot_path->c_str(), append_timer.Seconds());
-    // Background compaction policy: once the log chain exceeds the
+    // Legacy-chain compaction policy: once the log chain exceeds the
     // threshold, fold it into the base payload — the repaired in-memory
     // state is exactly the replayed state the next loader would build.
-    const std::size_t blocks_now = bundle->delta_blocks + 1;
+    const std::size_t blocks_now = bundle.delta_blocks + 1;
     if (auto_compact > 0 && blocks_now > static_cast<std::size_t>(auto_compact)) {
       std::printf("delta log at %zu blocks exceeds --auto-compact %lld\n", blocks_now,
                   static_cast<long long>(auto_compact));
-      if (!compact_now("auto")) return 1;
+      bccs::Timer save_timer;
+      const std::string tmp_path = bccs::CompactionTempPath(*snapshot_path);
+      if (!bccs::SaveSnapshot(*repaired, tmp_path, &error, source) ||
+          !bccs::FsyncFile(tmp_path, &error)) {
+        std::fprintf(stderr, "cannot rewrite snapshot: %s\n", error.c_str());
+        std::remove(tmp_path.c_str());
+        return 1;
+      }
+      if (std::rename(tmp_path.c_str(), snapshot_path->c_str()) != 0) {
+        std::fprintf(stderr, "cannot replace %s with the compacted snapshot\n",
+                     snapshot_path->c_str());
+        std::remove(tmp_path.c_str());
+        return 1;
+      }
+      if (!bccs::FsyncParentDir(*snapshot_path, &error)) {
+        std::fprintf(stderr, "cannot fsync snapshot directory: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("compacted snapshot (auto) rewritten to %s in %.4fs\n",
+                  snapshot_path->c_str(), save_timer.Seconds());
     }
   }
 
   if (!args.Has("no-verify")) {
     bccs::Timer verify_timer;
-    if (!VerifyReload(updated, *repaired, *snapshot_path)) return 1;
+    if (!VerifyReload(*updated, *repaired, *snapshot_path)) return 1;
     std::printf("verify: snapshot reload matches the updated index (%.4fs)\n",
                 verify_timer.Seconds());
   }

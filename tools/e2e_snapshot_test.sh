@@ -14,10 +14,16 @@
 # Registered under the ctest labels "e2e" and "sanitize" — the latter is the
 # suite exercised in the ASan+UBSan preset (cmake --preset asan-ubsan).
 #
-# usage: tools/e2e_snapshot_test.sh BIN_DIR
+# When a fault-injection library is passed as the second argument (built as
+# tests/fault_fs in non-sanitized configurations), the script finishes with
+# the quick crash matrix — kill-at-every-durability-write recovery checks
+# (the full matrix is the ctest labeled "crash").
+#
+# usage: tools/e2e_snapshot_test.sh BIN_DIR [FAULT_LIB]
 set -euo pipefail
 
-bin="${1:?usage: e2e_snapshot_test.sh BIN_DIR}"
+bin="${1:?usage: e2e_snapshot_test.sh BIN_DIR [FAULT_LIB]}"
+fault_lib="${2:-}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -280,6 +286,44 @@ fi
 if "$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" \
     --bulk-cap -1 >/dev/null 2>&1; then
   fail "negative --bulk-cap was accepted"
+fi
+
+# --- Crash-safe durability: changelog append, restart replay, fault matrix --
+
+# A durable serve run appends its applied update to a rotated changelog
+# segment; a restart replays it and answers from the recovered state.
+"$bin/bccs_build" --graph "$tmp/g.txt" --out "$tmp/g4.snap" >/dev/null \
+  || fail "bccs_build for durability failed"
+printf 'u - %s %s\nq %s %s\n' "$eu" "$ev" "$q1" "$q2" > "$tmp/dstream.txt"
+dur_out="$("$bin/bccs_serve" --index-file "$tmp/g4.snap" --stream "$tmp/dstream.txt" \
+  --fsync every-append --segment-blocks 1 --threads 2)" \
+  || fail "durable bccs_serve failed"
+echo "$dur_out" | grep -q 'durable: 1 updates appended' \
+  || fail "durable serve summary missing"
+ls "$tmp"/g4.snap.log.* >/dev/null 2>&1 || fail "no changelog segment written"
+
+printf 'q %s %s\n' "$q1" "$q2" > "$tmp/dstream2.txt"
+re_out="$("$bin/bccs_serve" --index-file "$tmp/g4.snap" --stream "$tmp/dstream2.txt" \
+  --threads 1)" || fail "restart bccs_serve failed"
+echo "$re_out" | grep -q 'recovery: 1 updates replayed' \
+  || fail "restart did not replay the changelog"
+re_members="$(echo "$re_out" | sed -n 's/^\[0\].*-> \([0-9]*\) members.*/\1/p')"
+[ "$re_members" = "$graph_members" ] \
+  || fail "recovered answer differs: $re_members vs $graph_members"
+
+# Durability flags demand a writable snapshot to append to.
+if "$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/dstream2.txt" \
+    --fsync every-append >/dev/null 2>&1; then
+  fail "--fsync without --index-file was accepted"
+fi
+
+# Quick fault-injection matrix: kill bccs_update at durability write points
+# and check zero acked loss + clean-prefix recovery. Skipped in sanitized
+# builds (no interposer library); `ctest -L crash` runs the full matrix.
+if [ -n "$fault_lib" ] && [ -f "$fault_lib" ]; then
+  script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  "$script_dir/../tests/fault_fs/crash_matrix.sh" "$bin" "$fault_lib" quick \
+    >/dev/null || fail "quick crash matrix failed"
 fi
 
 echo "e2e snapshot test passed"

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
-# leaving BENCH_PR5.json next to this script's repo root. The JSON carries
+# leaving BENCH_PR6.json next to this script's repo root. The JSON carries
 # the batch-query QPS rows, the snapshot cold-start block, the two-lane
 # serving block (per-lane sojourn p50/p99 for a mixed interactive/bulk
 # batch), the streaming block (interactive p95 under a saturating mixed
 # stream with and without the bulk in-flight cap, and the update's
 # admission->publish latency for the streaming loop vs the PR 4 barrier
 # emulation), the approx block (sampled-vs-exact wall time on the large
-# generated graph, with determinism and exact-validity checks), and the
-# updates block (incremental BcIndex::ApplyUpdates vs full rebuild seconds
-# per edge-update batch, with a bit-identical check). Future PRs append
-# their own BENCH_PR<N>.json and compare.
+# generated graph, with determinism and exact-validity checks), the updates
+# block (incremental BcIndex::ApplyUpdates vs full rebuild seconds per
+# edge-update batch, with a bit-identical check), and the recovery block
+# (bare base load vs rotated-changelog replay vs the post-compaction load,
+# with an identical-answers check). Future PRs append their own
+# BENCH_PR<N>.json and compare.
 #
 # usage: tools/run_bench.sh [extra perf_smoke args...]
 set -euo pipefail
@@ -21,4 +23,4 @@ build_dir="${BUILD_DIR:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target perf_smoke -j >/dev/null
 
-"$build_dir/perf_smoke" --out "$repo_root/BENCH_PR5.json" "$@"
+"$build_dir/perf_smoke" --out "$repo_root/BENCH_PR6.json" "$@"
