@@ -77,16 +77,27 @@ struct SegFile {
   std::string path;
 };
 
-std::vector<SegFile> ListSegmentFiles(const std::string& snapshot_path) {
+/// A listing failure must NOT degrade into "no segments": recovery would
+/// then believe durable segments absent and the next append's O_TRUNC open
+/// would clobber one at the same sequence number. Only a missing directory
+/// genuinely means no segments exist; every other error is hard.
+bool ListSegmentFiles(const std::string& snapshot_path, std::vector<SegFile>* out,
+                      std::string* error) {
   namespace fs = std::filesystem;
+  out->clear();
   fs::path p(snapshot_path);
   fs::path dir = p.parent_path();
   if (dir.empty()) dir = ".";
   const std::string prefix = p.filename().string() + ".log.";
-  std::vector<SegFile> out;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
+  fs::directory_iterator it(dir, ec);
+  if (ec == std::errc::no_such_file_or_directory) return true;
+  if (ec) {
+    return Fail(error, "cannot list changelog directory " + dir.string() + ": " +
+                           ec.message());
+  }
+  for (const fs::directory_iterator end_it; it != end_it; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
     if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
       continue;
     }
@@ -96,11 +107,15 @@ std::vector<SegFile> ListSegmentFiles(const std::string& snapshot_path) {
     char* end = nullptr;
     const unsigned long long seq = std::strtoull(digits.c_str(), &end, 10);
     if (errno != 0 || end == digits.c_str() || *end != '\0' || seq == 0) continue;
-    out.push_back({static_cast<std::uint64_t>(seq), entry.path().string()});
+    out->push_back({static_cast<std::uint64_t>(seq), it->path().string()});
   }
-  std::sort(out.begin(), out.end(),
+  if (ec) {
+    return Fail(error, "cannot list changelog directory " + dir.string() + ": " +
+                           ec.message());
+  }
+  std::sort(out->begin(), out->end(),
             [](const SegFile& a, const SegFile& b) { return a.seq < b.seq; });
-  return out;
+  return true;
 }
 
 bool ReadWholeFile(const std::string& path, std::vector<unsigned char>* out,
@@ -149,7 +164,8 @@ struct ScanResult {
 bool ScanSegments(const std::string& snapshot_path, std::uint64_t base_seq,
                   ScanResult* out, std::string* error) {
   *out = ScanResult{};
-  std::vector<SegFile> files = ListSegmentFiles(snapshot_path);
+  std::vector<SegFile> files;
+  if (!ListSegmentFiles(snapshot_path, &files, error)) return false;
   for (const SegFile& f : files) {
     if (f.seq <= base_seq) {
       out->stale.push_back(f);
@@ -371,14 +387,18 @@ bool ScanChangelog(const std::string& snapshot_path, std::uint64_t base_seq,
   return true;
 }
 
-void RemoveChangelogSegments(const std::string& snapshot_path) {
+bool RemoveChangelogSegments(const std::string& snapshot_path, std::string* error) {
+  std::vector<SegFile> files;
+  if (!ListSegmentFiles(snapshot_path, &files, error)) return false;
   bool removed = false;
-  for (const SegFile& f : ListSegmentFiles(snapshot_path)) {
+  for (const SegFile& f : files) {
     std::error_code ec;
     std::filesystem::remove(f.path, ec);
+    if (ec) return Fail(error, "cannot remove changelog segment " + f.path);
     removed = true;
   }
-  if (removed) FsyncParentDir(snapshot_path);
+  if (removed && !FsyncParentDir(snapshot_path, error)) return false;
+  return true;
 }
 
 std::string CompactionTempPath(const std::string& snapshot_path) {
@@ -511,13 +531,36 @@ bool Changelog::Broken(std::string* error) const {
   return true;
 }
 
+bool Changelog::RollbackTail(std::string* error, const std::string& what) {
+#if !BCCS_HAVE_POSIX_IO
+  return Fail(error, what);
+#else
+  if (::ftruncate(tail_fd_, static_cast<off_t>(tail_bytes_)) != 0) {
+    broken_ = true;
+    return Fail(error, what + " (and rollback failed: the segment is now torn; "
+                           "recovery will truncate it)");
+  }
+  // Persist the truncation so a crash cannot resurrect a fully-written,
+  // checksum-valid record whose batch was already rejected to the caller.
+  // Best-effort: if this sync also fails the file is still logically rolled
+  // back, but — as with any WAL — a rejected-then-crashed batch may replay
+  // (DESIGN.md, durability contract).
+  (void)::fdatasync(tail_fd_);
+  return Fail(error, what);
+#endif
+}
+
 bool Changelog::OpenNewTail(std::string* error) {
 #if !BCCS_HAVE_POSIX_IO
   return Fail(error, "changelog requires POSIX file I/O on this platform");
 #else
   const std::uint64_t seq = last_seq_ + 1;
   const std::string path = SegmentPath(snapshot_path_, seq);
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // O_APPEND (matching the recovery reopen in Open): every write lands at
+  // the current EOF, so after a rollback ftruncate the next append can
+  // never leave a zero-filled hole at the fd's stale offset — a hole would
+  // make recovery truncate there and drop acknowledged records behind it.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
   if (fd < 0) return Fail(error, "cannot create changelog segment " + path);
 
   SegmentHeader header = {};
@@ -585,20 +628,11 @@ bool Changelog::Append(std::span<const EdgeUpdate> updates, const SourceGraphInf
   rec.header_checksum = HashBytes(&rec, 40);
   std::memcpy(buf.data(), &rec, sizeof(rec));
 
-  auto rollback = [this](std::string* err, const std::string& what) {
-    if (::ftruncate(tail_fd_, static_cast<off_t>(tail_bytes_)) != 0) {
-      broken_ = true;
-      return Fail(err, what + " (and rollback failed: the segment is now torn; "
-                             "recovery will truncate it)");
-    }
-    return Fail(err, what);
-  };
-
   if (!FullWrite(tail_fd_, buf.data(), buf.size())) {
-    return rollback(error, "changelog append write failed");
+    return RollbackTail(error, "changelog append write failed");
   }
   if (opts_.fsync == FsyncPolicy::kEveryAppend && ::fdatasync(tail_fd_) != 0) {
-    return rollback(error, "changelog append fdatasync failed");
+    return RollbackTail(error, "changelog append fdatasync failed");
   }
   tail_bytes_ += buf.size();
   tail_records_ += 1;
@@ -630,19 +664,11 @@ bool Changelog::SealTailLocked(std::string* error) {
   rec.body_checksum = tail_hash_.Digest();
   rec.header_checksum = HashBytes(&rec, 40);
 
-  auto rollback = [this](std::string* err, const std::string& what) {
-    if (::ftruncate(tail_fd_, static_cast<off_t>(tail_bytes_)) != 0) {
-      broken_ = true;
-      return Fail(err, what + " (and rollback failed: the segment is now torn; "
-                             "recovery will truncate it)");
-    }
-    return Fail(err, what);
-  };
   if (!FullWrite(tail_fd_, &rec, sizeof(rec))) {
-    return rollback(error, "changelog seal write failed");
+    return RollbackTail(error, "changelog seal write failed");
   }
   if (opts_.fsync != FsyncPolicy::kNone && ::fdatasync(tail_fd_) != 0) {
-    return rollback(error, "changelog seal fdatasync failed");
+    return RollbackTail(error, "changelog seal fdatasync failed");
   }
   ::close(tail_fd_);
   tail_fd_ = -1;

@@ -129,8 +129,12 @@ bool ScanChangelog(const std::string& snapshot_path, std::uint64_t base_seq,
 
 /// Deletes every `<snapshot_path>.log.NNNNNN` segment — used when the base
 /// is rebuilt from scratch (the text graph is authoritative, leftover
-/// segments would replay stale updates onto the fresh payload).
-void RemoveChangelogSegments(const std::string& snapshot_path);
+/// segments would replay stale updates onto the fresh payload). Returns
+/// false if the directory could not be listed or a segment could not be
+/// removed — leftover segments on a fresh base are a replay hazard, so
+/// callers must not treat the cleanup as best-effort.
+bool RemoveChangelogSegments(const std::string& snapshot_path,
+                             std::string* error = nullptr);
 
 /// fsync a file / the parent directory of `path` (directory sync is what
 /// makes a create/rename/unlink durable). No-ops returning true on
@@ -163,9 +167,13 @@ class Changelog {
   /// Appends one update record stamped with `stamp`, making it durable per
   /// the fsync policy before returning — a true return IS the durable
   /// acknowledgment. Rotates (seal + new segment on next append) past the
-  /// thresholds. On failure the partial record is truncated away so the
-  /// segment stays replayable; if even the rollback fails the log is
-  /// marked broken and every later Append fails fast.
+  /// thresholds. On failure the partial record is truncated away (and the
+  /// truncation synced) so the segment stays replayable and the next
+  /// append continues at the rolled-back offset; if even the rollback
+  /// fails the log is marked broken and every later Append fails fast.
+  /// Residual caveat, conventional for WALs: if the truncation's own sync
+  /// fails and the process then crashes, a fully-written record whose
+  /// batch was REJECTED to the caller may still replay.
   bool Append(std::span<const EdgeUpdate> updates, const SourceGraphInfo& stamp,
               std::string* error = nullptr);
 
@@ -201,6 +209,10 @@ class Changelog {
   bool OpenNewTail(std::string* error);
   bool SealTailLocked(std::string* error);
   bool Broken(std::string* error) const;
+  /// Truncates the tail back to tail_bytes_ after a failed write/sync and
+  /// syncs the truncation; marks the log broken if the truncate fails.
+  /// Always returns false, reporting `what` through `error`.
+  bool RollbackTail(std::string* error, const std::string& what);
 
   struct Segment {
     std::uint64_t seq = 0;

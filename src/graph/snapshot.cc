@@ -858,8 +858,13 @@ SnapshotBundle BuildSnapshotBundle(const LabeledGraph& g, const std::string& pat
     if (error != nullptr) error->clear();
     // A fresh base makes any leftover changelog segments stale garbage: the
     // text graph is authoritative here, and replaying old segments onto the
-    // new payload would corrupt it.
-    RemoveChangelogSegments(path);
+    // new payload would corrupt it. A failed cleanup leaves that hazard on
+    // disk, so it is reported like a failed save (the in-memory bundle is
+    // still good; the on-disk snapshot must not be trusted).
+    std::string clear_err;
+    if (!RemoveChangelogSegments(path, &clear_err) && error != nullptr) {
+      *error = "stale changelog cleanup failed: " + clear_err;
+    }
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
     if (!ec) out.snapshot_bytes = static_cast<std::size_t>(size);

@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/resource.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "bcc/bc_index.h"
@@ -234,6 +239,60 @@ TEST_F(ChangelogTest, TornTailTruncatedAtEveryByteOffset) {
   }
   fs::remove(pristine);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+// A transient append failure must not poison the segment for later appends:
+// the rollback truncates the torn fragment away, and the NEXT acknowledged
+// append must continue exactly at the rolled-back offset (O_APPEND), never
+// beyond a zero-filled hole left by the fd's stale offset — a hole would
+// make recovery truncate there and silently drop records acknowledged
+// after the failure. RLIMIT_FSIZE induces the partial write: the kernel
+// writes the bytes that fit under the cap, then fails the retry.
+TEST_F(ChangelogTest, AppendAfterRolledBackFailureLeavesNoHole) {
+  LabeledGraph g = MakeRandomGraph(24, 0.2, 3, 906);
+  BcIndex index(g);
+  index.MaterializeAllPairs();
+  ASSERT_TRUE(SaveSnapshot(index, path_));
+
+  ChangelogOptions opts;
+  opts.fsync = FsyncPolicy::kNone;  // keep the tail unsealed
+  opts.segment_blocks = 64;
+  std::string error;
+  auto log = Changelog::Open(path_, 0, opts, nullptr, &error);
+  ASSERT_NE(log, nullptr) << error;
+
+  const auto batches = DeleteBatches(g, 3);
+  ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(batches[0]), {}, &error))
+      << error;
+  const std::string tail = SegmentPath(1);
+  const std::uint64_t acked_bytes = fs::file_size(tail);
+
+  struct rlimit old_lim;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_lim), 0);
+  auto old_handler = std::signal(SIGXFSZ, SIG_IGN);  // EFBIG instead of death
+  struct rlimit capped = old_lim;
+  capped.rlim_cur = acked_bytes + 8;  // room for a torn fragment, not a record
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &capped), 0);
+  EXPECT_FALSE(log->Append(std::span<const EdgeUpdate>(batches[1]), {}, &error));
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_lim), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  // Rollback restored the acked prefix physically.
+  EXPECT_EQ(fs::file_size(tail), acked_bytes);
+
+  // The log is NOT broken: the next append is acknowledged and recovery
+  // replays both acked records — nothing torn, nothing dropped.
+  ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(batches[2]), {}, &error))
+      << error;
+  log.reset();
+  auto recovered = OpenSnapshotWithChangelog(path_, opts, {}, &error);
+  ASSERT_TRUE(recovered.has_value()) << error;
+  EXPECT_EQ(recovered->status.truncated_bytes, 0u);
+  EXPECT_EQ(recovered->bundle.replayed_updates, 2u);
+  const std::vector<std::vector<EdgeUpdate>> acked = {batches[0], batches[2]};
+  ExpectSameGraph(*recovered->bundle.graph, ApplyPrefix(g, acked, 2));
+}
+#endif  // defined(__unix__) || defined(__APPLE__)
 
 TEST_F(ChangelogTest, NonTailCorruptionIsAHardError) {
   LabeledGraph g = MakeRandomGraph(24, 0.2, 3, 902);
