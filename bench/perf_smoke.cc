@@ -14,10 +14,11 @@
 // rebuild seconds, with a bit-identical check), measures crash-recovery
 // cost (bare base load vs a rotated-changelog replay vs the load after a
 // compaction fold, with an identical-answers check), and emits a JSON
-// summary (default BENCH_PR6.json) so future PRs can compare against this
+// summary (default BENCH_PR7.json) so future PRs can compare against this
 // one.
 //
-//   perf_smoke [--out BENCH_PR6.json] [--queries 64] [--threads 0]
+//   perf_smoke [--out BENCH_PR7.json] [--queries 64] [--threads 0]
+//             [--serving-only]
 //              [--communities 24] [--group-size 24] [--keep-snapshot]
 
 #include <algorithm>
@@ -92,6 +93,7 @@ struct ServingRow {
   std::size_t timed_out = 0;
   double interactive_p50 = 0, interactive_p99 = 0;
   double bulk_p50 = 0, bulk_p99 = 0;
+  double wall_seconds = 0;  // measured Serve() call, warm
   bool interactive_ahead = false;  // interactive p99 < bulk p99 (sojourn)
 };
 
@@ -212,6 +214,7 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
   std::fprintf(f, "    \"bulk\": {\"queries\": %zu, \"p50_seconds\": %.6f, "
                "\"p99_seconds\": %.6f},\n",
                serving.bulk_queries, serving.bulk_p50, serving.bulk_p99);
+  std::fprintf(f, "    \"wall_seconds\": %.6f,\n", serving.wall_seconds);
   std::fprintf(f, "    \"interactive_p99_below_bulk_p99\": %s\n",
                serving.interactive_ahead ? "true" : "false");
   std::fprintf(f, "  },\n");
@@ -447,15 +450,21 @@ RecoveryRow MeasureRecovery(const PlantedGraph& pg, const BcIndex& base,
       std::fprintf(stderr, "recovery bench: batch %zu did not validate\n", i);
       return row;
     }
-    if (!log->Append(updates, {}, &error)) {
-      std::fprintf(stderr, "recovery bench: append failed: %s\n", error.c_str());
-      return row;
+    {
+      MutexLock commit(log->commit_mutex());
+      if (!log->Append(updates, {}, &error)) {
+        std::fprintf(stderr, "recovery bench: append failed: %s\n", error.c_str());
+        return row;
+      }
     }
     cur = std::make_shared<LabeledGraph>(ApplyGraphDelta(*cur, *delta));
     row.batches++;
     row.appended_updates += updates.size();
   }
-  row.live_segments = log->sealed_segments();
+  {
+    MutexLock commit(log->commit_mutex());
+    row.live_segments = log->sealed_segments();
+  }
 
   Timer base_timer;
   SnapshotLoadOptions bare;
@@ -642,7 +651,9 @@ ServingRow MeasureServing(const PlantedGraph& pg, std::span<const BccQuery> quer
   ServeEngine engine(runner, pg.graph);
   row.aging_period = engine.options().aging_period;
   engine.Serve(requests);  // warm-up
+  Timer wall;
   BatchResult result = engine.Serve(requests);
+  row.wall_seconds = wall.Seconds();
   row.timed_out = result.timed_out;
   for (const LaneSummary& lane : result.lanes) {
     if (lane.lane == Lane::kInteractive) {
@@ -727,7 +738,7 @@ ApproxRow MeasureApprox(const PlantedGraph& pg, std::span<const BccQuery> querie
 
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR6.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR7.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -751,6 +762,35 @@ int main(int argc, char** argv) {
   std::vector<MbccGroundTruthQuery> mgt = SampleMbccGroundTruthQueries(pg, 3, num_queries, 11);
   std::vector<MbccQuery> mqueries;
   for (const auto& g : mgt) mqueries.push_back(g.query);
+
+  // --serving-only: just the two-lane serving block, emitted as a minimal
+  // JSON. run_bench.sh runs this twice — once from the normal tree and once
+  // from a BCCS_STRIP_CHECKS build — to price the always-on BCCS_CHECKs.
+  if (args.Has("serving-only")) {
+    BatchRunner par_only(par_threads);
+    ServingRow serving = MeasureServing(pg, queries, par_only.NumThreads());
+    std::printf("serving     wall=%.4fs  interactive p99=%.4fs  bulk p99=%.4fs\n",
+                serving.wall_seconds, serving.interactive_p99, serving.bulk_p99);
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"serving\": {\n    \"wall_seconds\": %.6f,\n"
+                 "    \"interactive_p99_seconds\": %.6f,\n"
+                 "    \"bulk_p99_seconds\": %.6f,\n"
+                 "    \"checks_compiled_in\": %s\n  }\n}\n",
+                 serving.wall_seconds, serving.interactive_p99, serving.bulk_p99,
+#ifdef BCCS_STRIP_CHECKS_FOR_BENCH
+                 "false"
+#else
+                 "true"
+#endif
+    );
+    std::fclose(f);
+    return 0;
+  }
 
   BccParams params;  // auto k, b = 1
   MbccParams mparams;

@@ -22,7 +22,7 @@ const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) const {
   if (a > b) std::swap(a, b);
   auto key = std::make_pair(a, b);
   {
-    std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    MutexLock lock(pair_cache_mutex_);
     auto it = pair_cache_.find(key);
     if (it != pair_cache_.end()) return it->second;
   }
@@ -38,7 +38,7 @@ const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) const {
   ButterflyCounts counts =
       CountButterflies(*g_, {left.begin(), left.end()}, {right.begin(), right.end()}, in_left,
                        in_right);
-  std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+  MutexLock lock(pair_cache_mutex_);
   auto [pos, inserted] = pair_cache_.emplace(key, std::move(counts));
   return pos->second;
 }
@@ -55,13 +55,13 @@ void BcIndex::MaterializeAllPairs() {
 }
 
 std::size_t BcIndex::CachedPairCount() const {
-  std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+  MutexLock lock(pair_cache_mutex_);
   return pair_cache_.size();
 }
 
 void BcIndex::ForEachCachedPair(
     const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const {
-  std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+  MutexLock lock(pair_cache_mutex_);
   for (const auto& [key, counts] : pair_cache_) fn(key.first, key.second, counts);
 }
 
@@ -127,7 +127,7 @@ std::unique_ptr<BcIndex> BcIndex::ApplyUpdates(const LabeledGraph& updated,
   // lazily against the updated graph on first use.
   std::map<std::pair<Label, Label>, ButterflyCounts> pairs;
   {
-    std::lock_guard<std::mutex> lock(pair_cache_mutex_);
+    MutexLock lock(pair_cache_mutex_);
     pairs = pair_cache_;
   }
   for (const auto& [key, bucket] : cross) {
@@ -145,7 +145,10 @@ std::unique_ptr<BcIndex> BcIndex::ApplyUpdates(const LabeledGraph& updated,
   out->g_ = &updated;
   out->label_coreness_ = std::move(coreness);
   out->max_core_per_label_ = std::move(max_core);
-  out->pair_cache_ = std::move(pairs);
+  {
+    MutexLock lock(out->pair_cache_mutex_);
+    out->pair_cache_ = std::move(pairs);
+  }
   return out;
 }
 

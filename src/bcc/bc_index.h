@@ -5,12 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "butterfly/butterfly_counting.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
@@ -132,14 +133,16 @@ class BcIndex {
 
  private:
   friend class SnapshotAccess;  // reconstructs loaded indexes field by field
+  friend class ValidateAccess;  // common/validate.h reads raw arrays
 
   BcIndex() = default;  // snapshot loading only
 
   const LabeledGraph* g_ = nullptr;
   ArrayRef<std::uint32_t> label_coreness_;
   ArrayRef<std::uint32_t> max_core_per_label_;
-  mutable std::mutex pair_cache_mutex_;
-  mutable std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_;
+  mutable Mutex pair_cache_mutex_;
+  mutable std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_
+      GUARDED_BY(pair_cache_mutex_);
 };
 
 }  // namespace bccs

@@ -1,7 +1,8 @@
 #include "bcc/candidate.h"
 
+#include "common/check.h"
+
 #include <algorithm>
-#include <cassert>
 
 namespace bccs {
 
@@ -9,7 +10,7 @@ GroupedCandidate::GroupedCandidate(const LabeledGraph& g,
                                    std::vector<std::vector<VertexId>> groups,
                                    std::vector<std::uint32_t> ks, QueryWorkspace* ws)
     : g_(&g), ws_(ws), ks_(std::move(ks)), members_(std::move(groups)) {
-  assert(members_.size() == ks_.size());
+  BCCS_CHECK_EQ(members_.size(), ks_.size());
   const std::size_t n = g.NumVertices();
   if (ws_ != nullptr) {
     alive_ = ws_->CharPool().Acquire(n);
@@ -29,7 +30,7 @@ GroupedCandidate::GroupedCandidate(const LabeledGraph& g,
   }
   for (std::uint32_t gi = 0; gi < members_.size(); ++gi) {
     for (VertexId v : members_[gi]) {
-      assert(group_of_[v] == kNoGroup);
+      BCCS_DCHECK_EQ(group_of_[v], kNoGroup) << "vertex in two candidate groups";
       group_of_[v] = gi;
       alive_[v] = 1;
       group_masks_[gi][v] = 1;

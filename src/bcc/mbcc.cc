@@ -1,7 +1,6 @@
 #include "bcc/mbcc.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 
 #include "bcc/candidate.h"

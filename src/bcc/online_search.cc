@@ -1,7 +1,6 @@
 #include "bcc/online_search.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 
 #include "bcc/candidate.h"

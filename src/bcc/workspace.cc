@@ -1,5 +1,7 @@
 #include "bcc/workspace.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 
 namespace bccs {
@@ -20,7 +22,7 @@ void QueryWorkspace::ReleaseDistance(DistanceMap* dm) {
       return;
     }
   }
-  assert(false && "ReleaseDistance: unknown DistanceMap");
+  BCCS_CHECK(false) << "ReleaseDistance: unknown DistanceMap";
 }
 
 std::vector<VertexId>* QueryWorkspace::AcquireIdVec() {
@@ -40,7 +42,7 @@ void QueryWorkspace::ReleaseIdVec(std::vector<VertexId>* vec) {
       return;
     }
   }
-  assert(false && "ReleaseIdVec: unknown vector");
+  BCCS_CHECK(false) << "ReleaseIdVec: unknown vector";
 }
 
 WorkspaceStats QueryWorkspace::Stats() const {

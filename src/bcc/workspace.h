@@ -2,7 +2,6 @@
 #define BCCS_BCC_WORKSPACE_H_
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -10,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "core/core_decomposition.h"
 #include "graph/labeled_graph.h"
 
@@ -104,8 +104,8 @@ class ScratchPool {
 
   /// For buffers the caller already restored.
   void ReleaseClean(std::vector<T> buf) {
-#ifndef NDEBUG
-    for (const T& x : buf) assert(x == default_ && "scratch buffer returned dirty");
+#if BCCS_DCHECK_IS_ON
+    for (const T& x : buf) BCCS_DCHECK(x == default_) << "scratch buffer returned dirty";
 #endif
     free_.push_back(std::move(buf));
   }
@@ -238,7 +238,7 @@ class PeelQueue {
   /// Re-queues a vertex previously popped but not deleted (single-delete
   /// mode returns the untouched remainder of a batch).
   void Requeue(VertexId v) {
-    assert(stamp_[v] == epoch_);
+    BCCS_DCHECK_EQ(stamp_[v], epoch_) << "Requeue of a vertex not seen this epoch";
     Push(v, qd_[v]);
   }
 

@@ -1,7 +1,8 @@
 #include "butterfly/butterfly_update.h"
 
+#include "common/check.h"
+
 #include <algorithm>
-#include <cassert>
 
 namespace bccs {
 
@@ -51,7 +52,7 @@ void ApplyOneCrossEdge(const LabeledGraph& base, const AppliedPatches& patches, 
     if (insert) {
       chi[w] += by;
     } else {
-      assert(chi[w] >= by && "pair-butterfly repair drove chi negative");
+      BCCS_DCHECK_GE(chi[w], by) << "pair-butterfly repair drove chi negative";
       chi[w] -= by;
     }
   };

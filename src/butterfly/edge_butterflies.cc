@@ -17,7 +17,7 @@ std::int64_t EdgeButterflyCounts::IndexOf(VertexId u, VertexId v) const {
 
 EdgeButterflyCounts CountEdgeButterflies(const LabeledGraph& g,
                                          std::span<const VertexId> left,
-                                         std::span<const VertexId> right,
+                                         std::span<const VertexId> /*right*/,
                                          const std::vector<char>& in_left,
                                          const std::vector<char>& in_right) {
   EdgeButterflyCounts out;

@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bccs {
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << file << ":" << line << ": Check failed: " << condition;
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace bccs

@@ -1,0 +1,81 @@
+#ifndef BCCS_COMMON_THREAD_ANNOTATIONS_H_
+#define BCCS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (-Wthread-safety): lock
+/// discipline as machine-checked contracts instead of comments. A field
+/// GUARDED_BY(mu) may only be touched while `mu` is held; a function
+/// REQUIRES(mu) may only be called with `mu` held; ACQUIRE/RELEASE mark the
+/// functions that take and drop a capability. The `dev` CMake preset builds
+/// with -Wthread-safety -Werror under Clang, so a violated contract is a
+/// compile error, not a TSan lottery ticket.
+///
+/// The analysis only tracks locks that flow through annotated types — a bare
+/// std::mutex is invisible to it — so the annotated wrappers in
+/// common/mutex.h (bccs::Mutex / bccs::MutexLock / bccs::CondVar) are the
+/// companion half of this header: every lock in the serving, durability, and
+/// index layers goes through them.
+///
+/// On compilers without the attribute (GCC, MSVC) every macro expands to
+/// nothing: the annotations document the contracts and cost nothing. This is
+/// the "gate missing deps" posture — the repo builds everywhere, and any
+/// Clang checkout gets the full static analysis for free.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define BCCS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define BCCS_THREAD_ANNOTATION_(x)  // no-op on non-Clang compilers
+#endif
+
+/// Marks a class as a lockable capability (mutexes). The string names the
+/// capability kind in diagnostics.
+#define CAPABILITY(x) BCCS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (lock guards).
+#define SCOPED_CAPABILITY BCCS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data members: may only be read or written while holding `x`.
+#define GUARDED_BY(x) BCCS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the *pointee* may only be touched while holding `x`.
+#define PT_GUARDED_BY(x) BCCS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Functions: caller must hold the capability (exclusively / shared).
+#define REQUIRES(...) BCCS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  BCCS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire / release the capability (must not hold it on entry /
+/// must hold it on entry, respectively).
+#define ACQUIRE(...) BCCS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  BCCS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) BCCS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  BCCS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Functions: caller must NOT hold the capability (the function acquires it
+/// itself; calling with it held would self-deadlock).
+#define EXCLUDES(...) BCCS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) BCCS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) BCCS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Functions returning a reference to a capability (e.g. accessors handing
+/// out the mutex that guards them).
+#define RETURN_CAPABILITY(x) BCCS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot model. Use sparingly and
+/// say why at the call site.
+#define NO_THREAD_SAFETY_ANALYSIS BCCS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Try-lock functions: `b` is the success value.
+#define TRY_ACQUIRE(b, ...) \
+  BCCS_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fact injection after e.g.
+/// a condition-variable wait through an opaque API).
+#define ASSERT_CAPABILITY(x) BCCS_THREAD_ANNOTATION_(assert_capability(x))
+
+#endif  // BCCS_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,8 +1,9 @@
 #include "eval/admission_queue.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/check.h"
 
 namespace bccs {
 
@@ -24,35 +25,35 @@ AdmissionQueue::AdmissionQueue(std::size_t aging_period, AdmissionCaps caps)
 std::size_t AdmissionQueue::AdmitQuery(Lane lane) {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) AbortClosedAdmission("AdmitQuery");
     index = admitted_++;
     PendingQuery pq{index, updates_admitted_};
     (lane == Lane::kInteractive ? interactive_ : bulk_).push_back(pq);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return index;
 }
 
 std::size_t AdmissionQueue::AdmitUpdate() {
   std::size_t index;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) AbortClosedAdmission("AdmitUpdate");
     index = admitted_++;
     updates_.push_back(index);
     ++updates_admitted_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return index;
 }
 
 void AdmissionQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool AdmissionQueue::LaneRunnable(const std::deque<PendingQuery>& q, std::size_t inflight,
@@ -64,7 +65,7 @@ bool AdmissionQueue::LaneRunnable(const std::deque<PendingQuery>& q, std::size_t
 }
 
 bool AdmissionQueue::Pop(Ticket* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     // Updates first: they gate the epoch progress of everything behind
     // them, and epoch transitions are ordered, so the oldest update is
@@ -104,51 +105,52 @@ bool AdmissionQueue::Pop(Ticket* out) {
     if (closed_ && interactive_.empty() && bulk_.empty() && updates_.empty()) {
       return false;
     }
-    cv_.wait(lock);
+    cv_.Wait(mutex_);
   }
 }
 
 void AdmissionQueue::CompleteQuery(Lane lane) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto li = static_cast<std::size_t>(lane);
-    assert(inflight_[li] > 0 && "CompleteQuery without a matching Pop");
+    BCCS_CHECK_GT(inflight_[li], 0u) << "CompleteQuery without a matching Pop";
     --inflight_[li];
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void AdmissionQueue::PublishUpdate() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    assert(resolved_updates_ < claimed_updates_ && "PublishUpdate without an in-flight update");
+    MutexLock lock(mutex_);
+    BCCS_CHECK_LT(resolved_updates_, claimed_updates_)
+        << "PublishUpdate without an in-flight update";
     ++resolved_updates_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 std::size_t AdmissionQueue::admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return admitted_;
 }
 
 std::size_t AdmissionQueue::updates_admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return updates_admitted_;
 }
 
 std::size_t AdmissionQueue::resolved_updates() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return resolved_updates_;
 }
 
 std::size_t AdmissionQueue::max_inflight(Lane lane) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return max_inflight_[static_cast<std::size_t>(lane)];
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 

@@ -1,12 +1,12 @@
 #ifndef BCCS_EVAL_ADMISSION_QUEUE_H_
 #define BCCS_EVAL_ADMISSION_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "eval/batch_runner.h"
 
 namespace bccs {
@@ -118,24 +118,26 @@ class AdmissionQueue {
   };
 
   bool LaneRunnable(const std::deque<PendingQuery>& q, std::size_t inflight,
-                    std::size_t cap) const;
+                    std::size_t cap) const REQUIRES(mutex_);
 
   const std::size_t aging_period_;
   const AdmissionCaps caps_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<PendingQuery> interactive_;
-  std::deque<PendingQuery> bulk_;
-  std::deque<std::size_t> updates_;  // admission indices of unclaimed updates
-  std::size_t admitted_ = 0;
-  std::size_t updates_admitted_ = 0;
-  std::size_t claimed_updates_ = 0;
-  std::size_t resolved_updates_ = 0;
-  std::size_t inflight_[2] = {0, 0};      // indexed by Lane
-  std::size_t max_inflight_[2] = {0, 0};  // high-water marks
-  std::size_t since_bulk_ = 0;            // query dequeues since the last bulk one
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<PendingQuery> interactive_ GUARDED_BY(mutex_);
+  std::deque<PendingQuery> bulk_ GUARDED_BY(mutex_);
+  // Admission indices of unclaimed updates.
+  std::deque<std::size_t> updates_ GUARDED_BY(mutex_);
+  std::size_t admitted_ GUARDED_BY(mutex_) = 0;
+  std::size_t updates_admitted_ GUARDED_BY(mutex_) = 0;
+  std::size_t claimed_updates_ GUARDED_BY(mutex_) = 0;
+  std::size_t resolved_updates_ GUARDED_BY(mutex_) = 0;
+  std::size_t inflight_[2] GUARDED_BY(mutex_) = {0, 0};      // indexed by Lane
+  std::size_t max_inflight_[2] GUARDED_BY(mutex_) = {0, 0};  // high-water marks
+  // Query dequeues since the last bulk one.
+  std::size_t since_bulk_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bccs

@@ -50,10 +50,10 @@ BatchRunner::BatchRunner(std::size_t num_threads) {
 
 BatchRunner::~BatchRunner() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -64,8 +64,8 @@ void BatchRunner::WorkerLoop(std::size_t tid) {
     const std::uint32_t* order;
     std::size_t count;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mutex_);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -87,8 +87,8 @@ void BatchRunner::WorkerLoop(std::size_t tid) {
           order != nullptr ? order[i] : static_cast<std::size_t>(i);
       (*job)(index, ws);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        done_cv_.notify_all();
+        MutexLock lock(mutex_);
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -111,15 +111,15 @@ void BatchRunner::Run(std::size_t count,
                       WorkspaceStats* stats_after) {
   if (count == 0) return;
   AcquireBusy();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   job_ = &fn;
   order_ = nullptr;
   job_count_ = count;
   pending_.store(count, std::memory_order_relaxed);
   ++generation_;
   cursor_.store((generation_ & 0xffffffff) << 32, std::memory_order_release);
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  work_cv_.NotifyAll();
+  while (pending_.load(std::memory_order_acquire) != 0) done_cv_.Wait(mutex_);
   job_ = nullptr;
   // Workers are parked and the pool is still ours: the one point where the
   // workspace stats are safe to read on a shared runner.
@@ -131,15 +131,15 @@ void BatchRunner::RunOrdered(std::span<const std::uint32_t> order,
                              const std::function<void(std::size_t, QueryWorkspace&)>& fn) {
   if (order.empty()) return;
   AcquireBusy();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   job_ = &fn;
   order_ = order.data();
   job_count_ = order.size();
   pending_.store(order.size(), std::memory_order_relaxed);
   ++generation_;
   cursor_.store((generation_ & 0xffffffff) << 32, std::memory_order_release);
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  work_cv_.NotifyAll();
+  while (pending_.load(std::memory_order_acquire) != 0) done_cv_.Wait(mutex_);
   job_ = nullptr;
   order_ = nullptr;
   busy_.store(false, std::memory_order_release);

@@ -2,16 +2,16 @@
 #define BCCS_EVAL_BATCH_RUNNER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "bcc/bcc_types.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "bcc/local_search.h"
 #include "bcc/mbcc.h"
 #include "bcc/online_search.h"
@@ -165,17 +165,20 @@ class BatchRunner {
   std::vector<std::unique_ptr<QueryWorkspace>> workspaces_;
   std::atomic<bool> busy_{false};
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t, QueryWorkspace&)>* job_ = nullptr;
-  const std::uint32_t* order_ = nullptr;  // slot -> index map; null = identity
-  std::size_t job_count_ = 0;
-  std::uint64_t generation_ = 0;
-  // (generation & 0xffffffff) << 32 | next_index; see WorkerLoop.
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(std::size_t, QueryWorkspace&)>* job_ GUARDED_BY(mutex_) = nullptr;
+  // Slot -> index map; null = identity.
+  const std::uint32_t* order_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_count_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  // (generation & 0xffffffff) << 32 | next_index; see WorkerLoop. Atomics
+  // are deliberately outside the mutex capability: the claim loop reads
+  // them lock-free.
   std::atomic<std::uint64_t> cursor_{0};
   std::atomic<std::size_t> pending_{0};
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 /// Computes the latency summary from per-query seconds (sorted copy inside).

@@ -1,6 +1,5 @@
 #include "eval/serve_engine.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -9,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "common/validate.h"
 #include "eval/timer.h"
 #include "graph/changelog.h"
 #include "graph/graph_delta.h"
@@ -59,20 +60,21 @@ struct StreamState {
   Timer wall;           // stream-open reference clock (admit/sojourn times)
   std::thread pump;     // blocks in BatchRunner::Run while workers drain
 
-  std::mutex mutex;  // guards every container below
+  Mutex mutex;  // guards every container below
   struct Slot {
     std::uint64_t request_id = 0;
     double admit_seconds = 0;
     int lane = -1;  // -1 = update slot (excluded from query latency)
   };
-  std::deque<ServeItem> items;
-  std::deque<Slot> slots;
-  std::deque<Community> communities;
-  std::deque<SearchStats> stats;
-  std::deque<double> seconds;
-  std::deque<double> sojourn;
-  std::deque<std::uint64_t> epoch_of;
-  std::deque<UpdateOutcome> update_outcomes;  // one per update, by ordinal
+  std::deque<ServeItem> items GUARDED_BY(mutex);
+  std::deque<Slot> slots GUARDED_BY(mutex);
+  std::deque<Community> communities GUARDED_BY(mutex);
+  std::deque<SearchStats> stats GUARDED_BY(mutex);
+  std::deque<double> seconds GUARDED_BY(mutex);
+  std::deque<double> sojourn GUARDED_BY(mutex);
+  std::deque<std::uint64_t> epoch_of GUARDED_BY(mutex);
+  // One per update, by ordinal.
+  std::deque<UpdateOutcome> update_outcomes GUARDED_BY(mutex);
 
   /// Copy-on-write epoch history: history[s] is the state observed by
   /// queries admitted after s updates. Slot 0 is published at open; slot
@@ -84,10 +86,15 @@ struct StreamState {
     ServeEngine::EpochState state;
     std::size_t pending = 0;
   };
-  std::deque<HistorySlot> history;
-  std::size_t published = 1;       // number of published history slots
-  std::size_t release_cursor = 0;  // first slot that may still hold state
-  std::size_t updates_admitted = 0;
+  std::deque<HistorySlot> history GUARDED_BY(mutex);
+  // Number of published history slots.
+  std::size_t published GUARDED_BY(mutex) = 1;
+  // First slot that may still hold state.
+  std::size_t release_cursor GUARDED_BY(mutex) = 0;
+  std::size_t updates_admitted GUARDED_BY(mutex) = 0;
+  /// Single-producer state: written and read only by the thread that owns
+  /// the Stream handle (Submit/Finish/dtor), never by workers — deliberately
+  /// outside the mutex capability.
   bool finished = false;
   /// Captured by BatchRunner::Run before the pool is released — reading
   /// the workspaces after Run returns would race the next job on a shared
@@ -96,8 +103,8 @@ struct StreamState {
 
   /// Releases drained old epochs. Slots gain pending queries only while
   /// they are the newest admitted slot, so a drained slot behind the
-  /// published head can never be pinned again. Caller holds `mutex`.
-  void ReleaseDrainedHistory() {
+  /// published head can never be pinned again.
+  void ReleaseDrainedHistory() REQUIRES(mutex) {
     while (release_cursor + 1 < published && history[release_cursor].pending == 0) {
       history[release_cursor].state = ServeEngine::EpochState{};
       ++release_cursor;
@@ -129,27 +136,27 @@ void ServeEngine::AttachDurability(Changelog* log, const SourceGraphInfo& stamp)
 }
 
 std::uint64_t ServeEngine::epoch() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return current_.epoch;
 }
 
 const LabeledGraph& ServeEngine::graph() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return *current_.graph;
 }
 
 const BcIndex* ServeEngine::index() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return current_.index.get();
 }
 
 std::shared_ptr<const LabeledGraph> ServeEngine::graph_ptr() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return current_.graph;
 }
 
 std::shared_ptr<const BcIndex> ServeEngine::index_ptr() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return current_.index;
 }
 
@@ -225,7 +232,7 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       double admit_seconds;
       UpdateOutcome* outcome;
       {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        MutexLock lock(state.mutex);
         base = state.history[u].state;
         item = &state.items[t.index];
         admit_seconds = state.slots[t.index].admit_seconds;
@@ -241,7 +248,7 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
         // under the same lock sees exactly the appended records. A failed
         // append rejects the batch; the un-durable state never publishes.
         const auto& update_req = std::get<UpdateRequest>(*item);
-        std::lock_guard<std::mutex> commit(durability_log_->commit_mutex());
+        MutexLock commit(durability_log_->commit_mutex());
         std::string err;
         if (!durability_log_->Append(
                 std::span<const EdgeUpdate>(update_req.updates), durability_stamp_,
@@ -252,17 +259,17 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
           outcome->deletes = 0;
           next = base;
         } else {
-          std::lock_guard<std::mutex> lock(state_mutex_);
+          MutexLock lock(state_mutex_);
           current_ = next;
         }
       } else {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         current_ = next;
       }
       outcome->seconds = apply.Seconds();
       outcome->epoch = next.epoch;
       {
-        std::lock_guard<std::mutex> lock(state.mutex);
+        MutexLock lock(state.mutex);
         state.history[u + 1].state = next;
         state.published = u + 2;
         state.ReleaseDrainedHistory();
@@ -287,7 +294,7 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
     Community* community;
     SearchStats* stats;
     {
-      std::lock_guard<std::mutex> lock(state.mutex);
+      MutexLock lock(state.mutex);
       pinned = state.history[t.epoch_slot].state;
       item = &state.items[t.index];
       request_id = state.slots[t.index].request_id;
@@ -302,7 +309,7 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
     const double exec_seconds = exec.Seconds();
     ws.SetDeadline(Deadline{});
     {
-      std::lock_guard<std::mutex> lock(state.mutex);
+      MutexLock lock(state.mutex);
       state.seconds[t.index] = exec_seconds;
       state.sojourn[t.index] = state.wall.Seconds() - admit_seconds;
       state.epoch_of[t.index] = pinned.epoch;
@@ -352,7 +359,7 @@ std::uint64_t ServeEngine::Stream::Submit(ServeItem item) {
   std::uint64_t id = fresh_id;
   Lane lane = Lane::kBulk;
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     s.items.push_back(std::move(item));
     StreamState::Slot slot;
     slot.admit_seconds = s.wall.Seconds();
@@ -385,7 +392,7 @@ std::uint64_t ServeEngine::Stream::Submit(ServeItem item) {
 }
 
 std::size_t ServeEngine::Stream::Submitted() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->slots.size();
 }
 
@@ -398,7 +405,27 @@ BatchResult ServeEngine::Stream::Finish() {
   s.finished = true;
   const double wall_seconds = s.wall.Seconds();
 
-  // Workers are gone: no further synchronization needed.
+  // Workers are gone (the pump join above is the synchronization point), but
+  // the containers are GUARDED_BY the stream mutex — hold it (uncontended)
+  // for the aggregation so the annotation holds here too.
+  MutexLock lock(s.mutex);
+#if BCCS_DCHECK_IS_ON
+  {
+    // The drained stream must leave the copy-on-write bookkeeping coherent:
+    // every admitted query completed, so every slot behind the published
+    // head is released and the head still holds state.
+    EpochHistoryView view;
+    view.published = s.published;
+    view.release_cursor = s.release_cursor;
+    view.updates_admitted = s.updates_admitted;
+    for (const StreamState::HistorySlot& slot : s.history) {
+      view.slots.push_back(
+          {slot.state.epoch, slot.pending, slot.state.graph != nullptr});
+    }
+    const ValidationResult audit = ValidateEpochHistory(view);
+    BCCS_DCHECK(audit.ok) << "epoch history audit: " << audit.reason;
+  }
+#endif
   const std::size_t count = s.slots.size();
   out.communities.assign(s.communities.begin(), s.communities.end());
   out.stats.assign(s.stats.begin(), s.stats.end());
@@ -452,9 +479,12 @@ std::unique_ptr<StreamState> ServeEngine::MakeStreamState() {
     std::abort();
   }
   auto state = std::make_unique<StreamState>(this, opts_.aging_period, opts_.caps);
-  std::lock_guard<std::mutex> lock(state_mutex_);
   StreamState::HistorySlot slot0;
-  slot0.state = current_;
+  {
+    MutexLock lock(state_mutex_);
+    slot0.state = current_;
+  }
+  MutexLock lock(state->mutex);
   state->history.push_back(std::move(slot0));
   return state;
 }

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <variant>
 #include <vector>
@@ -12,6 +11,8 @@
 #include "bcc/local_search.h"
 #include "bcc/mbcc.h"
 #include "bcc/online_search.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "eval/admission_queue.h"
 #include "eval/batch_runner.h"
 #include "graph/graph_delta.h"
@@ -259,8 +260,9 @@ class ServeEngine {
   ServeOptions opts_;
   Changelog* durability_log_ = nullptr;  // non-owning; see AttachDurability
   SourceGraphInfo durability_stamp_;
-  mutable std::mutex state_mutex_;  // guards current_ (the published head)
-  EpochState current_;
+  mutable Mutex state_mutex_;
+  /// The published head: the newest epoch's (graph, index).
+  EpochState current_ GUARDED_BY(state_mutex_);
   std::atomic<std::uint64_t> next_request_id_{1};
   /// One stream at a time: the worker pool cannot run two drains. Set by
   /// MakeStreamState, cleared by Stream::Finish.

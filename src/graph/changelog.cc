@@ -378,7 +378,12 @@ bool ScanChangelog(const std::string& snapshot_path, std::uint64_t base_seq,
   out->has_stamp = scan.has_stamp;
   out->stale_segments = scan.stale.size();
   out->torn_tail_bytes = scan.torn_tail_bytes;
+  for (const SegFile& f : scan.stale) {
+    out->stale_details.push_back({f.seq, f.path, false, 0, false});
+  }
   for (const ScanSeg& seg : scan.live) {
+    out->segment_details.push_back(
+        {seg.file.seq, seg.file.path, seg.sealed, seg.records, seg.torn});
     if (scan.dropped_tail && seg.torn && !seg.header_valid) continue;
     ++out->segments;
     if (seg.sealed) ++out->sealed_segments;
@@ -483,6 +488,9 @@ std::unique_ptr<Changelog> Changelog::Open(const std::string& snapshot_path,
   if (dir_dirty && !FsyncParentDir(snapshot_path, error)) return nullptr;
 
   std::unique_ptr<Changelog> log(new Changelog(snapshot_path, base_seq, opts));
+  // The object is still single-owned, but its state is GUARDED_BY the commit
+  // lock — hold it (uncontended) so the annotations hold in Open too.
+  MutexLock commit(log->commit_mutex_);
   for (const ScanSeg& seg : live) {
     log->segments_.push_back(Segment{seg.file.seq, seg.file.path, seg.sealed});
     log->last_seq_ = seg.file.seq;

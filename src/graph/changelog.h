@@ -4,12 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/fnv1a64.h"
 #include "graph/graph_delta.h"
 #include "graph/snapshot.h"
@@ -71,7 +72,9 @@ namespace bccs {
 /// Thread safety: the class does NOT lock internally. Callers serialize
 /// Append/SealTail/DropSegmentsThrough through commit_mutex() — the serve
 /// engine holds it across append + epoch publish so the compactor can
-/// capture a (state, sealed-seq) pair that agree.
+/// capture a (state, sealed-seq) pair that agree. The contract is
+/// machine-checked: every mutator and counter is REQUIRES(commit_mutex_),
+/// so a call without the lock is a compile error under -Wthread-safety.
 
 enum class FsyncPolicy : std::uint8_t { kNone, kOnRotation, kEveryAppend };
 
@@ -117,6 +120,21 @@ struct ChangelogReplay {
   std::size_t records = 0;
   std::size_t stale_segments = 0;
   std::uint64_t torn_tail_bytes = 0;
+
+  /// Per-segment detail for auditors (common/validate.h, bccs_fsck).
+  struct SegmentInfo {
+    std::uint64_t seq = 0;
+    std::string path;
+    bool sealed = false;
+    std::size_t records = 0;  // update records (seal excluded)
+    bool torn = false;        // tail tear (tolerated on the last segment)
+  };
+  /// Live segments in ascending sequence order (a dropped torn tail file is
+  /// still listed, with torn=true and zero records).
+  std::vector<SegmentInfo> segment_details;
+  /// Segments at or below the watermark (already folded; recovery deletes
+  /// them on sight, so their presence in a read-only scan is suspicious).
+  std::vector<SegmentInfo> stale_details;
 };
 
 /// Scans the changelog next to `snapshot_path` without mutating anything:
@@ -175,25 +193,28 @@ class Changelog {
   /// fails and the process then crashes, a fully-written record whose
   /// batch was REJECTED to the caller may still replay.
   bool Append(std::span<const EdgeUpdate> updates, const SourceGraphInfo& stamp,
-              std::string* error = nullptr);
+              std::string* error = nullptr) REQUIRES(commit_mutex_);
 
   /// Seals the tail segment if it has any records (so every appended
   /// update sits in a sealed segment and can be folded). No-op otherwise.
-  bool SealTail(std::string* error = nullptr);
+  bool SealTail(std::string* error = nullptr) REQUIRES(commit_mutex_);
 
   /// Unlinks sealed segments with seq <= through_seq (after a fold
   /// published a base with that watermark) and syncs the directory.
-  bool DropSegmentsThrough(std::uint64_t through_seq, std::string* error = nullptr);
+  bool DropSegmentsThrough(std::uint64_t through_seq, std::string* error = nullptr)
+      REQUIRES(commit_mutex_);
 
   /// Highest segment sequence number on disk (0 = none yet beyond the
   /// base watermark).
-  std::uint64_t last_seq() const { return last_seq_; }
+  std::uint64_t last_seq() const REQUIRES(commit_mutex_) { return last_seq_; }
   /// Highest sealed sequence number (everything at or below is foldable).
-  std::uint64_t sealed_seq() const { return sealed_seq_; }
+  std::uint64_t sealed_seq() const REQUIRES(commit_mutex_) { return sealed_seq_; }
   /// Sealed segments not yet dropped by compaction.
-  std::size_t sealed_segments() const;
+  std::size_t sealed_segments() const REQUIRES(commit_mutex_);
   /// Update records appended through this handle (not counting recovery).
-  std::size_t updates_appended() const { return updates_appended_; }
+  std::size_t updates_appended() const REQUIRES(commit_mutex_) {
+    return updates_appended_;
+  }
   std::uint64_t base_seq() const { return base_seq_; }
   const ChangelogOptions& options() const { return opts_; }
   const std::string& snapshot_path() const { return snapshot_path_; }
@@ -201,18 +222,18 @@ class Changelog {
   /// The commit lock: callers hold it across Append + state publish (and
   /// the compactor across SealTail + state capture) so the log and the
   /// published serving state never disagree.
-  std::mutex& commit_mutex() { return commit_mutex_; }
+  Mutex& commit_mutex() RETURN_CAPABILITY(commit_mutex_) { return commit_mutex_; }
 
  private:
   Changelog(std::string snapshot_path, std::uint64_t base_seq, ChangelogOptions opts);
 
-  bool OpenNewTail(std::string* error);
-  bool SealTailLocked(std::string* error);
-  bool Broken(std::string* error) const;
+  bool OpenNewTail(std::string* error) REQUIRES(commit_mutex_);
+  bool SealTailLocked(std::string* error) REQUIRES(commit_mutex_);
+  bool Broken(std::string* error) const REQUIRES(commit_mutex_);
   /// Truncates the tail back to tail_bytes_ after a failed write/sync and
   /// syncs the truncation; marks the log broken if the truncate fails.
   /// Always returns false, reporting `what` through `error`.
-  bool RollbackTail(std::string* error, const std::string& what);
+  bool RollbackTail(std::string* error, const std::string& what) REQUIRES(commit_mutex_);
 
   struct Segment {
     std::uint64_t seq = 0;
@@ -223,18 +244,18 @@ class Changelog {
   std::string snapshot_path_;
   std::uint64_t base_seq_ = 0;
   ChangelogOptions opts_;
-  std::vector<Segment> segments_;  // live, ascending seq
-  std::uint64_t last_seq_ = 0;
-  std::uint64_t sealed_seq_ = 0;
-  std::size_t updates_appended_ = 0;
-  int tail_fd_ = -1;
-  std::uint64_t tail_bytes_ = 0;
-  std::size_t tail_records_ = 0;
+  std::vector<Segment> segments_ GUARDED_BY(commit_mutex_);  // live, ascending seq
+  std::uint64_t last_seq_ GUARDED_BY(commit_mutex_) = 0;
+  std::uint64_t sealed_seq_ GUARDED_BY(commit_mutex_) = 0;
+  std::size_t updates_appended_ GUARDED_BY(commit_mutex_) = 0;
+  int tail_fd_ GUARDED_BY(commit_mutex_) = -1;
+  std::uint64_t tail_bytes_ GUARDED_BY(commit_mutex_) = 0;
+  std::size_t tail_records_ GUARDED_BY(commit_mutex_) = 0;
   /// Running checksum of every tail byte written, so the seal record's
   /// whole-segment body checksum needs no re-read.
-  Fnv1a64 tail_hash_;
-  bool broken_ = false;
-  std::mutex commit_mutex_;
+  Fnv1a64 tail_hash_ GUARDED_BY(commit_mutex_);
+  bool broken_ GUARDED_BY(commit_mutex_) = false;
+  Mutex commit_mutex_;
 };
 
 /// One-stop recovery entry for tools: removes a leftover compaction temp

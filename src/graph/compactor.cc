@@ -13,7 +13,7 @@ Compactor::~Compactor() { Stop(); }
 
 bool Compactor::Fail(std::string* error, const std::string& msg) {
   {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     last_error_ = msg;
   }
   if (error != nullptr) *error = msg;
@@ -21,13 +21,13 @@ bool Compactor::Fail(std::string* error, const std::string& msg) {
 }
 
 std::string Compactor::last_error() const {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   return last_error_;
 }
 
 bool Compactor::RunOnce(bool force, std::string* error, bool* folded) {
   if (folded != nullptr) *folded = false;
-  std::lock_guard<std::mutex> run(run_mutex_);
+  MutexLock run(run_mutex_);
 
   // Seal + capture under the commit lock: the captured state then contains
   // exactly the records in segments <= `through`, which is the invariant
@@ -36,7 +36,7 @@ bool Compactor::RunOnce(bool force, std::string* error, bool* folded) {
   std::uint64_t through = 0;
   State state;
   {
-    std::lock_guard<std::mutex> commit(log_->commit_mutex());
+    MutexLock commit(log_->commit_mutex());
     if (!force && log_->sealed_segments() < opts_.threshold_segments) return true;
     std::string seal_err;
     if (!log_->SealTail(&seal_err)) return Fail(error, "compaction seal: " + seal_err);
@@ -74,7 +74,7 @@ bool Compactor::RunOnce(bool force, std::string* error, bool* folded) {
   if (!FsyncParentDir(path, &err)) return Fail(error, "compaction dir fsync: " + err);
 
   {
-    std::lock_guard<std::mutex> commit(log_->commit_mutex());
+    MutexLock commit(log_->commit_mutex());
     if (!log_->DropSegmentsThrough(through, &err)) {
       // The fold itself is published; the stale segments will be deleted by
       // the next recovery. Still a failure worth reporting.
@@ -87,7 +87,7 @@ bool Compactor::RunOnce(bool force, std::string* error, bool* folded) {
 }
 
 void Compactor::Start() {
-  std::lock_guard<std::mutex> lock(stop_mutex_);
+  MutexLock lock(stop_mutex_);
   if (thread_.joinable()) return;
   stop_ = false;
   thread_ = std::thread([this] { Loop(); });
@@ -95,23 +95,26 @@ void Compactor::Start() {
 
 void Compactor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     if (!thread_.joinable()) return;
     stop_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   thread_.join();
 }
 
 void Compactor::Loop() {
-  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_mutex_.lock();
   while (!stop_) {
-    stop_cv_.wait_for(lock, opts_.poll_interval, [this] { return stop_; });
+    stop_cv_.WaitFor(stop_mutex_, opts_.poll_interval);
     if (stop_) break;
-    lock.unlock();
+    // RunOnce takes run_mutex_ and the commit lock; never hold stop_mutex_
+    // across it or Stop() would block behind a whole fold.
+    stop_mutex_.unlock();
     RunOnce(/*force=*/false);
-    lock.lock();
+    stop_mutex_.lock();
   }
+  stop_mutex_.unlock();
 }
 
 }  // namespace bccs

@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "bcc/bc_index.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/changelog.h"
 #include "graph/labeled_graph.h"
 #include "graph/snapshot.h"
@@ -84,20 +84,23 @@ class Compactor {
   std::string last_error() const;
 
  private:
-  void Loop();
-  bool Fail(std::string* error, const std::string& msg);
+  void Loop() EXCLUDES(stop_mutex_, run_mutex_);
+  bool Fail(std::string* error, const std::string& msg) EXCLUDES(error_mutex_);
 
   Changelog* log_;
   StateFn state_fn_;
   CompactorOptions opts_;
-  std::mutex run_mutex_;  // one fold at a time (manual vs background)
+  Mutex run_mutex_;  // one fold at a time (manual vs background)
   std::atomic<std::size_t> folds_{0};
-  mutable std::mutex error_mutex_;
-  std::string last_error_;
+  mutable Mutex error_mutex_;
+  std::string last_error_ GUARDED_BY(error_mutex_);
+  // Written by Start, joined by Stop; the two serialize through stop_mutex_
+  // (the joinable check), but the join itself runs outside the lock so the
+  // exiting thread can reacquire it — deliberately not GUARDED_BY.
   std::thread thread_;
-  std::mutex stop_mutex_;
-  std::condition_variable stop_cv_;
-  bool stop_ = false;
+  Mutex stop_mutex_;
+  CondVar stop_cv_;
+  bool stop_ GUARDED_BY(stop_mutex_) = false;
 };
 
 }  // namespace bccs

@@ -1,7 +1,8 @@
 #include "graph/generators.h"
 
+#include "common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <random>
 #include <set>
 #include <utility>
@@ -70,9 +71,10 @@ std::vector<VertexId> PlantedCommunity::AllVertices() const {
 }
 
 PlantedGraph GeneratePlanted(const PlantedConfig& cfg) {
-  assert(cfg.num_labels >= cfg.groups_per_community);
-  assert(cfg.groups_per_community >= 2);
-  assert(cfg.min_group_size >= 4 && cfg.max_group_size >= cfg.min_group_size);
+  BCCS_CHECK_GE(cfg.num_labels, cfg.groups_per_community);
+  BCCS_CHECK_GE(cfg.groups_per_community, 2u);
+  BCCS_CHECK_GE(cfg.min_group_size, 4u);
+  BCCS_CHECK_GE(cfg.max_group_size, cfg.min_group_size);
 
   Rng rng(cfg.seed);
   std::uniform_int_distribution<std::size_t> group_size(cfg.min_group_size, cfg.max_group_size);

@@ -60,7 +60,7 @@ std::optional<GraphDelta> BuildGraphDelta(const LabeledGraph& g,
                                      std::to_string(n) + " vertices)");
     if (e.u == e.v) return fail(i, "self loop " + name);
     const std::uint64_t key = EdgeKey(e);
-    const bool present = g.HasEdge(e.u, e.v) != (toggled.count(key) != 0);
+    const bool present = g.HasEdge(e.u, e.v) != toggled.contains(key);
     if (updates[i].kind == EdgeUpdateKind::kInsert) {
       if (present) return fail(i, "insert of existing edge " + name);
     } else {

@@ -1,20 +1,21 @@
 #include "graph/labeled_graph.h"
 
+#include "common/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 namespace bccs {
 
 LabeledGraph LabeledGraph::FromEdges(std::size_t num_vertices, std::vector<Edge> edges,
                                      std::vector<Label> labels) {
-  assert(labels.size() == num_vertices);
+  BCCS_CHECK_EQ(labels.size(), num_vertices);
 
   // Canonicalize, drop self-loops, dedupe.
   std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
   for (Edge& e : edges) {
     if (e.u > e.v) std::swap(e.u, e.v);
-    assert(e.v < num_vertices);
+    BCCS_CHECK_LT(e.v, num_vertices) << "edge endpoint out of range";
   }
   std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;

@@ -122,6 +122,7 @@ class LabeledGraph {
  private:
   friend class SnapshotAccess;    // builds view-mode graphs from mapped files
   friend class GraphDeltaAccess;  // rebuilds adjacency, shares label arrays
+  friend class ValidateAccess;    // common/validate.h audits the raw arrays
 
   ArrayRef<std::uint64_t> offsets_;        // size NumVertices()+1
   ArrayRef<VertexId> adjacency_;           // both directions, sorted per vertex

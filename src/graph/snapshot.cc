@@ -73,7 +73,12 @@ class SnapshotAccess {
     index->label_coreness_ = ArrayRef<std::uint32_t>::View(coreness.data(), coreness.size());
     index->max_core_per_label_ =
         ArrayRef<std::uint32_t>::View(max_core.data(), max_core.size());
-    index->pair_cache_ = std::move(pairs);
+    {
+      // Freshly constructed and single-owned, but the cache is GUARDED_BY its
+      // mutex — take the (uncontended) lock so the annotation holds everywhere.
+      MutexLock lock(index->pair_cache_mutex_);
+      index->pair_cache_ = std::move(pairs);
+    }
     return index;
   }
 };

@@ -1,7 +1,6 @@
 #include "truss/truss_decomposition.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace bccs {
 

@@ -32,6 +32,27 @@ namespace {
 namespace fs = std::filesystem;
 using testing::MakeRandomGraph;
 
+// Changelog's mutators and counters REQUIRE the commit lock; these helpers
+// take it around the single-threaded test call sites.
+bool LockedAppend(Changelog& log, std::span<const EdgeUpdate> updates,
+                  std::string* error) {
+  MutexLock commit(log.commit_mutex());
+  return log.Append(updates, {}, error);
+}
+
+struct LogCounters {
+  std::uint64_t last_seq = 0;
+  std::uint64_t sealed_seq = 0;
+  std::size_t sealed_segments = 0;
+  std::size_t updates_appended = 0;
+};
+
+LogCounters ReadCounters(Changelog& log) {
+  MutexLock commit(log.commit_mutex());
+  return {log.last_seq(), log.sealed_seq(), log.sealed_segments(),
+          log.updates_appended()};
+}
+
 void ExpectSameGraph(const LabeledGraph& a, const LabeledGraph& b) {
   ASSERT_EQ(a.NumVertices(), b.NumVertices());
   ASSERT_EQ(a.NumEdges(), b.NumEdges());
@@ -126,14 +147,14 @@ TEST_F(ChangelogTest, AppendRotateScanRoundTrip) {
   const auto batches = DeleteBatches(g, 5);
   std::vector<EdgeUpdate> all;
   for (const auto& b : batches) {
-    ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(b), {}, &error)) << error;
+    ASSERT_TRUE(LockedAppend(*log, std::span<const EdgeUpdate>(b), &error)) << error;
     all.insert(all.end(), b.begin(), b.end());
   }
   // 5 records at 2 per segment: segments 1 and 2 sealed, 3 is the live tail.
-  EXPECT_EQ(log->last_seq(), 3u);
-  EXPECT_EQ(log->sealed_seq(), 2u);
-  EXPECT_EQ(log->sealed_segments(), 2u);
-  EXPECT_EQ(log->updates_appended(), 5u);
+  EXPECT_EQ(ReadCounters(*log).last_seq, 3u);
+  EXPECT_EQ(ReadCounters(*log).sealed_seq, 2u);
+  EXPECT_EQ(ReadCounters(*log).sealed_segments, 2u);
+  EXPECT_EQ(ReadCounters(*log).updates_appended, 5u);
   EXPECT_TRUE(fs::exists(SegmentPath(1)));
   EXPECT_TRUE(fs::exists(SegmentPath(2)));
   EXPECT_TRUE(fs::exists(SegmentPath(3)));
@@ -168,10 +189,9 @@ TEST_F(ChangelogTest, AppendRotateScanRoundTrip) {
   EXPECT_EQ(reopened->bundle.replayed_updates, 5u);
   EXPECT_EQ(reopened->status.records, 5u);
   EXPECT_EQ(reopened->status.truncated_bytes, 0u);
-  EXPECT_EQ(reopened->log->last_seq(), 3u);
+  EXPECT_EQ(ReadCounters(*reopened->log).last_seq, 3u);
   ExpectSameGraph(*reopened->bundle.graph, ApplyPrefix(g, batches, 5));
-  ASSERT_TRUE(reopened->log->Append(std::span<const EdgeUpdate>(batches[0]), {},
-                                    &error))
+  ASSERT_TRUE(LockedAppend(*reopened->log, std::span<const EdgeUpdate>(batches[0]), &error))
       << error;  // re-inserting nothing: batch 0 deletes an already-deleted
                  // edge is INVALID to replay — undo it instead
   // Undo the extra append by folding is out of scope here; just verify the
@@ -202,7 +222,7 @@ TEST_F(ChangelogTest, TornTailTruncatedAtEveryByteOffset) {
   const std::string tail = SegmentPath(1);
   std::vector<std::uint64_t> size_after;  // record boundaries in the tail
   for (const auto& b : batches) {
-    ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(b), {}, &error)) << error;
+    ASSERT_TRUE(LockedAppend(*log, std::span<const EdgeUpdate>(b), &error)) << error;
     size_after.push_back(fs::file_size(tail));
   }
   log.reset();
@@ -262,7 +282,7 @@ TEST_F(ChangelogTest, AppendAfterRolledBackFailureLeavesNoHole) {
   ASSERT_NE(log, nullptr) << error;
 
   const auto batches = DeleteBatches(g, 3);
-  ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(batches[0]), {}, &error))
+  ASSERT_TRUE(LockedAppend(*log, std::span<const EdgeUpdate>(batches[0]), &error))
       << error;
   const std::string tail = SegmentPath(1);
   const std::uint64_t acked_bytes = fs::file_size(tail);
@@ -273,7 +293,7 @@ TEST_F(ChangelogTest, AppendAfterRolledBackFailureLeavesNoHole) {
   struct rlimit capped = old_lim;
   capped.rlim_cur = acked_bytes + 8;  // room for a torn fragment, not a record
   ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &capped), 0);
-  EXPECT_FALSE(log->Append(std::span<const EdgeUpdate>(batches[1]), {}, &error));
+  EXPECT_FALSE(LockedAppend(*log, std::span<const EdgeUpdate>(batches[1]), &error));
   ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_lim), 0);
   std::signal(SIGXFSZ, old_handler);
 
@@ -282,7 +302,7 @@ TEST_F(ChangelogTest, AppendAfterRolledBackFailureLeavesNoHole) {
 
   // The log is NOT broken: the next append is acknowledged and recovery
   // replays both acked records — nothing torn, nothing dropped.
-  ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(batches[2]), {}, &error))
+  ASSERT_TRUE(LockedAppend(*log, std::span<const EdgeUpdate>(batches[2]), &error))
       << error;
   log.reset();
   auto recovered = OpenSnapshotWithChangelog(path_, opts, {}, &error);
@@ -307,7 +327,7 @@ TEST_F(ChangelogTest, NonTailCorruptionIsAHardError) {
   ASSERT_NE(log, nullptr) << error;
   const auto batches = DeleteBatches(g, 2);
   for (const auto& b : batches) {
-    ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(b), {}, &error)) << error;
+    ASSERT_TRUE(LockedAppend(*log, std::span<const EdgeUpdate>(b), &error)) << error;
   }
   log.reset();
   ASSERT_TRUE(fs::exists(SegmentPath(2)));
@@ -334,7 +354,7 @@ TEST_F(ChangelogTest, NonTailCorruptionIsAHardError) {
   log = Changelog::Open(path_, 0, opts, nullptr, &error);
   ASSERT_NE(log, nullptr) << error;
   for (const auto& b : batches) {
-    ASSERT_TRUE(log->Append(std::span<const EdgeUpdate>(b), {}, &error)) << error;
+    ASSERT_TRUE(LockedAppend(*log, std::span<const EdgeUpdate>(b), &error)) << error;
   }
   log.reset();
   fs::remove(SegmentPath(1));
@@ -358,10 +378,10 @@ TEST_F(ChangelogTest, CompactionFoldsAndStaysIdempotentAcrossCrashes) {
   const auto batches = DeleteBatches(g, 2);
   std::vector<EdgeUpdate> flat;
   for (const auto& b : batches) {
-    ASSERT_TRUE(log.Append(std::span<const EdgeUpdate>(b), {}, &error)) << error;
+    ASSERT_TRUE(LockedAppend(log, std::span<const EdgeUpdate>(b), &error)) << error;
     flat.insert(flat.end(), b.begin(), b.end());
   }
-  ASSERT_EQ(log.sealed_segments(), 2u);
+  ASSERT_EQ(ReadCounters(log).sealed_segments, 2u);
 
   // The folded state: base graph + both batches, re-indexed.
   const LabeledGraph folded_graph = ApplyPrefix(g, batches, 2);
@@ -423,9 +443,9 @@ TEST_F(ChangelogTest, CompactionFoldsAndStaysIdempotentAcrossCrashes) {
 
   // Appends resume ABOVE the watermark; the next scan replays only them.
   const auto more = DeleteBatches(folded_graph, 1);
-  ASSERT_TRUE(reopened->log->Append(std::span<const EdgeUpdate>(more[0]), {}, &error))
+  ASSERT_TRUE(LockedAppend(*reopened->log, std::span<const EdgeUpdate>(more[0]), &error))
       << error;
-  EXPECT_EQ(reopened->log->last_seq(), 3u);
+  EXPECT_EQ(ReadCounters(*reopened->log).last_seq, 3u);
   auto after = LoadSnapshot(path_, &error);
   ASSERT_TRUE(after.has_value()) << error;
   EXPECT_EQ(after->replayed_updates, 1u);
@@ -460,8 +480,8 @@ TEST_F(ChangelogTest, ServeEngineAppendsAppliedUpdatesDurably) {
   ASSERT_EQ(result.updates.size(), 1u);
   ASSERT_TRUE(result.updates[0].applied) << result.updates[0].error;
   EXPECT_EQ(engine.epoch(), 2u);
-  EXPECT_EQ(log->updates_appended(), 1u);
-  EXPECT_EQ(log->last_seq(), 1u);
+  EXPECT_EQ(ReadCounters(*log).updates_appended, 1u);
+  EXPECT_EQ(ReadCounters(*log).last_seq, 1u);
 
   // Restart: the applied update is on disk and replays.
   log.reset();
@@ -505,7 +525,7 @@ TEST_F(ChangelogTest, ServeEngineRejectsTheBatchWhenTheAppendFails) {
             std::string::npos)
       << result.updates[0].error;
   EXPECT_EQ(engine.epoch(), 1u);
-  EXPECT_EQ(log->updates_appended(), 0u);
+  EXPECT_EQ(ReadCounters(*log).updates_appended, 0u);
 }
 
 }  // namespace

@@ -97,7 +97,9 @@ TEST_P(CoreHierarchyPropertyTest, MatchesDirectComputation) {
     std::vector<char> in_core(g.NumVertices(), 0);
     for (VertexId v : core) in_core[v] = 1;
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      if (!in_core[v]) EXPECT_EQ(h.ComponentId(v, k), kInvalidVertex);
+      if (!in_core[v]) {
+        EXPECT_EQ(h.ComponentId(v, k), kInvalidVertex);
+      }
     }
   }
 }

@@ -22,12 +22,14 @@
 #
 # usage: crash_matrix.sh BIN_DIR FAULT_LIB [quick]
 #   quick: matrix A runs one step and matrix B caps at 6 points — the
-#   cheap variant tools/e2e_snapshot_test.sh tacks onto its run.
+#   cheap variant tools/e2e_snapshot_test.sh tacks onto its run. Setting
+#   CRASH_QUICK=1 in the environment has the same effect, which is how CI
+#   trims the crash-labeled ctest without reconfiguring.
 set -u
 
 bin="${1:?usage: crash_matrix.sh BIN_DIR FAULT_LIB [quick]}"
 lib="${2:?usage: crash_matrix.sh BIN_DIR FAULT_LIB [quick]}"
-quick="${3:-}"
+quick="${3:-${CRASH_QUICK:+quick}}"
 [ -f "$lib" ] || { echo "FAIL: fault library $lib not found" >&2; exit 1; }
 
 tmp="$(mktemp -d)"

@@ -351,7 +351,9 @@ TEST_F(SnapshotRejectionTest, StructuralChecksCatchOutOfRangeAdjacency) {
     opts.verify_checksum = verify;
     std::string error;
     EXPECT_FALSE(LoadSnapshot(path_, &error, opts).has_value());
-    if (!verify) EXPECT_NE(error.find("adjacency"), std::string::npos) << error;
+    if (!verify) {
+      EXPECT_NE(error.find("adjacency"), std::string::npos) << error;
+    }
   }
 }
 

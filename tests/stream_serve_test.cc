@@ -332,7 +332,9 @@ TEST(StreamServeTest, LaneCapsChangeSchedulingNotAnswers) {
   BatchResult got = engine.RunStream(items);
   ExpectSameAnswers(got, want);
   for (const LaneSummary& lane : got.lanes) {
-    if (lane.lane == Lane::kBulk) EXPECT_LE(lane.max_inflight, 1u);
+    if (lane.lane == Lane::kBulk) {
+      EXPECT_LE(lane.max_inflight, 1u);
+    }
   }
 }
 

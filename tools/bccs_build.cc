@@ -3,16 +3,20 @@
 // time (see graph/snapshot.h for the format).
 //
 //   bccs_build --graph g.txt --out g.snap [--pairs all|none] [--no-verify]
+//              [--validate]
 //
 // --pairs all (default) materializes the butterfly counts of every
 // cross-label pair before saving, so a loaded index never computes
 // butterflies at query time; --pairs none saves only the coreness arrays
 // (pairs fault in lazily after load). Unless --no-verify is given, the tool
 // re-loads the snapshot and checks it against the in-memory index.
+// --validate runs the deep structural audits (common/validate.h) on the
+// graph and the built index before saving.
 
 #include <cstdio>
 #include <string>
 
+#include "common/validate.h"
 #include "eval/timer.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
@@ -22,7 +26,8 @@ namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: bccs_build --graph FILE --out FILE [--pairs all|none] [--no-verify]\n");
+               "usage: bccs_build --graph FILE --out FILE [--pairs all|none] [--no-verify] "
+               "[--validate]\n");
 }
 
 bool VerifySnapshot(const bccs::BcIndex& built, const std::string& path) {
@@ -57,7 +62,8 @@ bool VerifySnapshot(const bccs::BcIndex& built, const std::string& path) {
 
 int main(int argc, char** argv) {
   bccs::ArgParser args = bccs::ArgParser::Parse(argc, argv);
-  auto unknown = args.UnknownFlags({"graph", "out", "pairs", "no-verify", "help"});
+  auto unknown =
+      args.UnknownFlags({"graph", "out", "pairs", "no-verify", "validate", "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -94,6 +100,20 @@ int main(int argc, char** argv) {
   bccs::BcIndex index(*graph);
   if (pairs == "all") index.MaterializeAllPairs();
   const double build_seconds = build_timer.Seconds();
+
+  if (args.Has("validate")) {
+    bccs::Timer validate_timer;
+    if (bccs::ValidationResult r = bccs::ValidateGraph(*graph); !r.ok) {
+      std::fprintf(stderr, "validate: graph audit failed: %s\n", r.reason.c_str());
+      return 1;
+    }
+    if (bccs::ValidationResult r = bccs::ValidateIndex(index); !r.ok) {
+      std::fprintf(stderr, "validate: index audit failed: %s\n", r.reason.c_str());
+      return 1;
+    }
+    std::printf("validate: graph and index audits passed (%.4fs)\n",
+                validate_timer.Seconds());
+  }
 
   bccs::Timer save_timer;
   std::string save_error;

@@ -3,7 +3,7 @@
 // stdout.
 //
 //   bccs_generate --dataset dblp --out dblp.txt [--truth truth.txt]
-//   bccs_generate --communities 50 --group-size 16 --labels 2 --seed 7 \
+//   bccs_generate --communities 50 --group-size 16 --labels 2 --seed 7
 //                 --out custom.txt
 
 #include <cstdio>

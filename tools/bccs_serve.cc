@@ -455,11 +455,20 @@ int main(int argc, char** argv) {
                 lane.latency.p99_seconds);
   }
   if (changelog != nullptr) {
+    std::size_t updates_appended = 0, sealed_segments = 0;
+    std::uint64_t last_seq = 0;
+    {
+      // The stream is finished and the compactor stopped; the lock is
+      // uncontended but required by the counters' contract.
+      bccs::MutexLock commit(changelog->commit_mutex());
+      updates_appended = changelog->updates_appended();
+      last_seq = changelog->last_seq();
+      sealed_segments = changelog->sealed_segments();
+    }
     std::printf("durable: %zu updates appended (last seq %llu, %zu sealed segments), "
                 "%zu compaction folds\n",
-                changelog->updates_appended(),
-                static_cast<unsigned long long>(changelog->last_seq()),
-                changelog->sealed_segments(),
+                updates_appended, static_cast<unsigned long long>(last_seq),
+                sealed_segments,
                 compactor != nullptr ? compactor->folds() : std::size_t{0});
   }
   return parse_ok ? 0 : 2;

@@ -5,7 +5,7 @@
 //               [--no-verify]
 //               [--changelog] [--fsync none|on-rotation|every-append]
 //               [--segment-blocks N] [--compact-threshold N]
-//               [--recover-only] [--ack-file FILE]
+//               [--recover-only] [--ack-file FILE] [--validate]
 //
 // Loads the snapshot — recovering it first: a leftover compaction temp file
 // is removed, a torn in-file delta tail is truncated to the last complete
@@ -51,7 +51,9 @@
 // disabled).
 //
 // Unless --no-verify is given, the tool re-loads the snapshot and checks
-// the replayed state against the in-memory updated index.
+// the replayed state against the in-memory updated index. --validate runs
+// the deep structural audits (common/validate.h) on the updated graph and
+// index, plus the changelog-chain audit, before exiting.
 
 #include <algorithm>
 #include <cstdio>
@@ -59,6 +61,7 @@
 #include <string>
 
 #include "bcc/bc_index.h"
+#include "common/validate.h"
 #include "eval/timer.h"
 #include "graph/changelog.h"
 #include "graph/compactor.h"
@@ -77,7 +80,7 @@ void PrintUsage() {
                "                   [--no-verify] [--changelog]\n"
                "                   [--fsync none|on-rotation|every-append]\n"
                "                   [--segment-blocks N] [--compact-threshold N]\n"
-               "                   [--recover-only] [--ack-file FILE]\n");
+               "                   [--recover-only] [--ack-file FILE] [--validate]\n");
 }
 
 bool VerifyReload(const bccs::LabeledGraph& updated, const bccs::BcIndex& repaired,
@@ -164,7 +167,7 @@ int main(int argc, char** argv) {
   auto unknown = args.UnknownFlags({"snapshot", "updates", "graph", "compact", "auto-compact",
                                     "write-graph", "no-verify", "changelog", "fsync",
                                     "segment-blocks", "compact-threshold", "recover-only",
-                                    "ack-file", "help"});
+                                    "ack-file", "validate", "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -286,15 +289,20 @@ int main(int argc, char** argv) {
     // The durable append: Changelog::Append returning true IS the
     // acknowledgment, durable per --fsync.
     bccs::Timer append_timer;
-    if (!recovered->log->Append(*updates, source, &error)) {
-      std::fprintf(stderr, "cannot append to changelog: %s\n", error.c_str());
-      return 1;
+    std::uint64_t appended_seq = 0;
+    {
+      // The tool is single-threaded, but Append requires the commit lock.
+      bccs::MutexLock commit(recovered->log->commit_mutex());
+      if (!recovered->log->Append(*updates, source, &error)) {
+        std::fprintf(stderr, "cannot append to changelog: %s\n", error.c_str());
+        return 1;
+      }
+      appended_seq = recovered->log->last_seq();
     }
     std::printf("changelog: %zu updates acknowledged (policy %s) into segment %llu "
                 "in %.4fs\n",
                 updates->size(), Name(copts.fsync),
-                static_cast<unsigned long long>(recovered->log->last_seq()),
-                append_timer.Seconds());
+                static_cast<unsigned long long>(appended_seq), append_timer.Seconds());
     if (auto ack_file = args.GetString("ack-file")) {
       if (!AppendAckLine(*ack_file, updates->size())) {
         std::fprintf(stderr, "cannot record ack in %s\n", ack_file->c_str());
@@ -316,9 +324,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (folded) {
+        std::uint64_t folded_seq = 0;
+        {
+          bccs::MutexLock commit(recovered->log->commit_mutex());
+          folded_seq = recovered->log->sealed_seq();
+        }
         std::printf("compacted: folded segments through %llu into %s in %.4fs\n",
-                    static_cast<unsigned long long>(recovered->log->sealed_seq()),
-                    snapshot_path->c_str(), fold_timer.Seconds());
+                    static_cast<unsigned long long>(folded_seq), snapshot_path->c_str(),
+                    fold_timer.Seconds());
       }
     }
   } else if (args.Has("compact")) {
@@ -393,6 +406,35 @@ int main(int argc, char** argv) {
     if (!VerifyReload(*updated, *repaired, *snapshot_path)) return 1;
     std::printf("verify: snapshot reload matches the updated index (%.4fs)\n",
                 verify_timer.Seconds());
+  }
+
+  if (args.Has("validate")) {
+    bccs::Timer validate_timer;
+    if (bccs::ValidationResult r = bccs::ValidateGraph(*updated); !r.ok) {
+      std::fprintf(stderr, "validate: graph audit failed: %s\n", r.reason.c_str());
+      return 1;
+    }
+    if (bccs::ValidationResult r = bccs::ValidateIndex(*repaired); !r.ok) {
+      std::fprintf(stderr, "validate: index audit failed: %s\n", r.reason.c_str());
+      return 1;
+    }
+    // The chain audit re-reads the watermark from the (possibly compacted)
+    // snapshot header rather than trusting this process's view.
+    std::uint64_t watermark = 0;
+    std::string peek_error;
+    if (auto peeked = bccs::LoadSnapshot(*snapshot_path, &peek_error)) {
+      watermark = peeked->base_changelog_seq;
+    } else {
+      std::fprintf(stderr, "validate: cannot reload snapshot: %s\n", peek_error.c_str());
+      return 1;
+    }
+    if (bccs::ValidationResult r = bccs::ValidateChangelogChain(*snapshot_path, watermark);
+        !r.ok) {
+      std::fprintf(stderr, "validate: changelog audit failed: %s\n", r.reason.c_str());
+      return 1;
+    }
+    std::printf("validate: graph, index, and changelog audits passed (%.4fs)\n",
+                validate_timer.Seconds());
   }
   return 0;
 }

@@ -1,26 +1,68 @@
 #!/usr/bin/env bash
 # Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
-# leaving BENCH_PR6.json next to this script's repo root. The JSON carries
+# leaving BENCH_PR7.json next to this script's repo root. The JSON carries
 # the batch-query QPS rows, the snapshot cold-start block, the two-lane
-# serving block (per-lane sojourn p50/p99 for a mixed interactive/bulk
-# batch), the streaming block (interactive p95 under a saturating mixed
-# stream with and without the bulk in-flight cap, and the update's
-# admission->publish latency for the streaming loop vs the PR 4 barrier
-# emulation), the approx block (sampled-vs-exact wall time on the large
-# generated graph, with determinism and exact-validity checks), the updates
-# block (incremental BcIndex::ApplyUpdates vs full rebuild seconds per
-# edge-update batch, with a bit-identical check), and the recovery block
-# (bare base load vs rotated-changelog replay vs the post-compaction load,
-# with an identical-answers check). Future PRs append their own
-# BENCH_PR<N>.json and compare.
+# serving block (per-lane sojourn p50/p99 plus the warm serving wall time),
+# the streaming block, the approx block, the updates block, and the recovery
+# block — see BENCH_PR6.json for the lineage — plus a new check_overhead
+# block: the serving block is re-run from a second build configured with
+# -DBCCS_STRIP_CHECKS=ON (BCCS_CHECK compiled out) and the two warm wall
+# times are compared, best of $RUNS runs each, to price the always-on
+# invariant checks. Future PRs append their own BENCH_PR<N>.json and compare.
 #
 # usage: tools/run_bench.sh [extra perf_smoke args...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
+strip_dir="${STRIP_BUILD_DIR:-$repo_root/build-nocheck}"
+out="$repo_root/BENCH_PR7.json"
+runs="${RUNS:-3}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target perf_smoke -j >/dev/null
 
-"$build_dir/perf_smoke" --out "$repo_root/BENCH_PR6.json" "$@"
+"$build_dir/perf_smoke" --out "$out" "$@"
+
+# Price the always-on BCCS_CHECKs: same serving workload, one binary with
+# checks compiled in (the shipping configuration) and one with them stripped.
+cmake -B "$strip_dir" -S "$repo_root" -DBCCS_STRIP_CHECKS=ON >/dev/null
+cmake --build "$strip_dir" --target perf_smoke -j >/dev/null
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for i in $(seq "$runs"); do
+  "$build_dir/perf_smoke" --serving-only --queries 192 --out "$tmp/on.$i.json" >/dev/null
+  "$strip_dir/perf_smoke" --serving-only --queries 192 --out "$tmp/off.$i.json" >/dev/null
+done
+
+python3 - "$out" "$tmp" "$runs" <<'EOF'
+import json, sys
+
+out_path, tmp, runs = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+def best_wall(prefix):
+    walls = []
+    for i in range(1, runs + 1):
+        with open(f"{tmp}/{prefix}.{i}.json") as f:
+            walls.append(json.load(f)["serving"]["wall_seconds"])
+    return min(walls)
+
+on, off = best_wall("on"), best_wall("off")
+overhead = (on - off) / off * 100.0 if off > 0 else 0.0
+
+with open(out_path) as f:
+    bench = json.load(f)
+bench["check_overhead"] = {
+    "serving_wall_seconds_checks_on": on,
+    "serving_wall_seconds_checks_off": off,
+    "overhead_percent": round(overhead, 3),
+    "runs_per_config": runs,
+    "under_one_percent": overhead < 1.0,
+}
+with open(out_path, "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print(f"check_overhead: on={on:.4f}s off={off:.4f}s -> {overhead:+.3f}% "
+      f"(best of {runs})")
+EOF

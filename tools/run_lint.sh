@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy over the first-party tree (using the
+# compile_commands.json the `dev` preset exports) plus a clang-format dry
+# run. Degrades gracefully — a missing tool is reported and skipped with
+# exit 0 so the script is safe to call from environments that only carry
+# gcc; CI installs both and runs this with LINT_STRICT=1, which instead
+# fails when a tool is absent.
+#
+# usage: tools/run_lint.sh [paths...]      (default: src tools bench tests)
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-dev}"
+strict="${LINT_STRICT:-0}"
+status=0
+
+cd "$repo_root"
+if [ "$#" -gt 0 ]; then
+  paths=("$@")
+else
+  paths=(src tools bench tests)
+fi
+mapfile -t sources < <(find "${paths[@]}" -name '*.cc' ! -path 'tests/fault_fs/*' | sort)
+mapfile -t headers < <(find "${paths[@]}" -name '*.h' | sort)
+
+missing() {
+  if [ "$strict" = "1" ]; then
+    echo "lint: $1 not found (strict mode)" >&2
+    exit 1
+  fi
+  echo "lint: $1 not found; skipping (install it or use the CI lint job)"
+}
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint: $build_dir/compile_commands.json missing; run: cmake --preset dev" >&2
+    exit 1
+  fi
+  echo "lint: clang-tidy over ${#sources[@]} files"
+  clang-tidy -p "$build_dir" --quiet "${sources[@]}" || status=1
+else
+  missing clang-tidy
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "lint: clang-format check over $(( ${#sources[@]} + ${#headers[@]} )) files"
+  clang-format --dry-run -Werror "${sources[@]}" "${headers[@]}" || status=1
+else
+  missing clang-format
+fi
+
+exit "$status"
