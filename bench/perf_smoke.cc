@@ -13,20 +13,27 @@
 // dynamic edge-update batches (incremental BcIndex::ApplyUpdates vs full
 // rebuild seconds, with a bit-identical check), measures crash-recovery
 // cost (bare base load vs a rotated-changelog replay vs the load after a
-// compaction fold, with an identical-answers check), and emits a JSON
-// summary (default BENCH_PR7.json) so future PRs can compare against this
-// one.
+// compaction fold, with an identical-answers check), replays a seeded
+// open-loop Zipfian trace through the epoch-keyed result cache (hit rate,
+// cached-vs-uncached p50/p95, identical-answers gate) with a butterfly
+// block-cache eviction-pressure run, and emits a JSON summary (default
+// BENCH_PR8.json) so future PRs can compare against this one.
 //
-//   perf_smoke [--out BENCH_PR7.json] [--queries 64] [--threads 0]
+//   perf_smoke [--out BENCH_PR8.json] [--queries 64] [--threads 0]
 //             [--serving-only]
 //              [--communities 24] [--group-size 24] [--keep-snapshot]
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <random>
 #include <span>
 #include <string>
+#include <thread>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "bcc/find_g0.h"
@@ -118,6 +125,28 @@ struct ApproxRow {
   bool exact_verified = false;            // sampled answers pass VerifyBcc
 };
 
+/// Caching-layer measurements: a seeded open-loop Zipfian trace replayed
+/// through the serving engine with the result cache off and on (same
+/// admission order, so epoch_of must match bit for bit), plus a butterfly
+/// block-cache run under byte-budget eviction pressure on a label-rich
+/// graph, checked against an unbounded index.
+struct CachingRow {
+  std::size_t trace_requests = 0;   // query items in the trace
+  std::size_t distinct_queries = 0; // Zipf pool size
+  std::size_t update_bursts = 0;
+  std::uint64_t hits = 0, misses = 0, stale_drops = 0, evictions = 0;
+  double hit_rate = 0;
+  double uncached_p50 = 0, uncached_p95 = 0;  // per-query execution seconds
+  double cached_p50 = 0, cached_p95 = 0;
+  bool identical_to_uncached = false;  // communities + epoch_of, cache on vs off
+  bool cached_p50_faster = false;      // cached p50 <= 0.9 * uncached p50
+  std::size_t block_budget_bytes = 0;
+  std::size_t block_bytes = 0;  // resident unpinned bytes after the run
+  std::uint64_t block_hits = 0, block_misses = 0, block_evictions = 0;
+  bool block_within_budget = false;  // held after every single access
+  bool block_identical = false;      // capped counts == unbounded counts
+};
+
 /// Crash-recovery cost on the big index graph: load of the bare base
 /// snapshot vs recovery with a rotated-changelog replay vs the same load
 /// after the compactor folded the segments into a fresh base.
@@ -173,9 +202,9 @@ SearchStats SumStats(const BatchResult& r) {
 
 void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow& index,
                const ServingRow& serving, const StreamingRow& streaming,
-               const ApproxRow& approx, const std::vector<UpdateBatchRow>& updates,
-               const RecoveryRow& recovery, std::size_t n, std::size_t edges,
-               std::size_t par_threads) {
+               const ApproxRow& approx, const CachingRow& caching,
+               const std::vector<UpdateBatchRow>& updates, const RecoveryRow& recovery,
+               std::size_t n, std::size_t edges, std::size_t par_threads) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
   std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
@@ -229,6 +258,40 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
   std::fprintf(f, "    \"identical_across_threads\": %s,\n",
                approx.identical_across_threads ? "true" : "false");
   std::fprintf(f, "    \"exact_verified\": %s\n", approx.exact_verified ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"caching\": {\n");
+  std::fprintf(f, "    \"trace_requests\": %zu,\n", caching.trace_requests);
+  std::fprintf(f, "    \"distinct_queries\": %zu,\n", caching.distinct_queries);
+  std::fprintf(f, "    \"update_bursts\": %zu,\n", caching.update_bursts);
+  std::fprintf(f, "    \"hits\": %llu,\n", static_cast<unsigned long long>(caching.hits));
+  std::fprintf(f, "    \"misses\": %llu,\n", static_cast<unsigned long long>(caching.misses));
+  std::fprintf(f, "    \"stale_drops\": %llu,\n",
+               static_cast<unsigned long long>(caching.stale_drops));
+  std::fprintf(f, "    \"evictions\": %llu,\n",
+               static_cast<unsigned long long>(caching.evictions));
+  std::fprintf(f, "    \"hit_rate\": %.4f,\n", caching.hit_rate);
+  std::fprintf(f, "    \"uncached_p50_seconds\": %.6f,\n", caching.uncached_p50);
+  std::fprintf(f, "    \"uncached_p95_seconds\": %.6f,\n", caching.uncached_p95);
+  std::fprintf(f, "    \"cached_p50_seconds\": %.6f,\n", caching.cached_p50);
+  std::fprintf(f, "    \"cached_p95_seconds\": %.6f,\n", caching.cached_p95);
+  std::fprintf(f, "    \"identical_to_uncached\": %s,\n",
+               caching.identical_to_uncached ? "true" : "false");
+  std::fprintf(f, "    \"cached_p50_below_uncached\": %s,\n",
+               caching.cached_p50_faster ? "true" : "false");
+  std::fprintf(f, "    \"block_cache\": {\n");
+  std::fprintf(f, "      \"budget_bytes\": %zu,\n", caching.block_budget_bytes);
+  std::fprintf(f, "      \"bytes\": %zu,\n", caching.block_bytes);
+  std::fprintf(f, "      \"hits\": %llu,\n",
+               static_cast<unsigned long long>(caching.block_hits));
+  std::fprintf(f, "      \"misses\": %llu,\n",
+               static_cast<unsigned long long>(caching.block_misses));
+  std::fprintf(f, "      \"evictions\": %llu,\n",
+               static_cast<unsigned long long>(caching.block_evictions));
+  std::fprintf(f, "      \"within_budget\": %s,\n",
+               caching.block_within_budget ? "true" : "false");
+  std::fprintf(f, "      \"identical_to_unbounded\": %s\n",
+               caching.block_identical ? "true" : "false");
+  std::fprintf(f, "    }\n");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"updates\": [\n");
   for (std::size_t i = 0; i < updates.size(); ++i) {
@@ -402,7 +465,8 @@ UpdateBatchRow MeasureUpdateBatch(const PlantedGraph& pg, const BcIndex& base,
     row.identical = row.identical && repaired->Coreness(v) == rebuilt.Coreness(v);
   }
   repaired->ForEachCachedPair([&](Label a, Label b, const ButterflyCounts& counts) {
-    const ButterflyCounts& want = rebuilt.PairButterflies(a, b);
+    const auto want_pin = rebuilt.PairButterflies(a, b);
+    const ButterflyCounts& want = *want_pin;
     row.identical = row.identical && counts.total == want.total &&
                     counts.max_left == want.max_left && counts.max_right == want.max_right &&
                     counts.argmax_left == want.argmax_left &&
@@ -734,11 +798,186 @@ ApproxRow MeasureApprox(const PlantedGraph& pg, std::span<const BccQuery> querie
   return row;
 }
 
+/// One entry of the generated trace: a serve item plus its open-loop
+/// arrival offset from trace start.
+struct TraceItem {
+  ServeItem item;
+  double arrival_seconds = 0;
+};
+
+/// Seeded Zipfian rank sampler over [0, n): weight of rank r is 1/(r+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+  std::size_t operator()(std::mt19937_64& rng) const {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Result-cache trace replay plus block-cache eviction pressure.
+///
+/// The trace: ~512 LP-BCC requests Zipf(s=1.0)-distributed over the query
+/// pool, open-loop exponential arrivals (~0.3s total), with four update
+/// bursts that delete an edge and reinsert it a burst later — so answers
+/// really change between epochs and the invalidation path runs. The same
+/// trace replays against a cache-off engine and a cold cache-on engine;
+/// identical admission order makes communities and epoch_of comparable bit
+/// for bit.
+CachingRow MeasureCaching(const PlantedGraph& pg, std::span<const BccQuery> queries,
+                          std::size_t threads) {
+  CachingRow row;
+  row.distinct_queries = queries.size();
+  std::mt19937_64 rng(2026);
+  ZipfSampler zipf(queries.size(), 1.0);
+  std::exponential_distribution<double> interarrival(1.0 / 0.0006);
+
+  std::vector<Edge> edges = pg.graph.AllEdges();
+  std::shuffle(edges.begin(), edges.end(), rng);
+
+  const std::size_t kRequests = 512;
+  const std::size_t kBurstEvery = kRequests / 4;  // 4 bursts, evenly spaced
+  std::vector<TraceItem> trace;
+  double arrival = 0;
+  std::size_t burst = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    if (i > 0 && i % kBurstEvery == 0) {
+      // Burst k reinserts burst k-1's edge and deletes a fresh one; the
+      // final burst only reinserts, so the stream ends on the seed graph.
+      UpdateRequest update;
+      if (burst > 0) update.updates.push_back({EdgeUpdateKind::kInsert, edges[burst - 1]});
+      if (burst + 1 < kRequests / kBurstEvery) {
+        update.updates.push_back({EdgeUpdateKind::kDelete, edges[burst]});
+      }
+      arrival += interarrival(rng);
+      trace.push_back({ServeItem(update), arrival});
+      ++burst;
+      ++row.update_bursts;
+    }
+    QueryRequest req;
+    req.query = queries[zipf(rng)];
+    req.method = QueryMethod::kLpBcc;
+    req.lane = i % 4 == 0 ? Lane::kInteractive : Lane::kBulk;
+    arrival += interarrival(rng);
+    trace.push_back({ServeItem(req), arrival});
+    ++row.trace_requests;
+  }
+
+  BatchRunner runner(threads);
+  auto replay = [&](ServeEngine& engine) {
+    ServeEngine::Stream stream = engine.OpenStream();
+    const auto start = std::chrono::steady_clock::now();
+    for (const TraceItem& t : trace) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(t.arrival_seconds)));
+      stream.Submit(t.item);
+    }
+    return stream.Finish();
+  };
+  auto query_latency = [&](const BatchResult& r) {
+    std::vector<double> exec;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (std::holds_alternative<QueryRequest>(trace[i].item)) exec.push_back(r.seconds[i]);
+    }
+    return SummarizeLatency(exec, 0);
+  };
+
+  {
+    ServeEngine warm(runner, pg.graph);  // code/memory warm-up, discarded
+    replay(warm);
+  }
+  ServeEngine uncached_engine(runner, pg.graph);
+  BatchResult uncached = replay(uncached_engine);
+  const BatchLatency uncached_lat = query_latency(uncached);
+  row.uncached_p50 = uncached_lat.p50_seconds;
+  row.uncached_p95 = uncached_lat.p95_seconds;
+
+  ServeOptions cached_opts;
+  cached_opts.result_cache_entries = 256;
+  ServeEngine cached_engine(runner, pg.graph, nullptr, cached_opts);
+  BatchResult cached = replay(cached_engine);  // cold cache: misses then hits
+  const BatchLatency cached_lat = query_latency(cached);
+  row.cached_p50 = cached_lat.p50_seconds;
+  row.cached_p95 = cached_lat.p95_seconds;
+
+  const ResultCacheStats rc = cached.result_cache;
+  row.hits = rc.hits;
+  row.misses = rc.misses;
+  row.stale_drops = rc.stale_drops;
+  row.evictions = rc.evictions;
+  row.hit_rate = rc.hits + rc.misses > 0
+                     ? static_cast<double>(rc.hits) / static_cast<double>(rc.hits + rc.misses)
+                     : 0;
+  row.identical_to_uncached =
+      SameCommunities(uncached, cached) && uncached.epoch_of == cached.epoch_of;
+  row.cached_p50_faster = row.cached_p50 <= row.uncached_p50 * 0.9;
+
+  // Block-cache pressure: a label-rich planted graph (8 labels, 28 cross
+  // pairs) served lazily through a budget of ~3.5 pair blocks, against an
+  // unbounded reference. Every access must return the exact counts and
+  // leave the cache within budget.
+  PlantedConfig bcfg;
+  bcfg.num_communities = 12;
+  bcfg.groups_per_community = 4;
+  bcfg.num_labels = 8;
+  bcfg.mixed_group_counts = true;
+  bcfg.min_group_size = 10;
+  bcfg.max_group_size = 14;
+  bcfg.seed = 21;
+  PlantedGraph bpg = GeneratePlanted(bcfg);
+  BcIndex ref(bpg.graph);
+  BcIndex capped(bpg.graph);
+
+  std::vector<std::pair<Label, Label>> pairs;
+  const auto num_labels = static_cast<Label>(bpg.graph.NumLabels());
+  for (Label a = 0; a + 1 < num_labels; ++a) {
+    for (Label b = a + 1; b < num_labels; ++b) pairs.emplace_back(a, b);
+  }
+  std::shuffle(pairs.begin(), pairs.end(), rng);  // decorrelate rank from label order
+
+  capped.PairButterflies(pairs[0].first, pairs[0].second);  // size one block
+  const std::size_t entry_bytes = capped.PairCacheStats().bytes;
+  row.block_budget_bytes = entry_bytes * 7 / 2;
+  capped.SetPairCacheBudget(row.block_budget_bytes);
+
+  ZipfSampler pair_zipf(pairs.size(), 1.0);
+  row.block_identical = true;
+  row.block_within_budget = true;
+  for (std::size_t access = 0; access < 256; ++access) {
+    const auto [a, b] = pairs[pair_zipf(rng)];
+    const auto got = capped.PairButterflies(a, b);
+    const auto want = ref.PairButterflies(a, b);
+    row.block_identical = row.block_identical && got->total == want->total &&
+                          got->chi == want->chi && got->max_left == want->max_left &&
+                          got->max_right == want->max_right;
+    row.block_within_budget =
+        row.block_within_budget && capped.PairCacheStats().bytes <= row.block_budget_bytes;
+  }
+  const BlockCacheStats bs = capped.PairCacheStats();
+  row.block_bytes = bs.bytes;
+  row.block_hits = bs.hits;
+  row.block_misses = bs.misses;
+  row.block_evictions = bs.evictions;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR7.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR8.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -867,6 +1106,18 @@ int main(int argc, char** argv) {
       streaming.capped_max_bulk_inflight, streaming.stream_update_sojourn,
       streaming.barrier_update_sojourn, streaming.identical ? "yes" : "NO");
 
+  CachingRow caching = MeasureCaching(pg, queries, par.NumThreads());
+  std::printf(
+      "caching     hits=%llu/%llu (%.1f%%) stale=%llu  p50 uncached=%.4fs cached=%.4fs  "
+      "identical=%s | block budget=%zu bytes=%zu evictions=%llu within=%s identical=%s\n",
+      static_cast<unsigned long long>(caching.hits),
+      static_cast<unsigned long long>(caching.hits + caching.misses),
+      100.0 * caching.hit_rate, static_cast<unsigned long long>(caching.stale_drops),
+      caching.uncached_p50, caching.cached_p50,
+      caching.identical_to_uncached ? "yes" : "NO", caching.block_budget_bytes,
+      caching.block_bytes, static_cast<unsigned long long>(caching.block_evictions),
+      caching.block_within_budget ? "yes" : "NO", caching.block_identical ? "yes" : "NO");
+
   PlantedGraph big_graph;
   std::vector<BccQuery> big_queries;
   IndexRow index = MeasureSnapshotColdStart(
@@ -919,7 +1170,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  PrintJson(f, rows, index, serving, streaming, approx, update_rows, recovery, n,
+  PrintJson(f, rows, index, serving, streaming, approx, caching, update_rows, recovery, n,
             pg.graph.NumEdges(), par.NumThreads());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
@@ -946,5 +1197,14 @@ int main(int argc, char** argv) {
   // Recovery must be exact: the changelog replay and the compacted base
   // must answer identically.
   ok = ok && recovery.identical;
+  // Caching: a hit must be indistinguishable from re-execution (answers and
+  // epoch_of bit-identical with the cache on), the Zipf trace must actually
+  // hit, and the hit path must be cheaper at the median. The block cache
+  // must stay within its byte budget while evicting, without ever serving
+  // wrong counts.
+  ok = ok && caching.identical_to_uncached && caching.hit_rate >= 0.5 &&
+       caching.cached_p50_faster;
+  ok = ok && caching.block_identical && caching.block_within_budget &&
+       caching.block_evictions > 0;
   return ok ? 0 : 1;
 }

@@ -1,6 +1,8 @@
 #include "bcc/bc_index.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "butterfly/butterfly_update.h"
 #include "core/core_decomposition.h"
@@ -18,29 +20,28 @@ BcIndex::BcIndex(const LabeledGraph& g) : g_(&g), label_coreness_(LabelCoreness(
   max_core_per_label_ = std::move(max_core);
 }
 
-const ButterflyCounts& BcIndex::PairButterflies(Label a, Label b) const {
-  if (a > b) std::swap(a, b);
-  auto key = std::make_pair(a, b);
-  {
-    MutexLock lock(pair_cache_mutex_);
-    auto it = pair_cache_.find(key);
-    if (it != pair_cache_.end()) return it->second;
-  }
+namespace {
 
-  // Compute outside the lock so cached lookups of other pairs never block
-  // behind a cold count; concurrent faults of the same pair waste one
-  // recount, and the first insert wins (map nodes are reference-stable).
-  auto left = g_->VerticesWithLabel(a);
-  auto right = g_->VerticesWithLabel(b);
-  std::vector<char> in_left(g_->NumVertices(), 0), in_right(g_->NumVertices(), 0);
+ButterflyCounts ComputePairButterflies(const LabeledGraph& g, Label a, Label b) {
+  auto left = g.VerticesWithLabel(a);
+  auto right = g.VerticesWithLabel(b);
+  std::vector<char> in_left(g.NumVertices(), 0), in_right(g.NumVertices(), 0);
   for (VertexId v : left) in_left[v] = 1;
   for (VertexId v : right) in_right[v] = 1;
-  ButterflyCounts counts =
-      CountButterflies(*g_, {left.begin(), left.end()}, {right.begin(), right.end()}, in_left,
-                       in_right);
-  MutexLock lock(pair_cache_mutex_);
-  auto [pos, inserted] = pair_cache_.emplace(key, std::move(counts));
-  return pos->second;
+  return CountButterflies(g, {left.begin(), left.end()}, {right.begin(), right.end()}, in_left,
+                          in_right);
+}
+
+}  // namespace
+
+std::shared_ptr<const ButterflyCounts> BcIndex::PairButterflies(Label a, Label b) const {
+  if (a > b) std::swap(a, b);
+  if (auto hit = pair_cache_.Lookup(a, b)) return hit;
+
+  // Compute outside any lock so cached lookups of other pairs never block
+  // behind a cold count; concurrent faults of the same pair waste one
+  // recount, and the first insert wins.
+  return pair_cache_.Insert(a, b, ComputePairButterflies(*g_, a, b), /*pin=*/false);
 }
 
 void BcIndex::MaterializeAllPairs() {
@@ -49,21 +50,32 @@ void BcIndex::MaterializeAllPairs() {
     if (g_->VerticesWithLabel(a).empty()) continue;
     for (Label b = a + 1; b < num_labels; ++b) {
       if (g_->VerticesWithLabel(b).empty()) continue;
-      PairButterflies(a, b);
+      if (auto resident = pair_cache_.Peek(a, b)) {
+        // Promote an earlier lazy fault-in to pinned.
+        pair_cache_.InsertShared(a, b, std::move(resident), /*pin=*/true);
+      } else {
+        pair_cache_.Insert(a, b, ComputePairButterflies(*g_, a, b), /*pin=*/true);
+      }
     }
   }
 }
 
-std::size_t BcIndex::CachedPairCount() const {
-  MutexLock lock(pair_cache_mutex_);
-  return pair_cache_.size();
-}
+std::size_t BcIndex::CachedPairCount() const { return pair_cache_.EntryCount(); }
 
 void BcIndex::ForEachCachedPair(
     const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const {
-  MutexLock lock(pair_cache_mutex_);
-  for (const auto& [key, counts] : pair_cache_) fn(key.first, key.second, counts);
+  for (const auto& entry : pair_cache_.Entries()) {
+    fn(entry.a, entry.b, *entry.counts);
+  }
 }
+
+std::vector<ButterflyBlockCache::Entry> BcIndex::CachedPairEntries() const {
+  return pair_cache_.Entries();
+}
+
+void BcIndex::SetPairCacheBudget(std::size_t bytes) const { pair_cache_.SetBudget(bytes); }
+
+BlockCacheStats BcIndex::PairCacheStats() const { return pair_cache_.Stats(); }
 
 namespace {
 
@@ -122,32 +134,36 @@ std::unique_ptr<BcIndex> BcIndex::ApplyUpdates(const LabeledGraph& updated,
     max_core[label] = best;
   }
 
-  // Pair cache: copy every entry, then patch only the touched cached pairs.
-  // Touched pairs that were never cached stay uncached — they fault in
-  // lazily against the updated graph on first use.
-  std::map<std::pair<Label, Label>, ButterflyCounts> pairs;
-  {
-    MutexLock lock(pair_cache_mutex_);
-    pairs = pair_cache_;
-  }
-  for (const auto& [key, bucket] : cross) {
-    auto it = pairs.find(key);
-    if (it == pairs.end()) continue;
-    ++st.pairs_touched;
-    const PairButterflyRepair repair = RepairPairButterflies(
-        *g_, updated, key.first, key.second, bucket.inserts, bucket.deletes,
-        opts.pair_incremental_cap, &it->second);
-    repair.recounted ? ++st.pairs_recounted : ++st.pairs_incremental;
-    st.cross_edges_applied += repair.edges_applied;
-  }
-
   std::unique_ptr<BcIndex> out(new BcIndex());
   out->g_ = &updated;
   out->label_coreness_ = std::move(coreness);
   out->max_core_per_label_ = std::move(max_core);
-  {
-    MutexLock lock(out->pair_cache_mutex_);
-    out->pair_cache_ = std::move(pairs);
+
+  // Pair cache: carry every resident block into the new index's cache, then
+  // patch only the touched cached pairs. Untouched blocks are shared by
+  // shared_ptr across the two epochs (zero copy); touched blocks are cloned
+  // and repaired in the clone so the old index keeps serving in-flight
+  // queries bit-identically. Touched pairs that were never cached stay
+  // uncached — they fault in lazily against the updated graph on first use.
+  // Budget and cumulative counters carry over so stream-level serving stats
+  // survive the epoch swap.
+  out->pair_cache_.SetBudget(pair_cache_.budget());
+  out->pair_cache_.CarryCountersFrom(pair_cache_);
+  for (const auto& entry : pair_cache_.Entries()) {
+    const auto key = std::make_pair(entry.a, entry.b);
+    auto it = cross.find(key);
+    if (it == cross.end()) {
+      out->pair_cache_.InsertShared(entry.a, entry.b, entry.counts, entry.pinned);
+      continue;
+    }
+    ++st.pairs_touched;
+    ButterflyCounts patched = *entry.counts;
+    const PairButterflyRepair repair = RepairPairButterflies(
+        *g_, updated, entry.a, entry.b, it->second.inserts, it->second.deletes,
+        opts.pair_incremental_cap, &patched);
+    repair.recounted ? ++st.pairs_recounted : ++st.pairs_incremental;
+    st.cross_edges_applied += repair.edges_applied;
+    out->pair_cache_.Insert(entry.a, entry.b, std::move(patched), entry.pinned);
   }
   return out;
 }

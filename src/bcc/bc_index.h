@@ -3,15 +3,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "butterfly/block_cache.h"
 #include "butterfly/butterfly_counting.h"
-#include "common/mutex.h"
-#include "common/thread_annotations.h"
 #include "graph/labeled_graph.h"
 
 namespace bccs {
@@ -56,11 +53,19 @@ struct UpdateRepairStats {
 /// deviation 3 in DESIGN.md).
 ///
 /// The index is share-safe and const-usable: all query entry points are
-/// const (the lazy pair cache is logically immutable state guarded by an
-/// internal mutex), so one index instance — freshly built or reconstructed
-/// from a snapshot — can serve every worker thread of a BatchRunner. The
-/// coreness arrays live in ArrayRef storage so a snapshot load keeps them as
+/// const (the lazy pair cache is logically immutable state behind a sharded
+/// block cache), so one index instance — freshly built or reconstructed from
+/// a snapshot — can serve every worker thread of a BatchRunner. The coreness
+/// arrays live in ArrayRef storage so a snapshot load keeps them as
 /// zero-copy views over the mapped file.
+///
+/// The pair cache is a ButterflyBlockCache: materialized and snapshot-loaded
+/// pairs are pinned (never evicted), while lazily faulted pairs live under
+/// an optional byte budget (SetPairCacheBudget) with LRU eviction, so a
+/// label-rich graph serving a skewed pair mix has bounded memory. Because
+/// blocks can be evicted, PairButterflies returns a shared_ptr pin rather
+/// than a raw reference — callers hold the pin for as long as they read the
+/// counts.
 class BcIndex {
  public:
   explicit BcIndex(const LabeledGraph& g);
@@ -73,24 +78,41 @@ class BcIndex {
 
   /// Butterfly degrees over the full bipartite graph between label groups
   /// `a` and `b`. Cached after the first call for the pair. Thread-safe:
-  /// concurrent batch queries may fault the same pair in; the cache is
-  /// guarded by a mutex and entries are never invalidated, so returned
-  /// references stay valid for the index lifetime.
-  const ButterflyCounts& PairButterflies(Label a, Label b) const;
+  /// concurrent batch queries may fault the same pair in (first insert
+  /// wins). The returned shared_ptr pins the block — it stays valid even if
+  /// the block cache evicts the pair under byte-budget pressure, so hold it
+  /// for the duration of the read.
+  std::shared_ptr<const ButterflyCounts> PairButterflies(Label a, Label b) const;
 
   /// Eagerly faults in every cross-label pair whose two label groups are
-  /// both non-empty. This is what bccs_build runs before saving a snapshot,
-  /// so a loaded index answers every pair without computing butterflies.
+  /// both non-empty, pinning each entry (exempt from the byte budget, never
+  /// evicted). This is what bccs_build runs before saving a snapshot, so a
+  /// loaded index answers every pair without computing butterflies.
   void MaterializeAllPairs();
 
-  /// Number of label pairs currently materialized in the cache.
+  /// Number of label pairs currently resident in the cache.
   std::size_t CachedPairCount() const;
 
-  /// Visits every cached pair as (a, b, counts) with a < b, in key order.
-  /// Holds the cache lock for the duration; `fn` must not call back into the
-  /// pair cache.
+  /// Visits every resident pair as (a, b, counts) with a < b, in key order.
+  /// Iterates over a pinned snapshot of the entries, so `fn` may call back
+  /// into the pair cache and concurrent evictions cannot invalidate the
+  /// reference mid-visit.
   void ForEachCachedPair(
       const std::function<void(Label, Label, const ButterflyCounts&)>& fn) const;
+
+  /// Pinned snapshot of every resident pair in sorted key order; the
+  /// shared_ptrs keep the blocks alive across later evictions (used by
+  /// SaveSnapshot, which may run concurrently with serving).
+  std::vector<ButterflyBlockCache::Entry> CachedPairEntries() const;
+
+  /// Byte budget for lazily faulted (unpinned) pair blocks; 0 = unbounded.
+  /// Logically configuration, not index state, hence const — safe to call on
+  /// a shared serving index. ApplyUpdates carries the budget to the repaired
+  /// index.
+  void SetPairCacheBudget(std::size_t bytes) const;
+
+  /// Hit/miss/eviction/byte counters of the pair block cache.
+  BlockCacheStats PairCacheStats() const;
 
   /// Loads the snapshot at `path` (graph + index, see graph/snapshot.h); on
   /// any load failure (absent, truncated, corrupt, version mismatch, stale
@@ -140,9 +162,7 @@ class BcIndex {
   const LabeledGraph* g_ = nullptr;
   ArrayRef<std::uint32_t> label_coreness_;
   ArrayRef<std::uint32_t> max_core_per_label_;
-  mutable Mutex pair_cache_mutex_;
-  mutable std::map<std::pair<Label, Label>, ButterflyCounts> pair_cache_
-      GUARDED_BY(pair_cache_mutex_);
+  mutable ButterflyBlockCache pair_cache_;
 };
 
 }  // namespace bccs

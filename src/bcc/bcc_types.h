@@ -112,6 +112,14 @@ struct ApproxOptions {
   /// Adaptive floor: estimates never use fewer samples than this (capped by
   /// `samples` when the ceiling is smaller).
   std::size_t min_samples = 64;
+  /// Variance-adaptive refinement of `adaptive`: additionally scale each
+  /// round's sample count by the previous round's observed relative estimate
+  /// variance (see the three-argument EffectiveSampleCount). Low-variance
+  /// rounds spend less of the budget, noisy rounds spend more. The scale is
+  /// a pure function of the query's own estimate history — itself fully
+  /// determined by (options, query, graph) — so answers stay bit-identical
+  /// across thread counts. No effect unless `adaptive` is also set.
+  bool variance_adaptive = false;
 };
 
 /// Per-estimate sample count: the fixed `samples` budget, or — with
@@ -124,6 +132,25 @@ inline std::size_t EffectiveSampleCount(const ApproxOptions& o, std::size_t aliv
   if (!o.adaptive) return o.samples;
   const std::size_t floor_samples = std::min(o.min_samples, o.samples);
   return std::clamp(alive / 4, floor_samples, o.samples);
+}
+
+/// Variance-adaptive sample count: the size-based count above, additionally
+/// scaled by the previous estimate's observed relative variance
+/// (Var[sample] / E[sample]^2, as reported by EstimateTotalButterflies).
+/// The multiplier is clamped to [1/4, 4] so one degenerate round can never
+/// collapse or explode the schedule, and the result is clamped back to
+/// [min_samples, samples]. Callers seed the history with 1.0 (neutral).
+/// Pure function of (options, alive, last_rel_variance) — the variance fed
+/// back is a deterministic product of the query's own seeded estimates, so
+/// the 1-vs-N-thread reproducibility guarantee is unchanged.
+inline std::size_t EffectiveSampleCount(const ApproxOptions& o, std::size_t alive,
+                                        double last_rel_variance) {
+  const std::size_t base = EffectiveSampleCount(o, alive);
+  if (!o.adaptive || !o.variance_adaptive) return base;
+  const double scale = std::clamp(last_rel_variance, 0.25, 4.0);
+  const auto scaled = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  const std::size_t floor_samples = std::min(o.min_samples, o.samples);
+  return std::clamp(scaled, floor_samples, o.samples);
 }
 
 /// Strategy switches of Section 6. Online-BCC = defaults with both

@@ -24,6 +24,11 @@ struct PairState {
   std::size_t i = 0, j = 0;
   bool active = false;
   LeaderState leader_i, leader_j;
+  /// Relative variance of this pair's previous sampled estimate, fed back
+  /// into the next round's EffectiveSampleCount when variance_adaptive is
+  /// set. Per-pair state: pairs with noisy estimates re-sample harder
+  /// without inflating the budget of the quiet ones.
+  double last_rel_var = 1.0;
 };
 
 }  // namespace
@@ -322,10 +327,11 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
         {
           ScopedAccumulator t(&stats->butterfly_seconds);
           ApproxButterflyOptions aopts;
-          aopts.samples = EffectiveSampleCount(approx, cand.NumAlive());
+          aopts.samples = EffectiveSampleCount(approx, cand.NumAlive(), ps.last_rel_var);
           aopts.seed = DeriveEstimateSeed(approx.seed, round_idx, pi);
           est = EstimateTotalButterflies(g, groups[ps.i], groups[ps.j], cand.GroupMask(ps.i),
-                                         cand.GroupMask(ps.j), aopts, estimate_scratch);
+                                         cand.GroupMask(ps.j), aopts, estimate_scratch,
+                                         &ps.last_rel_var);
         }
         ++stats->approx_checks;
         used_approx = true;

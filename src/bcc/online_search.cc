@@ -92,13 +92,18 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
       approx.enabled ? ws->AcquireIdVec() : nullptr;
   // Sampled validity check (necessary condition: estimated total >= b; every
   // butterfly gives two vertices per side, so max chi >= b needs total >= b).
+  // `last_rel_var` threads each round's observed relative variance into the
+  // next round's sample count (variance_adaptive); it is a pure function of
+  // the query's own seeded estimates, so determinism is preserved.
+  double last_rel_var = 1.0;
   auto estimate_valid = [&](std::uint32_t round_idx) {
     ScopedAccumulator t(&stats->butterfly_seconds);
     ApproxButterflyOptions aopts;
-    aopts.samples = EffectiveSampleCount(approx, cand.NumAlive());
+    aopts.samples = EffectiveSampleCount(approx, cand.NumAlive(), last_rel_var);
     aopts.seed = DeriveEstimateSeed(approx.seed, round_idx);
     double est = EstimateTotalButterflies(g, g0.left, g0.right, cand.GroupMask(0),
-                                          cand.GroupMask(1), aopts, estimate_scratch);
+                                          cand.GroupMask(1), aopts, estimate_scratch,
+                                          &last_rel_var);
     ++stats->approx_checks;
     used_approx = true;
     next_round_exact = false;

@@ -1,5 +1,6 @@
 #include "butterfly/approx_counting.h"
 
+#include <algorithm>
 #include <random>
 
 namespace bccs {
@@ -22,8 +23,10 @@ double EstimateTotalButterflies(const LabeledGraph& g, std::span<const VertexId>
                                 const std::vector<char>& in_left,
                                 const std::vector<char>& in_right,
                                 const ApproxButterflyOptions& opts,
-                                std::vector<VertexId>* alive_scratch) {
+                                std::vector<VertexId>* alive_scratch,
+                                double* rel_variance) {
   (void)right;
+  if (rel_variance != nullptr) *rel_variance = 0.0;
   std::vector<VertexId> local_alive;
   std::vector<VertexId>& alive = alive_scratch != nullptr ? *alive_scratch : local_alive;
   alive.clear();
@@ -37,15 +40,24 @@ double EstimateTotalButterflies(const LabeledGraph& g, std::span<const VertexId>
   std::uniform_int_distribution<std::size_t> pick(0, alive.size() - 1);
 
   double sum = 0;
+  double sum_sq = 0;
   for (std::size_t s = 0; s < opts.samples; ++s) {
     std::size_t i = pick(rng);
     std::size_t j = pick(rng);
     if (j == i) j = (i + 1) % alive.size();
     auto common =
         static_cast<double>(CommonCrossNeighbors(g, alive[i], alive[j], in_right));
-    sum += Choose2(common);
+    const double value = Choose2(common);
+    sum += value;
+    sum_sq += value * value;
   }
-  return num_pairs * sum / static_cast<double>(opts.samples);
+  const auto n = static_cast<double>(opts.samples);
+  if (rel_variance != nullptr && sum > 0) {
+    const double mean = sum / n;
+    const double variance = std::max(0.0, sum_sq / n - mean * mean);
+    *rel_variance = variance / (mean * mean);
+  }
+  return num_pairs * sum / n;
 }
 
 double EstimateVertexButterflies(const LabeledGraph& g, VertexId v,

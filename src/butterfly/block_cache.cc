@@ -1,0 +1,171 @@
+#include "butterfly/block_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bccs {
+
+std::shared_ptr<const ButterflyCounts> ButterflyBlockCache::Lookup(Label a, Label b) const {
+  const Key key{a, b};
+  const Shard& shard = shards_[ShardOf(a, b)];
+  MutexLock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (!it->second.pinned) {
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.counts;
+}
+
+std::shared_ptr<const ButterflyCounts> ButterflyBlockCache::Peek(Label a, Label b) const {
+  const Shard& shard = shards_[ShardOf(a, b)];
+  MutexLock lock(shard.mu);
+  auto it = shard.map.find(Key{a, b});
+  return it == shard.map.end() ? nullptr : it->second.counts;
+}
+
+std::shared_ptr<const ButterflyCounts> ButterflyBlockCache::Insert(Label a, Label b,
+                                                                   ButterflyCounts counts,
+                                                                   bool pin) {
+  return InsertShared(a, b, std::make_shared<const ButterflyCounts>(std::move(counts)), pin);
+}
+
+std::shared_ptr<const ButterflyCounts> ButterflyBlockCache::InsertShared(
+    Label a, Label b, std::shared_ptr<const ButterflyCounts> counts, bool pin) {
+  BCCS_CHECK(counts != nullptr) << "block cache: null counts for pair (" << a << ", " << b
+                                << ")";
+  const Key key{a, b};
+  const std::size_t shard_idx = ShardOf(a, b);
+  Shard& shard = shards_[shard_idx];
+  std::shared_ptr<const ButterflyCounts> resident;
+  bool inserted_unpinned = false;
+  {
+    MutexLock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // First insert wins; at most promote an existing entry to pinned.
+      if (pin && !it->second.pinned) {
+        shard.lru.erase(it->second.lru_it);
+        it->second.pinned = true;
+        unpinned_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+        pinned_bytes_.fetch_add(it->second.bytes, std::memory_order_relaxed);
+      }
+      resident = it->second.counts;
+    } else {
+      Node node;
+      node.counts = std::move(counts);
+      node.pinned = pin;
+      node.bytes = BytesOf(*node.counts);
+      if (!pin) {
+        node.lru_it = shard.lru.insert(shard.lru.end(), key);
+        unpinned_bytes_.fetch_add(node.bytes, std::memory_order_relaxed);
+        inserted_unpinned = true;
+      } else {
+        pinned_bytes_.fetch_add(node.bytes, std::memory_order_relaxed);
+      }
+      resident = node.counts;
+      shard.map.emplace(key, std::move(node));
+    }
+  }
+  if (inserted_unpinned) EvictToBudget(shard_idx);
+  return resident;
+}
+
+void ButterflyBlockCache::Erase(Label a, Label b) {
+  Shard& shard = shards_[ShardOf(a, b)];
+  MutexLock lock(shard.mu);
+  auto it = shard.map.find(Key{a, b});
+  if (it == shard.map.end()) return;
+  if (it->second.pinned) {
+    pinned_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  } else {
+    shard.lru.erase(it->second.lru_it);
+    unpinned_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  }
+  shard.map.erase(it);
+}
+
+void ButterflyBlockCache::SetBudget(std::size_t bytes) {
+  budget_bytes_.store(bytes, std::memory_order_relaxed);
+  EvictToBudget(0);
+}
+
+void ButterflyBlockCache::EvictToBudget(std::size_t start_shard) {
+  const std::size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (budget == 0) return;
+  // Walk shards round-robin, evicting each shard's LRU head, until the
+  // budget holds. A full lap with no progress means everything left is
+  // pinned; stop rather than spin.
+  while (unpinned_bytes_.load(std::memory_order_relaxed) > budget) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      if (unpinned_bytes_.load(std::memory_order_relaxed) <= budget) return;
+      Shard& shard = shards_[(start_shard + i) % kShards];
+      MutexLock lock(shard.mu);
+      if (shard.lru.empty()) continue;
+      const Key victim = shard.lru.front();
+      auto it = shard.map.find(victim);
+      BCCS_CHECK(it != shard.map.end() && !it->second.pinned)
+          << "block cache: LRU list out of sync with shard map";
+      shard.lru.pop_front();
+      unpinned_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+      shard.map.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      progressed = true;
+    }
+    if (!progressed) return;
+  }
+}
+
+std::size_t ButterflyBlockCache::EntryCount() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::vector<ButterflyBlockCache::Entry> ButterflyBlockCache::Entries() const {
+  std::vector<Entry> out;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [key, node] : shard.map) {
+      out.push_back(Entry{key.first, key.second, node.counts, node.pinned});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& x, const Entry& y) {
+    return std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+  });
+  return out;
+}
+
+BlockCacheStats ButterflyBlockCache::Stats() const {
+  BlockCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.bytes = unpinned_bytes_.load(std::memory_order_relaxed);
+  s.pinned_bytes = pinned_bytes_.load(std::memory_order_relaxed);
+  s.budget_bytes = budget_bytes_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    s.entries += shard.map.size();
+    s.pinned_entries += shard.map.size() - shard.lru.size();
+  }
+  return s;
+}
+
+void ButterflyBlockCache::CarryCountersFrom(const ButterflyBlockCache& prev) {
+  hits_.fetch_add(prev.hits_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  misses_.fetch_add(prev.misses_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  evictions_.fetch_add(prev.evictions_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+}  // namespace bccs

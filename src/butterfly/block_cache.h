@@ -1,0 +1,153 @@
+#ifndef BCCS_BUTTERFLY_BLOCK_CACHE_H_
+#define BCCS_BUTTERFLY_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "butterfly/butterfly_counting.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Counters exported by ButterflyBlockCache::Stats(). `bytes` covers only the
+/// budgeted (unpinned, lazily faulted) entries; pinned entries — materialized
+/// or snapshot-loaded pairs — are accounted separately and never evicted.
+struct BlockCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t pinned_entries = 0;
+  std::size_t bytes = 0;
+  std::size_t pinned_bytes = 0;
+  std::size_t budget_bytes = 0;  // 0 = unbounded
+};
+
+/// A sharded, byte-budgeted LRU cache for pair ButterflyCounts blocks. This
+/// replaces the single-mutex unbounded map that used to back
+/// BcIndex::PairButterflies: readers of distinct pairs no longer serialize on
+/// one lock, and lazily faulted blocks are bounded by `budget_bytes`.
+///
+/// Entries are held by shared_ptr so a block stays valid for as long as any
+/// reader pins it, even after eviction drops it from the cache. Pinned
+/// entries (MaterializeAllPairs, snapshot-loaded pairs, repaired carries) are
+/// exempt from the budget and never evicted — the budget governs only the
+/// lazy fault-in working set. Insertion is first-insert-wins: concurrent
+/// fault-ins of the same pair converge on one resident block.
+///
+/// The LRU order is per shard; the byte budget is global (an atomic counter),
+/// enforced after each insert by walking shards round-robin from the
+/// inserting shard and evicting each shard's least-recent unpinned entry
+/// until the budget holds. Recency is therefore approximate across shards
+/// but exact within one; the budget itself is always exact.
+class ButterflyBlockCache {
+ public:
+  using Key = std::pair<Label, Label>;
+  struct Entry {
+    Label a = 0;
+    Label b = 0;
+    std::shared_ptr<const ButterflyCounts> counts;
+    bool pinned = false;
+  };
+
+  ButterflyBlockCache() = default;
+  ButterflyBlockCache(const ButterflyBlockCache&) = delete;
+  ButterflyBlockCache& operator=(const ButterflyBlockCache&) = delete;
+
+  /// Returns the resident block for (a, b) (key must be normalized a < b by
+  /// the caller) or nullptr on miss. Hits refresh LRU recency.
+  std::shared_ptr<const ButterflyCounts> Lookup(Label a, Label b) const;
+
+  /// Like Lookup but touches neither the hit/miss counters nor LRU recency
+  /// (used by materialization sweeps, not the serving path).
+  std::shared_ptr<const ButterflyCounts> Peek(Label a, Label b) const;
+
+  /// Inserts `counts` for (a, b), or returns the already-resident block if
+  /// one beat us to it (first-insert-wins). When `pin` is set the resident
+  /// entry is promoted to pinned even if it already existed. May evict
+  /// unpinned entries (including, under a tiny budget, the one just
+  /// inserted — the returned pointer stays valid regardless).
+  std::shared_ptr<const ButterflyCounts> Insert(Label a, Label b, ButterflyCounts counts,
+                                                bool pin);
+  std::shared_ptr<const ButterflyCounts> InsertShared(
+      Label a, Label b, std::shared_ptr<const ButterflyCounts> counts, bool pin);
+
+  /// Drops the entry for (a, b) if resident (pinned or not). Not counted as
+  /// an eviction. Used by test seams that overwrite entries.
+  void Erase(Label a, Label b);
+
+  /// Sets the byte budget for unpinned entries (0 = unbounded) and evicts
+  /// down to it immediately.
+  void SetBudget(std::size_t bytes);
+  std::size_t budget() const { return budget_bytes_.load(std::memory_order_relaxed); }
+
+  std::size_t EntryCount() const;
+
+  /// Snapshot of every resident entry in sorted (a, b) key order. The
+  /// shared_ptrs keep the blocks alive independent of later evictions.
+  std::vector<Entry> Entries() const;
+
+  BlockCacheStats Stats() const;
+
+  /// Adds another cache's hit/miss/eviction counters into this one. Used
+  /// when ApplyUpdates carries the cache across an epoch so serving stats
+  /// stay cumulative for the stream.
+  void CarryCountersFrom(const ButterflyBlockCache& prev);
+
+  /// Bytes charged against the budget for one block: the struct itself plus
+  /// the heap footprint of its chi vector.
+  static std::size_t BytesOf(const ButterflyCounts& counts) {
+    return sizeof(ButterflyCounts) + counts.chi.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Node {
+    std::shared_ptr<const ButterflyCounts> counts;
+    bool pinned = false;
+    std::size_t bytes = 0;
+    std::list<Key>::iterator lru_it;  // valid only when !pinned
+  };
+  struct Shard {
+    // The cache is logically immutable state (BcIndex exposes it through
+    // const entry points); Lookup refreshes LRU recency, hence mutable.
+    mutable Mutex mu;
+    mutable std::map<Key, Node> map GUARDED_BY(mu);
+    mutable std::list<Key> lru GUARDED_BY(mu);  // front = least recently used
+  };
+
+  static std::size_t ShardOf(Label a, Label b) {
+    // splitmix-style mix so adjacent pairs spread across shards.
+    std::uint64_t x = (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x % kShards);
+  }
+
+  /// Evicts unpinned entries, round-robin from `start_shard`, until the
+  /// budget holds (or nothing unpinned is left).
+  void EvictToBudget(std::size_t start_shard);
+
+  Shard shards_[kShards];
+  std::atomic<std::size_t> budget_bytes_{0};
+  std::atomic<std::size_t> unpinned_bytes_{0};
+  std::atomic<std::size_t> pinned_bytes_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_BUTTERFLY_BLOCK_CACHE_H_

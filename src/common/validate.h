@@ -45,6 +45,13 @@ ValidationResult ValidateGraph(const LabeledGraph& g);
 /// recount (shape and coreness checks still run).
 ValidationResult ValidateIndex(const BcIndex& index, std::size_t sample_pairs = 4);
 
+/// Pair block-cache accounting consistency: the cache's byte and entry
+/// counters must equal a recomputation over the resident entries (split by
+/// pinned/unpinned), and when a byte budget is set the budgeted bytes must
+/// be within it. O(entries). Call on a quiesced index — a concurrently
+/// mutating cache can legitimately disagree between the two reads.
+ValidationResult ValidatePairCacheAccounting(const BcIndex& index);
+
 /// Changelog-chain invariants for the segments next to `snapshot_path`
 /// with base watermark `base_seq`: the scan itself must succeed (checksums,
 /// contiguous sequence numbers, torn records only at the tail), every

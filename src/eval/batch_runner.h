@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "bcc/bcc_types.h"
+#include "butterfly/block_cache.h"
 #include "common/mutex.h"
+#include "eval/result_cache.h"
 #include "common/thread_annotations.h"
 #include "bcc/local_search.h"
 #include "bcc/mbcc.h"
@@ -85,6 +87,14 @@ struct BatchResult {
   // Filled by the mixed-stream ServeEngine::Serve only:
   std::vector<UpdateOutcome> updates;    // per UpdateRequest, in stream order
   std::vector<std::uint64_t> epoch_of;   // epoch each item executed in
+
+  // Caching-tier counters at stream finish (ServeEngine streams only).
+  // The result-cache counters are engine-cumulative (the cache outlives
+  // individual streams); pair_cache reports the newest published index's
+  // block cache, all-zero when serving without an index.
+  bool result_cache_enabled = false;
+  ResultCacheStats result_cache;
+  BlockCacheStats pair_cache;
 };
 
 /// Thread-pool batch-query engine. Each worker owns a persistent

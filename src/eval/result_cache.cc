@@ -1,0 +1,144 @@
+#include "eval/result_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bccs {
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity), shard_capacity_(std::max<std::size_t>(1, capacity / kShards)) {
+  BCCS_CHECK(capacity > 0) << "result cache: zero capacity (disabled caches are null)";
+}
+
+std::uint64_t ResultCache::RelevantRepairEpochLocked(std::span<const Label> labels) const {
+  std::uint64_t latest = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (auto it = intra_repair_.find(labels[i]); it != intra_repair_.end()) {
+      latest = std::max(latest, it->second);
+    }
+    for (std::size_t j = i + 1; j < labels.size(); ++j) {
+      const auto pair = std::minmax(labels[i], labels[j]);
+      if (auto it = cross_repair_.find(pair); it != cross_repair_.end()) {
+        latest = std::max(latest, it->second);
+      }
+    }
+  }
+  return latest;
+}
+
+bool ResultCache::Lookup(const ResultCacheKey& key, std::uint64_t query_epoch,
+                         std::size_t lane, Community* community, SearchStats* stats) {
+  BCCS_DCHECK(lane < 2) << "result cache: lane index out of range";
+  Shard& shard = shards_[ShardOf(key)];
+  MutexLock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    lane_misses_[lane].fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Entry& entry = it->second;
+  if (entry.compute_epoch > query_epoch) {
+    // Computed after this query's pinned epoch — useless for us, but newer
+    // queries will want it; keep it resident.
+    lane_misses_[lane].fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool stale = false;
+  {
+    MutexLock repair_lock(repair_mu_);
+    stale = RelevantRepairEpochLocked(entry.labels) > entry.compute_epoch;
+  }
+  if (stale) {
+    shard.lru.erase(entry.lru_it);
+    shard.map.erase(it);
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    lane_misses_[lane].fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *community = entry.community;
+  *stats = entry.stats;
+  shard.lru.splice(shard.lru.end(), shard.lru, entry.lru_it);
+  lane_hits_[lane].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key, std::span<const Label> labels,
+                         std::uint64_t compute_epoch, const Community& community,
+                         const SearchStats& stats) {
+  Shard& shard = shards_[ShardOf(key)];
+  MutexLock lock(shard.mu);
+  {
+    // The answer is only storable if no relevant repair landed after it was
+    // computed; checked under the shard lock so a concurrent NoteRepairs is
+    // ordered entirely before or after the (check, insert) pair.
+    MutexLock repair_lock(repair_mu_);
+    if (RelevantRepairEpochLocked(labels) > compute_epoch) {
+      rejected_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Keep whichever answer is valid for the larger epoch window.
+    if (it->second.compute_epoch < compute_epoch) {
+      it->second.community = community;
+      it->second.stats = stats;
+      it->second.compute_epoch = compute_epoch;
+      it->second.labels.assign(labels.begin(), labels.end());
+    }
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+    return;
+  }
+  Entry entry;
+  entry.community = community;
+  entry.stats = stats;
+  entry.compute_epoch = compute_epoch;
+  entry.labels.assign(labels.begin(), labels.end());
+  entry.lru_it = shard.lru.insert(shard.lru.end(), key);
+  shard.map.emplace(key, std::move(entry));
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.map.size() > shard_capacity_) {
+    const ResultCacheKey victim = shard.lru.front();
+    shard.lru.pop_front();
+    shard.map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::NoteRepairs(std::span<const Label> intra_labels,
+                              std::span<const std::pair<Label, Label>> cross_pairs,
+                              std::uint64_t epoch) {
+  MutexLock lock(repair_mu_);
+  for (Label l : intra_labels) {
+    auto& mark = intra_repair_[l];
+    mark = std::max(mark, epoch);
+  }
+  for (const auto& pair : cross_pairs) {
+    BCCS_DCHECK(pair.first < pair.second) << "result cache: cross pair not canonical";
+    auto& mark = cross_repair_[pair];
+    mark = std::max(mark, epoch);
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats s;
+  for (std::size_t lane = 0; lane < 2; ++lane) {
+    s.lane_hits[lane] = lane_hits_[lane].load(std::memory_order_relaxed);
+    s.lane_misses[lane] = lane_misses_[lane].load(std::memory_order_relaxed);
+    s.hits += s.lane_hits[lane];
+    s.misses += s.lane_misses[lane];
+  }
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+  s.rejected_inserts = rejected_inserts_.load(std::memory_order_relaxed);
+  s.capacity = capacity_;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+}  // namespace bccs

@@ -1,0 +1,169 @@
+#ifndef BCCS_EVAL_RESULT_CACHE_H_
+#define BCCS_EVAL_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bcc/bcc_types.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "graph/labeled_graph.h"
+
+namespace bccs {
+
+/// Canonical identity of a cacheable query. Built by ServeEngine from a
+/// QueryRequest: `method` is the QueryMethod, `vertices` the query vertices
+/// ({ql, qr} for the two-label methods, the full query set for mBCC), `ks`
+/// the per-group coreness thresholds ({k1, k2} or MbccParams::k), `b` the
+/// butterfly threshold. Lane, deadline, and request id are deliberately
+/// excluded — they do not affect the answer (deadline-bearing queries are
+/// not cached at all, see ServeOptions::result_cache_entries).
+struct ResultCacheKey {
+  std::uint8_t method = 0;
+  std::vector<VertexId> vertices;
+  std::vector<std::uint32_t> ks;
+  std::uint64_t b = 1;
+
+  bool operator==(const ResultCacheKey&) const = default;
+
+  std::size_t Hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    };
+    mix(method);
+    mix(b);
+    mix(vertices.size());
+    for (VertexId v : vertices) mix(v);
+    for (std::uint32_t k : ks) mix(k);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Counters exported by ResultCache::Stats(). Lane-indexed arrays follow
+/// the Lane enum of eval/batch_runner.h (0 = interactive, 1 = bulk).
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t lane_hits[2] = {0, 0};
+  std::uint64_t lane_misses[2] = {0, 0};
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t stale_drops = 0;       // entries dropped on lookup: repaired past
+  std::uint64_t rejected_inserts = 0;  // lost the race with a newer repair
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+/// Sharded, thread-safe LRU cache of query results, keyed by canonical
+/// query identity and validated against an epoch window.
+///
+/// Correctness rests on one structural fact of the BCC model: an answer
+/// depends only on the induced subgraph of the query's label groups. Every
+/// entry therefore records the labels it touched, and every published
+/// update reports which labels it repaired (intra-label edges) and which
+/// label pairs (cross-label edges) via NoteRepairs. A stored answer
+/// computed at epoch E is served to a query pinned at epoch Q iff
+///
+///   E <= Q  and  no repair relevant to the entry's labels happened after E
+///
+/// where "relevant" means an intra-label repair of any entry label, or a
+/// cross-label repair of a pair of entry labels. Entries for untouched
+/// labels carry forward across epochs, so the steady-state hit rate
+/// survives an update stream; a hit is bit-identical to re-executing the
+/// query at epoch Q (DESIGN.md serving contract 6).
+///
+/// Inserts are guarded by the same window: an answer computed at epoch E is
+/// dropped if a relevant repair with epoch > E has already been noted —
+/// this closes the race where a slow query finishes after a concurrent
+/// update published. A lost race only costs a future miss, never a stale
+/// hit.
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards
+  /// (minimum one entry per shard). Must be > 0 — a disabled cache is a
+  /// null ResultCache pointer, not a zero-capacity one.
+  explicit ResultCache(std::size_t capacity);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Serves a stored answer valid at `query_epoch`, or returns false.
+  /// `lane` indexes the per-lane hit/miss counters (0/1). Stale entries
+  /// found along the way are dropped.
+  bool Lookup(const ResultCacheKey& key, std::uint64_t query_epoch, std::size_t lane,
+              Community* community, SearchStats* stats);
+
+  /// Stores an answer computed at `compute_epoch` over `labels` (the
+  /// query's label groups). May evict the shard's least-recent entry.
+  void Insert(const ResultCacheKey& key, std::span<const Label> labels,
+              std::uint64_t compute_epoch, const Community& community,
+              const SearchStats& stats);
+
+  /// Records that the update published as `epoch` repaired the given labels
+  /// (intra-label edge updates) and label pairs (cross-label, first < second).
+  /// ServeEngine calls this after the epoch swap and before the admission
+  /// queue releases queries of the new epoch, so any query that could
+  /// observe the new graph also observes the invalidation.
+  void NoteRepairs(std::span<const Label> intra_labels,
+                   std::span<const std::pair<Label, Label>> cross_pairs, std::uint64_t epoch);
+
+  ResultCacheStats Stats() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Entry {
+    Community community;
+    SearchStats stats;
+    std::uint64_t compute_epoch = 0;
+    std::vector<Label> labels;  // sorted, deduped
+    std::list<ResultCacheKey>::iterator lru_it;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ResultCacheKey& k) const { return k.Hash(); }
+  };
+  struct Shard {
+    mutable Mutex mu;  // Stats() reads shard sizes from a const cache
+    std::unordered_map<ResultCacheKey, Entry, KeyHash> map GUARDED_BY(mu);
+    std::list<ResultCacheKey> lru GUARDED_BY(mu);  // front = least recently used
+  };
+
+  std::size_t ShardOf(const ResultCacheKey& key) const {
+    return (key.Hash() >> 17) % kShards;
+  }
+
+  /// Latest repair epoch relevant to an entry over `labels`: intra repairs
+  /// of any label, cross repairs of any pair of them. 0 when none noted.
+  std::uint64_t RelevantRepairEpochLocked(std::span<const Label> labels) const
+      REQUIRES(repair_mu_);
+
+  const std::size_t capacity_;
+  const std::size_t shard_capacity_;
+  Shard shards_[kShards];
+
+  /// Leaf lock (acquired after a shard lock, never holds another): the
+  /// repair high-water marks published by updates.
+  mutable Mutex repair_mu_;
+  std::unordered_map<Label, std::uint64_t> intra_repair_ GUARDED_BY(repair_mu_);
+  std::map<std::pair<Label, Label>, std::uint64_t> cross_repair_ GUARDED_BY(repair_mu_);
+
+  std::atomic<std::uint64_t> lane_hits_[2] = {0, 0};
+  std::atomic<std::uint64_t> lane_misses_[2] = {0, 0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> stale_drops_{0};
+  std::atomic<std::uint64_t> rejected_inserts_{0};
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_EVAL_RESULT_CACHE_H_

@@ -1,5 +1,6 @@
 #include "eval/serve_engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -41,6 +42,40 @@ SearchOptions SeededOptions(const SearchOptions& base, std::uint64_t request_id)
   SearchOptions o = base;
   if (o.approx.enabled) o.approx.seed ^= request_id;
   return o;
+}
+
+/// Canonical cache identity of a cacheable request, plus the label set its
+/// answer depends on (a BCC answer is a function of the induced subgraph of
+/// its query labels — the structural fact the result cache's invalidation
+/// rests on). Returns false for malformed requests (wrong variant,
+/// out-of-range vertices) — those are answered, but never cached.
+bool BuildCacheKey(const QueryRequest& req, const LabeledGraph& g, ResultCacheKey* key,
+                   std::vector<Label>* labels) {
+  key->method = static_cast<std::uint8_t>(req.method);
+  labels->clear();
+  if (req.method == QueryMethod::kMbcc) {
+    const auto* q = std::get_if<MbccQuery>(&req.query);
+    if (q == nullptr || q->vertices.empty()) return false;
+    for (VertexId v : q->vertices) {
+      if (v >= g.NumVertices()) return false;
+    }
+    key->vertices = q->vertices;
+    key->ks = req.mbcc_params.k;
+    key->b = req.mbcc_params.b;
+    for (VertexId v : q->vertices) labels->push_back(g.LabelOf(v));
+  } else {
+    const auto* q = std::get_if<BccQuery>(&req.query);
+    if (q == nullptr) return false;
+    if (q->ql >= g.NumVertices() || q->qr >= g.NumVertices()) return false;
+    key->vertices = {q->ql, q->qr};
+    key->ks = {req.params.k1, req.params.k2};
+    key->b = req.params.b;
+    labels->push_back(g.LabelOf(q->ql));
+    labels->push_back(g.LabelOf(q->qr));
+  }
+  std::sort(labels->begin(), labels->end());
+  labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
+  return true;
 }
 
 }  // namespace
@@ -118,6 +153,12 @@ ServeEngine::ServeEngine(BatchRunner& runner, const LabeledGraph& g, const BcInd
   current_.graph = Unowned(&g);
   current_.index = index != nullptr ? Unowned(index) : nullptr;
   current_.epoch = 1;
+  if (opts_.result_cache_entries > 0) {
+    result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_entries);
+  }
+  if (opts_.pair_cache_bytes > 0 && current_.index != nullptr) {
+    current_.index->SetPairCacheBudget(opts_.pair_cache_bytes);
+  }
 }
 
 ServeEngine::ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph> g,
@@ -126,6 +167,12 @@ ServeEngine::ServeEngine(BatchRunner& runner, std::shared_ptr<const LabeledGraph
   current_.graph = std::move(g);
   current_.index = std::move(index);
   current_.epoch = 1;
+  if (opts_.result_cache_entries > 0) {
+    result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_entries);
+  }
+  if (opts_.pair_cache_bytes > 0 && current_.index != nullptr) {
+    current_.index->SetPairCacheBudget(opts_.pair_cache_bytes);
+  }
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -158,6 +205,32 @@ std::shared_ptr<const LabeledGraph> ServeEngine::graph_ptr() const {
 std::shared_ptr<const BcIndex> ServeEngine::index_ptr() const {
   MutexLock lock(state_mutex_);
   return current_.index;
+}
+
+ResultCacheStats ServeEngine::result_cache_stats() const {
+  return result_cache_ != nullptr ? result_cache_->Stats() : ResultCacheStats{};
+}
+
+BlockCacheStats ServeEngine::pair_cache_stats() const {
+  const auto index = index_ptr();
+  return index != nullptr ? index->PairCacheStats() : BlockCacheStats{};
+}
+
+bool ServeEngine::CacheableRequest(const QueryRequest& req, bool has_index) const {
+  if (req.deadline_seconds > 0) return false;
+  switch (req.method) {
+    case QueryMethod::kOnlineBcc:
+      return !opts_.online.approx.enabled;
+    case QueryMethod::kLpBcc:
+      return !opts_.lp.approx.enabled;
+    case QueryMethod::kL2pBcc:
+      // Matches Dispatch: without an index, l2p degrades to LP and runs
+      // under the LP options' approx setting.
+      return has_index ? !opts_.l2p.search.approx.enabled : !opts_.lp.approx.enabled;
+    case QueryMethod::kMbcc:
+      return !opts_.mbcc.approx.enabled;
+  }
+  return false;
 }
 
 void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
@@ -199,7 +272,8 @@ void ServeEngine::Dispatch(const QueryRequest& req, std::uint64_t request_id,
 
 ServeEngine::EpochState ServeEngine::PrepareUpdate(const EpochState& base,
                                                    const UpdateRequest& req,
-                                                   UpdateOutcome* outcome) const {
+                                                   UpdateOutcome* outcome,
+                                                   RepairTouch* touch) const {
   std::string error;
   const auto delta = BuildGraphDelta(*base.graph, req.updates, &error);
   if (!delta) {
@@ -207,6 +281,28 @@ ServeEngine::EpochState ServeEngine::PrepareUpdate(const EpochState& base,
     // after this update observe the unchanged graph.
     outcome->error = error;
     return base;
+  }
+  if (touch != nullptr) {
+    // Labels never change across edge updates, so the base graph's labeling
+    // identifies exactly which label groups (and cross pairs) the batch
+    // repairs — the result cache invalidates only those.
+    for (const auto* edges : {&delta->inserts, &delta->deletes}) {
+      for (const Edge& e : *edges) {
+        const Label a = base.graph->LabelOf(e.u);
+        const Label b = base.graph->LabelOf(e.v);
+        if (a == b) {
+          touch->intra.push_back(a);
+        } else {
+          touch->cross.push_back(std::minmax(a, b));
+        }
+      }
+    }
+    std::sort(touch->intra.begin(), touch->intra.end());
+    touch->intra.erase(std::unique(touch->intra.begin(), touch->intra.end()),
+                       touch->intra.end());
+    std::sort(touch->cross.begin(), touch->cross.end());
+    touch->cross.erase(std::unique(touch->cross.begin(), touch->cross.end()),
+                       touch->cross.end());
   }
   EpochState next;
   next.graph = std::make_shared<const LabeledGraph>(ApplyGraphDelta(*base.graph, *delta));
@@ -240,7 +336,8 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       }
       outcome->item_index = t.index;
       Timer apply;
-      EpochState next = PrepareUpdate(base, std::get<UpdateRequest>(*item), outcome);
+      RepairTouch touch;
+      EpochState next = PrepareUpdate(base, std::get<UpdateRequest>(*item), outcome, &touch);
       if (durability_log_ != nullptr && outcome->applied) {
         // The durable commit: changelog append and epoch publish happen
         // together under the log's commit lock, so the log and the
@@ -265,6 +362,13 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       } else {
         MutexLock lock(state_mutex_);
         current_ = next;
+      }
+      if (outcome->applied && result_cache_ != nullptr) {
+        // Invalidate BEFORE the queue releases epoch-(u+1) queries (the
+        // PublishUpdate below): any query that can observe the new graph
+        // observes the repair marks first, so no stale entry can be served
+        // at — or inserted above — the new epoch for a touched label set.
+        result_cache_->NoteRepairs(touch.intra, touch.cross, next.epoch);
       }
       outcome->seconds = apply.Seconds();
       outcome->epoch = next.epoch;
@@ -303,11 +407,28 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       stats = &state.stats[t.index];
     }
     const QueryRequest& req = std::get<QueryRequest>(*item);
-    if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
+    ResultCacheKey cache_key;
+    std::vector<Label> cache_labels;
+    const bool cacheable = result_cache_ != nullptr &&
+                           CacheableRequest(req, pinned.index != nullptr) &&
+                           BuildCacheKey(req, *pinned.graph, &cache_key, &cache_labels);
+    const auto lane_idx = static_cast<std::size_t>(req.lane);
     Timer exec;
-    Dispatch(req, request_id, *pinned.graph, pinned.index.get(), ws, community, stats);
+    const bool cache_hit =
+        cacheable &&
+        result_cache_->Lookup(cache_key, pinned.epoch, lane_idx, community, stats);
+    if (!cache_hit) {
+      if (req.deadline_seconds > 0) ws.SetDeadline(Deadline::After(req.deadline_seconds));
+      Dispatch(req, request_id, *pinned.graph, pinned.index.get(), ws, community, stats);
+      ws.SetDeadline(Deadline{});
+      // Timed-out partial answers are timing-dependent, never cached (the
+      // deadline gate above already excludes them; keep the belt with the
+      // suspenders in case a search ever times out without a deadline).
+      if (cacheable && !stats->timed_out) {
+        result_cache_->Insert(cache_key, cache_labels, pinned.epoch, *community, *stats);
+      }
+    }
     const double exec_seconds = exec.Seconds();
-    ws.SetDeadline(Deadline{});
     {
       MutexLock lock(state.mutex);
       state.seconds[t.index] = exec_seconds;
@@ -445,6 +566,14 @@ BatchResult ServeEngine::Stream::Finish() {
   }
   out.latency = SummarizeLatency(query_seconds, wall_seconds);
   out.workspace_stats = s.drain_stats;
+  out.result_cache_enabled = s.engine->result_cache_ != nullptr;
+  out.result_cache = s.engine->result_cache_stats();
+  // The newest published slot of this stream IS the engine's current state;
+  // read it here (under s.mutex) rather than through the engine head to keep
+  // the lock sets disjoint.
+  if (const auto& head = s.history[s.published - 1].state; head.index != nullptr) {
+    out.pair_cache = head.index->PairCacheStats();
+  }
   for (const SearchStats& st : out.stats) out.timed_out += st.timed_out ? 1 : 0;
 
   std::vector<double> lane_sojourn;

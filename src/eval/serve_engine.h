@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "eval/admission_queue.h"
 #include "eval/batch_runner.h"
+#include "eval/result_cache.h"
 #include "graph/graph_delta.h"
 #include "graph/labeled_graph.h"
 #include "graph/snapshot.h"
@@ -132,6 +133,17 @@ struct ServeOptions {
   /// bounds interactive tail latency under a saturating bulk backlog: bulk
   /// occupies at most K workers no matter how deep its queue grows.
   AdmissionCaps caps;
+  /// Result-cache entry budget (0 = caching off). When on, cacheable
+  /// queries — no deadline, effective approx disabled for their method —
+  /// consult the epoch-keyed ResultCache before planning; a hit is
+  /// bit-identical to re-executing at the query's pinned epoch (DESIGN.md
+  /// serving contract 6).
+  std::size_t result_cache_entries = 0;
+  /// Byte budget for the index's lazily faulted pair-butterfly blocks
+  /// (0 = unbounded). Applied to the serving index at engine construction
+  /// and carried across epoch repairs; materialized/snapshot-loaded pairs
+  /// are pinned and exempt.
+  std::size_t pair_cache_bytes = 0;
 };
 
 /// Plans method-erased requests onto the right search algorithm and
@@ -234,6 +246,14 @@ class ServeEngine {
   void AttachDurability(Changelog* log, const SourceGraphInfo& stamp = {});
   Changelog* durability_log() const { return durability_log_; }
 
+  /// Result-cache counters (all-zero when caching is off).
+  bool result_cache_enabled() const { return result_cache_ != nullptr; }
+  ResultCacheStats result_cache_stats() const;
+
+  /// Pair block-cache counters of the newest published index (all-zero when
+  /// the engine serves without an index).
+  BlockCacheStats pair_cache_stats() const;
+
  private:
   friend struct StreamState;
 
@@ -245,19 +265,37 @@ class ServeEngine {
     std::uint64_t epoch = 0;
   };
 
+  /// The labels an applied update repaired, for result-cache invalidation:
+  /// labels with intra-label edge updates and canonical (first < second)
+  /// label pairs with cross-label updates. Sorted, deduped.
+  struct RepairTouch {
+    std::vector<Label> intra;
+    std::vector<std::pair<Label, Label>> cross;
+  };
+
   std::unique_ptr<struct StreamState> MakeStreamState();
   void Dispatch(const QueryRequest& req, std::uint64_t request_id, const LabeledGraph& g,
                 const BcIndex* index, QueryWorkspace& ws, Community* community,
                 SearchStats* stats) const;
+  /// True when the request may consult/populate the result cache: variant
+  /// matches method, no deadline (a timed-out partial answer is
+  /// timing-dependent), and the method's effective approx sampling is off
+  /// (per-query seeds make sampled answers request-id-dependent).
+  bool CacheableRequest(const QueryRequest& req, bool has_index) const;
   /// Validates and prepares `req` against `base` (off-thread safe: touches
   /// no engine state) and returns the successor state — `base` itself when
-  /// the batch is rejected.
+  /// the batch is rejected. `touch`, when non-null, receives the repaired
+  /// labels of an applied batch.
   EpochState PrepareUpdate(const EpochState& base, const UpdateRequest& req,
-                           UpdateOutcome* outcome) const;
+                           UpdateOutcome* outcome, RepairTouch* touch = nullptr) const;
   void RunWorker(StreamState& state, QueryWorkspace& ws);
 
   BatchRunner* runner_;
   ServeOptions opts_;
+  /// Epoch-keyed query-result cache; null when result_cache_entries == 0.
+  /// Engine-lifetime (not per stream): entries persist across streams, and
+  /// NoteRepairs keeps them exact across epochs.
+  std::unique_ptr<ResultCache> result_cache_;
   Changelog* durability_log_ = nullptr;  // non-owning; see AttachDurability
   SourceGraphInfo durability_stamp_;
   mutable Mutex state_mutex_;

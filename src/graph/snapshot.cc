@@ -73,11 +73,10 @@ class SnapshotAccess {
     index->label_coreness_ = ArrayRef<std::uint32_t>::View(coreness.data(), coreness.size());
     index->max_core_per_label_ =
         ArrayRef<std::uint32_t>::View(max_core.data(), max_core.size());
-    {
-      // Freshly constructed and single-owned, but the cache is GUARDED_BY its
-      // mutex — take the (uncontended) lock so the annotation holds everywhere.
-      MutexLock lock(index->pair_cache_mutex_);
-      index->pair_cache_ = std::move(pairs);
+    // Snapshot-loaded pairs are pinned: they were materialized before the
+    // save, so they stay resident regardless of any serving byte budget.
+    for (auto& [key, counts] : pairs) {
+      index->pair_cache_.Insert(key.first, key.second, std::move(counts), /*pin=*/true);
     }
     return index;
   }
@@ -411,11 +410,14 @@ bool SaveSnapshot(const BcIndex& index, const std::string& path, std::string* er
   const auto coreness = SnapshotAccess::Coreness(index);
   const auto max_core = SnapshotAccess::MaxCorePerLabel(index);
 
-  // Collect the cached pairs up front (map nodes are reference-stable, and
-  // SaveSnapshot holds the only reference while serializing).
-  std::vector<std::tuple<Label, Label, const ButterflyCounts*>> pairs;
-  index.ForEachCachedPair(
-      [&pairs](Label a, Label b, const ButterflyCounts& c) { pairs.emplace_back(a, b, &c); });
+  // Collect the resident pairs up front as pinned shared_ptr blocks, in
+  // sorted key order. The pins keep each block alive for the duration of the
+  // serialization even if a concurrently serving thread evicts it from the
+  // byte-budgeted cache (the compactor saves the live serving index).
+  std::vector<std::tuple<Label, Label, std::shared_ptr<const ButterflyCounts>>> pairs;
+  for (auto& entry : index.CachedPairEntries()) {
+    pairs.emplace_back(entry.a, entry.b, std::move(entry.counts));
+  }
 
   SnapshotHeader header = {};
   std::memcpy(header.magic, kMagicBytes, sizeof(header.magic));

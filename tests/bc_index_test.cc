@@ -28,7 +28,8 @@ TEST(BcIndexTest, CorenessMatchesLabelCoreness) {
 TEST(BcIndexTest, PairButterfliesMatchDirectCount) {
   Figure1Graph f = MakeFigure1Graph();
   BcIndex index(f.graph);
-  const ButterflyCounts& pair = index.PairButterflies(f.se, f.ui);
+  const auto pair_pin = index.PairButterflies(f.se, f.ui);
+  const ButterflyCounts& pair = *pair_pin;
   auto se = f.graph.VerticesWithLabel(f.se);
   auto ui = f.graph.VerticesWithLabel(f.ui);
   std::vector<VertexId> left(se.begin(), se.end()), right(ui.begin(), ui.end());
@@ -43,9 +44,9 @@ TEST(BcIndexTest, PairButterfliesMatchDirectCount) {
 TEST(BcIndexTest, PairOrderInsensitiveAndCached) {
   Figure1Graph f = MakeFigure1Graph();
   BcIndex index(f.graph);
-  const ButterflyCounts& a = index.PairButterflies(f.se, f.ui);
-  const ButterflyCounts& b = index.PairButterflies(f.ui, f.se);
-  EXPECT_EQ(&a, &b) << "cache must canonicalize the label pair";
+  const auto a = index.PairButterflies(f.se, f.ui);
+  const auto b = index.PairButterflies(f.ui, f.se);
+  EXPECT_EQ(a.get(), b.get()) << "cache must canonicalize the label pair";
 }
 
 TEST(BcIndexTest, MultiLabelPairsIndependent) {
@@ -58,9 +59,9 @@ TEST(BcIndexTest, MultiLabelPairsIndependent) {
   BcIndex index(pg.graph);
   // Different label pairs produce different count objects; totals are
   // non-negative and consistent with a direct recount.
-  const ButterflyCounts& p01 = index.PairButterflies(0, 1);
-  const ButterflyCounts& p02 = index.PairButterflies(0, 2);
-  EXPECT_NE(&p01, &p02);
+  const auto p01 = index.PairButterflies(0, 1);
+  const auto p02 = index.PairButterflies(0, 2);
+  EXPECT_NE(p01.get(), p02.get());
 }
 
 TEST(L2pMbccTest, MatchesGlobalMbccOnChain) {

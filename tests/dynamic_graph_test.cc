@@ -101,7 +101,8 @@ void ExpectIndexMatchesFreshBuild(const BcIndex& repaired, const LabeledGraph& u
     EXPECT_EQ(repaired.MaxCoreness(l), fresh.MaxCoreness(l)) << note << " label " << l;
   }
   repaired.ForEachCachedPair([&](Label a, Label b, const ButterflyCounts& counts) {
-    const ButterflyCounts& want = fresh.PairButterflies(a, b);
+    const auto want_pin = fresh.PairButterflies(a, b);
+    const ButterflyCounts& want = *want_pin;
     EXPECT_EQ(counts.total, want.total) << note << " pair " << a << "," << b;
     EXPECT_EQ(counts.max_left, want.max_left) << note << " pair " << a << "," << b;
     EXPECT_EQ(counts.max_right, want.max_right) << note << " pair " << a << "," << b;
@@ -332,7 +333,7 @@ TEST(DynamicIndexTest, UncachedPairsFaultInAgainstUpdatedGraph) {
   BcIndex fresh(updated);
   for (Label a = 0; a < 3; ++a) {
     for (Label b = a + 1; b < 3; ++b) {
-      EXPECT_EQ(repaired->PairButterflies(a, b).total, fresh.PairButterflies(a, b).total);
+      EXPECT_EQ(repaired->PairButterflies(a, b)->total, fresh.PairButterflies(a, b)->total);
     }
   }
 }

@@ -98,6 +98,7 @@ void PrintUsage() {
                "                  [--lane interactive|bulk] [--deadline-ms N]\n"
                "                  [--approx-samples N] [--approx-threshold N]\n"
                "                  [--approx-adaptive] [--updates-file FILE] [--verify]\n"
+               "                  [--result-cache N] [--cache-bytes N]\n"
                "       bccs_query ... --batch-file FILE [--threads N] [--repeat N]\n"
                "       bccs_query ... --ql ID --qr ID --repeat N [--threads N]\n");
 }
@@ -169,6 +170,8 @@ struct ServeConfig {
   bccs::Lane lane = bccs::Lane::kBulk;
   double deadline_seconds = 0;
   bccs::ApproxOptions approx;
+  std::size_t result_cache_entries = 0;
+  std::size_t pair_cache_bytes = 0;
 };
 
 bccs::ServeOptions MakeServeOptions(const ServeConfig& cfg) {
@@ -177,6 +180,8 @@ bccs::ServeOptions MakeServeOptions(const ServeConfig& cfg) {
   so.lp.approx = cfg.approx;
   so.mbcc.approx = cfg.approx;
   so.l2p.search.approx = cfg.approx;
+  so.result_cache_entries = cfg.result_cache_entries;
+  so.pair_cache_bytes = cfg.pair_cache_bytes;
   return so;
 }
 
@@ -242,7 +247,8 @@ int main(int argc, char** argv) {
   auto unknown = args.UnknownFlags({"graph", "index-file", "ql", "qr", "queries", "k1", "k2",
                                     "b", "method", "verify", "help", "batch-file", "threads",
                                     "repeat", "lane", "deadline-ms", "approx-samples",
-                                    "approx-threshold", "approx-adaptive", "updates-file"});
+                                    "approx-threshold", "approx-adaptive", "updates-file",
+                                    "result-cache", "cache-bytes"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -290,13 +296,18 @@ int main(int argc, char** argv) {
   const std::int64_t k1_arg = args.GetNonNegativeIntOr("k1", 0, &counts_valid);
   const std::int64_t k2_arg = args.GetNonNegativeIntOr("k2", 0, &counts_valid);
   const std::int64_t b_arg = args.GetPositiveIntOr("b", 1, &counts_valid);
+  const std::int64_t result_cache =
+      args.GetNonNegativeIntOr("result-cache", 0, &counts_valid);
+  const std::int64_t cache_bytes = args.GetNonNegativeIntOr("cache-bytes", 0, &counts_valid);
   if (!counts_valid) {
     std::fprintf(stderr,
-                 "--threads, --k1 and --k2 must be integers >= 0; --b must be an "
-                 "integer > 0\n");
+                 "--threads, --k1, --k2, --result-cache and --cache-bytes must be "
+                 "integers >= 0; --b must be an integer > 0\n");
     PrintUsage();
     return 2;
   }
+  cfg.result_cache_entries = static_cast<std::size_t>(result_cache);
+  cfg.pair_cache_bytes = static_cast<std::size_t>(cache_bytes);
   bool threads_clamped = false;
   const std::size_t threads = bccs::ArgParser::ClampThreadCount(threads_raw, &threads_clamped);
   if (threads_clamped) {

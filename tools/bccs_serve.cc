@@ -79,7 +79,8 @@ void PrintUsage() {
                "                  [--deadline-ms N] [--approx-samples N]\n"
                "                  [--approx-threshold N] [--approx-adaptive] [--quiet]\n"
                "                  [--fsync none|on-rotation|every-append]\n"
-               "                  [--segment-blocks N] [--compact-threshold N]\n");
+               "                  [--segment-blocks N] [--compact-threshold N]\n"
+               "                  [--result-cache N] [--cache-bytes N]\n");
 }
 
 volatile std::sig_atomic_t g_stop_signal = 0;
@@ -185,7 +186,8 @@ int main(int argc, char** argv) {
                                     "interactive-cap", "aging", "method", "k1", "k2", "b",
                                     "deadline-ms", "approx-samples", "approx-threshold",
                                     "approx-adaptive", "quiet", "fsync", "segment-blocks",
-                                    "compact-threshold", "help"});
+                                    "compact-threshold", "result-cache", "cache-bytes",
+                                    "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -211,6 +213,9 @@ int main(int argc, char** argv) {
       args.GetPositiveIntOr("segment-blocks", 0, &counts_valid);
   const std::int64_t compact_threshold =
       args.GetPositiveIntOr("compact-threshold", 0, &counts_valid);
+  const std::int64_t result_cache =
+      args.GetNonNegativeIntOr("result-cache", 0, &counts_valid);
+  const std::int64_t cache_bytes = args.GetNonNegativeIntOr("cache-bytes", 0, &counts_valid);
   if (!counts_valid) {
     std::fprintf(stderr, "invalid numeric flag value\n");
     PrintUsage();
@@ -325,6 +330,8 @@ int main(int argc, char** argv) {
   so.aging_period = static_cast<std::size_t>(aging);
   so.caps.bulk = static_cast<std::size_t>(bulk_cap);
   so.caps.interactive = static_cast<std::size_t>(interactive_cap);
+  so.result_cache_entries = static_cast<std::size_t>(result_cache);
+  so.pair_cache_bytes = static_cast<std::size_t>(cache_bytes);
   if (approx_samples > 0) {
     bccs::ApproxOptions approx;
     approx.enabled = true;
@@ -453,6 +460,24 @@ int main(int argc, char** argv) {
                 bccs::Name(lane.lane), lane.queries, lane.max_inflight,
                 lane.latency.p50_seconds, lane.latency.p90_seconds,
                 lane.latency.p99_seconds);
+  }
+  if (result.result_cache_enabled || cache_bytes > 0) {
+    const bccs::ResultCacheStats& rc = result.result_cache;
+    const bccs::BlockCacheStats& pc = result.pair_cache;
+    const std::uint64_t rc_total = rc.hits + rc.misses;
+    std::printf("cache: result %llu/%llu hits (%.1f%%), %zu entries, %llu evictions, "
+                "%llu stale; pairs %llu/%llu hits, %llu evictions, %zu bytes "
+                "(budget %zu)\n",
+                static_cast<unsigned long long>(rc.hits),
+                static_cast<unsigned long long>(rc_total),
+                rc_total > 0 ? 100.0 * static_cast<double>(rc.hits) /
+                                   static_cast<double>(rc_total)
+                             : 0.0,
+                rc.entries, static_cast<unsigned long long>(rc.evictions),
+                static_cast<unsigned long long>(rc.stale_drops),
+                static_cast<unsigned long long>(pc.hits),
+                static_cast<unsigned long long>(pc.hits + pc.misses),
+                static_cast<unsigned long long>(pc.evictions), pc.bytes, pc.budget_bytes);
   }
   if (changelog != nullptr) {
     std::size_t updates_appended = 0, sealed_segments = 0;

@@ -100,12 +100,15 @@ fi
 grep -q "valid methods" "$tmp/method.err" || fail "usage did not list valid methods"
 
 # --deadline-ms / --approx-samples must be positive integers; the count and
-# parameter flags (--threads, --k1/--k2, --b) share the same strict numeric
-# contract instead of silently falling back on garbage.
+# parameter flags (--threads, --k1/--k2, --b, --result-cache, --cache-bytes)
+# share the same strict numeric contract instead of silently falling back on
+# garbage.
 for bad in "--deadline-ms 0" "--deadline-ms -3" "--deadline-ms abc" \
            "--approx-samples 0" "--approx-samples xyz" \
            "--threads -1" "--threads abc" "--threads 1.5" \
-           "--k1 -2" "--k2 xyz" "--b 0" "--b -1" "--b abc"; do
+           "--k1 -2" "--k2 xyz" "--b 0" "--b -1" "--b abc" \
+           "--result-cache -1" "--result-cache abc" "--result-cache 1.5" \
+           "--cache-bytes -5" "--cache-bytes xyz" "--cache-bytes 2.5"; do
   # shellcheck disable=SC2086
   if "$bin/bccs_query" --graph "$tmp/g.txt" --ql "$q1" --qr "$q2" $bad \
       >/dev/null 2>&1; then
@@ -287,6 +290,25 @@ if "$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" \
     --bulk-cap -1 >/dev/null 2>&1; then
   fail "negative --bulk-cap was accepted"
 fi
+for bad in "--result-cache -1" "--result-cache abc" "--cache-bytes -5" \
+           "--cache-bytes 1.5"; do
+  # shellcheck disable=SC2086
+  if "$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" $bad \
+      >/dev/null 2>&1; then
+    fail "invalid cache flag value accepted by bccs_serve: $bad"
+  fi
+done
+
+# A cached serve run answers identically to the uncached one above and
+# reports its hit/miss counters in the shutdown summary.
+cached_out="$("$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" \
+  --result-cache 64 --method lp)" || fail "cached bccs_serve failed"
+cached_members="$(printf '%s\n' "$cached_out" \
+  | sed -n 's/^\[2\].*-> \([0-9]*\) members.*/\1/p')"
+[ "$cached_members" = "$serve_members" ] \
+  || fail "cached streamed answer differs: $cached_members vs $serve_members"
+printf '%s\n' "$cached_out" | grep -q "^cache: result " \
+  || fail "cached bccs_serve printed no cache summary"
 
 # --- Crash-safe durability: changelog append, restart replay, fault matrix --
 

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
-# leaving BENCH_PR7.json next to this script's repo root. The JSON carries
+# leaving BENCH_PR8.json next to this script's repo root. The JSON carries
 # the batch-query QPS rows, the snapshot cold-start block, the two-lane
 # serving block (per-lane sojourn p50/p99 plus the warm serving wall time),
-# the streaming block, the approx block, the updates block, and the recovery
-# block — see BENCH_PR6.json for the lineage — plus a new check_overhead
-# block: the serving block is re-run from a second build configured with
-# -DBCCS_STRIP_CHECKS=ON (BCCS_CHECK compiled out) and the two warm wall
-# times are compared, best of $RUNS runs each, to price the always-on
-# invariant checks. Future PRs append their own BENCH_PR<N>.json and compare.
+# the streaming block, the approx block, the caching block (Zipf trace
+# replay through the result cache plus block-cache eviction pressure; this
+# script fails if a cached answer ever differs from re-execution), the
+# updates block, and the recovery block — see BENCH_PR7.json for the
+# lineage — plus a check_overhead block: the serving block is re-run from a
+# second build configured with -DBCCS_STRIP_CHECKS=ON (BCCS_CHECK compiled
+# out) and the two warm wall times are compared, best of $RUNS runs each,
+# to price the always-on invariant checks. Future PRs append their own
+# BENCH_PR<N>.json and compare.
 #
 # usage: tools/run_bench.sh [extra perf_smoke args...]
 set -euo pipefail
@@ -16,7 +19,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 strip_dir="${STRIP_BUILD_DIR:-$repo_root/build-nocheck}"
-out="$repo_root/BENCH_PR7.json"
+out="$repo_root/BENCH_PR8.json"
 runs="${RUNS:-3}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
@@ -53,6 +56,17 @@ overhead = (on - off) / off * 100.0 if off > 0 else 0.0
 
 with open(out_path) as f:
     bench = json.load(f)
+
+# Hard gate: a result-cache hit must be indistinguishable from re-executing
+# the query at its epoch. perf_smoke already fails on this, but the bench
+# script enforces it too so a future refactor of the exit-code chain cannot
+# silently drop the guarantee.
+caching = bench["caching"]
+if not caching["identical_to_uncached"]:
+    sys.exit("caching: cached answers differ from uncached replay")
+if not caching["block_cache"]["identical_to_unbounded"]:
+    sys.exit("caching: budget-capped block cache served wrong counts")
+
 bench["check_overhead"] = {
     "serving_wall_seconds_checks_on": on,
     "serving_wall_seconds_checks_off": off,
