@@ -80,12 +80,15 @@ bool BuildCacheKey(const QueryRequest& req, const LabeledGraph& g, ResultCacheKe
 
 }  // namespace
 
-/// All mutable state of one stream. The producer (Stream::Submit) grows the
+/// All mutable state of one stream. Producers (Stream::Submit — any number
+/// of threads, one per connection in the socket front-end) grow the
 /// per-item containers under `mutex`; workers take stable pointers to their
 /// exclusive slots under the same mutex and then execute unlocked (std::deque
 /// growth never moves existing elements). The admission queue provides the
 /// cross-thread ordering: a worker only learns an index from Pop(), which
-/// happens-after the producer's bookkeeping for that index.
+/// happens-after the producer's bookkeeping for that index — admission into
+/// the queue happens under `mutex` too, so the queue's dense admission
+/// indices always match the container slots even with racing producers.
 struct StreamState {
   StreamState(ServeEngine* e, std::size_t aging_period, AdmissionCaps caps)
       : engine(e), queue(aging_period, caps) {}
@@ -110,6 +113,9 @@ struct StreamState {
   std::deque<std::uint64_t> epoch_of GUARDED_BY(mutex);
   // One per update, by ordinal.
   std::deque<UpdateOutcome> update_outcomes GUARDED_BY(mutex);
+  // Per-item completion callbacks (empty function = none). Moved out by the
+  // executing worker and invoked exactly once, outside every lock.
+  std::deque<CompletionFn> callbacks GUARDED_BY(mutex);
 
   /// Copy-on-write epoch history: history[s] is the state observed by
   /// queries admitted after s updates. Slot 0 is published at open; slot
@@ -127,10 +133,10 @@ struct StreamState {
   // First slot that may still hold state.
   std::size_t release_cursor GUARDED_BY(mutex) = 0;
   std::size_t updates_admitted GUARDED_BY(mutex) = 0;
-  /// Single-producer state: written and read only by the thread that owns
-  /// the Stream handle (Submit/Finish/dtor), never by workers — deliberately
-  /// outside the mutex capability.
-  bool finished = false;
+  /// Set by Finish (which must not race Submit — stop every producer
+  /// first); atomic so concurrent producers' contract-violation check in
+  /// Submit reads a coherent value rather than a torn one.
+  std::atomic<bool> finished{false};
   /// Captured by BatchRunner::Run before the pool is released — reading
   /// the workspaces after Run returns would race the next job on a shared
   /// runner.
@@ -326,13 +332,17 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       EpochState base;
       const ServeItem* item;
       double admit_seconds;
+      std::uint64_t request_id;
       UpdateOutcome* outcome;
+      CompletionFn done;
       {
         MutexLock lock(state.mutex);
         base = state.history[u].state;
         item = &state.items[t.index];
         admit_seconds = state.slots[t.index].admit_seconds;
+        request_id = state.slots[t.index].request_id;
         outcome = &state.update_outcomes[u];
+        done = std::move(state.callbacks[t.index]);
       }
       outcome->item_index = t.index;
       Timer apply;
@@ -372,19 +382,36 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       }
       outcome->seconds = apply.Seconds();
       outcome->epoch = next.epoch;
+      double update_sojourn;
       {
         MutexLock lock(state.mutex);
         state.history[u + 1].state = next;
         state.published = u + 2;
         state.ReleaseDrainedHistory();
         state.seconds[t.index] = outcome->seconds;
-        state.sojourn[t.index] = state.wall.Seconds() - admit_seconds;
+        update_sojourn = state.wall.Seconds() - admit_seconds;
+        state.sojourn[t.index] = update_sojourn;
         state.epoch_of[t.index] = next.epoch;
       }
       // Resolve on the queue AFTER the history write: Pop()'s mutex
       // acquisition gives any worker that observes the resolution a
       // happens-before edge to the new state.
       state.queue.PublishUpdate();
+      if (done) {
+        // Streaming completion, after the publish: when the callback fires,
+        // the new epoch is already observable by later admissions — an ack
+        // the socket layer relays (and keeps for idempotent retries) is
+        // never ahead of the state it describes.
+        ItemCompletion c;
+        c.index = t.index;
+        c.request_id = request_id;
+        c.epoch = outcome->epoch;
+        c.seconds = outcome->seconds;
+        c.sojourn_seconds = update_sojourn;
+        c.is_update = true;
+        c.outcome = outcome;
+        done(c);
+      }
       continue;
     }
 
@@ -397,6 +424,7 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
     double admit_seconds;
     Community* community;
     SearchStats* stats;
+    CompletionFn done;
     {
       MutexLock lock(state.mutex);
       pinned = state.history[t.epoch_slot].state;
@@ -405,6 +433,7 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       admit_seconds = state.slots[t.index].admit_seconds;
       community = &state.communities[t.index];
       stats = &state.stats[t.index];
+      done = std::move(state.callbacks[t.index]);
     }
     const QueryRequest& req = std::get<QueryRequest>(*item);
     ResultCacheKey cache_key;
@@ -429,15 +458,32 @@ void ServeEngine::RunWorker(StreamState& state, QueryWorkspace& ws) {
       }
     }
     const double exec_seconds = exec.Seconds();
+    const std::uint64_t pinned_epoch = pinned.epoch;
+    double query_sojourn;
     {
       MutexLock lock(state.mutex);
       state.seconds[t.index] = exec_seconds;
-      state.sojourn[t.index] = state.wall.Seconds() - admit_seconds;
+      query_sojourn = state.wall.Seconds() - admit_seconds;
+      state.sojourn[t.index] = query_sojourn;
       state.epoch_of[t.index] = pinned.epoch;
       if (--state.history[t.epoch_slot].pending == 0) state.ReleaseDrainedHistory();
     }
     pinned = EpochState{};  // drop the pin before (not while) holding queue locks
     state.queue.CompleteQuery(t.lane);
+    if (done) {
+      // After CompleteQuery: the lane slot is free while the caller's
+      // callback runs, so a slow consumer delays only this worker's next
+      // dequeue, never the lane's concurrency budget.
+      ItemCompletion c;
+      c.index = t.index;
+      c.request_id = request_id;
+      c.epoch = pinned_epoch;
+      c.seconds = exec_seconds;
+      c.sojourn_seconds = query_sojourn;
+      c.community = community;
+      c.stats = stats;
+      done(c);
+    }
   }
 }
 
@@ -465,22 +511,27 @@ ServeEngine::Stream::~Stream() {
 }
 
 std::uint64_t ServeEngine::Stream::Submit(ServeItem item) {
+  return Submit(std::move(item), CompletionFn());
+}
+
+std::uint64_t ServeEngine::Stream::Submit(ServeItem item, CompletionFn on_complete) {
   StreamState& s = *state_;
-  if (s.finished) {
+  if (s.finished.load(std::memory_order_acquire)) {
     // The worker pool has already been released; enqueueing would silently
     // drop the item while handing back a valid-looking request id.
     std::fprintf(stderr, "ServeEngine::Stream: Submit after Finish\n");
     std::abort();
   }
   const bool is_update = std::holds_alternative<UpdateRequest>(item);
-  // Every item consumes one request id (updates too), so a query's id —
-  // and with it its approx seed — depends only on its admission position,
-  // exactly as in a serialized replay.
-  const std::uint64_t fresh_id = s.engine->next_request_id_.fetch_add(1);
-  std::uint64_t id = fresh_id;
+  std::uint64_t id = 0;
   Lane lane = Lane::kBulk;
   {
     MutexLock lock(s.mutex);
+    // Every item consumes one request id (updates too), drawn under the
+    // stream lock so ids follow the admission order even with racing
+    // producers — a query's id, and with it its approx seed, depends only
+    // on its admission position, exactly as in a serialized replay.
+    id = s.engine->next_request_id_.fetch_add(1);
     s.items.push_back(std::move(item));
     StreamState::Slot slot;
     slot.admit_seconds = s.wall.Seconds();
@@ -501,13 +552,18 @@ std::uint64_t ServeEngine::Stream::Submit(ServeItem item) {
     s.seconds.push_back(0);
     s.sojourn.push_back(0);
     s.epoch_of.push_back(0);
-  }
-  // Admit only after the bookkeeping above: Pop() hands the index to a
-  // worker, which reads the slot under s.mutex.
-  if (is_update) {
-    s.queue.AdmitUpdate();
-  } else {
-    s.queue.AdmitQuery(lane);
+    s.callbacks.push_back(std::move(on_complete));
+    // Admit under the same lock (after the bookkeeping above): with
+    // multiple producers the queue's dense admission index must be assigned
+    // in the order the container slots were pushed, or a worker would read
+    // another producer's item. Lock order stream mutex -> queue mutex;
+    // workers never hold both (Pop returns before they take the stream
+    // mutex), so the nesting is acyclic (DESIGN.md, serving contract 5).
+    if (is_update) {
+      s.queue.AdmitUpdate();
+    } else {
+      s.queue.AdmitQuery(lane);
+    }
   }
   return id;
 }

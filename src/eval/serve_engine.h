@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <variant>
@@ -119,6 +120,38 @@ struct UpdateRequest {
 /// One serving-stream item.
 using ServeItem = std::variant<QueryRequest, UpdateRequest>;
 
+/// Per-item completion notification of the streaming serve loop: what a
+/// submitted item resolved to, delivered on the worker thread that executed
+/// it the moment the result is written — the socket front-end's hook for
+/// streaming each response back on its originating connection while the
+/// stream is still admitting (instead of reporting everything at drain).
+///
+/// The pointers alias the stream's result slots: they are valid for the
+/// duration of the callback (and in fact until Finish returns), but the
+/// callback must not block — it runs inside a serving worker, so a slow
+/// callback stalls one worker's dequeue loop.
+struct ItemCompletion {
+  /// Admission index within the stream (the Finish() result slot).
+  std::size_t index = 0;
+  std::uint64_t request_id = 0;
+  /// Epoch the item executed in (queries) or produced (updates; a rejected
+  /// update reports its unchanged base epoch).
+  std::uint64_t epoch = 0;
+  double seconds = 0;          // execution / preparation duration
+  double sojourn_seconds = 0;  // admission -> completion
+  bool is_update = false;
+  // Queries (null for updates):
+  const Community* community = nullptr;
+  const SearchStats* stats = nullptr;
+  // Updates (null for queries):
+  const UpdateOutcome* outcome = nullptr;
+};
+
+/// Invoked on a worker thread when the item completes. Must be thread-safe
+/// against other completions: items finish out of admission order and on
+/// different workers concurrently.
+using CompletionFn = std::function<void(const ItemCompletion&)>;
+
 /// Engine-wide planning configuration: per-method search options plus the
 /// streaming scheduler's knobs.
 struct ServeOptions {
@@ -175,10 +208,15 @@ class ServeEngine {
   /// A live serving session: Submit admits items while the worker pool is
   /// already draining earlier ones; Finish closes admission, drains
   /// gracefully, and returns the per-item results in admission order.
-  /// Submit is single-producer (call it from one thread at a time); the
-  /// destructor finishes (and discards the results of) an unfinished
-  /// stream. The engine (and its BatchRunner) must outlive the Stream —
-  /// a Stream moved past its engine's lifetime dangles.
+  /// Submit is multi-producer: any number of threads may admit concurrently
+  /// (each connection of the socket front-end is one producer), and the
+  /// admission order — the order that fixes epoch slots, request ids, and
+  /// the serialized-replay equivalence — is the order the submissions win
+  /// the stream lock. Items submitted from ONE thread keep their program
+  /// order, so a connection's own updates are always ordered before its
+  /// later queries. Finish (and the destructor) must not race Submit: stop
+  /// every producer first. The engine (and its BatchRunner) must outlive
+  /// the Stream — a Stream moved past its engine's lifetime dangles.
   class Stream {
    public:
     Stream(Stream&&) noexcept;
@@ -187,6 +225,11 @@ class ServeEngine {
 
     /// Admits one item; returns the request id it will execute under.
     std::uint64_t Submit(ServeItem item);
+
+    /// Admits one item with a per-item completion callback, invoked on the
+    /// executing worker the moment the result lands (streaming completions:
+    /// the caller hears about each item as it finishes, not at drain).
+    std::uint64_t Submit(ServeItem item, CompletionFn on_complete);
     /// Items admitted so far.
     std::size_t Submitted() const;
     /// Closes admission, waits for the drain, and collects the results.

@@ -1,0 +1,115 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace bccs {
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+bool NetClient::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid address '" + host + "'";
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool NetClient::SendLine(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  return SendRaw(framed);
+}
+
+bool NetClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a server-side close surfaces as EPIPE, not SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::ReadLine(std::string* line, double timeout_seconds) {
+  if (fd_ < 0) return false;
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::size_t len = nl;
+      if (len > 0 && buffer_[len - 1] == '\r') --len;
+      line->assign(buffer_, 0, len);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (timeout_seconds > 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_seconds * 1000));
+      if (rc == 0) return false;  // timeout
+      if (rc < 0 && errno != EINTR) return false;
+      if (rc < 0) continue;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+}
+
+void NetClient::CloseSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+}  // namespace bccs

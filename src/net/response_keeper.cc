@@ -1,0 +1,69 @@
+#include "net/response_keeper.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace bccs {
+
+ResponseKeeper::ResponseKeeper(std::size_t capacity) : capacity_(capacity) {
+  BCCS_CHECK(capacity_ > 0) << "ResponseKeeper capacity must be positive";
+}
+
+ResponseKeeper::Start ResponseKeeper::StartRequest(std::uint64_t id, DeliverFn deliver) {
+  std::string replay;
+  {
+    MutexLock lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(id);
+    if (inserted) {
+      ++stats_.started;
+      ++stats_.pending_entries;
+      it->second.waiters.push_back(std::move(deliver));
+      return Start::kStarted;
+    }
+    if (!it->second.completed) {
+      ++stats_.attached;
+      it->second.waiters.push_back(std::move(deliver));
+      return Start::kAttached;
+    }
+    ++stats_.replayed;
+    replay = it->second.response;
+  }
+  // Replay outside the lock: the deliverer typically appends to a
+  // connection buffer under the connection's own mutex.
+  if (deliver) deliver(replay);
+  return Start::kReplayed;
+}
+
+void ResponseKeeper::CompleteRequest(std::uint64_t id, std::string response) {
+  std::vector<DeliverFn> waiters;
+  {
+    MutexLock lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.completed) return;
+    it->second.completed = true;
+    it->second.response = response;
+    waiters = std::move(it->second.waiters);
+    it->second.waiters.clear();
+    --stats_.pending_entries;
+    ++stats_.completed_entries;
+    completed_fifo_.push_back(id);
+    while (completed_fifo_.size() > capacity_) {
+      const std::uint64_t victim = completed_fifo_.front();
+      completed_fifo_.pop_front();
+      entries_.erase(victim);
+      --stats_.completed_entries;
+      ++stats_.evictions;
+    }
+  }
+  for (const DeliverFn& w : waiters) {
+    if (w) w(response);
+  }
+}
+
+ResponseKeeper::Stats ResponseKeeper::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace bccs

@@ -1,0 +1,92 @@
+#ifndef BCCS_NET_RESPONSE_KEEPER_H_
+#define BCCS_NET_RESPONSE_KEEPER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace bccs {
+
+/// Bounded request-id -> response map: the idempotent-retry layer of the
+/// socket front-end (the response-keeper shape of YTsaurus's
+/// yt/core/rpc/response_keeper.h, specialized to line responses).
+///
+/// The failure it exists for: a client sends an update with `id=N`, the
+/// server applies it and acks, the connection drops before the ack is read.
+/// The client cannot tell "never applied" from "ack lost", so it reconnects
+/// and resends `id=N`. Without deduplication the edge update would apply
+/// twice (epoch advanced twice, toggle semantics inverted). With the
+/// keeper, the resend is answered from the kept response — exactly-once
+/// apply, at-least-once delivery of the ack.
+///
+/// Lifecycle of an id:
+///   StartRequest(N) on an unknown id registers it *pending* and returns
+///   kStarted: the caller executes the request and must eventually call
+///   CompleteRequest(N, response). A StartRequest(N) while pending attaches
+///   the new deliverer (kAttached: the retry gets the same response when it
+///   lands, the request is NOT re-executed). A StartRequest(N) after
+///   completion delivers the kept response immediately (kReplayed).
+///
+/// Capacity: at most `capacity` *completed* responses are kept; the oldest
+/// completed id is evicted first (pending ids are never evicted — they are
+/// bounded by the stream's in-flight items). A retry of an evicted id
+/// re-executes, so clients must retry within the window the capacity
+/// affords; `evictions` counts how often that window rolled.
+///
+/// Thread safety: fully synchronized; deliver callbacks run OUTSIDE the
+/// keeper lock (a deliverer may re-enter the keeper).
+class ResponseKeeper {
+ public:
+  using DeliverFn = std::function<void(const std::string& response)>;
+
+  enum class Start : std::uint8_t { kStarted, kAttached, kReplayed };
+
+  explicit ResponseKeeper(std::size_t capacity);
+
+  /// Registers interest in id. kStarted: caller owns execution. kAttached /
+  /// kReplayed: caller must NOT execute; `deliver` receives the response
+  /// (immediately for kReplayed, on completion for kAttached).
+  Start StartRequest(std::uint64_t id, DeliverFn deliver);
+
+  /// Resolves a pending id: keeps the response (evicting the oldest
+  /// completed entry past capacity) and invokes every attached deliverer,
+  /// including the original StartRequest's, outside the lock. Unknown ids
+  /// are ignored (the entry may have been evicted under pathological
+  /// capacity pressure while executing).
+  void CompleteRequest(std::uint64_t id, std::string response);
+
+  struct Stats {
+    std::uint64_t started = 0;   // fresh executions
+    std::uint64_t attached = 0;  // retries that joined an in-flight request
+    std::uint64_t replayed = 0;  // retries answered from a kept response
+    std::uint64_t evictions = 0;
+    std::size_t completed_entries = 0;
+    std::size_t pending_entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    bool completed = false;
+    std::string response;             // valid when completed
+    std::vector<DeliverFn> waiters;   // pending deliverers
+  };
+
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_ GUARDED_BY(mutex_);
+  /// Completed ids in completion order (the FIFO eviction queue).
+  std::deque<std::uint64_t> completed_fifo_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
+};
+
+}  // namespace bccs
+
+#endif  // BCCS_NET_RESPONSE_KEEPER_H_

@@ -1,0 +1,421 @@
+// Wire-protocol codec: the parser and line framing of the socket front-end
+// (src/net/line_protocol.h) plus the idempotent-retry ResponseKeeper
+// (src/net/response_keeper.h) — all byte-in/byte-out, no sockets. The
+// load-bearing properties: framing is chunking-independent (1-byte torn
+// reads reassemble identically to one big read), a malformed line is a
+// clean per-line error (never a crash, never a partial apply), an overlong
+// line forces a close because the frame boundary itself is lost, and the
+// keeper executes each request id exactly once no matter how it is retried.
+// Runs under the `sanitize` ctest label (ASan+UBSan and TSan presets).
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/line_protocol.h"
+#include "net/response_keeper.h"
+
+namespace bccs {
+namespace {
+
+constexpr std::size_t kVertices = 100;
+
+NetParseStatus Parse(const std::string& line, NetRequest* out, std::string* error) {
+  return ParseNetRequest(line, kVertices, out, error);
+}
+
+// --------------------------------------------------------------------------
+// ParseNetRequest: the strict request grammar.
+
+TEST(NetProtocolTest, ParsesQueryWithDefaults) {
+  NetRequest req;
+  std::string error;
+  ASSERT_EQ(Parse("q 3 7", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.kind, NetRequestKind::kQuery);
+  EXPECT_EQ(req.ql, 3u);
+  EXPECT_EQ(req.qr, 7u);
+  EXPECT_EQ(req.lane, Lane::kBulk);
+  EXPECT_EQ(req.id, 0u);
+}
+
+TEST(NetProtocolTest, ParsesQueryLaneAndId) {
+  NetRequest req;
+  std::string error;
+  ASSERT_EQ(Parse("q 3 7 interactive id=42", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.lane, Lane::kInteractive);
+  EXPECT_EQ(req.id, 42u);
+  ASSERT_EQ(Parse("q 3 7 b", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.lane, Lane::kBulk);
+  ASSERT_EQ(Parse("q 3 7 id=9", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.lane, Lane::kBulk);
+  EXPECT_EQ(req.id, 9u);
+}
+
+TEST(NetProtocolTest, ParsesUpdateCanonicalizesEdge) {
+  NetRequest req;
+  std::string error;
+  ASSERT_EQ(Parse("u + 9 4 id=7", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.kind, NetRequestKind::kUpdate);
+  EXPECT_EQ(req.update.kind, EdgeUpdateKind::kInsert);
+  EXPECT_EQ(req.update.edge.u, 4u);  // min/max canonical order
+  EXPECT_EQ(req.update.edge.v, 9u);
+  EXPECT_EQ(req.id, 7u);
+  ASSERT_EQ(Parse("u - 1 2", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.update.kind, EdgeUpdateKind::kDelete);
+}
+
+TEST(NetProtocolTest, BlankAndCommentLinesAreIgnored) {
+  NetRequest req;
+  std::string error;
+  EXPECT_EQ(Parse("", &req, &error), NetParseStatus::kBlank);
+  EXPECT_EQ(Parse("   \t  ", &req, &error), NetParseStatus::kBlank);
+  EXPECT_EQ(Parse("# a comment", &req, &error), NetParseStatus::kBlank);
+}
+
+TEST(NetProtocolTest, PingAndQuitTakeNoArguments) {
+  NetRequest req;
+  std::string error;
+  EXPECT_EQ(Parse("ping", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.kind, NetRequestKind::kPing);
+  EXPECT_EQ(Parse("quit", &req, &error), NetParseStatus::kOk);
+  EXPECT_EQ(req.kind, NetRequestKind::kQuit);
+  EXPECT_EQ(Parse("ping now", &req, &error), NetParseStatus::kError);
+  EXPECT_EQ(Parse("quit 1", &req, &error), NetParseStatus::kError);
+}
+
+// Every malformed line must come back kError with a reason — never crash,
+// never misparse as a different request.
+TEST(NetProtocolTest, MalformedLinesAreCleanErrors) {
+  const std::vector<std::string> bad = {
+      "bogus",
+      "q",
+      "q 1",
+      "q 1 2 3",             // numeric lane
+      "q one two",
+      "q -1 2",              // sign rejected by strict u64 parse
+      "q +1 2",
+      "q 1 2 warp",          // unknown lane
+      "q 1 2 bulk id=0",     // id must be positive
+      "q 1 2 id=abc",
+      "q 1 2 id=3 trailing",
+      "q 1 2 bulk 9",
+      "q 999 1",             // vertex out of range
+      "q 1 100",             // == num_vertices: out of range
+      "u",
+      "u + 1",
+      "u * 1 2",             // bad sign
+      "u + 1 2 3",           // trailing junk
+      "u + a b",
+      "u + 1 999",
+      "u + 1 2 id=",
+      "q 18446744073709551616 1",  // u64 overflow
+  };
+  for (const std::string& line : bad) {
+    NetRequest req;
+    std::string error;
+    EXPECT_EQ(Parse(line, &req, &error), NetParseStatus::kError) << "line: " << line;
+    EXPECT_FALSE(error.empty()) << "line: " << line;
+  }
+}
+
+// Garbage bytes — including invalid UTF-8 and embedded controls — must be a
+// clean per-line error, not a crash or a half-parse.
+TEST(NetProtocolTest, GarbageBytesAreCleanErrors) {
+  std::vector<std::string> garbage = {
+      std::string("\xff\xfe\x80\x80"),          // invalid UTF-8
+      std::string("q \xc3\x28 2"),              // invalid UTF-8 inside a token
+      std::string("q\x01 1 2"),                 // control byte glued to the kind
+      std::string("u + 1\x07 2"),               // control byte inside a number
+      std::string(3, '\0') + "q 1 2",           // NULs
+      std::string("\xf0\x9f\x92\xa9 dump"),     // valid UTF-8, invalid request
+  };
+  for (const std::string& line : garbage) {
+    NetRequest req;
+    std::string error;
+    EXPECT_EQ(Parse(line, &req, &error), NetParseStatus::kError);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// Property check over random byte soup: the parser never crashes and never
+// returns kOk for lines that aren't plausibly well-formed requests.
+TEST(NetProtocolTest, RandomByteSoupNeverCrashes) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> len_dist(0, 60);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string line;
+    const int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) {
+      char c = static_cast<char>(byte_dist(rng));
+      if (c == '\n') c = ' ';  // the framing layer strips terminators
+      line.push_back(c);
+    }
+    NetRequest req;
+    std::string error;
+    const NetParseStatus status = Parse(line, &req, &error);
+    if (status == NetParseStatus::kOk) {
+      // A random line that parses must at least be a known kind with
+      // in-range vertices.
+      if (req.kind == NetRequestKind::kQuery) {
+        EXPECT_LT(req.ql, kVertices);
+        EXPECT_LT(req.qr, kVertices);
+      }
+    } else if (status == NetParseStatus::kError) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// LineSplitter: chunking-independent framing.
+
+std::vector<std::string> SplitAll(LineSplitter& splitter) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (splitter.Next(&line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(NetProtocolTest, SplitterReassemblesOneByteReads) {
+  const std::string wire = "q 1 2\nu + 3 4 id=9\r\nping\nq 5 6 interactive\n";
+  LineSplitter whole(4096);
+  ASSERT_TRUE(whole.Feed(wire));
+  const std::vector<std::string> expected = SplitAll(whole);
+  ASSERT_EQ(expected.size(), 4u);
+  EXPECT_EQ(expected[1], "u + 3 4 id=9");  // '\r' stripped
+
+  // The same bytes one at a time — the torn-read extreme — must frame
+  // identically.
+  LineSplitter torn(4096);
+  std::vector<std::string> got;
+  for (char c : wire) {
+    ASSERT_TRUE(torn.Feed(std::string_view(&c, 1)));
+    std::string line;
+    while (torn.Next(&line)) got.push_back(line);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(torn.pending_bytes(), 0u);
+}
+
+// Chunk the same byte stream at random boundaries many ways: every chunking
+// must produce the identical line sequence.
+TEST(NetProtocolTest, SplitterIsChunkingIndependent) {
+  std::string wire;
+  for (int i = 0; i < 200; ++i) {
+    wire += "q " + std::to_string(i % kVertices) + " " +
+            std::to_string((i * 7) % kVertices) + " id=" + std::to_string(i + 1) + "\n";
+  }
+  LineSplitter whole(4096);
+  ASSERT_TRUE(whole.Feed(wire));
+  const std::vector<std::string> expected = SplitAll(whole);
+  ASSERT_EQ(expected.size(), 200u);
+
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    LineSplitter chunked(4096);
+    std::vector<std::string> got;
+    std::size_t off = 0;
+    std::uniform_int_distribution<std::size_t> chunk_dist(1, 37);
+    while (off < wire.size()) {
+      const std::size_t n = std::min(chunk_dist(rng), wire.size() - off);
+      ASSERT_TRUE(chunked.Feed(std::string_view(wire).substr(off, n)));
+      off += n;
+      std::string line;
+      while (chunked.Next(&line)) got.push_back(line);
+    }
+    ASSERT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+// Many pipelined requests arriving in ONE packet all frame out immediately.
+TEST(NetProtocolTest, SplitterHandlesPipelinedPacket) {
+  LineSplitter splitter(4096);
+  ASSERT_TRUE(splitter.Feed("ping\nq 1 2\nu - 3 4\nquit\n"));
+  const std::vector<std::string> lines = SplitAll(splitter);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "ping");
+  EXPECT_EQ(lines[3], "quit");
+}
+
+TEST(NetProtocolTest, SplitterRejectsOverlongLine) {
+  LineSplitter splitter(16);
+  // A terminated line within the limit is fine even when fed with a long tail.
+  ASSERT_TRUE(splitter.Feed("q 1 2\n"));
+  // An un-terminated line can dribble in up to the limit...
+  ASSERT_TRUE(splitter.Feed(std::string(16, 'x')));
+  // ...but one more byte without a terminator loses the frame boundary.
+  EXPECT_FALSE(splitter.Feed("y"));
+}
+
+TEST(NetProtocolTest, SplitterOverlongDetectsAcrossChunks) {
+  LineSplitter splitter(32);
+  bool ok = true;
+  for (int i = 0; i < 100 && ok; ++i) ok = splitter.Feed("aaaa");
+  EXPECT_FALSE(ok);
+}
+
+// An abrupt disconnect mid-request leaves a fragment that must be
+// detectable (and discarded) — pending_bytes is the EOF-time check.
+TEST(NetProtocolTest, PendingBytesExposesTornTail) {
+  LineSplitter splitter(4096);
+  ASSERT_TRUE(splitter.Feed("q 1 2\nu + 3"));
+  std::string line;
+  ASSERT_TRUE(splitter.Next(&line));
+  EXPECT_EQ(line, "q 1 2");
+  EXPECT_FALSE(splitter.Next(&line));
+  EXPECT_EQ(splitter.pending_bytes(), 5u);  // "u + 3" must never parse
+}
+
+// The lazy compaction path: a long-lived connection's buffer must not grow
+// with total traffic.
+TEST(NetProtocolTest, SplitterCompactsLongLivedBuffers) {
+  LineSplitter splitter(64);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(splitter.Feed("q 1 2\n"));
+    std::string line;
+    ASSERT_TRUE(splitter.Next(&line));
+    EXPECT_EQ(line, "q 1 2");
+    EXPECT_FALSE(splitter.Next(&line));
+  }
+  EXPECT_EQ(splitter.pending_bytes(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Response formatting.
+
+TEST(NetProtocolTest, FormatsResponses) {
+  Community c;
+  c.vertices = {3, 5, 9};
+  const std::string q = FormatQueryResponse(42, 7, c);
+  EXPECT_EQ(q.substr(0, 20), "ok 42 q epoch=7 n=3 ");
+  EXPECT_NE(q.find("h="), std::string::npos);
+
+  UpdateOutcome applied;
+  applied.applied = true;
+  applied.epoch = 9;
+  applied.inserts = 1;
+  applied.deletes = 0;
+  EXPECT_EQ(FormatUpdateResponse(8, applied), "ok 8 u epoch=9 +1 -0");
+
+  UpdateOutcome rejected;
+  rejected.applied = false;
+  rejected.epoch = 9;
+  rejected.error = "duplicate edge";
+  EXPECT_EQ(FormatUpdateResponse(8, rejected), "rej 8 u epoch=9 duplicate edge");
+
+  EXPECT_EQ(FormatErrorResponse(0, "nope"), "err 0 nope");
+}
+
+TEST(NetProtocolTest, CommunityHashDependsOnMembers) {
+  Community a;
+  a.vertices = {1, 2, 3};
+  Community b;
+  b.vertices = {1, 2, 4};
+  Community c;
+  c.vertices = {1, 2, 3};
+  EXPECT_NE(CommunityHash(a), CommunityHash(b));
+  EXPECT_EQ(CommunityHash(a), CommunityHash(c));
+  // Size is part of the identity: {} vs {0} differ even though FNV over no
+  // members could collide with a zero member otherwise.
+  Community empty;
+  Community zero;
+  zero.vertices = {0};
+  EXPECT_NE(CommunityHash(empty), CommunityHash(zero));
+}
+
+// --------------------------------------------------------------------------
+// ResponseKeeper: exactly-once execution per id.
+
+TEST(NetProtocolTest, KeeperStartsCompletesReplays) {
+  ResponseKeeper keeper(8);
+  std::vector<std::string> delivered;
+  auto deliver = [&delivered](const std::string& r) { delivered.push_back(r); };
+
+  ASSERT_EQ(keeper.StartRequest(1, deliver), ResponseKeeper::Start::kStarted);
+  // A retry while the first execution is in flight attaches — it must NOT
+  // re-execute.
+  ASSERT_EQ(keeper.StartRequest(1, deliver), ResponseKeeper::Start::kAttached);
+  EXPECT_TRUE(delivered.empty());
+
+  keeper.CompleteRequest(1, "ok 1 u epoch=2 +1 -0");
+  ASSERT_EQ(delivered.size(), 2u);  // original + attached retry
+  EXPECT_EQ(delivered[0], delivered[1]);
+
+  // A retry after completion replays the kept response immediately.
+  ASSERT_EQ(keeper.StartRequest(1, deliver), ResponseKeeper::Start::kReplayed);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[2], "ok 1 u epoch=2 +1 -0");
+
+  const ResponseKeeper::Stats stats = keeper.stats();
+  EXPECT_EQ(stats.started, 1u);
+  EXPECT_EQ(stats.attached, 1u);
+  EXPECT_EQ(stats.replayed, 1u);
+}
+
+TEST(NetProtocolTest, KeeperEvictsOldestCompletedAtCapacity) {
+  ResponseKeeper keeper(2);
+  auto noop = [](const std::string&) {};
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_EQ(keeper.StartRequest(id, noop), ResponseKeeper::Start::kStarted);
+    keeper.CompleteRequest(id, "resp" + std::to_string(id));
+  }
+  const ResponseKeeper::Stats stats = keeper.stats();
+  EXPECT_EQ(stats.completed_entries, 2u);
+  EXPECT_EQ(stats.evictions, 3u);
+  // Ids 4 and 5 are kept; 1–3 were evicted, so their retries re-execute.
+  EXPECT_EQ(keeper.StartRequest(5, noop), ResponseKeeper::Start::kReplayed);
+  EXPECT_EQ(keeper.StartRequest(4, noop), ResponseKeeper::Start::kReplayed);
+  EXPECT_EQ(keeper.StartRequest(1, noop), ResponseKeeper::Start::kStarted);
+}
+
+TEST(NetProtocolTest, KeeperNeverEvictsPendingEntries) {
+  ResponseKeeper keeper(1);
+  auto noop = [](const std::string&) {};
+  // Two pending ids with capacity 1: both stay (pending is bounded by the
+  // stream's in-flight items, not the keeper).
+  ASSERT_EQ(keeper.StartRequest(1, noop), ResponseKeeper::Start::kStarted);
+  ASSERT_EQ(keeper.StartRequest(2, noop), ResponseKeeper::Start::kStarted);
+  EXPECT_EQ(keeper.stats().pending_entries, 2u);
+  keeper.CompleteRequest(1, "a");
+  keeper.CompleteRequest(2, "b");
+  // Capacity 1: id 1's response was evicted when id 2 completed.
+  EXPECT_EQ(keeper.StartRequest(2, noop), ResponseKeeper::Start::kReplayed);
+  EXPECT_EQ(keeper.StartRequest(1, noop), ResponseKeeper::Start::kStarted);
+}
+
+// Concurrent retries of the same id from many threads: exactly one caller
+// wins kStarted; everyone receives the same response exactly once.
+TEST(NetProtocolTest, KeeperConcurrentRetriesExecuteOnce) {
+  ResponseKeeper keeper(64);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kId = 99;
+  std::atomic<int> started{0};
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&keeper, &started, &delivered] {
+      const ResponseKeeper::Start s = keeper.StartRequest(
+          kId, [&delivered](const std::string& r) {
+            EXPECT_EQ(r, "the-response");
+            delivered.fetch_add(1);
+          });
+      if (s == ResponseKeeper::Start::kStarted) {
+        started.fetch_add(1);
+        keeper.CompleteRequest(kId, "the-response");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(started.load(), 1);
+  EXPECT_EQ(delivered.load(), kThreads);
+}
+
+}  // namespace
+}  // namespace bccs

@@ -1,7 +1,10 @@
-// bccs_serve: streaming front-end over a finite mixed query/update stream.
+// bccs_serve: streaming front-end over a mixed query/update stream — from a
+// finite pipe/file, or as a TCP server (--listen).
 //
 //   bccs_serve (--graph g.txt | --index-file g.snap | both)
 //              [--stream FILE | -]      mixed stream (default: stdin)
+//              [--listen PORT]          TCP server mode (0 = ephemeral port)
+//              [--max-connections N]    connection cap in --listen mode
 //              [--threads N] [--bulk-cap K] [--interactive-cap K]
 //              [--aging N] [--method online|lp|l2p] [--k1 N] [--k2 N] [--b N]
 //              [--deadline-ms N] [--approx-samples N] [--approx-threshold N]
@@ -48,8 +51,19 @@
 // already-admitted items drain, and the normal summary is printed — a
 // durable serve killed softly loses nothing, and killed hard (the fault
 // harness's mode) loses at most unacknowledged updates.
+//
+// --listen PORT turns the same streaming loop into a concurrent TCP server
+// (src/net/server.h): the newline protocol of ARCHITECTURE.md's "Wire
+// protocol" section over any number of connections, each response streamed
+// back on its originating connection the moment the item completes, with
+// id= request deduplication for idempotent retries. PORT 0 binds an
+// ephemeral port; the actual port is printed on the "listening on" line.
+// SIGINT/SIGTERM drain admitted items, flush response tails, print the
+// summary, and exit 0. Incompatible with --stream (one front-end at a
+// time).
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -66,6 +80,7 @@
 #include "graph/compactor.h"
 #include "graph/graph_io.h"
 #include "graph/snapshot.h"
+#include "net/server.h"
 #include "tools/arg_parser.h"
 
 namespace {
@@ -80,12 +95,21 @@ void PrintUsage() {
                "                  [--approx-threshold N] [--approx-adaptive] [--quiet]\n"
                "                  [--fsync none|on-rotation|every-append]\n"
                "                  [--segment-blocks N] [--compact-threshold N]\n"
-               "                  [--result-cache N] [--cache-bytes N]\n");
+               "                  [--result-cache N] [--cache-bytes N]\n"
+               "                  [--listen PORT] [--max-connections N]\n");
 }
 
 volatile std::sig_atomic_t g_stop_signal = 0;
+/// The running TCP server, when in --listen mode, for the signal handler.
+std::atomic<bccs::NetServer*> g_server{nullptr};
 
-void HandleStopSignal(int sig) { g_stop_signal = sig; }
+void HandleStopSignal(int sig) {
+  g_stop_signal = sig;
+  // RequestShutdown is async-signal-safe (atomic store + self-pipe write),
+  // as is this lock-free pointer load.
+  bccs::NetServer* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestShutdown();
+}
 
 /// SIGINT/SIGTERM → stop admission and drain. Installed WITHOUT SA_RESTART
 /// where sigaction exists, so a blocking stdin read returns early instead
@@ -187,7 +211,7 @@ int main(int argc, char** argv) {
                                     "deadline-ms", "approx-samples", "approx-threshold",
                                     "approx-adaptive", "quiet", "fsync", "segment-blocks",
                                     "compact-threshold", "result-cache", "cache-bytes",
-                                    "help"});
+                                    "listen", "max-connections", "help"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -216,9 +240,25 @@ int main(int argc, char** argv) {
   const std::int64_t result_cache =
       args.GetNonNegativeIntOr("result-cache", 0, &counts_valid);
   const std::int64_t cache_bytes = args.GetNonNegativeIntOr("cache-bytes", 0, &counts_valid);
+  const bool listen_mode = args.Has("listen");
+  const std::int64_t listen_port = args.GetNonNegativeIntOr("listen", 0, &counts_valid);
+  const std::int64_t max_connections =
+      args.GetPositiveIntOr("max-connections", 256, &counts_valid);
   if (!counts_valid) {
     std::fprintf(stderr, "invalid numeric flag value\n");
     PrintUsage();
+    return 2;
+  }
+  if (listen_port > 65535) {
+    std::fprintf(stderr, "--listen port must be 0 (ephemeral) to 65535\n");
+    return 2;
+  }
+  if (args.Has("max-connections") && !listen_mode) {
+    std::fprintf(stderr, "--max-connections requires --listen\n");
+    return 2;
+  }
+  if (listen_mode && args.Has("stream")) {
+    std::fprintf(stderr, "--listen and --stream are mutually exclusive\n");
     return 2;
   }
   bccs::ChangelogOptions copts;
@@ -384,37 +424,88 @@ int main(int argc, char** argv) {
   }
 
   InstallStopHandlers();
-  // Stream serving proper: each line is parsed and admitted as it arrives
-  // while the pool drains earlier items — a live producer on a pipe is
-  // served before it closes its end, exactly what a socket front-end would
-  // do per connection. A malformed line stops admission; what was already
-  // admitted drains and the tool exits nonzero. SIGINT/SIGTERM also stop
-  // admission, but drain and exit cleanly.
-  bccs::ServeEngine::Stream stream = engine.OpenStream();
   std::vector<StreamLine> lines;
   bool parse_ok = true;
-  {
-    std::string line;
-    std::size_t line_no = 0;
-    while (g_stop_signal == 0 && std::getline(*stream_in, line)) {
-      ++line_no;
-      StreamLine sl;
-      const LineStatus status =
-          ParseStreamLine(std::move(line), line_no, graph->NumVertices(), proto, &sl);
-      if (status == LineStatus::kBlank) continue;
-      if (status == LineStatus::kError) {
-        parse_ok = false;
-        break;
-      }
-      stream.Submit(sl.item);
-      lines.push_back(std::move(sl));
+  bccs::BatchResult result;
+  std::size_t served_count = 0;
+  if (listen_mode) {
+    // TCP server mode: the socket front-end drives the same stream — each
+    // connection is one producer into Stream::Submit, each completed item
+    // streams its response back on its originating connection. SIGINT /
+    // SIGTERM request a graceful shutdown through the handler above.
+    bccs::NetServerOptions nopts;
+    nopts.port = static_cast<int>(listen_port);
+    nopts.max_connections = static_cast<std::size_t>(max_connections);
+    nopts.query_proto = proto;
+    bccs::NetServer server(engine, nopts);
+    std::string net_error;
+    if (!server.Start(&net_error)) {
+      std::fprintf(stderr, "cannot listen on %s:%lld: %s\n", nopts.bind_address.c_str(),
+                   static_cast<long long>(listen_port), net_error.c_str());
+      return 1;
     }
+    g_server.store(&server, std::memory_order_release);
+    if (g_stop_signal != 0) server.RequestShutdown();  // a signal raced Start
+    // Scripted clients (tools/e2e_snapshot_test.sh) discover an ephemeral
+    // port from this line; flush so it crosses a pipe before the loop runs.
+    std::printf("listening on %s:%d (max %zu connections)\n", nopts.bind_address.c_str(),
+                server.port(), nopts.max_connections);
+    std::fflush(stdout);
+    result = server.Run();
+    g_server.store(nullptr, std::memory_order_release);
+    served_count = result.epoch_of.size();
+    if (g_stop_signal != 0) {
+      std::printf("signal %d: drained %zu admitted items and flushed tails\n",
+                  static_cast<int>(g_stop_signal), served_count);
+    }
+    const bccs::NetServerStats& net = server.stats();
+    std::printf("net: %llu connections accepted (%llu over capacity), %llu requests, "
+                "%llu protocol errors, %llu overlong closes, %llu torn disconnects, "
+                "%llu outbox overflows\n",
+                static_cast<unsigned long long>(net.accepted),
+                static_cast<unsigned long long>(net.rejected_over_capacity),
+                static_cast<unsigned long long>(net.requests_submitted),
+                static_cast<unsigned long long>(net.protocol_errors),
+                static_cast<unsigned long long>(net.overlong_closes),
+                static_cast<unsigned long long>(net.torn_disconnects),
+                static_cast<unsigned long long>(net.overflow_closes));
+    std::printf("retries: %llu ids started, %llu attached, %llu replayed, %llu evicted\n",
+                static_cast<unsigned long long>(net.keeper.started),
+                static_cast<unsigned long long>(net.keeper.attached),
+                static_cast<unsigned long long>(net.keeper.replayed),
+                static_cast<unsigned long long>(net.keeper.evictions));
+  } else {
+    // Stream serving proper: each line is parsed and admitted as it arrives
+    // while the pool drains earlier items — a live producer on a pipe is
+    // served before it closes its end, exactly what the socket front-end
+    // does per connection. A malformed line stops admission; what was
+    // already admitted drains and the tool exits nonzero. SIGINT/SIGTERM
+    // also stop admission, but drain and exit cleanly.
+    bccs::ServeEngine::Stream stream = engine.OpenStream();
+    {
+      std::string line;
+      std::size_t line_no = 0;
+      while (g_stop_signal == 0 && std::getline(*stream_in, line)) {
+        ++line_no;
+        StreamLine sl;
+        const LineStatus status =
+            ParseStreamLine(std::move(line), line_no, graph->NumVertices(), proto, &sl);
+        if (status == LineStatus::kBlank) continue;
+        if (status == LineStatus::kError) {
+          parse_ok = false;
+          break;
+        }
+        stream.Submit(sl.item);
+        lines.push_back(std::move(sl));
+      }
+    }
+    if (g_stop_signal != 0) {
+      std::printf("signal %d: admission stopped, draining %zu admitted items\n",
+                  static_cast<int>(g_stop_signal), lines.size());
+    }
+    result = stream.Finish();
+    served_count = lines.size();
   }
-  if (g_stop_signal != 0) {
-    std::printf("signal %d: admission stopped, draining %zu admitted items\n",
-                static_cast<int>(g_stop_signal), lines.size());
-  }
-  bccs::BatchResult result = stream.Finish();
   if (compactor != nullptr) {
     // One last threshold check on this thread: a short-lived stream can end
     // before the background poll ever fires.
@@ -451,7 +542,7 @@ int main(int argc, char** argv) {
   for (const auto& u : result.updates) applied += u.applied ? 1 : 0;
   std::printf("served %zu items (%zu updates, %zu applied) on %zu workers in %.4fs; "
               "final epoch %llu; %zu timed out\n",
-              lines.size(), result.updates.size(), applied, result.threads_used,
+              served_count, result.updates.size(), applied, result.threads_used,
               result.latency.wall_seconds, static_cast<unsigned long long>(engine.epoch()),
               result.timed_out);
   for (const bccs::LaneSummary& lane : result.lanes) {

@@ -9,7 +9,12 @@
 # update flow works: bccs_update appends a delta log that bccs_query
 # replays (build -> update -> query-from-replayed-snapshot ==
 # query-from-updated-text-graph), --updates-file applies a batch in-process,
-# and invalid update batches are rejected.
+# and invalid update batches are rejected. The bccs_serve socket front-end
+# (--listen) is driven over a real loopback connection: pipelined
+# query/update/query with request ids answer with per-connection epoch
+# views matching bccs_query on the equivalent graphs, a reconnect resending
+# an applied update id gets the kept ack replayed instead of re-applying,
+# and SIGTERM drains admitted items, flushes response tails, and exits 0.
 #
 # Registered under the ctest labels "e2e" and "sanitize" — the latter is the
 # suite exercised in the ASan+UBSan preset (cmake --preset asan-ubsan).
@@ -309,6 +314,75 @@ cached_members="$(printf '%s\n' "$cached_out" \
   || fail "cached streamed answer differs: $cached_members vs $serve_members"
 printf '%s\n' "$cached_out" | grep -q "^cache: result " \
   || fail "cached bccs_serve printed no cache summary"
+
+# --- Socket front-end: bccs_serve --listen -----------------------------------
+
+# Bad-flag matrix: server flags validate strictly and in combination.
+for bad_args in "--listen abc" "--listen -1" "--listen 65536" \
+                "--listen 0 --max-connections 0" \
+                "--listen 0 --max-connections -2" \
+                "--listen 0 --max-connections abc" \
+                "--max-connections 4" \
+                "--listen 0 --stream $tmp/stream.txt"; do
+  # shellcheck disable=SC2086
+  if "$bin/bccs_serve" --graph "$tmp/g.txt" $bad_args >/dev/null 2>&1; then
+    fail "invalid --listen flag combination accepted: $bad_args"
+  fi
+done
+
+# Live server on an ephemeral port, driven by a scripted bash /dev/tcp
+# client: pipelined query/update/query with request ids, answers matching
+# bccs_query on the equivalent graphs, then idempotent-retry and SIGTERM
+# drain checks.
+"$bin/bccs_serve" --graph "$tmp/g.txt" --listen 0 --threads 2 \
+  > "$tmp/serve_net.log" 2>&1 &
+net_pid=$!
+net_port=""
+for _ in $(seq 1 100); do
+  net_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$tmp/serve_net.log")"
+  [ -n "$net_port" ] && break
+  sleep 0.1
+done
+[ -n "$net_port" ] || { kill "$net_pid" 2>/dev/null; fail "server printed no port"; }
+
+exec 9<>"/dev/tcp/127.0.0.1/$net_port" || fail "cannot connect to $net_port"
+printf 'ping\nq %s %s interactive id=1\nu - %s %s id=2\nq %s %s id=3\nquit\n' \
+  "$q1" "$q2" "$eu" "$ev" "$q1" "$q2" >&9
+net_resp="$(timeout 60 cat <&9)" || fail "no response from the socket server"
+exec 9<&- 9>&- || true
+echo "$net_resp" | grep -q '^pong$' || fail "no pong: $net_resp"
+echo "$net_resp" | grep -q '^ok 1 q epoch=1 ' || fail "pre-update query wrong: $net_resp"
+echo "$net_resp" | grep -q '^ok 2 u epoch=2 +0 -1$' || fail "update ack wrong: $net_resp"
+echo "$net_resp" | grep -q '^ok 3 q epoch=2 ' || fail "post-update query wrong: $net_resp"
+# The post-update community size equals querying the updated text graph.
+net_members="$(echo "$net_resp" | sed -n 's/^ok 3 q epoch=2 n=\([0-9]*\) .*/\1/p')"
+[ "$net_members" = "$graph_members" ] \
+  || fail "socket answer differs from bccs_query: $net_members vs $graph_members"
+
+# Idempotent retry: a reconnect resending the applied update's id replays
+# the kept ack bit-identically — it must NOT re-apply (a re-executed delete
+# of the now-missing edge would answer "rej").
+exec 9<>"/dev/tcp/127.0.0.1/$net_port" || fail "cannot reconnect"
+printf 'u - %s %s id=2\nquit\n' "$eu" "$ev" >&9
+retry_resp="$(timeout 60 cat <&9)" || fail "no response to the retried update"
+exec 9<&- 9>&- || true
+echo "$retry_resp" | grep -q '^ok 2 u epoch=2 +0 -1$' \
+  || fail "retried update id was not replayed: $retry_resp"
+
+# SIGTERM: drain admitted items, flush tails, exit 0 with the summaries.
+kill -TERM "$net_pid"
+net_rc=0
+wait "$net_pid" || net_rc=$?
+[ "$net_rc" -eq 0 ] || fail "--listen SIGTERM exit code $net_rc"
+grep -q 'signal 15: drained' "$tmp/serve_net.log" || fail "no drain line in server log"
+grep -q '^net: 2 connections accepted' "$tmp/serve_net.log" \
+  || fail "no net summary in server log"
+grep -q 'replayed' "$tmp/serve_net.log" || fail "no retry summary in server log"
+grep -q '^served 3 items (1 updates, 1 applied)' "$tmp/serve_net.log" \
+  || fail "wrong served summary: $(grep '^served' "$tmp/serve_net.log")"
+grep -q 'final epoch 2' "$tmp/serve_net.log" \
+  || fail "retry double-applied: $(grep '^served' "$tmp/serve_net.log")"
 
 # --- Crash-safe durability: changelog append, restart replay, fault matrix --
 

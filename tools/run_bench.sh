@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
-# leaving BENCH_PR8.json next to this script's repo root. The JSON carries
+# leaving BENCH_PR9.json next to this script's repo root. The JSON carries
 # the batch-query QPS rows, the snapshot cold-start block, the two-lane
 # serving block (per-lane sojourn p50/p99 plus the warm serving wall time),
 # the streaming block, the approx block, the caching block (Zipf trace
 # replay through the result cache plus block-cache eviction pressure; this
 # script fails if a cached answer ever differs from re-execution), the
-# updates block, and the recovery block — see BENCH_PR7.json for the
-# lineage — plus a check_overhead block: the serving block is re-run from a
+# network block (the socket front-end over 100+ loopback connections —
+# sustained QPS and client-observed interactive p95 vs the in-process
+# baseline; this script fails if any wire response differs byte-for-byte
+# from the in-process answer), the updates block, and the recovery block —
+# see BENCH_PR8.json for the lineage — plus a check_overhead block: the serving block is re-run from a
 # second build configured with -DBCCS_STRIP_CHECKS=ON (BCCS_CHECK compiled
 # out) and the two warm wall times are compared, best of $RUNS runs each,
 # to price the always-on invariant checks. Future PRs append their own
@@ -19,7 +22,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 strip_dir="${STRIP_BUILD_DIR:-$repo_root/build-nocheck}"
-out="$repo_root/BENCH_PR8.json"
+out="$repo_root/BENCH_PR9.json"
 runs="${RUNS:-3}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
@@ -66,6 +69,11 @@ if not caching["identical_to_uncached"]:
     sys.exit("caching: cached answers differ from uncached replay")
 if not caching["block_cache"]["identical_to_unbounded"]:
     sys.exit("caching: budget-capped block cache served wrong counts")
+
+# Same for the socket front-end: a response crossing the wire must be the
+# byte-exact answer the engine computed in-process.
+if not bench["network"]["identical_to_in_process"]:
+    sys.exit("network: wire responses differ from in-process answers")
 
 bench["check_overhead"] = {
     "serving_wall_seconds_checks_on": on,
