@@ -19,10 +19,13 @@
 // block-cache eviction-pressure run, drives the socket front-end over 100+
 // concurrent loopback TCP connections (sustained QPS + client-observed
 // interactive p95 vs the in-process baseline, with every wire response
-// byte-identical to the in-process answer), and emits a JSON summary
-// (default BENCH_PR9.json) so future PRs can compare against this one.
+// byte-identical to the in-process answer), peels the seeded big-graph
+// queries with the incremental butterfly counter on vs per-round recounts
+// (bit-identical answers, butterfly-phase speedup), and emits a JSON
+// summary (default BENCH_PR10.json) so future PRs can compare against
+// this one.
 //
-//   perf_smoke [--out BENCH_PR9.json] [--queries 64] [--threads 0]
+//   perf_smoke [--out BENCH_PR10.json] [--queries 64] [--threads 0]
 //             [--serving-only]
 //              [--communities 24] [--group-size 24] [--keep-snapshot]
 
@@ -170,6 +173,24 @@ struct NetworkRow {
                            // the in-process community at epoch 1
 };
 
+/// This PR's headline: the same seeded queries peeled to convergence with the
+/// incremental butterfly counter on (per-round validity from maintained chi)
+/// vs off (full recount per round), in online mode where every round needs an
+/// exact check. Answers must be bit-identical; the speedup is the ratio of
+/// the butterfly-maintenance cost (recount seconds vs recount-fallback +
+/// delta-debit seconds).
+struct PeelingRow {
+  std::size_t queries = 0;
+  double incremental_wall_seconds = 0, recount_wall_seconds = 0;
+  double incremental_butterfly_seconds = 0;  // fallback recounts + delta debits
+  double recount_butterfly_seconds = 0;      // per-round full recounts
+  double speedup = 0;        // recount_butterfly / incremental_butterfly
+  double wall_speedup = 0;   // end-to-end, diluted by find_g0 + distances
+  std::size_t incremental_counting_calls = 0, recount_counting_calls = 0;
+  std::size_t delta_rounds = 0, delta_fallbacks = 0;
+  bool identical_to_recount = false;
+};
+
 /// Crash-recovery cost on the big index graph: load of the bare base
 /// snapshot vs recovery with a rotated-changelog replay vs the same load
 /// after the compactor folded the segments into a fresh base.
@@ -227,8 +248,8 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
                const ServingRow& serving, const StreamingRow& streaming,
                const ApproxRow& approx, const CachingRow& caching,
                const NetworkRow& network, const std::vector<UpdateBatchRow>& updates,
-               const RecoveryRow& recovery, std::size_t n, std::size_t edges,
-               std::size_t par_threads) {
+               const RecoveryRow& recovery, const PeelingRow& peeling, std::size_t n,
+               std::size_t edges, std::size_t par_threads) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"perf_smoke\",\n");
   std::fprintf(f, "  \"graph\": {\"vertices\": %zu, \"edges\": %zu},\n", n, edges);
@@ -360,6 +381,25 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
   std::fprintf(f, "    \"replay_over_base\": %.3f,\n", recovery.replay_over_base);
   std::fprintf(f, "    \"identical_replay_vs_fold\": %s\n", recovery.identical ? "true" : "false");
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"peeling\": {\n");
+  std::fprintf(f, "    \"queries\": %zu,\n", peeling.queries);
+  std::fprintf(f, "    \"incremental_wall_seconds\": %.6f,\n",
+               peeling.incremental_wall_seconds);
+  std::fprintf(f, "    \"recount_wall_seconds\": %.6f,\n", peeling.recount_wall_seconds);
+  std::fprintf(f, "    \"incremental_butterfly_seconds\": %.6f,\n",
+               peeling.incremental_butterfly_seconds);
+  std::fprintf(f, "    \"recount_butterfly_seconds\": %.6f,\n",
+               peeling.recount_butterfly_seconds);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", peeling.speedup);
+  std::fprintf(f, "    \"wall_speedup\": %.3f,\n", peeling.wall_speedup);
+  std::fprintf(f, "    \"incremental_counting_calls\": %zu,\n",
+               peeling.incremental_counting_calls);
+  std::fprintf(f, "    \"recount_counting_calls\": %zu,\n", peeling.recount_counting_calls);
+  std::fprintf(f, "    \"delta_rounds\": %zu,\n", peeling.delta_rounds);
+  std::fprintf(f, "    \"delta_fallbacks\": %zu,\n", peeling.delta_fallbacks);
+  std::fprintf(f, "    \"identical_to_recount\": %s\n",
+               peeling.identical_to_recount ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"index\": {\n");
   std::fprintf(f, "    \"index_build_seconds\": %.6f,\n", index.build_seconds);
   std::fprintf(f, "    \"index_save_seconds\": %.6f,\n", index.save_seconds);
@@ -388,6 +428,7 @@ void PrintJson(std::FILE* f, const std::vector<MethodRow>& rows, const IndexRow&
     std::fprintf(f, "        \"find_g0\": %.6f,\n", r.stage.find_g0_seconds);
     std::fprintf(f, "        \"query_distance\": %.6f,\n", r.stage.query_distance_seconds);
     std::fprintf(f, "        \"butterfly\": %.6f,\n", r.stage.butterfly_seconds);
+    std::fprintf(f, "        \"delta\": %.6f,\n", r.stage.butterfly_delta_seconds);
     std::fprintf(f, "        \"leader_update\": %.6f,\n", r.stage.leader_update_seconds);
     std::fprintf(f, "        \"total\": %.6f\n", r.stage.total_seconds);
     std::fprintf(f, "      }\n");
@@ -1145,9 +1186,76 @@ CachingRow MeasureCaching(const PlantedGraph& pg, std::span<const BccQuery> quer
 
 }  // namespace
 
+/// Seeded queries peeled to convergence in online mode with the incremental
+/// counter on vs off. The workload is a two-label Erdos-Renyi graph: the
+/// homogeneous edges give auto-k a real core so Find-G0 returns the whole
+/// k-core component, and the heterogeneous edges carry enough butterflies
+/// that a threshold b near the typical chi drives an onion-shaped cascade —
+/// every round removes the current chi tail and needs an exact validity
+/// check over the survivors. With the flag off each round pays a full
+/// O(alive wedges) recount; the counter's debit walk is O(wedges through
+/// the removed batch), so the whole peel costs about one recount. Both runs
+/// are sequential so the stage timers are comparable, and the communities
+/// must be bit-identical.
+PeelingRow MeasurePeeling(std::size_t n, double avg_degree, std::uint64_t b,
+                          std::size_t num_queries) {
+  LabeledGraph g = GenerateErdosRenyi(n, avg_degree, /*num_labels=*/2, /*seed=*/1013);
+  // Any (label-0, label-1) pair works as a query: the candidate is the whole
+  // k-core component either way, which is what the peel stresses.
+  std::vector<BccQuery> queries;
+  VertexId ql = kInvalidVertex, qr = kInvalidVertex;
+  const auto num_vertices = static_cast<VertexId>(g.NumVertices());
+  for (VertexId v = 0; v < num_vertices && queries.size() < num_queries; ++v) {
+    if (g.LabelOf(v) == 0 && ql == kInvalidVertex) ql = v;
+    if (g.LabelOf(v) == 1 && qr == kInvalidVertex) qr = v;
+    if (ql != kInvalidVertex && qr != kInvalidVertex) {
+      queries.push_back(BccQuery{ql, qr});
+      ql = qr = kInvalidVertex;
+    }
+  }
+
+  PeelingRow row;
+  row.queries = queries.size();
+  BccParams params;  // auto k: the query vertex's coreness in its label group
+  params.b = b;      // threshold near typical chi -> a long peel
+  SearchOptions on = OnlineBccOptions();
+  // Single-vertex deletion: one exact validity check per removed vertex, the
+  // fine-grained peel where per-round recounts are at their worst.
+  on.bulk_delete = false;
+  SearchOptions off = on;
+  off.incremental_butterflies = false;
+
+  BatchRunner seq(1);
+  seq.RunBccBatch(g, queries, params, on);  // warm-up
+  BatchResult r_on = seq.RunBccBatch(g, queries, params, on);
+  seq.RunBccBatch(g, queries, params, off);
+  BatchResult r_off = seq.RunBccBatch(g, queries, params, off);
+
+  const SearchStats s_on = SumStats(r_on);
+  const SearchStats s_off = SumStats(r_off);
+  row.incremental_wall_seconds = r_on.latency.wall_seconds;
+  row.recount_wall_seconds = r_off.latency.wall_seconds;
+  row.incremental_butterfly_seconds =
+      s_on.butterfly_seconds + s_on.butterfly_delta_seconds;
+  row.recount_butterfly_seconds =
+      s_off.butterfly_seconds + s_off.butterfly_delta_seconds;
+  row.speedup = row.incremental_butterfly_seconds > 0
+                    ? row.recount_butterfly_seconds / row.incremental_butterfly_seconds
+                    : 0;
+  row.wall_speedup = row.incremental_wall_seconds > 0
+                         ? row.recount_wall_seconds / row.incremental_wall_seconds
+                         : 0;
+  row.incremental_counting_calls = s_on.butterfly_counting_calls;
+  row.recount_counting_calls = s_off.butterfly_counting_calls;
+  row.delta_rounds = s_on.delta_rounds;
+  row.delta_fallbacks = s_on.delta_fallbacks;
+  row.identical_to_recount = SameCommunities(r_on, r_off);
+  return row;
+}
+
 int main(int argc, char** argv) {
   ArgParser args = ArgParser::Parse(argc, argv);
-  const std::string out_path = args.GetStringOr("out", "BENCH_PR9.json");
+  const std::string out_path = args.GetStringOr("out", "BENCH_PR10.json");
   const auto num_queries = static_cast<std::size_t>(args.GetIntOr("queries", 64));
   const auto par_threads = static_cast<std::size_t>(args.GetIntOr("threads", 0));
 
@@ -1317,6 +1425,21 @@ int main(int argc, char** argv) {
       approx.approx_checks, approx.identical_across_threads ? "yes" : "NO",
       approx.exact_verified ? "yes" : "NO");
 
+  // The incremental peel counter under a long butterfly-driven cascade
+  // (candidate = the whole bipartite component, peeled down round by round).
+  PeelingRow peeling =
+      MeasurePeeling(static_cast<std::size_t>(args.GetIntOr("peel-n", 1000)),
+                     /*avg_degree=*/16.0,
+                     static_cast<std::uint64_t>(args.GetIntOr("peel-b", 8)),
+                     /*num_queries=*/8);
+  std::printf(
+      "peeling     butterfly recount=%.4fs incremental=%.4fs speedup=%.2fx "
+      "(wall %.2fx)  calls=%zu->%zu  delta_rounds=%zu fallbacks=%zu  identical=%s\n",
+      peeling.recount_butterfly_seconds, peeling.incremental_butterfly_seconds,
+      peeling.speedup, peeling.wall_speedup, peeling.recount_counting_calls,
+      peeling.incremental_counting_calls, peeling.delta_rounds, peeling.delta_fallbacks,
+      peeling.identical_to_recount ? "yes" : "NO");
+
   // Dynamic edge-update batches: incremental ApplyUpdates vs full rebuild
   // on the big index graph (one shared all-pairs base index).
   BcIndex update_base(big_graph.graph);
@@ -1350,7 +1473,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   PrintJson(f, rows, index, serving, streaming, approx, caching, network, update_rows,
-            recovery, n, pg.graph.NumEdges(), par.NumThreads());
+            recovery, peeling, n, pg.graph.NumEdges(), par.NumThreads());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -1389,5 +1512,10 @@ int main(int argc, char** argv) {
   // byte-identical to the in-process community. The QPS/p95 numbers are
   // trajectory data, not gates — loopback overhead is real and expected.
   ok = ok && network.identical;
+  // The incremental peel counter must be invisible to answers and must
+  // actually replace recounts (fewer full counting calls, delta rounds
+  // served). The speedup itself is trajectory data.
+  ok = ok && peeling.identical_to_recount && peeling.delta_rounds > 0 &&
+       peeling.incremental_counting_calls < peeling.recount_counting_calls;
   return ok ? 0 : 1;
 }

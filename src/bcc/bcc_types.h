@@ -52,6 +52,12 @@ struct SearchStats {
   /// Leader re-identifications triggered by a leader dying or dropping
   /// below b.
   std::size_t leader_rebuilds = 0;
+  /// Exact per-round validity checks answered from incrementally maintained
+  /// chi (PeelButterflyCounter) instead of a full Algorithm 3 recount.
+  std::size_t delta_rounds = 0;
+  /// Full recounts forced by counter staleness (per-round debit work over
+  /// the wedge budget, approx rounds, deadline mid-cascade).
+  std::size_t delta_fallbacks = 0;
   std::size_t vertices_removed = 0;
   std::size_t g0_size = 0;
   /// The query's deadline expired before peeling converged; the returned
@@ -61,6 +67,9 @@ struct SearchStats {
   double find_g0_seconds = 0;
   double query_distance_seconds = 0;
   double butterfly_seconds = 0;       // full counting
+  /// Peel-cascade time while the incremental counter is active (core
+  /// maintenance plus wedge debits; replaces the per-round recount cost).
+  double butterfly_delta_seconds = 0;
   double leader_update_seconds = 0;   // Algorithm 6/7 work
   double total_seconds = 0;
 
@@ -69,12 +78,15 @@ struct SearchStats {
     butterfly_counting_calls += o.butterfly_counting_calls;
     approx_checks += o.approx_checks;
     leader_rebuilds += o.leader_rebuilds;
+    delta_rounds += o.delta_rounds;
+    delta_fallbacks += o.delta_fallbacks;
     vertices_removed += o.vertices_removed;
     g0_size += o.g0_size;
     timed_out = timed_out || o.timed_out;
     find_g0_seconds += o.find_g0_seconds;
     query_distance_seconds += o.query_distance_seconds;
     butterfly_seconds += o.butterfly_seconds;
+    butterfly_delta_seconds += o.butterfly_delta_seconds;
     leader_update_seconds += o.leader_update_seconds;
     total_seconds += o.total_seconds;
     return *this;
@@ -165,6 +177,14 @@ struct SearchOptions {
   bool use_leader_pair = false;
   /// Leader search radius rho of Algorithm 6.
   std::uint32_t leader_rho = 2;
+  /// Incremental butterfly maintenance across peel rounds
+  /// (PeelButterflyCounter): per-round exact validity reads maintained chi —
+  /// debited per removed vertex in O(wedges through it) — instead of
+  /// recounting the alive candidate. chi is exact integer arithmetic either
+  /// way, so answers are bit-identical with this on or off; the switch
+  /// exists for benchmarking and as an operational escape hatch
+  /// (`--no-incremental-butterflies`).
+  bool incremental_butterflies = true;
   /// Sampled validity checks on huge candidates (off by default).
   ApproxOptions approx;
 };

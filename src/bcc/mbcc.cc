@@ -9,6 +9,8 @@
 #include "butterfly/approx_counting.h"
 #include "butterfly/butterfly_counting.h"
 #include "butterfly/butterfly_update.h"
+#include "butterfly/peel_counter.h"
+#include "common/check.h"
 #include "core/core_decomposition.h"
 #include "eval/timer.h"
 #include "graph/union_find.h"
@@ -24,6 +26,10 @@ struct PairState {
   std::size_t i = 0, j = 0;
   bool active = false;
   LeaderState leader_i, leader_j;
+  /// Incremental chi maintenance for this pair's bipartite subgraph
+  /// (SearchOptions::incremental_butterflies). Owned by the workspace pool;
+  /// null when the flag is off or the pair started inactive.
+  PeelButterflyCounter* pc = nullptr;
   /// Relative variance of this pair's previous sampled estimate, fed back
   /// into the next round's EffectiveSampleCount when variance_adaptive is
   /// set. Per-pair state: pairs with noisy estimates re-sample harder
@@ -156,6 +162,12 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
   };
 
   auto release_buffers = [&] {
+    for (PairState& ps : pairs) {
+      if (ps.pc != nullptr) {
+        ws->ReleasePeelCounter(ps.pc);
+        ps.pc = nullptr;
+      }
+    }
     ws->U64ZeroPool().Release(std::move(counts.chi), members);
   };
   for (std::size_t i = 0; i < m; ++i) {
@@ -174,6 +186,14 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
       ps.j = j;
       count_pair(i, j);
       ps.active = counts.max_left >= p.b && counts.max_right >= p.b;
+      if (ps.active && opts.incremental_butterflies) {
+        // Seed this pair's delta counter from the count just computed; from
+        // here chi for the pair is debited per removed vertex instead of
+        // recounted per round.
+        ps.pc = ws->AcquirePeelCounter();
+        ps.pc->Init(g, groups[i], groups[j], cand.GroupMask(i), cand.GroupMask(j), ws);
+        ps.pc->SeedFrom(counts);
+      }
       if (ps.active && opts.use_leader_pair) {
         ScopedAccumulator t(&stats->leader_update_seconds);
         ps.leader_i = IdentifyLeader(g, cand.GroupMask(i), q.vertices[i], opts.leader_rho, p.b,
@@ -262,31 +282,63 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
     bool cascade_expired = false;
     std::vector<VertexId> removed;
-    if (opts.use_leader_pair) {
+
+    // Pre-round counter upkeep. The per-round debit budget resets here, and
+    // any counter is invalidated up front if this round *could* take the
+    // sampled-estimate path below: approx_this_round is decided on the
+    // post-removal alive count, which never exceeds the pre-removal count, so
+    // a counter that is still fresh here implies the round is exact.
+    const bool approx_possible = approx.enabled && cand.NumAlive() > approx.threshold;
+    bool any_live = false;
+    for (PairState& ps : pairs) {
+      if (ps.pc == nullptr) continue;
+      if (approx_possible) ps.pc->MarkStale();
+      ps.pc->BeginRound();
+      any_live = any_live || (ps.active && !ps.pc->stale());
+    }
+
+    auto pair_loss = [&](PairState& ps, VertexId v) {
+      const auto& mask_i = cand.GroupMask(ps.i);
+      const auto& mask_j = cand.GroupMask(ps.j);
+      if (ps.leader_i.leader != kInvalidVertex && v != ps.leader_i.leader &&
+          cand.IsAlive(ps.leader_i.leader)) {
+        std::uint64_t loss = updater.LossOnDeletion(mask_i, mask_j, ps.leader_i.leader, v);
+        ps.leader_i.chi = loss > ps.leader_i.chi ? 0 : ps.leader_i.chi - loss;
+      }
+      if (ps.leader_j.leader != kInvalidVertex && v != ps.leader_j.leader &&
+          cand.IsAlive(ps.leader_j.leader)) {
+        std::uint64_t loss = updater.LossOnDeletion(mask_i, mask_j, ps.leader_j.leader, v);
+        ps.leader_j.chi = loss > ps.leader_j.chi ? 0 : ps.leader_j.chi - loss;
+      }
+    };
+    auto on_remove = [&](VertexId v) {
+      std::uint32_t gv = cand.GroupOf(v);
+      for (PairState& ps : pairs) {
+        if (!ps.active || (ps.i != gv && ps.j != gv)) continue;
+        if (ps.pc != nullptr && !ps.pc->stale()) {
+          // Maintained chi covers the leaders too; they re-sync from the
+          // counter at the validity check, so LossOnDeletion is skipped.
+          if (ps.pc->OnRemove(v)) continue;
+          // The counter refused (debit budget exhausted) *without* touching
+          // chi, so its values are exact for the candidate before v. Pull the
+          // leaders' chi from it once, then fall back to per-leader debits.
+          if (ps.leader_i.leader != kInvalidVertex && cand.IsAlive(ps.leader_i.leader)) {
+            ps.leader_i.chi = ps.pc->Chi(ps.leader_i.leader);
+          }
+          if (ps.leader_j.leader != kInvalidVertex && cand.IsAlive(ps.leader_j.leader)) {
+            ps.leader_j.chi = ps.pc->Chi(ps.leader_j.leader);
+          }
+        }
+        if (opts.use_leader_pair) pair_loss(ps, v);
+      }
+    };
+
+    if (any_live) {
+      ScopedAccumulator t(&stats->butterfly_delta_seconds);
+      removed = cand.RemoveAndMaintain(batch, on_remove, cascade_deadline, &cascade_expired);
+    } else if (opts.use_leader_pair) {
       ScopedAccumulator t(&stats->leader_update_seconds);
-      removed = cand.RemoveAndMaintain(
-          batch,
-          [&](VertexId v) {
-            std::uint32_t gv = cand.GroupOf(v);
-            for (PairState& ps : pairs) {
-              if (!ps.active || (ps.i != gv && ps.j != gv)) continue;
-              const auto& mask_i = cand.GroupMask(ps.i);
-              const auto& mask_j = cand.GroupMask(ps.j);
-              if (ps.leader_i.leader != kInvalidVertex && v != ps.leader_i.leader &&
-                  cand.IsAlive(ps.leader_i.leader)) {
-                std::uint64_t loss =
-                    updater.LossOnDeletion(mask_i, mask_j, ps.leader_i.leader, v);
-                ps.leader_i.chi = loss > ps.leader_i.chi ? 0 : ps.leader_i.chi - loss;
-              }
-              if (ps.leader_j.leader != kInvalidVertex && v != ps.leader_j.leader &&
-                  cand.IsAlive(ps.leader_j.leader)) {
-                std::uint64_t loss =
-                    updater.LossOnDeletion(mask_i, mask_j, ps.leader_j.leader, v);
-                ps.leader_j.chi = loss > ps.leader_j.chi ? 0 : ps.leader_j.chi - loss;
-              }
-            }
-          },
-          cascade_deadline, &cascade_expired);
+      removed = cand.RemoveAndMaintain(batch, on_remove, cascade_deadline, &cascade_expired);
     } else {
       removed = cand.RemoveAndMaintain(batch, [](VertexId) {}, cascade_deadline,
                                        &cascade_expired);
@@ -295,6 +347,9 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     stats->vertices_removed += removed.size();
     if (cascade_expired) {
       stats->timed_out = true;
+      for (PairState& ps : pairs) {
+        if (ps.pc != nullptr) ps.pc->MarkStale();
+      }
       break;
     }
 
@@ -309,11 +364,41 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
     next_round_exact = true;
     const bool approx_this_round =
         approx.enabled && cand.NumAlive() > approx.threshold;
+    // Exact per-pair counts for this round's validity check: served from the
+    // pair's fresh delta counter when possible, otherwise a full recount
+    // (refreshing the counter in passing so later rounds go back to deltas).
+    auto exact_pair = [&](PairState& ps) -> const ButterflyCounts& {
+      if (ps.pc != nullptr && !ps.pc->stale()) {
+        ++stats->delta_rounds;
+        return ps.pc->RefreshMaxes();
+      }
+      if (ps.pc != nullptr) {
+        {
+          ScopedAccumulator t(&stats->butterfly_seconds);
+          ps.pc->Recount();
+        }
+        ++stats->butterfly_counting_calls;
+        ++stats->delta_fallbacks;
+        return ps.pc->RefreshMaxes();
+      }
+      count_pair(ps.i, ps.j);
+      return counts;
+    };
     for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
       PairState& ps = pairs[pi];
       if (!ps.active) continue;
       bool need_recount = !opts.use_leader_pair;
       if (opts.use_leader_pair) {
+        if (ps.pc != nullptr && !ps.pc->stale()) {
+          // Cascades with a fresh counter skipped the per-leader debits;
+          // read the maintained (exact) chi back before checking validity.
+          if (ps.leader_i.leader != kInvalidVertex && cand.IsAlive(ps.leader_i.leader)) {
+            ps.leader_i.chi = ps.pc->Chi(ps.leader_i.leader);
+          }
+          if (ps.leader_j.leader != kInvalidVertex && cand.IsAlive(ps.leader_j.leader)) {
+            ps.leader_j.chi = ps.pc->Chi(ps.leader_j.leader);
+          }
+        }
         // Leaders may be unset (kInvalidVertex) after an approx round.
         bool i_ok = ps.leader_i.leader != kInvalidVertex &&
                     cand.IsAlive(ps.leader_i.leader) && ps.leader_i.chi >= p.b;
@@ -345,19 +430,27 @@ Community MbccSearch(const LabeledGraph& g, const MbccQuery& q, const MbccParams
         continue;
       }
       if (opts.use_leader_pair) ++stats->leader_rebuilds;
-      count_pair(ps.i, ps.j);
-      if (counts.max_left < p.b || counts.max_right < p.b) {
+      const ButterflyCounts& rc = exact_pair(ps);
+      if (rc.max_left < p.b || rc.max_right < p.b) {
         ps.active = false;
+        // A deactivated pair is never maintained or examined again; stale
+        // the counter so the audit below skips it.
+        if (ps.pc != nullptr) ps.pc->MarkStale();
         continue;
       }
       if (opts.use_leader_pair) {
         ScopedAccumulator t(&stats->leader_update_seconds);
         ps.leader_i = IdentifyLeader(g, cand.GroupMask(ps.i), q.vertices[ps.i], opts.leader_rho,
-                                     p.b, counts, counts.max_left, counts.argmax_left, ws);
+                                     p.b, rc, rc.max_left, rc.argmax_left, ws);
         ps.leader_j = IdentifyLeader(g, cand.GroupMask(ps.j), q.vertices[ps.j], opts.leader_rho,
-                                     p.b, counts, counts.max_right, counts.argmax_right, ws);
+                                     p.b, rc, rc.max_right, rc.argmax_right, ws);
       }
     }
+#if BCCS_DCHECK_IS_ON
+    for (PairState& ps : pairs) {
+      if (ps.active && ps.pc != nullptr && !ps.pc->stale()) ps.pc->AuditAgainstRecount();
+    }
+#endif
     if (!meta_connected()) break;
 
     {

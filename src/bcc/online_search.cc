@@ -9,6 +9,8 @@
 #include "butterfly/approx_counting.h"
 #include "butterfly/butterfly_counting.h"
 #include "butterfly/butterfly_update.h"
+#include "butterfly/peel_counter.h"
+#include "common/check.h"
 #include "eval/timer.h"
 
 namespace bccs {
@@ -73,6 +75,18 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
                             counts->max_left, counts->argmax_left, ws);
     lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, *counts,
                             counts->max_right, counts->argmax_right, ws);
+  }
+
+  // Incremental delta-chi maintenance: seeded from Find-G0's exact counts
+  // (same candidate, all members alive), debited per removed vertex inside
+  // the cascade, recounted only on staleness. chi is exact integer
+  // arithmetic both ways, so every validity decision below is bit-identical
+  // with the counter on or off.
+  PeelButterflyCounter* pc = nullptr;
+  if (opts.incremental_butterflies && g0.counts.chi.size() == n) {
+    pc = ws->AcquirePeelCounter();
+    pc->Init(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws);
+    pc->SeedFrom(g0.counts);
   }
 
   // removal_round defaults to 0xffffffff = "never removed" (the pool default).
@@ -147,29 +161,65 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
 
     const auto round_idx = static_cast<std::uint32_t>(round_qd.size() - 1);
 
-    // Delete + core maintenance (Algorithm 4); Algorithm 7 runs per removed
-    // vertex while the bipartite graph is still consistent.
+    // Incremental maintenance bookkeeping. A round that will be validated by
+    // a sampled estimate skips the debits entirely (chi goes stale by
+    // design and resyncs via a full recount when exact values are next
+    // needed); the candidate only shrinks during the cascade, so the
+    // pre-removal size check can never under-predict the approx path.
+    if (pc != nullptr) {
+      if (approx.enabled && cand.NumAlive() > approx.threshold) pc->MarkStale();
+      pc->BeginRound();
+    }
+    bool counter_live = pc != nullptr && !pc->stale();
+
+    // Delete + core maintenance (Algorithm 4); incremental chi debits or
+    // Algorithm 7 run per removed vertex while the bipartite graph is still
+    // consistent.
     bool cascade_expired = false;
     std::vector<VertexId> removed;
-    if (opts.use_leader_pair) {
-      ScopedAccumulator t(&stats->leader_update_seconds);
+    auto leader_loss = [&](VertexId v) {
+      if (lead_l.leader != kInvalidVertex && v != lead_l.leader &&
+          cand.IsAlive(lead_l.leader)) {
+        std::uint64_t loss =
+            updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_l.leader, v);
+        lead_l.chi = loss > lead_l.chi ? 0 : lead_l.chi - loss;
+      }
+      if (lead_r.leader != kInvalidVertex && v != lead_r.leader &&
+          cand.IsAlive(lead_r.leader)) {
+        std::uint64_t loss =
+            updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_r.leader, v);
+        lead_r.chi = loss > lead_r.chi ? 0 : lead_r.chi - loss;
+      }
+    };
+    if (counter_live) {
+      // The counter maintains every chi — the leaders' included — so the
+      // per-removal Algorithm 7 updates are skipped while it stays fresh.
+      // If it refuses mid-cascade (debit work over the wedge budget), its
+      // chi is still exact for the candidate just before the refused
+      // removal: sync the leaders' running chi once and resume the legacy
+      // per-removal updates for the rest of the cascade.
+      ScopedAccumulator t(&stats->butterfly_delta_seconds);
       removed = cand.RemoveAndMaintain(
           batch,
           [&](VertexId v) {
-            if (lead_l.leader != kInvalidVertex && v != lead_l.leader &&
-                cand.IsAlive(lead_l.leader)) {
-              std::uint64_t loss =
-                  updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_l.leader, v);
-              lead_l.chi = loss > lead_l.chi ? 0 : lead_l.chi - loss;
+            if (counter_live) {
+              if (pc->OnRemove(v)) return;
+              counter_live = false;
+              if (opts.use_leader_pair) {
+                if (lead_l.leader != kInvalidVertex && cand.IsAlive(lead_l.leader)) {
+                  lead_l.chi = pc->Chi(lead_l.leader);
+                }
+                if (lead_r.leader != kInvalidVertex && cand.IsAlive(lead_r.leader)) {
+                  lead_r.chi = pc->Chi(lead_r.leader);
+                }
+              }
             }
-            if (lead_r.leader != kInvalidVertex && v != lead_r.leader &&
-                cand.IsAlive(lead_r.leader)) {
-              std::uint64_t loss =
-                  updater.LossOnDeletion(cand.GroupMask(0), cand.GroupMask(1), lead_r.leader, v);
-              lead_r.chi = loss > lead_r.chi ? 0 : lead_r.chi - loss;
-            }
+            if (opts.use_leader_pair) leader_loss(v);
           },
           cascade_deadline, &cascade_expired);
+    } else if (opts.use_leader_pair) {
+      ScopedAccumulator t(&stats->leader_update_seconds);
+      removed = cand.RemoveAndMaintain(batch, leader_loss, cascade_deadline, &cascade_expired);
     } else {
       removed = cand.RemoveAndMaintain(batch, [](VertexId) {}, cascade_deadline,
                                        &cascade_expired);
@@ -179,6 +229,8 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
     if (cascade_expired) {
       // The cascade was cut short, so the surviving candidate may violate
       // its cores; every earlier recorded round is still a valid state.
+      // The counter stopped debiting mid-cascade, so its chi is stale too.
+      if (pc != nullptr) pc->MarkStale();
       stats->timed_out = true;
       break;
     }
@@ -191,8 +243,43 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
     // candidate shrinks below the threshold (or the estimate fails).
     const bool approx_this_round =
         approx.enabled && cand.NumAlive() > approx.threshold;
+    // Exact per-round counts: the maintained delta-chi while the counter is
+    // fresh (recount avoided, SearchStats::delta_rounds), a counter-refilling
+    // full recount after staleness (delta_fallbacks), or the legacy recount
+    // buffer with the counter off. Identical values in every case.
+    auto exact_counts = [&]() -> const ButterflyCounts& {
+      if (counter_live) {
+        ++stats->delta_rounds;
+        return pc->RefreshMaxes();
+      }
+      {
+        ScopedAccumulator t(&stats->butterfly_seconds);
+        if (pc != nullptr) {
+          pc->Recount();
+        } else {
+          CountButterfliesInto(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws,
+                               &recount);
+        }
+      }
+      ++stats->butterfly_counting_calls;
+      if (pc == nullptr) return recount;
+      ++stats->delta_fallbacks;
+      return pc->RefreshMaxes();
+    };
     bool valid = true;
     if (opts.use_leader_pair) {
+      // While the counter is fresh the leaders' chi lives in it (the
+      // per-removal Algorithm 7 updates were skipped); read it back before
+      // the validity shortcut. Both maintenance paths are exact, so the
+      // decision below is the same either way.
+      if (counter_live) {
+        if (lead_l.leader != kInvalidVertex && cand.IsAlive(lead_l.leader)) {
+          lead_l.chi = pc->Chi(lead_l.leader);
+        }
+        if (lead_r.leader != kInvalidVertex && cand.IsAlive(lead_r.leader)) {
+          lead_r.chi = pc->Chi(lead_r.leader);
+        }
+      }
       // Leaders may be unset (kInvalidVertex) after an approx round.
       bool left_ok = lead_l.leader != kInvalidVertex && cand.IsAlive(lead_l.leader) &&
                      lead_l.chi >= b;
@@ -205,38 +292,31 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
         lead_l = LeaderState{};
         lead_r = LeaderState{};
       } else {
-        {
-          ScopedAccumulator t(&stats->butterfly_seconds);
-          CountButterfliesInto(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws,
-                               &recount);
-          counts = &recount;
-        }
-        ++stats->butterfly_counting_calls;
+        const ButterflyCounts& rc = exact_counts();
         ++stats->leader_rebuilds;
         next_round_exact = true;
-        if (counts->max_left < b || counts->max_right < b) {
+        if (rc.max_left < b || rc.max_right < b) {
           valid = false;
         } else {
           ScopedAccumulator t(&stats->leader_update_seconds);
-          lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, *counts,
-                                  counts->max_left, counts->argmax_left, ws);
-          lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, *counts,
-                                  counts->max_right, counts->argmax_right, ws);
+          lead_l = IdentifyLeader(g, cand.GroupMask(0), q.ql, opts.leader_rho, b, rc,
+                                  rc.max_left, rc.argmax_left, ws);
+          lead_r = IdentifyLeader(g, cand.GroupMask(1), q.qr, opts.leader_rho, b, rc,
+                                  rc.max_right, rc.argmax_right, ws);
         }
       }
     } else if (approx_this_round) {
       valid = estimate_valid(round_idx);
     } else {
-      {
-        ScopedAccumulator t(&stats->butterfly_seconds);
-        CountButterfliesInto(g, g0.left, g0.right, cand.GroupMask(0), cand.GroupMask(1), ws,
-                             &recount);
-        counts = &recount;
-      }
-      ++stats->butterfly_counting_calls;
+      const ButterflyCounts& rc = exact_counts();
       next_round_exact = true;
-      if (counts->max_left < b || counts->max_right < b) valid = false;
+      if (rc.max_left < b || rc.max_right < b) valid = false;
     }
+#if BCCS_DCHECK_IS_ON
+    // Debug-level equivalence audit (DESIGN.md contract 8): maintained chi
+    // must match a from-scratch recount after every exactly-validated round.
+    if (pc != nullptr && !pc->stale()) pc->AuditAgainstRecount();
+#endif
     if (!valid) break;
 
     // Query distance maintenance. Only vertices whose distance changed need
@@ -319,6 +399,7 @@ Community PeelToBcc(const LabeledGraph& g, const G0Result& g0, const BccQuery& q
     std::sort(out.vertices.begin(), out.vertices.end());
   }
 
+  if (pc != nullptr) ws->ReleasePeelCounter(pc);
   ws->U32InfPool().Release(std::move(removal_round), members);
   ws->U64ZeroPool().Release(std::move(recount.chi), members);
   ws->ReleaseDistance(dist_l);

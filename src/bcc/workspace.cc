@@ -1,10 +1,14 @@
 #include "bcc/workspace.h"
 
+#include "butterfly/peel_counter.h"
 #include "common/check.h"
 
 #include <algorithm>
 
 namespace bccs {
+
+QueryWorkspace::QueryWorkspace() = default;
+QueryWorkspace::~QueryWorkspace() = default;
 
 DistanceMap* QueryWorkspace::AcquireDistance() {
   if (distance_free_.empty()) distance_free_.push_back(std::make_unique<DistanceMap>());
@@ -43,6 +47,28 @@ void QueryWorkspace::ReleaseIdVec(std::vector<VertexId>* vec) {
     }
   }
   BCCS_CHECK(false) << "ReleaseIdVec: unknown vector";
+}
+
+PeelButterflyCounter* QueryWorkspace::AcquirePeelCounter() {
+  if (peel_counter_free_.empty()) {
+    peel_counter_free_.push_back(std::make_unique<PeelButterflyCounter>());
+  }
+  peel_counter_used_.push_back(std::move(peel_counter_free_.back()));
+  peel_counter_free_.pop_back();
+  return peel_counter_used_.back().get();
+}
+
+void QueryWorkspace::ReleasePeelCounter(PeelButterflyCounter* pc) {
+  for (auto& slot : peel_counter_used_) {
+    if (slot.get() == pc) {
+      pc->Release();
+      peel_counter_free_.push_back(std::move(slot));
+      std::swap(slot, peel_counter_used_.back());
+      peel_counter_used_.pop_back();
+      return;
+    }
+  }
+  BCCS_CHECK(false) << "ReleasePeelCounter: unknown counter";
 }
 
 WorkspaceStats QueryWorkspace::Stats() const {

@@ -15,6 +15,8 @@
 
 namespace bccs {
 
+class PeelButterflyCounter;
+
 /// Distance value for unreachable vertices. (Historically defined in
 /// query_distance.h, which now re-exports it from here.)
 inline constexpr std::uint32_t kInfDistance = static_cast<std::uint32_t>(-1);
@@ -328,7 +330,9 @@ class PeelQueue {
 /// workspace tests assert.
 class QueryWorkspace {
  public:
-  QueryWorkspace() = default;
+  // Both out-of-line: PeelButterflyCounter is only forward-declared here.
+  QueryWorkspace();
+  ~QueryWorkspace();
   QueryWorkspace(const QueryWorkspace&) = delete;
   QueryWorkspace& operator=(const QueryWorkspace&) = delete;
 
@@ -379,6 +383,15 @@ class QueryWorkspace {
   std::vector<VertexId>* AcquireIdVec();
   void ReleaseIdVec(std::vector<VertexId>* vec);
 
+  /// Pooled incremental butterfly counters (SearchOptions::
+  /// incremental_butterflies): the counter's chi / position buffers come
+  /// from this workspace's scratch pools and its heap vectors keep their
+  /// capacity while parked, so steady-state peeling allocates nothing.
+  /// ReleasePeelCounter returns the counter's buffers (idempotent with the
+  /// counter's own Release) before parking it.
+  PeelButterflyCounter* AcquirePeelCounter();
+  void ReleasePeelCounter(PeelButterflyCounter* pc);
+
   /// Per-query deadline, stamped by the serving engine before dispatch and
   /// cleared (reset to unlimited) afterwards. Search engines poll it at
   /// peel-round granularity.
@@ -406,6 +419,9 @@ class QueryWorkspace {
 
   std::vector<std::unique_ptr<std::vector<VertexId>>> id_free_;
   std::vector<std::unique_ptr<std::vector<VertexId>>> id_used_;
+
+  std::vector<std::unique_ptr<PeelButterflyCounter>> peel_counter_free_;
+  std::vector<std::unique_ptr<PeelButterflyCounter>> peel_counter_used_;
 
   Deadline deadline_;
   std::uint64_t local_bulk_inits_ = 0;

@@ -29,18 +29,21 @@ void SideMaxAndSum(std::span<const VertexId> side, const std::vector<char>& side
 void CountSide(const LabeledGraph& g, std::span<const VertexId> side,
                const std::vector<char>& side_mask, const std::vector<char>& other_mask,
                std::vector<std::uint64_t>* chi, std::vector<std::uint32_t>* paths,
-               std::vector<VertexId>* touched) {
+               std::vector<VertexId>* touched, std::uint64_t* wedges) {
   for (VertexId v : side) {
     if (!side_mask[v]) continue;
     touched->clear();
+    std::uint64_t local_wedges = 0;
     for (VertexId u : g.Neighbors(v)) {
       if (!other_mask[u]) continue;
       for (VertexId w : g.Neighbors(u)) {
         if (w == v || !side_mask[w]) continue;
         if ((*paths)[w] == 0) touched->push_back(w);
         ++(*paths)[w];
+        ++local_wedges;
       }
     }
+    *wedges += local_wedges;
     std::uint64_t c = 0;
     for (VertexId w : *touched) {
       c += Choose2((*paths)[w]);
@@ -67,6 +70,7 @@ void CountButterfliesInto(const LabeledGraph& g, std::span<const VertexId> left,
                           ButterflyCounts* out) {
   const std::size_t n = g.NumVertices();
   out->total = 0;
+  out->wedges = 0;
   out->max_left = out->max_right = 0;
   out->argmax_left = out->argmax_right = kInvalidVertex;
   if (ws == nullptr || out->chi.size() != n) {
@@ -84,8 +88,8 @@ void CountButterfliesInto(const LabeledGraph& g, std::span<const VertexId> left,
   std::vector<VertexId>& touched = ws != nullptr ? ws->WedgeTouched() : local_touched;
   if (ws == nullptr) local_paths.assign(n, 0);
 
-  CountSide(g, left, in_left, in_right, &out->chi, &paths, &touched);
-  CountSide(g, right, in_right, in_left, &out->chi, &paths, &touched);
+  CountSide(g, left, in_left, in_right, &out->chi, &paths, &touched, &out->wedges);
+  CountSide(g, right, in_right, in_left, &out->chi, &paths, &touched, &out->wedges);
 
   std::uint64_t sum = 0;
   SideMaxAndSum(left, in_left, out->chi, &sum, &out->max_left, &out->argmax_left);
@@ -157,11 +161,19 @@ ButterflyCounts CountButterfliesBruteForce(const LabeledGraph& g,
     for (VertexId v : side) {
       if (side_mask[v]) members.push_back(v);
     }
+    // Materialize every member's alive cross-neighborhood once up front;
+    // rebuilding them inside the pair loop made the reference oracle
+    // quadratic in allocations.
+    std::vector<std::vector<VertexId>> nbrs(members.size());
     for (std::size_t i = 0; i < members.size(); ++i) {
-      auto ni = cross_neighbors(members[i], other_mask);
+      nbrs[i] = cross_neighbors(members[i], other_mask);
+    }
+    std::vector<VertexId> common;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto& ni = nbrs[i];
       for (std::size_t j = i + 1; j < members.size(); ++j) {
-        auto nj = cross_neighbors(members[j], other_mask);
-        std::vector<VertexId> common;
+        const auto& nj = nbrs[j];
+        common.clear();
         std::set_intersection(ni.begin(), ni.end(), nj.begin(), nj.end(),
                               std::back_inserter(common));
         std::uint64_t pairs = Choose2(common.size());

@@ -25,6 +25,12 @@
 //                             alive candidate size (--approx-samples becomes
 //                             the ceiling); answers stay deterministic in
 //                             the seed and thread count.
+//   --no-incremental-butterflies
+//                             disable the incremental per-round butterfly
+//                             maintenance (PeelButterflyCounter) and recount
+//                             from scratch each round. Answers are
+//                             bit-identical either way; this is a
+//                             benchmarking / escape-hatch switch.
 //
 // Index snapshots (see tools/bccs_build and graph/snapshot.h):
 //   bccs_query --index-file g.snap ...
@@ -99,6 +105,7 @@ void PrintUsage() {
                "                  [--approx-samples N] [--approx-threshold N]\n"
                "                  [--approx-adaptive] [--updates-file FILE] [--verify]\n"
                "                  [--result-cache N] [--cache-bytes N]\n"
+               "                  [--no-incremental-butterflies]\n"
                "       bccs_query ... --batch-file FILE [--threads N] [--repeat N]\n"
                "       bccs_query ... --ql ID --qr ID --repeat N [--threads N]\n");
 }
@@ -170,6 +177,7 @@ struct ServeConfig {
   bccs::Lane lane = bccs::Lane::kBulk;
   double deadline_seconds = 0;
   bccs::ApproxOptions approx;
+  bool incremental_butterflies = true;
   std::size_t result_cache_entries = 0;
   std::size_t pair_cache_bytes = 0;
 };
@@ -180,9 +188,28 @@ bccs::ServeOptions MakeServeOptions(const ServeConfig& cfg) {
   so.lp.approx = cfg.approx;
   so.mbcc.approx = cfg.approx;
   so.l2p.search.approx = cfg.approx;
+  so.online.incremental_butterflies = cfg.incremental_butterflies;
+  so.lp.incremental_butterflies = cfg.incremental_butterflies;
+  so.mbcc.incremental_butterflies = cfg.incremental_butterflies;
+  so.l2p.search.incremental_butterflies = cfg.incremental_butterflies;
   so.result_cache_entries = cfg.result_cache_entries;
   so.pair_cache_bytes = cfg.pair_cache_bytes;
   return so;
+}
+
+/// Per-phase time breakdown of a batch (or single query): where the search
+/// spent its wall time, summed across queries.
+void PrintPhaseBreakdown(const std::vector<bccs::SearchStats>& stats) {
+  bccs::SearchStats sum;
+  for (const auto& s : stats) sum += s;
+  std::printf("phases: find_g0=%.4fs query_distance=%.4fs butterfly=%.4fs delta=%.4fs "
+              "leader=%.4fs\n",
+              sum.find_g0_seconds, sum.query_distance_seconds, sum.butterfly_seconds,
+              sum.butterfly_delta_seconds, sum.leader_update_seconds);
+  std::printf("counting: calls=%zu delta_rounds=%zu delta_fallbacks=%zu "
+              "leader_rebuilds=%zu approx_checks=%zu\n",
+              sum.butterfly_counting_calls, sum.delta_rounds, sum.delta_fallbacks,
+              sum.leader_rebuilds, sum.approx_checks);
 }
 
 void PrintLaneSummaries(const bccs::BatchResult& result) {
@@ -219,6 +246,7 @@ int RunBatch(const bccs::LabeledGraph& graph, const bccs::BcIndex* index,
               result.latency.p50_seconds, result.latency.p90_seconds,
               result.latency.p99_seconds);
   PrintLaneSummaries(result);
+  PrintPhaseBreakdown(result.stats);
   std::printf("workspace: bulk_inits=%llu buffer_acquires=%llu\n",
               static_cast<unsigned long long>(result.workspace_stats.bulk_inits),
               static_cast<unsigned long long>(result.workspace_stats.buffer_acquires));
@@ -248,7 +276,8 @@ int main(int argc, char** argv) {
                                     "b", "method", "verify", "help", "batch-file", "threads",
                                     "repeat", "lane", "deadline-ms", "approx-samples",
                                     "approx-threshold", "approx-adaptive", "updates-file",
-                                    "result-cache", "cache-bytes"});
+                                    "result-cache", "cache-bytes",
+                                    "no-incremental-butterflies"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -325,6 +354,7 @@ int main(int argc, char** argv) {
                  "warning: --approx-threshold/--approx-adaptive have no effect without "
                  "--approx-samples; approximate counting stays disabled\n");
   }
+  cfg.incremental_butterflies = !args.Has("no-incremental-butterflies");
 
   auto graph_path = args.GetString("graph");
   auto index_path = args.GetString("index-file");
@@ -565,6 +595,7 @@ int main(int argc, char** argv) {
   std::printf("\nrounds=%zu butterfly_counting_calls=%zu approx_checks=%zu time=%.6fs\n",
               stats.rounds, stats.butterfly_counting_calls, stats.approx_checks,
               stats.total_seconds);
+  PrintPhaseBreakdown(result.stats);
 
   if (args.Has("verify") && queries.size() == 2) {
     bccs::BccParams p{static_cast<std::uint32_t>(k1_arg),

@@ -93,6 +93,7 @@ void PrintUsage() {
                "                  [--method online|lp|l2p] [--k1 N] [--k2 N] [--b N]\n"
                "                  [--deadline-ms N] [--approx-samples N]\n"
                "                  [--approx-threshold N] [--approx-adaptive] [--quiet]\n"
+               "                  [--no-incremental-butterflies]\n"
                "                  [--fsync none|on-rotation|every-append]\n"
                "                  [--segment-blocks N] [--compact-threshold N]\n"
                "                  [--result-cache N] [--cache-bytes N]\n"
@@ -211,7 +212,8 @@ int main(int argc, char** argv) {
                                     "deadline-ms", "approx-samples", "approx-threshold",
                                     "approx-adaptive", "quiet", "fsync", "segment-blocks",
                                     "compact-threshold", "result-cache", "cache-bytes",
-                                    "listen", "max-connections", "help"});
+                                    "listen", "max-connections", "help",
+                                    "no-incremental-butterflies"});
   if (!unknown.empty() || args.Has("help")) {
     for (const auto& u : unknown) std::fprintf(stderr, "unknown flag: --%s\n", u.c_str());
     PrintUsage();
@@ -383,6 +385,12 @@ int main(int argc, char** argv) {
     so.mbcc.approx = approx;
     so.l2p.search.approx = approx;
   }
+  if (args.Has("no-incremental-butterflies")) {
+    so.online.incremental_butterflies = false;
+    so.lp.incremental_butterflies = false;
+    so.mbcc.incremental_butterflies = false;
+    so.l2p.search.incremental_butterflies = false;
+  }
 
   const std::string stream_arg = args.GetStringOr("stream", "-");
   std::ifstream stream_file;
@@ -551,6 +559,15 @@ int main(int argc, char** argv) {
                 bccs::Name(lane.lane), lane.queries, lane.max_inflight,
                 lane.latency.p50_seconds, lane.latency.p90_seconds,
                 lane.latency.p99_seconds);
+  }
+  {
+    bccs::SearchStats sum;
+    for (const auto& s : result.stats) sum += s;
+    std::printf("phases: find_g0=%.4fs query_distance=%.4fs butterfly=%.4fs delta=%.4fs "
+                "leader=%.4fs  (counting calls=%zu delta_rounds=%zu delta_fallbacks=%zu)\n",
+                sum.find_g0_seconds, sum.query_distance_seconds, sum.butterfly_seconds,
+                sum.butterfly_delta_seconds, sum.leader_update_seconds,
+                sum.butterfly_counting_calls, sum.delta_rounds, sum.delta_fallbacks);
   }
   if (result.result_cache_enabled || cache_bytes > 0) {
     const bccs::ResultCacheStats& rc = result.result_cache;

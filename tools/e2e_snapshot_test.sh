@@ -5,7 +5,10 @@
 # corrupted snapshot is rejected, that the serving-engine flags
 # (--lane, --deadline-ms, --approx-samples) validate and behave (mixed-lane
 # batches report per-lane percentiles, approx batches are deterministic
-# across thread counts, bad flag values are rejected), and that the dynamic
+# across thread counts, bad flag values are rejected, and
+# --no-incremental-butterflies answers bit-identically to the default
+# incremental-counter runs across methods and thread counts), and that the
+# dynamic
 # update flow works: bccs_update appends a delta log that bccs_query
 # replays (build -> update -> query-from-replayed-snapshot ==
 # query-from-updated-text-graph), --updates-file applies a batch in-process,
@@ -159,6 +162,38 @@ adaptive_2="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.tx
   | grep -E '^  \[')"
 [ -n "$adaptive_1" ] || fail "no adaptive approx batch output"
 [ "$adaptive_1" = "$adaptive_2" ] || fail "adaptive approx answers differ across threads"
+
+# --- Incremental butterfly maintenance: --no-incremental-butterflies --------
+
+# Flag matrix: for each method and thread count the answers with the
+# incremental counter (the default) must equal the per-round-recount run.
+for m in lp online; do
+  for t in 1 2; do
+    inc="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+      --threads "$t" --method "$m" | grep -E '^  \[')"
+    rec="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+      --threads "$t" --method "$m" --no-incremental-butterflies \
+      | grep -E '^  \[')"
+    [ -n "$inc" ] || fail "no batch output (method $m, threads $t)"
+    [ "$inc" = "$rec" ] \
+      || fail "--no-incremental-butterflies changed answers (method $m, threads $t)"
+  done
+done
+
+# Approx rounds mark the counter stale mid-query (forced fallback recounts);
+# the answers still must not depend on the flag.
+approx_inc="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 2 --approx-samples 64 --approx-threshold 1 | grep -E '^  \[')"
+approx_rec="$("$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" \
+  --threads 2 --approx-samples 64 --approx-threshold 1 \
+  --no-incremental-butterflies | grep -E '^  \[')"
+[ "$approx_inc" = "$approx_rec" ] \
+  || fail "--no-incremental-butterflies changed answers under approx rounds"
+
+# The batch summary carries the per-phase breakdown including the delta
+# counter's time and round counters.
+"$bin/bccs_query" --graph "$tmp/g.txt" --batch-file "$tmp/lanes.txt" --threads 1 \
+  | grep -q '^phases: .*delta=' || fail "no per-phase breakdown in batch output"
 
 # --- Dynamic graphs: delta log + --updates-file -----------------------------
 
@@ -314,6 +349,15 @@ cached_members="$(printf '%s\n' "$cached_out" \
   || fail "cached streamed answer differs: $cached_members vs $serve_members"
 printf '%s\n' "$cached_out" | grep -q "^cache: result " \
   || fail "cached bccs_serve printed no cache summary"
+
+# bccs_serve takes the flag matrix too: a per-round-recount serve run must
+# stream the same answers as the default incremental run above.
+norec_out="$("$bin/bccs_serve" --graph "$tmp/g.txt" --stream "$tmp/stream.txt" \
+  --no-incremental-butterflies)" || fail "bccs_serve --no-incremental-butterflies failed"
+norec_members="$(printf '%s\n' "$norec_out" \
+  | sed -n 's/^\[2\].*-> \([0-9]*\) members.*/\1/p')"
+[ "$norec_members" = "$serve_members" ] \
+  || fail "--no-incremental-butterflies changed streamed answers: $norec_members vs $serve_members"
 
 # --- Socket front-end: bccs_serve --listen -----------------------------------
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds the tree (if needed) and runs the perf-trajectory smoke benchmark,
-# leaving BENCH_PR9.json next to this script's repo root. The JSON carries
+# leaving BENCH_PR10.json next to this script's repo root. The JSON carries
 # the batch-query QPS rows, the snapshot cold-start block, the two-lane
 # serving block (per-lane sojourn p50/p99 plus the warm serving wall time),
 # the streaming block, the approx block, the caching block (Zipf trace
@@ -9,8 +9,10 @@
 # network block (the socket front-end over 100+ loopback connections —
 # sustained QPS and client-observed interactive p95 vs the in-process
 # baseline; this script fails if any wire response differs byte-for-byte
-# from the in-process answer), the updates block, and the recovery block —
-# see BENCH_PR8.json for the lineage — plus a check_overhead block: the serving block is re-run from a
+# from the in-process answer), the updates block, the recovery block, and
+# the peeling block (the incremental butterfly counter vs per-round
+# recounts; this script fails if the answers are not bit-identical) —
+# see BENCH_PR9.json for the lineage — plus a check_overhead block: the serving block is re-run from a
 # second build configured with -DBCCS_STRIP_CHECKS=ON (BCCS_CHECK compiled
 # out) and the two warm wall times are compared, best of $RUNS runs each,
 # to price the always-on invariant checks. Future PRs append their own
@@ -22,7 +24,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 strip_dir="${STRIP_BUILD_DIR:-$repo_root/build-nocheck}"
-out="$repo_root/BENCH_PR9.json"
+out="$repo_root/BENCH_PR10.json"
 runs="${RUNS:-3}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
@@ -74,6 +76,15 @@ if not caching["block_cache"]["identical_to_unbounded"]:
 # byte-exact answer the engine computed in-process.
 if not bench["network"]["identical_to_in_process"]:
     sys.exit("network: wire responses differ from in-process answers")
+
+# And for the incremental peel counter: maintained chi must yield exactly
+# the communities a per-round recount yields, and it must actually replace
+# recounts (fewer full counting calls than the flag-off run).
+peeling = bench["peeling"]
+if not peeling["identical_to_recount"]:
+    sys.exit("peeling: incremental-counter answers differ from recount")
+if peeling["incremental_counting_calls"] >= peeling["recount_counting_calls"]:
+    sys.exit("peeling: incremental counter did not reduce counting calls")
 
 bench["check_overhead"] = {
     "serving_wall_seconds_checks_on": on,
